@@ -1,0 +1,72 @@
+// Shared machinery for the figure/table benches.
+//
+// Workloads are derived the honest way: a real McmcChain is run on a small
+// pattern matrix with the requested taxon count (PLF call counts depend on
+// the tree, not on m), the measured kernel call counts are scaled to the
+// requested generation budget, and the pattern count is set to the target
+// dataset's m. Serial cycles come from the calibrated analytic model (wall
+// time on the build host would not describe a 2009 core).
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "arch/workload.hpp"
+#include "core/backend.hpp"
+#include "core/engine.hpp"
+#include "mcmc/chain.hpp"
+#include "phylo/patterns.hpp"
+#include "seqgen/datasets.hpp"
+#include "seqgen/evolve.hpp"
+#include "seqgen/random_tree.hpp"
+#include "util/rng.hpp"
+
+namespace plf::bench {
+
+/// Measured-by-proxy workload: call counts from a real chain on `taxa`
+/// taxa, scaled to `generations`, with pattern count `m`.
+inline arch::PlfWorkload measured_workload(std::size_t taxa, std::size_t m,
+                                           std::uint64_t generations) {
+  // Cache the per-taxa chain measurement (independent of m).
+  static std::map<std::size_t, arch::PlfWorkload> cache;
+  const std::uint64_t probe_gens = 2000;
+
+  auto it = cache.find(taxa);
+  if (it == cache.end()) {
+    Rng rng(1000 + taxa);
+    phylo::Tree tree = seqgen::yule_tree(taxa, rng, 1.0, 0.15);
+    phylo::GtrParams params = seqgen::default_gtr_params();
+    phylo::SubstitutionModel model(params);
+    seqgen::SequenceEvolver ev(tree, model);
+    auto data = phylo::PatternMatrix::compress(ev.evolve(400, rng));
+
+    core::SerialBackend backend;
+    core::PlfEngine engine(data, params, tree, backend);
+    mcmc::McmcOptions opts;
+    opts.seed = 5;
+    mcmc::McmcChain chain(engine, opts);
+    const auto result = chain.run(probe_gens);
+    it = cache
+             .emplace(taxa, mcmc::workload_from_run(
+                                result, data.n_patterns(), 4, taxa))
+             .first;
+  }
+
+  arch::PlfWorkload w = it->second;
+  const double scale =
+      static_cast<double>(generations) / static_cast<double>(probe_gens);
+  w.m = m;
+  w.taxa = taxa;
+  w.down_calls = static_cast<std::uint64_t>(w.down_calls * scale);
+  w.root_calls = static_cast<std::uint64_t>(w.root_calls * scale);
+  w.scale_calls = static_cast<std::uint64_t>(w.scale_calls * scale);
+  w.reduce_calls = static_cast<std::uint64_t>(w.reduce_calls * scale);
+  w.tm_builds = static_cast<std::uint64_t>(w.tm_builds * scale);
+  // Serial remainder from the calibrated model (host wall time is not a
+  // 2009 baseline core).
+  w.serial_cycles =
+      arch::analytic_mcmc_workload(taxa, m, generations).serial_cycles;
+  return w;
+}
+
+}  // namespace plf::bench

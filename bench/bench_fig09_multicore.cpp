@@ -1,0 +1,51 @@
+// Figure 9 — Scalability for the multi-core based systems.
+//
+// Relative PLF-section speedup (n cores vs 1 core, same system) for the
+// 2xXeon(4), 4xOpteron(4) and 8xOpteron(2) systems across the paper's 16
+// input data sets (10/20/50/100 taxa x 1K/5K/20K/50K distinct patterns).
+// Workload call counts are measured from a real MCMC chain per taxon count.
+//
+// Paper shape to reproduce: all systems scale well; 1K sets are the worst
+// (lowest ~6 on the Xeon); speedups drop as the computation intensity
+// (taxa -> calls) rises; the 16-core systems top out around 12-13x; average
+// parallel efficiency ~71%.
+#include <iostream>
+
+#include "arch/models.hpp"
+#include "bench_common.hpp"
+#include "seqgen/datasets.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace plf;
+  using namespace plf::arch;
+
+  const std::uint64_t kGenerations = 2000;
+
+  MultiCoreModel xeon(system_by_name("2xXeon(4)"));
+  MultiCoreModel opt4(system_by_name("4xOpteron(4)"));
+  MultiCoreModel opt2(system_by_name("8xOpteron(2)"));
+
+  Table t("Figure 9: relative speedup (n-core vs 1-core), PLF section");
+  t.header({"data set", "2xXeon(4) n=8", "4xOpteron(4) n=16",
+            "8xOpteron(2) n=16"});
+
+  double eff_sum = 0.0;
+  int eff_count = 0;
+  for (const auto& spec : seqgen::paper_grid()) {
+    const auto w = bench::measured_workload(spec.taxa, spec.patterns,
+                                            kGenerations);
+    const double s_xeon = xeon.relative_speedup(w, 8);
+    const double s_opt4 = opt4.relative_speedup(w, 16);
+    const double s_opt2 = opt2.relative_speedup(w, 16);
+    t.row({spec.name(), Table::num(s_xeon, 2), Table::num(s_opt4, 2),
+           Table::num(s_opt2, 2)});
+    eff_sum += s_xeon / 8.0 + s_opt4 / 16.0 + s_opt2 / 16.0;
+    eff_count += 3;
+  }
+  std::cout << t << "\n";
+  std::cout << "average parallel efficiency: "
+            << Table::num(100.0 * eff_sum / eff_count, 1)
+            << "%  (paper: ~71% average for the multi-cores)\n";
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Figure 11 — Scalability for the 8800GT and GTX285 systems.
+//
+// GPU PLF throughput (pattern-updates per second in the kernels) normalized
+// to the 8800GT on the smallest data set (10_1K) — the paper's "speedup
+// normalized to 10_1K". Per-call kernel times are GpuPlf simulations with
+// each card's launch configuration from the §3.4 design-space exploration.
+//
+// Paper shape: speedup rises with the column count, peaking at 20K/50K;
+// rises (mildly) with computation intensity; GTX285 ends 2.2x (20K) to 2.4x
+// (50K) above the 8800GT.
+#include <iostream>
+
+#include "arch/models.hpp"
+#include "bench_common.hpp"
+#include "seqgen/datasets.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace plf;
+  using namespace plf::arch;
+
+  const std::uint64_t kGenerations = 2000;
+
+  GpuModel gt(system_by_name("8800GT"));
+  GpuModel gtx(system_by_name("GTX285"));
+
+  auto throughput = [](GpuModel& model, const PlfWorkload& w) {
+    const double work = static_cast<double>(w.plf_calls()) *
+                        static_cast<double>(w.m);  // pattern-updates
+    return work / model.plf_section(w).kernel_s;
+  };
+
+  const auto w_ref = bench::measured_workload(10, 1000, kGenerations);
+  const double ref = throughput(gt, w_ref);
+
+  Table t("Figure 11: GPU speedup normalized to 8800GT @ 10_1K (PLF kernels)");
+  t.header({"data set", "8800GT", "GTX285", "GTX/GT"});
+  for (const auto& spec : seqgen::paper_grid()) {
+    const auto w = bench::measured_workload(spec.taxa, spec.patterns,
+                                            kGenerations);
+    const double s_gt = throughput(gt, w) / ref;
+    const double s_gtx = throughput(gtx, w) / ref;
+    t.row({spec.name(), Table::num(s_gt, 2), Table::num(s_gtx, 2),
+           Table::num(s_gtx / s_gt, 2)});
+  }
+  std::cout << t << "\n";
+  std::cout << "paper: GTX285/8800GT = 2.2x at 20K, up to 2.4x at 50K;\n"
+               "core-count ratio 240/112 = 2.1x.\n";
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Figure 12 — Frequency-scaled total execution time for all systems, on the
+// real data set (mammalian sub-alignment: 20 organisms, 28,740 columns,
+// ~8,543 distinct patterns).
+//
+// Steps:
+//   1. generate the real-data stand-in and report its compression stats;
+//   2. run a genuine MCMC slice on it (threaded host backend) to validate
+//      the pipeline end-to-end and to measure the PLF call profile;
+//   3. evaluate every Table-1 system model on that workload and print the
+//      PLF / Remaining / PCIe breakdown normalized to the baseline — the
+//      bars of Fig. 12 — plus the overall speedups quoted in §4.2.
+#include <iostream>
+
+#include "arch/models.hpp"
+#include "bench_common.hpp"
+#include "core/backend.hpp"
+#include "core/engine.hpp"
+#include "mcmc/chain.hpp"
+#include "seqgen/datasets.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace plf;
+  using namespace plf::arch;
+
+  const std::uint64_t kGenerations = 2000;
+
+  std::cout << "generating the real-data stand-in (28,740 columns)...\n";
+  const auto ds = seqgen::make_real_dataset();
+  std::cout << "  " << ds.patterns.n_taxa() << " taxa, "
+            << ds.patterns.total_weight() << " columns, "
+            << ds.patterns.n_patterns()
+            << " distinct patterns (paper: 8,543)\n\n";
+
+  // A genuine short run on the host, to anchor the workload in reality.
+  std::cout << "running a 500-generation MCMC slice on the host...\n";
+  par::ThreadPool pool;
+  core::ThreadedBackend backend(pool);
+  core::PlfEngine engine(ds.patterns, ds.model_params, ds.tree, backend);
+  mcmc::McmcOptions opts;
+  opts.seed = 11;
+  mcmc::McmcChain chain(engine, opts);
+  const auto result = chain.run(500);
+  std::cout << "  lnL " << Table::num(result.samples.front().ln_likelihood, 1)
+            << " -> " << Table::num(result.final_ln_likelihood, 1) << ", "
+            << result.total_accepted() << "/" << result.total_proposed()
+            << " accepted, " << Table::num(result.wall_seconds, 2) << " s ("
+            << Table::num(100.0 * result.plf_wall_seconds /
+                              std::max(result.wall_seconds, 1e-12),
+                          1)
+            << "% in PLF kernels)\n\n";
+
+  const PlfWorkload w =
+      bench::measured_workload(20, ds.patterns.n_patterns(), kGenerations);
+
+  const auto& base_sys = system_by_name("Baseline");
+  MultiCoreModel base(base_sys);
+  const double t_base = base.total_s(w, 1);
+
+  Table t("Figure 12: frequency-scaled time, % of baseline");
+  t.header({"system", "PLF", "Remaining", "PCIe", "total", "overall speedup"});
+  auto add = [&](const std::string& name, double plf, double rem, double pcie) {
+    const double total = plf + rem + pcie;
+    t.row({name, Table::num(100.0 * plf / t_base, 1),
+           Table::num(100.0 * rem / t_base, 1),
+           pcie > 0.0 ? Table::num(100.0 * pcie / t_base, 1) : "-",
+           Table::num(100.0 * total / t_base, 1),
+           Table::num(t_base / total, 2)});
+  };
+
+  add("Baseline", base.plf_section_s(w, 1), base.serial_s(w), 0.0);
+  for (const char* name : {"2xXeon(4)", "4xOpteron(4)", "8xOpteron(2)"}) {
+    const auto& sys = system_by_name(name);
+    MultiCoreModel model(sys);
+    add(name, frequency_scaled(model.plf_section_s(w, sys.cores), sys, base_sys),
+        frequency_scaled(model.serial_s(w), sys, base_sys), 0.0);
+  }
+  for (const char* name : {"PS3", "QS20"}) {
+    const auto& sys = system_by_name(name);
+    CellModel model(sys);
+    add(name,
+        frequency_scaled(model.plf_section_s(w, sys.cell.n_spes), sys, base_sys),
+        frequency_scaled(model.serial_s(w), sys, base_sys), 0.0);
+  }
+  for (const char* name : {"8800GT", "GTX285"}) {
+    const auto& sys = system_by_name(name);
+    GpuModel model(sys);
+    const auto pt = model.plf_section(w);
+    add(name, frequency_scaled(pt.kernel_s, sys, base_sys),
+        frequency_scaled(model.serial_s(w), sys, base_sys),
+        frequency_scaled(pt.pcie_s, sys, base_sys));
+  }
+  std::cout << t << "\n";
+  std::cout
+      << "paper anchors (§4.2): baseline >90% in PLF (57s of 62s);\n"
+         "multi-cores reduce PLF to 10-15%, ~4x at 8 cores / ~7x at 16;\n"
+         "Cell reduces PLF to 20-30% but the PPE inflates Remaining (~1.5x\n"
+         "overall); GPUs reach 5-10% PLF but pay PCIe — the 8800GT ends\n"
+         "slower than the baseline, the GTX285 at ~1.5x.\n";
+  return 0;
+}

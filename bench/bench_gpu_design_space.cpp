@@ -1,0 +1,69 @@
+// Design-space exploration (paper §3.4): CUDA launch configuration sweep.
+//
+// "Design space exploitation led to testing a wide range of configurations
+// for different number of threads and blocks ... it was concluded that 256
+// threads and 40 blocks was the best solution to use in the GPU 8800 GT,
+// while for the GPU GTX 285 the best results were obtained with 256 threads
+// and 85 blocks."
+//
+// We sweep the same axes through the kernel timing model at a representative
+// PLF size (20K patterns) and report the best configuration per device.
+#include <iostream>
+#include <vector>
+
+#include "gpu/device.hpp"
+#include "gpu/launch.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace plf;
+  using namespace plf::gpu;
+
+  const std::size_t m = 20000, K = 4;
+  const std::size_t n_elems = m * K * 4;
+  KernelProfile prof;  // the entry-parallel CondLike kernel
+  prof.flops_per_elem = 15.0;
+  prof.bytes_per_elem = 36.0;
+
+  const std::vector<std::size_t> thread_counts{32, 64, 128, 192, 256, 384, 512};
+  const std::vector<std::size_t> block_counts{8,  14, 20,  28,  40, 42,
+                                              56, 64, 85, 90, 120, 160};
+
+  for (const DeviceSpec& dev :
+       {DeviceSpec::geforce_8800gt(), DeviceSpec::gtx285()}) {
+    KernelLauncher launcher(dev);
+    Table t("launch-config sweep: " + dev.name + " (kernel us, 20K patterns)");
+    std::vector<std::string> header{"blocks\\threads"};
+    for (auto th : thread_counts) header.push_back(std::to_string(th));
+    t.header(header);
+
+    double best = 1e9;
+    LaunchConfig best_cfg;
+    for (auto b : block_counts) {
+      std::vector<std::string> row{std::to_string(b)};
+      for (auto th : thread_counts) {
+        const LaunchConfig cfg{b, th};
+        if (occupancy(dev, cfg) == 0.0) {
+          row.push_back("-");
+          continue;
+        }
+        const double us = launcher.kernel_time(cfg, n_elems, prof) * 1e6;
+        if (us < best) {
+          best = us;
+          best_cfg = cfg;
+        }
+        row.push_back(Table::num(us, 1));
+      }
+      t.row(row);
+    }
+    std::cout << t;
+    std::cout << "best: " << best_cfg.blocks << " blocks x "
+              << best_cfg.threads_per_block << " threads ("
+              << Table::num(best, 1) << " us)\n";
+    std::cout << "paper: "
+              << (dev.name == "8800GT" ? "40 blocks x 256 threads"
+                                       : "85 blocks x 256 threads")
+              << "\n\n";
+  }
+  return 0;
+}

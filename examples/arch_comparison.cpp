@@ -1,0 +1,80 @@
+// Side-by-side architecture comparison — the paper's core experiment as a
+// runnable example: one PLF workload evaluated on every Table-1 system
+// model, with the total time split into PLF / Remaining / PCIe (Fig. 12's
+// decomposition) and overall speedup vs the baseline.
+//
+// Usage: arch_comparison [taxa] [patterns] [generations]
+#include <cstdlib>
+#include <iostream>
+
+#include "arch/models.hpp"
+#include "arch/systems.hpp"
+#include "arch/workload.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace plf;
+  using namespace plf::arch;
+
+  const std::size_t taxa = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 20;
+  const std::size_t m = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 8543;
+  const std::uint64_t gens =
+      argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 2000;
+
+  std::cout << "== architecture comparison ==\n";
+  std::cout << "workload: " << taxa << " taxa, " << m << " patterns, " << gens
+            << " MCMC generations\n\n";
+
+  const PlfWorkload w = analytic_mcmc_workload(taxa, m, gens);
+  const auto& base_sys = system_by_name("Baseline");
+  MultiCoreModel base(base_sys);
+  const double t_base = base.total_s(w, 1);
+
+  Table table("frequency-scaled total time (baseline = 100%)");
+  table.header({"system", "PLF %", "Remaining %", "PCIe %", "total %", "speedup"});
+
+  auto add_row = [&](const std::string& name, double plf, double rem,
+                     double pcie) {
+    const double total = plf + rem + pcie;
+    table.row({name, Table::num(100.0 * plf / t_base, 1),
+               Table::num(100.0 * rem / t_base, 1),
+               pcie > 0.0 ? Table::num(100.0 * pcie / t_base, 1) : "-",
+               Table::num(100.0 * total / t_base, 1),
+               Table::num(t_base / total, 2)});
+  };
+
+  add_row("Baseline", base.plf_section_s(w, 1), base.serial_s(w), 0.0);
+
+  for (const char* name : {"2xXeon(4)", "4xOpteron(4)", "8xOpteron(2)"}) {
+    const auto& sys = system_by_name(name);
+    MultiCoreModel model(sys);
+    add_row(name,
+            frequency_scaled(model.plf_section_s(w, sys.cores), sys, base_sys),
+            frequency_scaled(model.serial_s(w), sys, base_sys), 0.0);
+  }
+  for (const char* name : {"PS3", "QS20"}) {
+    const auto& sys = system_by_name(name);
+    CellModel model(sys);
+    add_row(name,
+            frequency_scaled(model.plf_section_s(w, sys.cell.n_spes), sys,
+                             base_sys),
+            frequency_scaled(model.serial_s(w), sys, base_sys), 0.0);
+  }
+  for (const char* name : {"8800GT", "GTX285"}) {
+    const auto& sys = system_by_name(name);
+    GpuModel model(sys);
+    const auto t = model.plf_section(w);
+    add_row(name, frequency_scaled(t.kernel_s, sys, base_sys),
+            frequency_scaled(model.serial_s(w), sys, base_sys),
+            frequency_scaled(t.pcie_s, sys, base_sys));
+  }
+
+  std::cout << table << "\n";
+  std::cout
+      << "Reading guide (paper §4.2): multi-cores cut the PLF AND keep the\n"
+         "serial remainder fast -> best overall. The Cell's SPEs crush the\n"
+         "PLF but its in-order PPE inflates Remaining. The GPUs have the\n"
+         "fastest kernels of all, then give the win back to PCIe transfers\n"
+         "(the 8800GT can end up slower than the baseline).\n";
+  return 0;
+}

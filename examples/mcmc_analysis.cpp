@@ -1,0 +1,82 @@
+// A complete Bayesian phylogenetic analysis, MrBayes-style: start from a
+// random topology, run Metropolis-Hastings over trees + branch lengths +
+// GTR+Gamma parameters, and report the chain trace, acceptance rates, and
+// whether the true (data-generating) topology was recovered.
+//
+// Usage: mcmc_analysis [taxa] [columns] [generations] [seed]
+#include <cstdlib>
+#include <iostream>
+
+#include "core/backend.hpp"
+#include "core/engine.hpp"
+#include "mcmc/chain.hpp"
+#include "phylo/patterns.hpp"
+#include "seqgen/datasets.hpp"
+#include "seqgen/evolve.hpp"
+#include "seqgen/random_tree.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace plf;
+
+  const std::size_t taxa = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 10;
+  const std::size_t cols = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 1500;
+  const std::uint64_t gens =
+      argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 8000;
+  const std::uint64_t seed = argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 7;
+
+  std::cout << "== Bayesian phylogenetic analysis (simulated data) ==\n";
+  std::cout << "taxa=" << taxa << " columns=" << cols
+            << " generations=" << gens << " seed=" << seed << "\n\n";
+
+  // Simulate "truth" and data.
+  Rng rng(seed);
+  const phylo::Tree true_tree = seqgen::yule_tree(taxa, rng, 1.0, 0.12);
+  const phylo::GtrParams true_params = seqgen::default_gtr_params();
+  const phylo::SubstitutionModel model(true_params);
+  const seqgen::SequenceEvolver evolver(true_tree, model);
+  const auto data = phylo::PatternMatrix::compress(evolver.evolve(cols, rng));
+  std::cout << "data: " << data.n_patterns() << " distinct patterns from "
+            << cols << " columns\n";
+
+  // Random starting state.
+  const phylo::Tree start_tree = seqgen::yule_tree(taxa, rng, 1.0, 0.12);
+  par::ThreadPool pool;
+  core::ThreadedBackend backend(pool);
+  core::PlfEngine engine(data, phylo::GtrParams{}, start_tree, backend);
+  std::cout << "start lnL: " << engine.log_likelihood() << "\n\n";
+
+  mcmc::McmcOptions opts;
+  opts.seed = seed;
+  opts.sample_every = gens / 20;
+  mcmc::McmcChain chain(engine, opts);
+  const mcmc::McmcResult result = chain.run(gens);
+
+  Table trace("chain trace (sampled)");
+  trace.header({"generation", "lnL", "tree length", "gamma shape"});
+  for (const auto& s : result.samples) {
+    trace.row({std::to_string(s.generation), Table::num(s.ln_likelihood, 2),
+               Table::num(s.tree_length, 3), Table::num(s.gamma_shape, 3)});
+  }
+  std::cout << trace << "\n";
+
+  Table acc("proposal acceptance");
+  acc.header({"move", "proposed", "accepted", "rate"});
+  for (const auto& [name, st] : result.proposals) {
+    acc.row({name, std::to_string(st.proposed), std::to_string(st.accepted),
+             Table::num(st.acceptance_rate(), 3)});
+  }
+  std::cout << acc << "\n";
+
+  std::cout << "final lnL:   " << result.final_ln_likelihood << "\n";
+  std::cout << "best lnL:    " << result.best_ln_likelihood << "\n";
+  std::cout << "wall time:   " << Table::num(result.wall_seconds, 3) << " s ("
+            << Table::num(100.0 * result.plf_wall_seconds /
+                              std::max(result.wall_seconds, 1e-12),
+                          1)
+            << "% in PLF kernels — the paper's 85-95% claim)\n";
+  std::cout << "true topology recovered: "
+            << (engine.tree().same_topology(true_tree) ? "YES" : "no") << "\n";
+  std::cout << "final tree: " << engine.tree().to_newick() << "\n";
+  return 0;
+}

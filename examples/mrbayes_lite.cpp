@@ -1,0 +1,159 @@
+// mrbayes_lite: a miniature MrBayes. Reads a NEXUS (or FASTA/PHYLIP) file,
+// runs Metropolis-coupled MCMC under GTR+I+Γ with the fine-grain parallel
+// PLF on the threaded backend, and reports the posterior: trace diagnostics
+// (ESS), split frequencies, and a majority-rule consensus tree with support
+// values. With no input file it demonstrates itself on simulated data.
+//
+// Usage: mrbayes_lite [alignment-file] [generations] [chains] [seed]
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <memory>
+
+#include "core/backend.hpp"
+#include "core/engine.hpp"
+#include "mcmc/chain.hpp"
+#include "mcmc/consensus.hpp"
+#include "mcmc/coupled.hpp"
+#include "mcmc/diagnostics.hpp"
+#include "phylo/nexus.hpp"
+#include "util/error.hpp"
+#include "phylo/patterns.hpp"
+#include "seqgen/datasets.hpp"
+#include "seqgen/evolve.hpp"
+#include "seqgen/random_tree.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+plf::phylo::Alignment load_or_simulate(const char* path, std::uint64_t seed) {
+  using namespace plf;
+  if (path != nullptr) {
+    const std::string p = path;
+    if (p.size() > 4 && (p.substr(p.size() - 4) == ".nex" ||
+                         p.substr(p.size() - 4) == ".nxs")) {
+      const auto nx = phylo::read_nexus_file(p);
+      if (!nx.has_alignment) {
+        throw plf::Error("NEXUS file has no DATA block: " + p);
+      }
+      return nx.alignment;
+    }
+    return phylo::Alignment::read_file(p);
+  }
+  // Demo mode: simulate 10 taxa under GTR+I+Gamma.
+  std::cout << "(no input file: simulating a 10-taxon GTR+I+G data set)\n";
+  Rng rng(seed);
+  const phylo::Tree tree = seqgen::yule_tree(10, rng, 1.0, 0.12);
+  auto params = seqgen::default_gtr_params();
+  params.p_invariant = 0.2;
+  const phylo::SubstitutionModel model(params);
+  const seqgen::SequenceEvolver ev(tree, model);
+  return ev.evolve(1500, rng);
+}
+
+}  // namespace
+
+int run_main(int argc, char** argv) {
+  using namespace plf;
+
+  const char* path = (argc > 1 && argv[1][0] != '\0') ? argv[1] : nullptr;
+  const std::uint64_t gens =
+      argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 5000;
+  const std::size_t n_chains = argc > 3 ? std::strtoul(argv[3], nullptr, 10) : 4;
+  const std::uint64_t seed = argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 1;
+
+  std::cout << "== mrbayes_lite ==\n";
+  const phylo::Alignment aln = load_or_simulate(path, seed);
+  const auto data = phylo::PatternMatrix::compress(aln);
+  std::cout << "data: " << aln.n_taxa() << " taxa, " << aln.n_columns()
+            << " columns, " << data.n_patterns() << " distinct patterns\n";
+  std::cout << "run: " << gens << " generations, " << n_chains
+            << " coupled chains (1 cold + " << (n_chains - 1)
+            << " heated), GTR+I+G, seed " << seed << "\n\n";
+
+  // Starting state: a random tree, default model with +I enabled.
+  Rng rng(seed ^ 0xABCDEF);
+  phylo::GtrParams start_params;
+  start_params.p_invariant = 0.1;
+  par::ThreadPool pool;
+  core::ThreadedBackend backend(pool);
+
+  std::vector<std::unique_ptr<core::PlfEngine>> engines;
+  std::vector<core::PlfEngine*> ptrs;
+  for (std::size_t i = 0; i < n_chains; ++i) {
+    phylo::Tree start =
+        seqgen::yule_tree(aln.n_taxa(), rng, 1.0, 0.1)
+            .rerooted(0);
+    // Engines must share taxon naming with the data.
+    start = phylo::Tree::from_newick(start.to_newick(), aln.names());
+    engines.push_back(std::make_unique<core::PlfEngine>(
+        data, start_params, start, backend));
+    ptrs.push_back(engines.back().get());
+  }
+
+  mcmc::CoupledOptions opts;
+  opts.chain.seed = seed;
+  opts.chain.sample_every = std::max<std::uint64_t>(1, gens / 200);
+  opts.chain.collect_trees = true;
+  opts.chain.w_pinv = 0.7;  // +I is part of the model
+  opts.chain.w_spr = 1.5;   // eSPR improves topology mixing
+  mcmc::CoupledChains mc3(ptrs, opts);
+  const auto result = mc3.run(gens);
+
+  std::cout << "cold chain: lnL " << result.cold.samples.front().ln_likelihood
+            << " -> " << result.cold.final_ln_likelihood << " (best "
+            << result.cold.best_ln_likelihood << ")\n";
+  std::cout << "swaps: " << result.swaps_accepted << "/"
+            << result.swaps_proposed << " accepted ("
+            << Table::num(100.0 * result.swap_rate(), 1) << "%)\n";
+  std::cout << "wall: " << Table::num(result.cold.wall_seconds, 2) << " s\n\n";
+
+  // Diagnostics on the post-burn-in lnL trace.
+  const std::size_t burn = result.cold.samples.size() / 4;
+  std::vector<double> trace;
+  for (std::size_t i = burn; i < result.cold.samples.size(); ++i) {
+    trace.push_back(result.cold.samples[i].ln_likelihood);
+  }
+  if (trace.size() >= 2) {
+    const auto s = mcmc::summarize_trace(trace);
+    std::cout << "lnL trace (post burn-in): mean "
+              << Table::num(s.mean, 2) << ", ESS " << Table::num(s.ess, 1)
+              << " of " << s.n << " samples (autocorrelation time "
+              << Table::num(s.autocorrelation_time, 1) << ")\n\n";
+  }
+
+  // Posterior tree summary.
+  mcmc::TreeSampleSummary summary;
+  for (std::size_t i = burn; i < result.cold.sampled_trees.size(); ++i) {
+    summary.add_newick(result.cold.sampled_trees[i]);
+  }
+  Table splits("split frequencies (top 8)");
+  splits.header({"frequency", "clade"});
+  int shown = 0;
+  for (const auto& f : summary.split_frequencies()) {
+    if (++shown > 8) break;
+    std::string clade;
+    for (int t : f.taxa) {
+      if (!clade.empty()) clade += ' ';
+      clade += summary.taxon_names()[static_cast<std::size_t>(t)];
+    }
+    splits.row({Table::num(f.frequency, 3), clade});
+  }
+  std::cout << splits << "\n";
+  std::cout << "majority-rule consensus:\n  " << summary.majority_rule_newick()
+            << "\n";
+  std::cout << "estimated p_invariant (final cold state): "
+            << Table::num(
+                   engines[mc3.cold_index()]->model_params().p_invariant, 3)
+            << "\n";
+  return 0;
+}
+
+int main(int argc, char** argv) {
+  try {
+    return run_main(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

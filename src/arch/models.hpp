@@ -1,0 +1,151 @@
+// Architecture timing models: map a PlfWorkload onto each Table-1 system.
+//
+// The multi-core model is analytic — per-core kernel throughput plus an
+// OpenMP-style fork/join cost derived from the cache topology (the paper's
+// §4.1.1 mechanism) plus a shared-memory scaling term. The Cell and GPU
+// models are *measured from the simulators*: one representative offload per
+// kernel type is run through CellMachine / GpuPlf for the workload's m, and
+// per-call durations are multiplied by the workload's call counts. Serial
+// ("Remaining") time runs on the host core scaled by the system's
+// serial_slowdown (the in-order PPE penalty, the slightly slower GPU host).
+//
+// All reported times can be frequency-normalized as in §4.2 ("we scale the
+// results according to the frequencies of each system and the baseline").
+#pragma once
+
+#include <cstddef>
+#include <map>
+
+#include "arch/systems.hpp"
+#include "arch/workload.hpp"
+
+namespace plf::arch {
+
+/// Calibration constants for the multi-core (and baseline-serial) model.
+struct MultiCoreParams {
+  /// PLF cycles per (pattern, rate-category) on one core with the SSE
+  /// column-wise kernel (CondLikeDown/Root).
+  double cycles_per_pattern_cat = 30.0;
+  double scale_cycles_per_pattern_cat = 8.0;
+  double reduce_cycles_per_pattern_cat = 10.0;
+  /// Entering + leaving one `#pragma omp parallel for` region.
+  double fork_base_s = 0.8e-6;
+  /// Barrier stage latencies by topology distance.
+  double t_die_shared_s = 0.08e-6;   ///< cores sharing an on-die cache
+  double t_die_private_s = 0.30e-6;  ///< same die, private caches (8218)
+  double t_pkg_s = 0.35e-6;          ///< cross-die within one package
+  double t_sys_s = 1.0e-6;           ///< cross-package (HyperTransport/FSB)
+  /// Shared-memory throughput degradation per additional active core.
+  double mem_scaling_beta = 0.008;
+  /// Extra coherence/memory traffic per doubling of the taxon count (more
+  /// conditional-likelihood buffers cycling through the shared caches) —
+  /// the mechanism behind the paper's computation-intensity penalty.
+  double taxa_traffic_nu = 0.35;
+  /// Serial cost of one transition-matrix rebuild (4x4 eigen-exponential).
+  double tm_build_cycles = 3000.0;
+};
+
+class MultiCoreModel {
+ public:
+  explicit MultiCoreModel(const SystemConfig& sys,
+                          const MultiCoreParams& params = MultiCoreParams{});
+
+  const SystemConfig& system() const { return *sys_; }
+
+  /// Fork + join + barrier cost of one parallel region on n cores.
+  double region_overhead_s(std::size_t n_cores) const;
+
+  /// Time in the parallel PLF section (all kernel invocations) on n cores.
+  double plf_section_s(const PlfWorkload& w, std::size_t n_cores) const;
+
+  /// Serial remainder (proposals, tm rebuilds, bookkeeping).
+  double serial_s(const PlfWorkload& w) const;
+
+  double total_s(const PlfWorkload& w, std::size_t n_cores) const {
+    return serial_s(w) + plf_section_s(w, n_cores);
+  }
+
+  /// Fig. 9's metric: PLF-section speedup of n cores vs 1 core on this
+  /// system (the paper quotes "71% average efficiency ... for the PLF";
+  /// whole-program effects only enter the Fig. 12 total-time analysis).
+  double relative_speedup(const PlfWorkload& w, std::size_t n_cores) const {
+    return plf_section_s(w, 1) / plf_section_s(w, n_cores);
+  }
+
+ private:
+  const SystemConfig* sys_;
+  MultiCoreParams p_;
+};
+
+/// Cell/BE model: PLF times come from actual CellMachine offload simulations
+/// (cached per (m, K, n_spes)); the serial remainder runs on the PPE.
+class CellModel {
+ public:
+  explicit CellModel(const SystemConfig& sys,
+                     const MultiCoreParams& baseline = MultiCoreParams{});
+
+  const SystemConfig& system() const { return *sys_; }
+
+  double plf_section_s(const PlfWorkload& w, std::size_t n_spes);
+  double serial_s(const PlfWorkload& w) const;
+  double total_s(const PlfWorkload& w, std::size_t n_spes) {
+    return serial_s(w) + plf_section_s(w, n_spes);
+  }
+
+  /// Fig. 10's metric: PLF-section speedup of n SPEs vs 1 SPE.
+  double speedup_vs_one_spe(const PlfWorkload& w, std::size_t n_spes) {
+    return plf_section_s(w, 1) / plf_section_s(w, n_spes);
+  }
+
+ private:
+  struct PerCall {
+    double down, root, scale, reduce;
+  };
+  PerCall measure(std::size_t m, std::size_t K, std::size_t n_spes);
+
+  const SystemConfig* sys_;
+  MultiCoreParams base_;
+  std::map<std::tuple<std::size_t, std::size_t, std::size_t>, PerCall> cache_;
+};
+
+/// GPU model: kernel and PCIe times measured from GpuPlf per call type.
+class GpuModel {
+ public:
+  explicit GpuModel(const SystemConfig& sys,
+                    const MultiCoreParams& baseline = MultiCoreParams{});
+
+  struct PlfTimes {
+    double kernel_s = 0.0;
+    double pcie_s = 0.0;
+    double total() const { return kernel_s + pcie_s; }
+  };
+
+  const SystemConfig& system() const { return *sys_; }
+
+  PlfTimes plf_section(const PlfWorkload& w);
+  double serial_s(const PlfWorkload& w) const;
+  double total_s(const PlfWorkload& w) {
+    const PlfTimes t = plf_section(w);
+    return serial_s(w) + t.kernel_s + t.pcie_s;
+  }
+
+ private:
+  struct PerCall {
+    double down_kernel, down_pcie;
+    double root_kernel, root_pcie;
+    double scale_kernel, scale_pcie;
+    double reduce_kernel, reduce_pcie;
+  };
+  PerCall measure(std::size_t m, std::size_t K);
+
+  const SystemConfig* sys_;
+  MultiCoreParams base_;
+  std::map<std::pair<std::size_t, std::size_t>, PerCall> cache_;
+};
+
+/// Frequency normalization of §4.2: time scaled so that clock-frequency
+/// differences to the baseline are factored out.
+double frequency_scaled(double seconds, const SystemConfig& sys,
+                        const SystemConfig& baseline);
+
+}  // namespace plf::arch

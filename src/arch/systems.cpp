@@ -1,0 +1,135 @@
+#include "arch/systems.hpp"
+
+#include "util/error.hpp"
+
+namespace plf::arch {
+
+std::vector<SystemConfig> table1_systems() {
+  std::vector<SystemConfig> out;
+
+  {
+    SystemConfig s;
+    s.name = "Baseline";
+    s.family = SystemFamily::kBaseline;
+    s.chassis = "Generic";
+    s.cpu_model = "Intel E8400";
+    s.cores = 1;
+    s.freq_hz = 3.0e9;
+    s.cache_desc = "6MB";
+    s.mem_desc = "2GB";
+    s.topology = CacheTopology{1, 1, 1, true};
+    out.push_back(s);
+  }
+  {
+    SystemConfig s;
+    s.name = "2xXeon(4)";
+    s.chassis = "IBM x3650";
+    s.cpu_model = "Intel E5320";
+    s.cores = 8;
+    s.freq_hz = 1.8e9;
+    s.cache_desc = "2x4MB";  // per package: two dual-core dies, 4MB L2 each
+    s.mem_desc = "48GB";
+    s.topology = CacheTopology{2, 2, 2, true};
+    out.push_back(s);
+  }
+  {
+    SystemConfig s;
+    s.name = "4xOpteron(4)";
+    s.chassis = "Dell PowerEdge M905";
+    s.cpu_model = "AMD 8354";
+    s.cores = 16;
+    s.freq_hz = 2.2e9;
+    s.cache_desc = "4x512KB+2MB";  // per-core L2 plus die-shared L3
+    s.mem_desc = "64GB";
+    s.topology = CacheTopology{4, 1, 4, true};
+    out.push_back(s);
+  }
+  {
+    SystemConfig s;
+    s.name = "8xOpteron(2)";
+    s.chassis = "Sun x4600 M2";
+    s.cpu_model = "AMD 8218";
+    s.cores = 16;
+    s.freq_hz = 2.6e9;
+    s.cache_desc = "2x1MB";  // private per-core L2, nothing shared on die
+    s.mem_desc = "64GB";
+    s.topology = CacheTopology{8, 1, 2, /*die_cache_shared=*/false};
+    out.push_back(s);
+  }
+  {
+    SystemConfig s;
+    s.name = "PS3";
+    s.family = SystemFamily::kCell;
+    s.chassis = "Sony PS3";
+    s.cpu_model = "PPE+SPE";
+    s.cores = 6;  // 6 SPEs available to applications
+    s.freq_hz = 3.2e9;
+    s.cache_desc = "512KB";
+    s.mem_desc = "256MB";
+    s.cell.name = "PS3";
+    s.cell.n_spes = 6;
+    s.serial_slowdown = 7.0;  // in-order PPE, 512KB L2 (§4.2)
+    out.push_back(s);
+  }
+  {
+    SystemConfig s;
+    s.name = "QS20";
+    s.family = SystemFamily::kCell;
+    s.chassis = "IBM QS20";
+    s.cpu_model = "PPE+SPE";
+    s.cores = 16;  // 2 Cell/BE processors x 8 SPEs
+    s.freq_hz = 3.2e9;
+    s.cache_desc = "2x512KB";
+    s.mem_desc = "2x512MB";
+    s.cell.name = "QS20";
+    s.cell.n_spes = 16;
+    s.serial_slowdown = 7.0;
+    out.push_back(s);
+  }
+  {
+    SystemConfig s;
+    s.name = "8800GT";
+    s.family = SystemFamily::kGpu;
+    s.chassis = "NVIDIA 8800 GT";
+    s.cpu_model = "Streaming";
+    s.cores = 112;
+    s.freq_hz = 1.5e9;
+    s.cache_desc = "256KB";
+    s.mem_desc = "512MB";
+    s.gpu.device = gpu::DeviceSpec::geforce_8800gt();
+    s.gpu.launch = gpu::LaunchConfig{40, 256};  // §3.4 exploration result
+    s.serial_slowdown = 1.15;  // "host ... slightly slower than the baseline"
+    out.push_back(s);
+  }
+  {
+    SystemConfig s;
+    s.name = "GTX285";
+    s.family = SystemFamily::kGpu;
+    s.chassis = "NVIDIA GTX 285";
+    s.cpu_model = "Streaming";
+    s.cores = 240;
+    s.freq_hz = 1.476e9;
+    s.cache_desc = "480KB";
+    s.mem_desc = "1GB";
+    s.gpu.device = gpu::DeviceSpec::gtx285();
+    s.gpu.launch = gpu::LaunchConfig{85, 256};  // §3.4 exploration result
+    // The GTX285 testbed is a 2009 host with PCIe 2.0 x16 (~6.5 GB/s
+    // effective) — the reason Fig. 12 shows it reaching ~1.5x overall while
+    // the PCIe 1.x-hosted 8800GT ends up slower than the baseline.
+    s.gpu.pcie = gpu::PcieSpec{6.5e9, 8e-6};
+    s.serial_slowdown = 1.15;
+    out.push_back(s);
+  }
+
+  return out;
+}
+
+const SystemConfig& system_by_name(const std::string& name) {
+  static const std::vector<SystemConfig> kSystems = table1_systems();
+  for (const auto& s : kSystems) {
+    if (s.name == name) return s;
+  }
+  throw Error("unknown system: " + name);
+}
+
+}  // namespace plf::arch

@@ -1,0 +1,63 @@
+// The eight systems of Table 1, as model configurations.
+//
+// Each entry carries the published hardware facts (cores, frequency, cache
+// organization, memory) plus the derived topology the timing models need —
+// most importantly the cache-sharing structure, which the paper identifies
+// as THE determinant of multi-core synchronization cost (§4.1.1):
+//   Xeon E5320:   quad-core package = two dual-core dies, L2 per die
+//   Opteron 8354: four cores on one die sharing L3
+//   Opteron 8218: dual-core, private L2s (weakest sharing)
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "cell/machine.hpp"
+#include "gpu/plf_gpu.hpp"
+
+namespace plf::arch {
+
+enum class SystemFamily { kBaseline, kMultiCore, kCell, kGpu };
+
+/// Cache-sharing topology of a multi-core system: `packages` sockets, each
+/// with `dies_per_package` dies, each die holding `cores_per_die` cores that
+/// share their last on-die cache level. `die_cache_shared` is false when the
+/// per-die cores have private caches (Opteron 8218).
+struct CacheTopology {
+  std::size_t packages = 1;
+  std::size_t dies_per_package = 1;
+  std::size_t cores_per_die = 1;
+  bool die_cache_shared = true;
+
+  std::size_t total_cores() const {
+    return packages * dies_per_package * cores_per_die;
+  }
+};
+
+struct SystemConfig {
+  std::string name;
+  SystemFamily family = SystemFamily::kMultiCore;
+  std::string chassis;     ///< "IBM x3650", "Sony PS3", ...
+  std::string cpu_model;   ///< "Intel E5320", "PPE+SPE", ...
+  std::size_t cores = 1;   ///< parallel cores as counted in Table 1
+  double freq_hz = 3.0e9;
+  std::string cache_desc;
+  std::string mem_desc;
+
+  CacheTopology topology;          ///< multicore family
+  cell::CellConfig cell;           ///< cell family
+  gpu::GpuPlfConfig gpu;           ///< gpu family
+
+  /// Serial-code slowdown relative to the baseline core at equal frequency
+  /// (in-order PPE ~6x; GPU host ~1.15x; multi-cores ~1x).
+  double serial_slowdown = 1.0;
+};
+
+/// All Table 1 systems, baseline first.
+std::vector<SystemConfig> table1_systems();
+
+/// Lookup by the Table 1 name ("2xXeon(4)", "PS3", ...).
+const SystemConfig& system_by_name(const std::string& name);
+
+}  // namespace plf::arch

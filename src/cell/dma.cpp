@@ -1,0 +1,60 @@
+#include "cell/dma.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/error.hpp"
+
+namespace plf::cell {
+
+double DmaEngine::account(std::size_t bytes, std::size_t ls_offset,
+                          const void* ea, double issue_time) {
+  if (bytes == 0) return issue_time;
+  if (ls_offset % kDmaElementAlign != 0) {
+    throw HardwareViolation("DMA local-store address not 16-byte aligned");
+  }
+  if (reinterpret_cast<std::uintptr_t>(ea) % kDmaElementAlign != 0) {
+    throw HardwareViolation("DMA effective address not 16-byte aligned");
+  }
+  if (bytes % kDmaElementAlign != 0) {
+    throw HardwareViolation(
+        "DMA size must be a multiple of 16 bytes (got " +
+        std::to_string(bytes) + ")");
+  }
+
+  // Split into <=16 KB hardware transfers (a DMA list on real hardware).
+  double t = std::max(issue_time, engine_free_at_);
+  std::size_t remaining = bytes;
+  while (remaining > 0) {
+    const std::size_t chunk = std::min(remaining, kMaxDmaBytes);
+    t += timings_.latency_s + static_cast<double>(chunk) / timings_.bandwidth_bps;
+    stats_.busy_s +=
+        timings_.latency_s + static_cast<double>(chunk) / timings_.bandwidth_bps;
+    ++stats_.transfers;
+    remaining -= chunk;
+  }
+  ++stats_.requests;
+  stats_.bytes += bytes;
+  engine_free_at_ = t;
+  return t;
+}
+
+double DmaEngine::get(LocalStore& ls, const LsRegion& dst, const void* src,
+                      std::size_t bytes, double issue_time) {
+  PLF_CHECK(bytes <= dst.bytes, "DMA get overflows the LS region");
+  const double done = account(bytes, dst.offset, src, issue_time);
+  std::memcpy(ls.at(LsRegion{dst.offset, bytes}), src, bytes);
+  return done;
+}
+
+double DmaEngine::put(const LocalStore& ls, const LsRegion& src, void* dst,
+                      std::size_t bytes, double issue_time) {
+  PLF_CHECK(bytes <= src.bytes, "DMA put overruns the LS region");
+  const double done = account(bytes, src.offset, dst, issue_time);
+  std::memcpy(dst,
+              const_cast<LocalStore&>(ls).at(LsRegion{src.offset, bytes}),
+              bytes);
+  return done;
+}
+
+}  // namespace plf::cell

@@ -1,0 +1,19 @@
+#include "cell/local_store.hpp"
+
+namespace plf::cell {
+
+LsRegion LocalStore::alloc(std::size_t bytes, std::size_t align) {
+  PLF_CHECK(align > 0 && (align & (align - 1)) == 0,
+            "LS alignment must be a power of two");
+  const std::size_t offset = round_up(top_, align);
+  if (offset + bytes > capacity_) {
+    throw HardwareViolation(
+        "local store exhausted: request of " + std::to_string(bytes) +
+        " bytes at offset " + std::to_string(offset) + " exceeds " +
+        std::to_string(capacity_) + " bytes");
+  }
+  top_ = offset + bytes;
+  return LsRegion{offset, bytes};
+}
+
+}  // namespace plf::cell

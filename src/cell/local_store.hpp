@@ -1,0 +1,80 @@
+// Simulated SPE Local Store.
+//
+// "Each SPE includes a small private unified memory, the Local Store (LS),
+// with 256KB" (§2.2). The LS is the only memory an SPU can touch; all traffic
+// with main memory goes through explicit DMA. We model it as a flat byte
+// array with a bump allocator (SPE programs lay out their buffers statically,
+// as the paper's two-level partitioning does) and enforce the capacity and
+// alignment rules as hard errors, so a kernel that would not fit on real
+// hardware fails loudly in the simulator too.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/aligned.hpp"
+#include "util/error.hpp"
+
+namespace plf::cell {
+
+inline constexpr std::size_t kLocalStoreBytes = 256 * 1024;
+/// DMA transfers of the likelihood arrays are 128-byte aligned (§3.3).
+inline constexpr std::size_t kLsAlign = 128;
+
+/// A region of the local store, in bytes.
+struct LsRegion {
+  std::size_t offset = 0;
+  std::size_t bytes = 0;
+};
+
+class LocalStore {
+ public:
+  explicit LocalStore(std::size_t capacity = kLocalStoreBytes)
+      : capacity_(capacity), mem_(capacity, 0) {}
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t allocated() const { return top_; }
+  std::size_t free_bytes() const { return capacity_ - top_; }
+
+  /// Reserve `bytes` (rounded up to `align`). Throws HardwareViolation when
+  /// the LS is exhausted — the condition the two-level partitioning exists
+  /// to avoid.
+  LsRegion alloc(std::size_t bytes, std::size_t align = kLsAlign);
+
+  /// Release everything allocated after `mark` (stack discipline).
+  void release_to(std::size_t mark) {
+    PLF_CHECK(mark <= top_, "local store release point invalid");
+    top_ = mark;
+  }
+  std::size_t mark() const { return top_; }
+
+  /// Raw access for the (simulated) SPU, which may touch any LS byte.
+  std::uint8_t* data() { return mem_.data(); }
+  const std::uint8_t* data() const { return mem_.data(); }
+
+  float* as_floats(const LsRegion& r) {
+    check_region(r);
+    return reinterpret_cast<float*>(mem_.data() + r.offset);
+  }
+  const float* as_floats(const LsRegion& r) const {
+    check_region(r);
+    return reinterpret_cast<const float*>(mem_.data() + r.offset);
+  }
+  std::uint8_t* at(const LsRegion& r) {
+    check_region(r);
+    return mem_.data() + r.offset;
+  }
+
+ private:
+  void check_region(const LsRegion& r) const {
+    PLF_CHECK(r.offset + r.bytes <= capacity_,
+              "local store region out of bounds");
+  }
+
+  std::size_t capacity_;
+  std::size_t top_ = 0;
+  aligned_vector<std::uint8_t> mem_;
+};
+
+}  // namespace plf::cell

@@ -1,0 +1,26 @@
+#include "cell/mailbox.hpp"
+
+#include <algorithm>
+
+namespace plf::cell {
+
+double Mailbox::write(std::uint32_t value, double time) {
+  if (fifo_.size() >= depth_) {
+    throw HardwareViolation("mailbox overflow: writer would stall (depth " +
+                            std::to_string(depth_) + ")");
+  }
+  const double done = time + timings_.write_latency_s;
+  fifo_.push_back(Entry{value, done});
+  ++messages_;
+  return done;
+}
+
+Mailbox::ReadResult Mailbox::read(double reader_time) {
+  PLF_CHECK(!fifo_.empty(), "mailbox read with no pending message");
+  const Entry e = fifo_.front();
+  fifo_.pop_front();
+  const double t = std::max(reader_time, e.available_at) + timings_.read_latency_s;
+  return ReadResult{e.value, t};
+}
+
+}  // namespace plf::cell

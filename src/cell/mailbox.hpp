@@ -1,0 +1,72 @@
+// PPE<->SPE synchronization primitives.
+//
+// The paper (§3.3) uses "direct problem state accesses ... similar to
+// mailboxes" for PPE->SPE messages and DMA-based notifications with PPE busy
+// wait for SPE->PPE, because those are the lowest-overhead mechanisms for
+// frequent fine-grain synchronization. We model both as bounded FIFOs with a
+// per-message latency charge; the SPU-side FSM consumes messages from its
+// inbound mailbox.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "util/error.hpp"
+
+namespace plf::cell {
+
+/// Message types the PPE sends to the SPU FSM (paper §3.3: trigger a PLF
+/// function, recalculate chunk sizes, finalize).
+enum class SpuCommand : std::uint32_t {
+  kNop = 0,
+  kConfigure,      ///< (re)calculate chunk sizes for a new data layout
+  kCondLikeDown,   ///< run the CondLikeDown PLF over this SPE's block
+  kCondLikeRoot,   ///< run CondLikeRoot
+  kCondLikeScaler, ///< run CondLikeScaler
+  kRootReduce,     ///< partial root-likelihood reduction
+  kTerminate,      ///< shut the FSM down
+};
+
+struct MailboxTimings {
+  double write_latency_s = 0.1e-6;  ///< problem-state store from the PPE
+  double read_latency_s = 0.05e-6;  ///< SPU-side channel read
+};
+
+/// The SPU inbound mailbox has 4 hardware entries; writing to a full mailbox
+/// stalls the writer on real hardware — we surface it as a violation since
+/// our protocol never legitimately fills it.
+inline constexpr std::size_t kInboundMailboxDepth = 4;
+
+class Mailbox {
+ public:
+  explicit Mailbox(std::size_t depth = kInboundMailboxDepth,
+                   const MailboxTimings& t = MailboxTimings{})
+      : depth_(depth), timings_(t) {}
+
+  /// Write from the producer at `time`; returns when the write retires.
+  double write(std::uint32_t value, double time);
+
+  bool has_message() const { return !fifo_.empty(); }
+  std::size_t size() const { return fifo_.size(); }
+
+  /// Blocking read by the consumer: returns {value, time-of-availability}.
+  struct ReadResult {
+    std::uint32_t value;
+    double time;
+  };
+  ReadResult read(double reader_time);
+
+  std::uint64_t messages() const { return messages_; }
+
+ private:
+  std::size_t depth_;
+  MailboxTimings timings_;
+  struct Entry {
+    std::uint32_t value;
+    double available_at;
+  };
+  std::deque<Entry> fifo_;
+  std::uint64_t messages_ = 0;
+};
+
+}  // namespace plf::cell

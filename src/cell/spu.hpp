@@ -1,0 +1,120 @@
+// Simulated Synergistic Processing Unit running the PLF offload program.
+//
+// Mirrors the paper's SPE-side design (§3.3):
+//  * a local Finite State Machine driven by PPE messages (trigger a PLF
+//    function, recalculate chunk sizes, terminate);
+//  * two-level partitioning: the PPE assigns this SPU a block of likelihood
+//    vector elements; the SPU cuts the block into chunks that fit the LS;
+//  * double buffering: chunk i+1's operands stream in while chunk i
+//    computes; results stream back overlapped as well (Fig. 7);
+//  * SPU SIMD with either the row-wise (approach i) or the column-wise /
+//    transposed (approach ii) reduction layout.
+//
+// Execution is functional (results are bit-identical to running the same
+// kernel variant on the host) and temporal (a cost model yields the SPU's
+// finish time on its simulated clock).
+#pragma once
+
+#include <cstdint>
+
+#include "cell/dma.hpp"
+#include "cell/local_store.hpp"
+#include "cell/mailbox.hpp"
+#include "core/kernels.hpp"
+
+namespace plf::cell {
+
+/// The PLF code occupies 90 KB of the 256 KB LS (§3.3); the remainder is
+/// available for data buffers.
+inline constexpr std::size_t kPlfCodeBytes = 90 * 1024;
+
+/// SPU compute-cost model. A "unit" is one (pattern, rate-category) cell:
+/// two 4x4 matrix-vector products plus the elementwise multiply. Approach
+/// (ii) avoids the per-inner-product horizontal reductions and is ~2x faster
+/// at the PLF level (measured in the paper).
+struct SpuTimings {
+  double clock_hz = 3.2e9;
+  double cycles_per_unit_row = 96.0;   ///< approach (i): shuffles + 8 hsums
+  double cycles_per_unit_col = 48.0;   ///< approach (ii): straight-line FMA
+  /// The scaler/reduction kernels are reductions too, so the SIMD layout
+  /// affects them the same way (§3.1: CondLikeScaler "is also a reduction").
+  double cycles_per_unit_scale_row = 20.0;
+  double cycles_per_unit_scale_col = 10.0;
+  double cycles_per_unit_reduce_row = 16.0;
+  double cycles_per_unit_reduce_col = 8.0;
+  double chunk_loop_overhead_cycles = 200.0;  ///< per-chunk FSM + branch cost
+  /// When false, each chunk's operand DMA is issued only after the previous
+  /// chunk finished computing (no compute/transfer overlap) — the ablation
+  /// baseline for the paper's double-buffering scheme (Fig. 7).
+  bool double_buffering = true;
+};
+
+/// Which SPU SIMD layout the offload program was compiled with.
+enum class SpuSimd { kRowWise, kColumnWise };
+
+/// A PLF job for one SPE: kernel arguments with MAIN-MEMORY pointers plus
+/// this SPE's block [begin, end) of the pattern range (first-level
+/// partition). Conveyed via direct problem-state access in the real code.
+struct SpuJob {
+  SpuCommand cmd = SpuCommand::kNop;
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  std::size_t K = 4;
+  core::DownArgs down;            ///< kCondLikeDown / kCondLikeRoot
+  const core::StateMask* out_mask = nullptr;  ///< kCondLikeRoot
+  const float* out_tp = nullptr;              ///< kCondLikeRoot
+  core::ScaleArgs scale;          ///< kCondLikeScaler
+  core::RootReduceArgs reduce;    ///< kRootReduce
+};
+
+/// Result of servicing one job.
+struct SpuRunResult {
+  double finish_time = 0.0;   ///< simulated time the SPE's notification lands
+  double compute_s = 0.0;     ///< time the SPU pipeline was busy
+  double dma_wait_s = 0.0;    ///< time the SPU stalled waiting on DMA
+  std::size_t chunks = 0;
+  double reduce_partial = 0.0;///< kRootReduce only
+};
+
+class Spu {
+ public:
+  Spu(int id, SpuSimd simd, const SpuTimings& timings = SpuTimings{},
+      const DmaTimings& dma = DmaTimings{});
+
+  int id() const { return id_; }
+  SpuSimd simd() const { return simd_; }
+  Mailbox& inbound() { return inbound_; }
+  const DmaStats& dma_stats() const { return dma_.stats(); }
+  void reset_dma_stats() { dma_.reset_stats(); }
+  LocalStore& local_store() { return ls_; }
+
+  /// FSM service loop: consume the next command from the inbound mailbox
+  /// (the job payload is read from problem state, i.e. `job`), execute, and
+  /// return the completion record. `time` is the SPU's current clock.
+  SpuRunResult service(const SpuJob& job, double time);
+
+  /// Chunk size (in patterns) the two-level partitioning uses for a job
+  /// with the given per-pattern LS footprint. Multiple of 16 so tip-mask
+  /// DMA stays 16-byte aligned; throws if even one 16-pattern chunk cannot
+  /// fit (the LS capacity rule).
+  std::size_t chunk_patterns(std::size_t bytes_per_pattern,
+                             std::size_t static_bytes) const;
+
+ private:
+  SpuRunResult run_down_like(const SpuJob& job, double time, bool is_root);
+  SpuRunResult run_scale(const SpuJob& job, double time);
+  SpuRunResult run_reduce(const SpuJob& job, double time);
+
+  double unit_cost(double cycles_per_unit) const {
+    return cycles_per_unit / timings_.clock_hz;
+  }
+
+  int id_;
+  SpuSimd simd_;
+  SpuTimings timings_;
+  LocalStore ls_;
+  DmaEngine dma_;
+  Mailbox inbound_;
+};
+
+}  // namespace plf::cell

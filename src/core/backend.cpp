@@ -1,0 +1,66 @@
+#include "core/backend.hpp"
+
+#include <vector>
+
+namespace plf::core {
+
+void SerialBackend::run_down(const KernelSet& ks, const DownArgs& a,
+                             std::size_t m) {
+  ks.down(a, 0, m);
+}
+void SerialBackend::run_root(const KernelSet& ks, const RootArgs& a,
+                             std::size_t m) {
+  ks.root(a, 0, m);
+}
+void SerialBackend::run_scale(const KernelSet& ks, const ScaleArgs& a,
+                              std::size_t m) {
+  ks.scale(a, 0, m);
+}
+double SerialBackend::run_root_reduce(const KernelSet& ks,
+                                      const RootReduceArgs& a, std::size_t m) {
+  return ks.root_reduce(a, 0, m);
+}
+
+std::string ThreadedBackend::name() const {
+  return "threads(" + std::to_string(pool_.size()) + ")";
+}
+
+void ThreadedBackend::run_down(const KernelSet& ks, const DownArgs& a,
+                               std::size_t m) {
+  pool_.parallel_for(0, m, [&](par::Range r, std::size_t) {
+    ks.down(a, r.begin, r.end);
+  });
+}
+
+void ThreadedBackend::run_root(const KernelSet& ks, const RootArgs& a,
+                               std::size_t m) {
+  pool_.parallel_for(0, m, [&](par::Range r, std::size_t) {
+    ks.root(a, r.begin, r.end);
+  });
+}
+
+void ThreadedBackend::run_scale(const KernelSet& ks, const ScaleArgs& a,
+                                std::size_t m) {
+  pool_.parallel_for(0, m, [&](par::Range r, std::size_t) {
+    ks.scale(a, r.begin, r.end);
+  });
+}
+
+double ThreadedBackend::run_root_reduce(const KernelSet& ks,
+                                        const RootReduceArgs& a,
+                                        std::size_t m) {
+  // Deterministic for a fixed thread count: static partitioning with the
+  // partial sums combined in thread order.
+  std::vector<double> partial(pool_.size(), 0.0);
+  pool_.parallel_for(
+      0, m,
+      [&](par::Range r, std::size_t tid) {
+        partial[tid] = ks.root_reduce(a, r.begin, r.end);
+      },
+      par::Schedule::kStatic);
+  double sum = 0.0;
+  for (double p : partial) sum += p;
+  return sum;
+}
+
+}  // namespace plf::core

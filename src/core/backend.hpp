@@ -1,0 +1,68 @@
+// Execution backends: how one PLF invocation's outermost pattern loop is
+// distributed over parallel resources.
+//
+// "The basic task consists in scheduling and distributing the required
+// likelihood vector data structures and loop iterations to the several
+// processing elements" (§3.1). A backend receives one kernel invocation over
+// m patterns and decides the partitioning: serially, over a thread pool
+// (the general-purpose multi-core scheme, §3.2), over simulated SPEs
+// (plf::cell) or over a simulated CUDA grid (plf::gpu).
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "core/kernels.hpp"
+#include "par/thread_pool.hpp"
+
+namespace plf::core {
+
+class ExecutionBackend {
+ public:
+  virtual ~ExecutionBackend() = default;
+
+  virtual std::string name() const = 0;
+
+  virtual void run_down(const KernelSet& ks, const DownArgs& args,
+                        std::size_t m) = 0;
+  virtual void run_root(const KernelSet& ks, const RootArgs& args,
+                        std::size_t m) = 0;
+  virtual void run_scale(const KernelSet& ks, const ScaleArgs& args,
+                         std::size_t m) = 0;
+  /// Full root reduction (must be deterministic for a fixed configuration).
+  virtual double run_root_reduce(const KernelSet& ks,
+                                 const RootReduceArgs& args, std::size_t m) = 0;
+};
+
+/// Everything on the calling thread (the paper's Baseline system).
+class SerialBackend final : public ExecutionBackend {
+ public:
+  std::string name() const override { return "serial"; }
+  void run_down(const KernelSet& ks, const DownArgs& a, std::size_t m) override;
+  void run_root(const KernelSet& ks, const RootArgs& a, std::size_t m) override;
+  void run_scale(const KernelSet& ks, const ScaleArgs& a, std::size_t m) override;
+  double run_root_reduce(const KernelSet& ks, const RootReduceArgs& a,
+                         std::size_t m) override;
+};
+
+/// OpenMP-style parallel-for over the outermost pattern loop (§3.2): one
+/// parallel region per PLF invocation with an implicit barrier at the end —
+/// the spawn/sync structure whose overhead drives Fig. 9.
+class ThreadedBackend final : public ExecutionBackend {
+ public:
+  explicit ThreadedBackend(par::ThreadPool& pool) : pool_(pool) {}
+
+  std::string name() const override;
+  void run_down(const KernelSet& ks, const DownArgs& a, std::size_t m) override;
+  void run_root(const KernelSet& ks, const RootArgs& a, std::size_t m) override;
+  void run_scale(const KernelSet& ks, const ScaleArgs& a, std::size_t m) override;
+  double run_root_reduce(const KernelSet& ks, const RootReduceArgs& a,
+                         std::size_t m) override;
+
+  par::ThreadPool& pool() { return pool_; }
+
+ private:
+  par::ThreadPool& pool_;
+};
+
+}  // namespace plf::core

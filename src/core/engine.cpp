@@ -1,0 +1,344 @@
+#include "core/engine.hpp"
+
+#include "util/clock.hpp"
+#include "util/error.hpp"
+
+namespace plf::core {
+
+PlfEngine::PlfEngine(phylo::PatternMatrix data, const phylo::GtrParams& params,
+                     phylo::Tree tree, ExecutionBackend& backend,
+                     KernelVariant variant)
+    : data_(std::move(data)),
+      model_(params),
+      tree_(std::move(tree)),
+      backend_(&backend),
+      kernels_(&kernels(variant)) {
+  PLF_CHECK(data_.n_taxa() == tree_.n_taxa(),
+            "pattern matrix and tree disagree on taxon count");
+  m_ = data_.n_patterns();
+  k_ = model_.n_rate_categories();
+
+  nodes_.resize(tree_.n_nodes());
+  branches_.resize(tree_.n_nodes());
+  for (std::size_t id = 0; id < tree_.n_nodes(); ++id) {
+    const phylo::TreeNode& n = tree_.node(static_cast<int>(id));
+    if (!n.is_leaf()) {
+      for (int b = 0; b < 2; ++b) {
+        nodes_[id].cl[static_cast<std::size_t>(b)].assign(m_ * k_ * 4, 0.0f);
+        nodes_[id].scaler[static_cast<std::size_t>(b)].assign(m_, 0.0f);
+      }
+      nodes_[id].dirty = true;
+    }
+    if (n.parent != phylo::kNoNode) {
+      branches_[id].dirty = true;
+    }
+  }
+  scaler_total_.assign(m_, 0.0);
+
+  // +I support: which states every taxon could share, per pattern.
+  const_mask_.assign(m_, phylo::kGapMask);
+  for (std::size_t t = 0; t < data_.n_taxa(); ++t) {
+    const phylo::StateMask* row = data_.row(t);
+    for (std::size_t c = 0; c < m_; ++c) {
+      const_mask_[c] = static_cast<phylo::StateMask>(const_mask_[c] & row[c]);
+    }
+  }
+  const_lik_.assign(m_, 0.0f);
+}
+
+void PlfEngine::mark_node_dirty(int node) {
+  NodeState& st = nodes_[static_cast<std::size_t>(node)];
+  if (!st.dirty) {
+    st.dirty = true;
+    if (in_proposal_) node_dirty_marks_.push_back(node);
+  }
+}
+
+void PlfEngine::mark_path_dirty(int from_node) {
+  for (int id = from_node; id != phylo::kNoNode; id = tree_.node(id).parent) {
+    if (!tree_.node(id).is_leaf()) mark_node_dirty(id);
+  }
+  lik_valid_ = false;
+}
+
+void PlfEngine::mark_branch_dirty(int node) {
+  BranchState& st = branches_[static_cast<std::size_t>(node)];
+  if (!st.dirty) {
+    st.dirty = true;
+    if (in_proposal_) branch_dirty_marks_.push_back(node);
+  }
+}
+
+void PlfEngine::begin_proposal() {
+  PLF_CHECK(!in_proposal_, "begin_proposal: proposal already open");
+  in_proposal_ = true;
+  ++proposal_epoch_;
+  saved_ln_lik_ = ln_lik_;
+  saved_lik_valid_ = lik_valid_;
+  flipped_nodes_.clear();
+  flipped_branches_.clear();
+  node_dirty_marks_.clear();
+  branch_dirty_marks_.clear();
+  old_lengths_.clear();
+  nni_log_.clear();
+  spr_log_.clear();
+  old_params_.reset();
+}
+
+void PlfEngine::accept() {
+  PLF_CHECK(in_proposal_, "accept: no open proposal");
+  in_proposal_ = false;
+}
+
+void PlfEngine::reject() {
+  PLF_CHECK(in_proposal_, "reject: no open proposal");
+  in_proposal_ = false;
+
+  // Undo topology changes (NNI is an involution for a fixed (v, slot)).
+  for (auto it = nni_log_.rbegin(); it != nni_log_.rend(); ++it) {
+    tree_.nni(it->first, it->second);
+  }
+  // Undo branch lengths.
+  for (auto it = old_lengths_.rbegin(); it != old_lengths_.rend(); ++it) {
+    tree_.set_branch_length(it->first, it->second);
+  }
+  // Undo SPR moves (restores the u/w/target branch lengths absolutely).
+  for (auto it = spr_log_.rbegin(); it != spr_log_.rend(); ++it) {
+    tree_.undo_spr(*it);
+  }
+  // Undo model change.
+  if (old_params_) {
+    model_ = phylo::SubstitutionModel(*old_params_);
+  }
+  // Flip buffers back (no recomputation — the MrBayes restore path).
+  for (int id : flipped_nodes_) {
+    nodes_[static_cast<std::size_t>(id)].active ^= 1;
+  }
+  for (int id : flipped_branches_) {
+    branches_[static_cast<std::size_t>(id)].active ^= 1;
+  }
+  // Dirty flags raised by the proposal refer to state we just restored.
+  for (int id : node_dirty_marks_) {
+    nodes_[static_cast<std::size_t>(id)].dirty = false;
+  }
+  for (int id : branch_dirty_marks_) {
+    branches_[static_cast<std::size_t>(id)].dirty = false;
+  }
+  ln_lik_ = saved_ln_lik_;
+  lik_valid_ = saved_lik_valid_;
+}
+
+void PlfEngine::set_branch_length(int node, double length) {
+  if (in_proposal_) {
+    old_lengths_.emplace_back(node, tree_.branch_length(node));
+  }
+  tree_.set_branch_length(node, length);
+  mark_branch_dirty(node);
+  mark_path_dirty(tree_.node(node).parent);
+}
+
+void PlfEngine::apply_nni(int v, bool swap_left) {
+  tree_.nni(v, swap_left);
+  if (in_proposal_) nni_log_.emplace_back(v, swap_left);
+  // v's children changed, so v and everything above it must be recomputed.
+  mark_path_dirty(v);
+}
+
+void PlfEngine::apply_spr(int s, int target, double split_x) {
+  const auto undo = tree_.spr(s, target, split_x);
+  if (in_proposal_) spr_log_.push_back(undo);
+  // Three branch lengths changed; both the detachment and insertion sites
+  // need their root paths recomputed.
+  mark_branch_dirty(undo.u);
+  mark_branch_dirty(undo.w);
+  mark_branch_dirty(undo.target);
+  mark_path_dirty(tree_.node(undo.w).parent);  // where the subtree left
+  mark_path_dirty(undo.u);                     // where it arrived
+}
+
+void PlfEngine::set_model(const phylo::GtrParams& params) {
+  PLF_CHECK(params.n_rate_categories == model_.n_rate_categories(),
+            "set_model: rate category count is fixed at engine construction");
+  if (in_proposal_ && !old_params_) old_params_ = model_.params();
+  model_ = phylo::SubstitutionModel(params);
+  k_ = model_.n_rate_categories();
+  for (std::size_t id = 0; id < tree_.n_nodes(); ++id) {
+    if (tree_.node(static_cast<int>(id)).parent != phylo::kNoNode) {
+      mark_branch_dirty(static_cast<int>(id));
+    }
+  }
+  mark_path_dirty(tree_.root());
+  // All internal nodes depend on the model, not just the root path.
+  for (std::size_t id = 0; id < tree_.n_nodes(); ++id) {
+    if (!tree_.node(static_cast<int>(id)).is_leaf()) {
+      mark_node_dirty(static_cast<int>(id));
+    }
+  }
+  lik_valid_ = false;
+}
+
+void PlfEngine::rebuild_branch(int node) {
+  BranchState& st = branches_[static_cast<std::size_t>(node)];
+  // Within one proposal only the FIRST rebuild may flip: the inactive buffer
+  // holds the pre-proposal matrices that reject() must be able to restore.
+  int target = st.active ^ 1;
+  if (in_proposal_ && st.flip_epoch == proposal_epoch_) {
+    target = st.active;  // overwrite this proposal's own buffer
+  }
+  st.tm[static_cast<std::size_t>(target)] =
+      model_.transition_matrices(tree_.branch_length(node));
+  if (tree_.node(node).is_leaf()) {
+    st.tp[static_cast<std::size_t>(target)] =
+        TipPartial(st.tm[static_cast<std::size_t>(target)]);
+  }
+  if (target != st.active) {
+    st.active = target;
+    if (in_proposal_) {
+      flipped_branches_.push_back(node);
+      st.flip_epoch = proposal_epoch_;
+    }
+  }
+  st.dirty = false;
+  ++stats_.tm_builds;
+}
+
+ChildArgs PlfEngine::make_child(int node) const {
+  const BranchState& b = branches_[static_cast<std::size_t>(node)];
+  const auto& tm = b.tm[static_cast<std::size_t>(b.active)];
+  ChildArgs ch;
+  if (tree_.node(node).is_leaf()) {
+    ch.mask = data_.row(static_cast<std::size_t>(tree_.node(node).taxon));
+    ch.tp = b.tp[static_cast<std::size_t>(b.active)].data();
+  } else {
+    const NodeState& st = nodes_[static_cast<std::size_t>(node)];
+    ch.cl = st.cl[static_cast<std::size_t>(st.active)].data();
+  }
+  ch.p = tm.row_major();
+  ch.pt = tm.col_major();
+  return ch;
+}
+
+void PlfEngine::evaluate() {
+  Stopwatch serial_sw;
+
+  // 1. Rebuild dirty branch matrices (serial work, like MrBayes' TiProbs).
+  for (std::size_t id = 0; id < tree_.n_nodes(); ++id) {
+    const phylo::TreeNode& n = tree_.node(static_cast<int>(id));
+    if (n.parent != phylo::kNoNode && branches_[id].dirty) {
+      rebuild_branch(static_cast<int>(id));
+    }
+  }
+  stats_.serial_seconds += serial_sw.seconds();
+
+  // 2. Recompute dirty internal nodes, children before parents.
+  for (int id : tree_.postorder_internals()) {
+    NodeState& st = nodes_[static_cast<std::size_t>(id)];
+    const phylo::TreeNode& n = tree_.node(id);
+    // A node is stale if flagged, or if a child was recomputed after it; the
+    // dirty propagation in mark_path_dirty guarantees flags are set on the
+    // whole path, so the flag alone is sufficient here.
+    if (!st.dirty) continue;
+
+    // First recomputation in a proposal flips; later ones overwrite the
+    // proposal's own buffer (see NodeState::flip_epoch).
+    int target = st.active ^ 1;
+    if (in_proposal_ && st.flip_epoch == proposal_epoch_) {
+      target = st.active;
+    }
+    float* out = st.cl[static_cast<std::size_t>(target)].data();
+
+    Stopwatch plf_sw;
+    if (id == tree_.root()) {
+      RootArgs ra;
+      ra.down.left = make_child(n.left);
+      ra.down.right = make_child(n.right);
+      ra.down.out = out;
+      ra.down.K = k_;
+      const int og = tree_.outgroup();
+      const BranchState& ob = branches_[static_cast<std::size_t>(og)];
+      ra.out_mask = data_.row(static_cast<std::size_t>(tree_.node(og).taxon));
+      ra.out_tp = ob.tp[static_cast<std::size_t>(ob.active)].data();
+      backend_->run_root(*kernels_, ra, m_);
+      ++stats_.root_calls;
+    } else {
+      DownArgs da;
+      da.left = make_child(n.left);
+      da.right = make_child(n.right);
+      da.out = out;
+      da.K = k_;
+      backend_->run_down(*kernels_, da, m_);
+      ++stats_.down_calls;
+    }
+
+    ScaleArgs sa;
+    sa.cl = out;
+    sa.ln_scaler = st.scaler[static_cast<std::size_t>(target)].data();
+    sa.K = k_;
+    backend_->run_scale(*kernels_, sa, m_);
+    ++stats_.scale_calls;
+    stats_.pattern_iterations += 2 * m_;  // one PLF pass + one scaler pass
+    stats_.plf_seconds += plf_sw.seconds();
+
+    if (target != st.active) {
+      st.active = target;
+      if (in_proposal_) {
+        flipped_nodes_.push_back(id);
+        st.flip_epoch = proposal_epoch_;
+      }
+    }
+    st.dirty = false;
+  }
+
+  // 3. Sum per-node scalers (serial bookkeeping).
+  serial_sw.reset();
+  scaler_total_.assign(m_, 0.0);
+  for (std::size_t id = 0; id < tree_.n_nodes(); ++id) {
+    const phylo::TreeNode& n = tree_.node(static_cast<int>(id));
+    if (n.is_leaf()) continue;
+    const NodeState& st = nodes_[id];
+    const float* sc = st.scaler[static_cast<std::size_t>(st.active)].data();
+    for (std::size_t c = 0; c < m_; ++c) scaler_total_[c] += sc[c];
+  }
+  stats_.serial_seconds += serial_sw.seconds();
+
+  // 4. Root reduction (with the +I invariant-sites mixture when enabled).
+  Stopwatch reduce_sw;
+  RootReduceArgs rr;
+  const NodeState& root = nodes_[static_cast<std::size_t>(tree_.root())];
+  rr.cl = root.cl[static_cast<std::size_t>(root.active)].data();
+  rr.ln_scaler_total = scaler_total_.data();
+  rr.weights = data_.weights().data();
+  const auto& pi = model_.pi();
+  for (std::size_t i = 0; i < 4; ++i) rr.pi[i] = static_cast<float>(pi[i]);
+  rr.K = k_;
+  if (model_.params().p_invariant > 0.0) {
+    for (std::size_t c = 0; c < m_; ++c) {
+      float s = 0.0f;
+      for (std::size_t st = 0; st < 4; ++st) {
+        if ((const_mask_[c] >> st) & 1u) s += static_cast<float>(pi[st]);
+      }
+      const_lik_[c] = s;
+    }
+    rr.const_lik = const_lik_.data();
+    rr.p_invariant = static_cast<float>(model_.params().p_invariant);
+  }
+  ln_lik_ = backend_->run_root_reduce(*kernels_, rr, m_);
+  ++stats_.reduce_calls;
+  stats_.pattern_iterations += m_;
+  stats_.plf_seconds += reduce_sw.seconds();
+
+  lik_valid_ = true;
+}
+
+double PlfEngine::log_likelihood() {
+  if (!lik_valid_) evaluate();
+  return ln_lik_;
+}
+
+const float* PlfEngine::node_cl(int node) const {
+  const NodeState& st = nodes_[static_cast<std::size_t>(node)];
+  PLF_CHECK(!tree_.node(node).is_leaf(), "node_cl: leaf nodes carry no cl");
+  return st.cl[static_cast<std::size_t>(st.active)].data();
+}
+
+}  // namespace plf::core

@@ -1,0 +1,148 @@
+// PlfEngine: orchestrates PLF kernel invocations over a tree.
+//
+// This is the role MrBayes' likelihood machinery plays around the three hot
+// kernels: it owns the conditional-likelihood vectors of every internal node,
+// rebuilds per-branch transition matrices when branch lengths or model
+// parameters change, recomputes only the nodes a proposal dirtied
+// (children-before-parents), rescales each node (CondLikeScaler), and
+// finishes with the root reduction.
+//
+// State is double-buffered exactly like MrBayes' "touch/flip" scheme: a
+// recomputation writes into the inactive buffer and flips, so rejecting a
+// proposal is a pointer flip back — no recomputation. This keeps the PLF
+// call pattern (the workload the paper measures) faithful to the original
+// program.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/backend.hpp"
+#include "core/kernels.hpp"
+#include "core/tip_partial.hpp"
+#include "phylo/model.hpp"
+#include "phylo/patterns.hpp"
+#include "phylo/tree.hpp"
+#include "util/aligned.hpp"
+
+namespace plf::core {
+
+/// Counters describing the PLF work performed (consumed by the architecture
+/// timing models and the Fig. 12 breakdown).
+struct EngineStats {
+  std::uint64_t down_calls = 0;
+  std::uint64_t root_calls = 0;
+  std::uint64_t scale_calls = 0;
+  std::uint64_t reduce_calls = 0;
+  std::uint64_t tm_builds = 0;            ///< per-branch matrix rebuilds
+  std::uint64_t pattern_iterations = 0;   ///< sum of m over all kernel calls
+  double plf_seconds = 0.0;               ///< wall time inside kernels
+  double serial_seconds = 0.0;            ///< matrix rebuilds + scaler totals
+};
+
+class PlfEngine {
+ public:
+  PlfEngine(phylo::PatternMatrix data, const phylo::GtrParams& params,
+            phylo::Tree tree, ExecutionBackend& backend,
+            KernelVariant variant = KernelVariant::kSimdCol);
+
+  /// Evaluate the log likelihood, recomputing whatever is dirty.
+  double log_likelihood();
+
+  // --- proposal protocol (MCMC) ---
+  void begin_proposal();
+  void accept();
+  void reject();
+  bool in_proposal() const { return in_proposal_; }
+
+  // --- mutations (usable inside or outside a proposal) ---
+  void set_branch_length(int node, double length);
+  void apply_nni(int v, bool swap_left);
+  /// Subtree pruning and regrafting (see phylo::Tree::spr). NOTE: undo logs
+  /// are replayed per category (NNI, lengths, SPR); a single proposal must
+  /// not interleave SPR with other topology moves.
+  void apply_spr(int s, int target, double split_x);
+  void set_model(const phylo::GtrParams& params);
+
+  const phylo::Tree& tree() const { return tree_; }
+  const phylo::GtrParams& model_params() const { return model_.params(); }
+  const phylo::SubstitutionModel& model() const { return model_; }
+  const phylo::PatternMatrix& data() const { return data_; }
+  ExecutionBackend& backend() { return *backend_; }
+  KernelVariant variant() const { return kernels_->variant; }
+
+  const EngineStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = EngineStats{}; }
+
+  /// Read-only view of an internal node's active conditional likelihoods
+  /// (tests/diagnostics).
+  const float* node_cl(int node) const;
+
+ private:
+  struct NodeState {
+    std::array<aligned_vector<float>, 2> cl;
+    std::array<aligned_vector<float>, 2> scaler;
+    int active = 0;
+    bool dirty = true;
+    /// Last proposal in which this node flipped. A second recomputation
+    /// within the same proposal must overwrite the ACTIVE buffer instead of
+    /// flipping again — the inactive buffer holds the pre-proposal state
+    /// that reject() restores.
+    std::uint64_t flip_epoch = 0;
+  };
+  struct BranchState {
+    std::array<phylo::TransitionMatrices, 2> tm;
+    std::array<TipPartial, 2> tp;
+    int active = 0;
+    bool dirty = true;
+    std::uint64_t flip_epoch = 0;  ///< see NodeState::flip_epoch
+  };
+
+  void mark_node_dirty(int node);
+  void mark_path_dirty(int from_node);
+  void mark_branch_dirty(int node);
+  void rebuild_branch(int node);
+  ChildArgs make_child(int node) const;
+  void evaluate();
+
+  phylo::PatternMatrix data_;
+  phylo::SubstitutionModel model_;
+  phylo::Tree tree_;
+  ExecutionBackend* backend_;
+  const KernelSet* kernels_;
+
+  std::size_t m_ = 0;  ///< pattern count
+  std::size_t k_ = 0;  ///< rate categories
+
+  std::vector<NodeState> nodes_;     ///< indexed by node id; internals only
+  std::vector<BranchState> branches_;///< indexed by node id; all but root
+  aligned_vector<double> scaler_total_; ///< per-pattern summed log scalers
+  /// +I support: per-pattern AND of all taxon masks (which states could be
+  /// shared by every taxon; fixed by the data) and the resulting
+  /// invariant-site likelihoods under the current pi (refreshed per eval).
+  std::vector<phylo::StateMask> const_mask_;
+  aligned_vector<float> const_lik_;
+
+  double ln_lik_ = 0.0;
+  bool lik_valid_ = false;
+
+  // Undo log for the active proposal.
+  bool in_proposal_ = false;
+  std::uint64_t proposal_epoch_ = 0;
+  double saved_ln_lik_ = 0.0;
+  bool saved_lik_valid_ = false;
+  std::vector<int> flipped_nodes_;
+  std::vector<int> flipped_branches_;
+  std::vector<int> node_dirty_marks_;
+  std::vector<int> branch_dirty_marks_;
+  std::vector<std::pair<int, double>> old_lengths_;
+  std::vector<std::pair<int, bool>> nni_log_;
+  std::vector<phylo::Tree::SprUndo> spr_log_;
+  std::optional<phylo::GtrParams> old_params_;
+
+  EngineStats stats_;
+};
+
+}  // namespace plf::core

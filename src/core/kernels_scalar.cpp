@@ -1,0 +1,105 @@
+// Scalar reference implementation of the PLF kernels — the ground truth all
+// SIMD/backend variants are validated against.
+#include <cmath>
+
+#include "core/kernels.hpp"
+
+namespace plf::core {
+
+namespace {
+
+/// Evaluate one child's 4-state factor for pattern c, category k.
+inline void child_values(const ChildArgs& ch, std::size_t c, std::size_t k,
+                         std::size_t K, float out[4]) {
+  if (ch.is_tip()) {
+    const float* tp = ch.tp + static_cast<std::size_t>(ch.mask[c]) * K * 4 + k * 4;
+    out[0] = tp[0];
+    out[1] = tp[1];
+    out[2] = tp[2];
+    out[3] = tp[3];
+  } else {
+    const float* cl = ch.cl + c * K * 4 + k * 4;
+    const float* p = ch.p + k * 16;
+    for (std::size_t i = 0; i < 4; ++i) {
+      out[i] = p[i * 4 + 0] * cl[0] + p[i * 4 + 1] * cl[1] +
+               p[i * 4 + 2] * cl[2] + p[i * 4 + 3] * cl[3];
+    }
+  }
+}
+
+void down_scalar(const DownArgs& a, std::size_t begin, std::size_t end) {
+  for (std::size_t c = begin; c < end; ++c) {
+    float* out = a.out + c * a.K * 4;
+    for (std::size_t k = 0; k < a.K; ++k) {
+      float l[4], r[4];
+      child_values(a.left, c, k, a.K, l);
+      child_values(a.right, c, k, a.K, r);
+      for (std::size_t i = 0; i < 4; ++i) out[k * 4 + i] = l[i] * r[i];
+    }
+  }
+}
+
+void root_scalar(const RootArgs& a, std::size_t begin, std::size_t end) {
+  const DownArgs& d = a.down;
+  for (std::size_t c = begin; c < end; ++c) {
+    float* out = d.out + c * d.K * 4;
+    const float* tp =
+        a.out_tp + static_cast<std::size_t>(a.out_mask[c]) * d.K * 4;
+    for (std::size_t k = 0; k < d.K; ++k) {
+      float l[4], r[4];
+      child_values(d.left, c, k, d.K, l);
+      child_values(d.right, c, k, d.K, r);
+      for (std::size_t i = 0; i < 4; ++i) {
+        out[k * 4 + i] = l[i] * r[i] * tp[k * 4 + i];
+      }
+    }
+  }
+}
+
+void scale_scalar(const ScaleArgs& a, std::size_t begin, std::size_t end) {
+  for (std::size_t c = begin; c < end; ++c) {
+    float* cl = a.cl + c * a.K * 4;
+    float m = cl[0];
+    for (std::size_t v = 1; v < a.K * 4; ++v) {
+      if (cl[v] > m) m = cl[v];
+    }
+    if (m > 0.0f) {
+      const float inv = 1.0f / m;
+      for (std::size_t v = 0; v < a.K * 4; ++v) cl[v] *= inv;
+      a.ln_scaler[c] = std::log(m);
+    } else {
+      // Fully underflowed site: leave values, record no scaling. The root
+      // reduction will produce -inf for this site, which is the honest answer.
+      a.ln_scaler[c] = 0.0f;
+    }
+  }
+}
+
+double root_reduce_scalar(const RootReduceArgs& a, std::size_t begin,
+                          std::size_t end) {
+  double partial = 0.0;
+  const double inv_k = 1.0 / static_cast<double>(a.K);
+  for (std::size_t c = begin; c < end; ++c) {
+    const float* cl = a.cl + c * a.K * 4;
+    double site = 0.0;
+    for (std::size_t k = 0; k < a.K; ++k) {
+      site += static_cast<double>(a.pi[0]) * cl[k * 4 + 0] +
+              static_cast<double>(a.pi[1]) * cl[k * 4 + 1] +
+              static_cast<double>(a.pi[2]) * cl[k * 4 + 2] +
+              static_cast<double>(a.pi[3]) * cl[k * 4 + 3];
+    }
+    partial += static_cast<double>(a.weights[c]) *
+               site_log_likelihood(site * inv_k, a.ln_scaler_total[c], a, c);
+  }
+  return partial;
+}
+
+}  // namespace
+
+namespace detail {
+extern const KernelSet kScalarKernels;
+const KernelSet kScalarKernels{KernelVariant::kScalar, down_scalar, root_scalar,
+                               scale_scalar, root_reduce_scalar};
+}  // namespace detail
+
+}  // namespace plf::core

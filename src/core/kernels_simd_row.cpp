@@ -1,0 +1,115 @@
+// SIMD "approach (i)" from the paper (§3.3, §3.4): vectorize each inner
+// product individually. Each of the four per-category inner products loads a
+// row of the transition matrix, multiplies element-wise with the child's
+// 4-float rate array and reduces horizontally. The horizontal reduction after
+// every inner product is exactly the inefficiency that made the paper prefer
+// approach (ii); we keep it as the ablation baseline
+// (bench_ablation_cell_simd / bench_ablation_gpu_threads).
+#include <cmath>
+
+#include "core/kernels.hpp"
+#include "simd/vec4f.hpp"
+
+namespace plf::core {
+
+namespace {
+
+using simd::Vec4f;
+
+/// One child's factor for (c, k) with per-inner-product reduction.
+inline Vec4f child_values(const ChildArgs& ch, std::size_t c, std::size_t k,
+                          std::size_t K) {
+  if (ch.is_tip()) {
+    return Vec4f::load(ch.tp + static_cast<std::size_t>(ch.mask[c]) * K * 4 +
+                       k * 4);
+  }
+  const float* cl = ch.cl + c * K * 4 + k * 4;
+  const float* p = ch.p + k * 16;
+  const Vec4f clv = Vec4f::load(cl);
+  // Four row-wise inner products, each ending in a horizontal sum.
+  const float s0 = (Vec4f::load(p + 0) * clv).hsum();
+  const float s1 = (Vec4f::load(p + 4) * clv).hsum();
+  const float s2 = (Vec4f::load(p + 8) * clv).hsum();
+  const float s3 = (Vec4f::load(p + 12) * clv).hsum();
+  return Vec4f(s0, s1, s2, s3);
+}
+
+void down_row(const DownArgs& a, std::size_t begin, std::size_t end) {
+  for (std::size_t c = begin; c < end; ++c) {
+    float* out = a.out + c * a.K * 4;
+    for (std::size_t k = 0; k < a.K; ++k) {
+      const Vec4f l = child_values(a.left, c, k, a.K);
+      const Vec4f r = child_values(a.right, c, k, a.K);
+      (l * r).store(out + k * 4);
+    }
+  }
+}
+
+void root_row(const RootArgs& a, std::size_t begin, std::size_t end) {
+  const DownArgs& d = a.down;
+  for (std::size_t c = begin; c < end; ++c) {
+    float* out = d.out + c * d.K * 4;
+    const float* tp =
+        a.out_tp + static_cast<std::size_t>(a.out_mask[c]) * d.K * 4;
+    for (std::size_t k = 0; k < d.K; ++k) {
+      const Vec4f l = child_values(d.left, c, k, d.K);
+      const Vec4f r = child_values(d.right, c, k, d.K);
+      const Vec4f o = Vec4f::load(tp + k * 4);
+      (l * r * o).store(out + k * 4);
+    }
+  }
+}
+
+void scale_simd(const ScaleArgs& a, std::size_t begin, std::size_t end) {
+  for (std::size_t c = begin; c < end; ++c) {
+    float* cl = a.cl + c * a.K * 4;
+    Vec4f m = Vec4f::load(cl);
+    for (std::size_t k = 1; k < a.K; ++k) {
+      m = Vec4f::max(m, Vec4f::load(cl + k * 4));
+    }
+    const float mx = m.hmax();
+    if (mx > 0.0f) {
+      const Vec4f inv(1.0f / mx);
+      for (std::size_t k = 0; k < a.K; ++k) {
+        (Vec4f::load(cl + k * 4) * inv).store(cl + k * 4);
+      }
+      a.ln_scaler[c] = std::log(mx);
+    } else {
+      a.ln_scaler[c] = 0.0f;
+    }
+  }
+}
+
+double root_reduce_simd(const RootReduceArgs& a, std::size_t begin,
+                        std::size_t end) {
+  const Vec4f pi(a.pi[0], a.pi[1], a.pi[2], a.pi[3]);
+  const double inv_k = 1.0 / static_cast<double>(a.K);
+  double partial = 0.0;
+  for (std::size_t c = begin; c < end; ++c) {
+    const float* cl = a.cl + c * a.K * 4;
+    Vec4f acc;
+    for (std::size_t k = 0; k < a.K; ++k) {
+      acc = Vec4f::fma(pi, Vec4f::load(cl + k * 4), acc);
+    }
+    const double site = static_cast<double>(acc.hsum());
+    partial += static_cast<double>(a.weights[c]) *
+               site_log_likelihood(site * inv_k, a.ln_scaler_total[c], a, c);
+  }
+  return partial;
+}
+
+}  // namespace
+
+namespace detail {
+extern const KernelSet kSimdRowKernels;
+const KernelSet kSimdRowKernels{KernelVariant::kSimdRow, down_row, root_row,
+                                scale_simd, root_reduce_simd};
+// Shared by the column-wise variants (the scale/reduce kernels do not differ
+// between row- and column-wise matrix access).
+extern const ScaleFn kSharedSimdScale;
+const ScaleFn kSharedSimdScale = scale_simd;
+extern const RootReduceFn kSharedSimdRootReduce;
+const RootReduceFn kSharedSimdRootReduce = root_reduce_simd;
+}  // namespace detail
+
+}  // namespace plf::core

@@ -1,0 +1,146 @@
+#include "core/optimize.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace plf::core {
+
+namespace {
+
+/// Golden-section + parabolic (Brent) maximization of lnL over
+/// x = log(branch length) in [lo, hi].
+struct BrentMaximizer {
+  PlfEngine& engine;
+  int node;
+  int evaluations = 0;
+
+  double eval(double x) {
+    ++evaluations;
+    engine.set_branch_length(node, std::exp(x));
+    return engine.log_likelihood();
+  }
+};
+
+}  // namespace
+
+OptimizeResult optimize_branch(PlfEngine& engine, int node,
+                               const OptimizeOptions& options) {
+  PLF_CHECK(engine.tree().node(node).parent != phylo::kNoNode,
+            "optimize_branch: the root carries no branch");
+  PLF_CHECK(options.min_length > 0.0 &&
+                options.min_length < options.max_length,
+            "optimize_branch: bad length bounds");
+
+  const double lo = std::log(options.min_length);
+  const double hi = std::log(options.max_length);
+  constexpr double kGolden = 0.3819660112501051;  // (3 - sqrt(5)) / 2
+
+  BrentMaximizer f{engine, node};
+
+  // Standard Brent (Numerical Recipes shape), maximizing by negating.
+  double a = lo, b = hi;
+  // Start exactly at the current length (clamped into bounds) so the result
+  // can never be worse than the starting likelihood.
+  double x = std::min(
+      std::max(std::log(std::max(engine.tree().branch_length(node),
+                                 options.min_length)),
+               lo),
+      hi);
+  double w = x, v = x;
+  double fx = f.eval(x), fw = fx, fv = fx;
+  double d = 0.0, e = 0.0;
+
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    const double xm = 0.5 * (a + b);
+    const double tol1 = options.tolerance * std::abs(x) + 1e-12;
+    const double tol2 = 2.0 * tol1;
+    if (std::abs(x - xm) <= tol2 - 0.5 * (b - a)) break;
+
+    bool use_golden = true;
+    if (std::abs(e) > tol1) {
+      // Parabolic fit through (x, fx), (w, fw), (v, fv).
+      const double r = (x - w) * (fx - fv);
+      double q = (x - v) * (fx - fw);
+      double p = (x - v) * q - (x - w) * r;
+      q = 2.0 * (q - r);
+      if (q > 0.0) p = -p;
+      q = std::abs(q);
+      const double e_prev = e;
+      e = d;
+      if (std::abs(p) < std::abs(0.5 * q * e_prev) && p > q * (a - x) &&
+          p < q * (b - x)) {
+        d = p / q;
+        const double u = x + d;
+        if (u - a < tol2 || b - u < tol2) {
+          d = (xm - x >= 0.0) ? tol1 : -tol1;
+        }
+        use_golden = false;
+      }
+    }
+    if (use_golden) {
+      e = (x >= xm) ? a - x : b - x;
+      d = kGolden * e;
+    }
+
+    const double u = (std::abs(d) >= tol1) ? x + d
+                                           : x + ((d >= 0.0) ? tol1 : -tol1);
+    const double fu = f.eval(u);
+    if (fu >= fx) {
+      if (u >= x) {
+        a = x;
+      } else {
+        b = x;
+      }
+      v = w;
+      fv = fw;
+      w = x;
+      fw = fx;
+      x = u;
+      fx = fu;
+    } else {
+      if (u < x) {
+        a = u;
+      } else {
+        b = u;
+      }
+      if (fu >= fw || w == x) {
+        v = w;
+        fv = fw;
+        w = u;
+        fw = fu;
+      } else if (fu >= fv || v == x || v == w) {
+        v = u;
+        fv = fu;
+      }
+    }
+  }
+
+  // Leave the engine at the optimum.
+  engine.set_branch_length(node, std::exp(x));
+  OptimizeResult result;
+  result.ln_likelihood = engine.log_likelihood();
+  result.length = std::exp(x);
+  result.evaluations = f.evaluations + 1;
+  return result;
+}
+
+OptimizeResult optimize_all_branches(PlfEngine& engine, int rounds,
+                                     double round_tolerance,
+                                     const OptimizeOptions& options) {
+  OptimizeResult total;
+  double prev = engine.log_likelihood();
+  total.ln_likelihood = prev;
+  for (int round = 0; round < rounds; ++round) {
+    for (int node : engine.tree().branch_nodes()) {
+      const OptimizeResult r = optimize_branch(engine, node, options);
+      total.evaluations += r.evaluations;
+      total.ln_likelihood = r.ln_likelihood;
+    }
+    if (total.ln_likelihood - prev < round_tolerance) break;
+    prev = total.ln_likelihood;
+  }
+  return total;
+}
+
+}  // namespace plf::core

@@ -1,0 +1,40 @@
+// Maximum-likelihood branch-length optimization.
+//
+// The scoring function MrBayes uses "is also adopted in other phylogenetic
+// inference programs" (§1, citing PHYML and RAxML) — those programs optimize
+// branch lengths rather than sampling them. This module provides that ML
+// counterpart on top of the same PLF engine: Brent search over one branch
+// (each trial evaluation only recomputes the dirtied root path, so the
+// fine-grain PLF parallelism is exercised exactly as in the paper's hot
+// loop), plus a round-robin full-tree pass.
+#pragma once
+
+#include "core/engine.hpp"
+
+namespace plf::core {
+
+struct OptimizeOptions {
+  double min_length = 1e-7;
+  double max_length = 10.0;
+  double tolerance = 1e-7;   ///< absolute tolerance on log(branch length)
+  int max_iterations = 100;  ///< per branch
+};
+
+struct OptimizeResult {
+  double ln_likelihood = 0.0;
+  double length = 0.0;   ///< optimize_branch: the optimized length
+  int evaluations = 0;   ///< likelihood evaluations performed
+};
+
+/// Optimize the branch above `node` (must carry a branch) to its ML length.
+/// The engine is left at the optimum; the return carries the new lnL.
+OptimizeResult optimize_branch(PlfEngine& engine, int node,
+                               const OptimizeOptions& options = {});
+
+/// Round-robin Brent over every branch, `rounds` times (or until a full
+/// round improves lnL by less than `round_tolerance`).
+OptimizeResult optimize_all_branches(PlfEngine& engine, int rounds = 5,
+                                     double round_tolerance = 1e-4,
+                                     const OptimizeOptions& options = {});
+
+}  // namespace plf::core

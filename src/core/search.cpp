@@ -1,0 +1,87 @@
+#include "core/search.hpp"
+
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace plf::core {
+
+namespace {
+
+/// Apply one NNI inside an open proposal and locally re-fit the five
+/// branches around the rearranged edge. Returns the resulting lnL.
+double try_nni(PlfEngine& engine, int v, bool left,
+               const OptimizeOptions& branch_options,
+               std::uint64_t* evaluations) {
+  engine.apply_nni(v, left);
+  double ln = engine.log_likelihood();
+  ++*evaluations;
+  const int u = engine.tree().node(v).parent;
+  for (int b : {v, engine.tree().node(v).left, engine.tree().node(v).right,
+                engine.tree().node(u).left, engine.tree().node(u).right}) {
+    if (b == phylo::kNoNode ||
+        engine.tree().node(b).parent == phylo::kNoNode) {
+      continue;
+    }
+    const auto r = optimize_branch(engine, b, branch_options);
+    ln = r.ln_likelihood;
+    *evaluations += static_cast<std::uint64_t>(r.evaluations);
+  }
+  return ln;
+}
+
+}  // namespace
+
+SearchResult hill_climb(PlfEngine& engine, const SearchOptions& options) {
+  PLF_CHECK(!engine.in_proposal(), "hill_climb: close the open proposal first");
+
+  SearchResult result;
+  auto opt = optimize_all_branches(engine, options.branch_rounds_per_sweep,
+                                   1e-4, options.branch_options);
+  result.ln_likelihood = opt.ln_likelihood;
+  result.evaluations += static_cast<std::uint64_t>(opt.evaluations);
+
+  for (int round = 0; round < options.max_rounds; ++round) {
+    ++result.rounds;
+
+    // Best-improvement: score the full NNI neighborhood of the current
+    // tree, then apply the single best move (greedy first-improvement is
+    // markedly more prone to local optima here).
+    double best_ln = -std::numeric_limits<double>::infinity();
+    int best_v = phylo::kNoNode;
+    bool best_left = false;
+    for (int v : engine.tree().internal_edge_nodes()) {
+      for (bool left : {true, false}) {
+        engine.begin_proposal();
+        const double ln =
+            try_nni(engine, v, left, options.branch_options,
+                    &result.evaluations);
+        engine.reject();
+        if (ln > best_ln) {
+          best_ln = ln;
+          best_v = v;
+          best_left = left;
+        }
+      }
+    }
+
+    if (best_v == phylo::kNoNode ||
+        best_ln <= result.ln_likelihood + options.improvement_epsilon) {
+      break;  // local optimum of the NNI neighborhood
+    }
+
+    engine.begin_proposal();
+    try_nni(engine, best_v, best_left, options.branch_options,
+            &result.evaluations);
+    engine.accept();
+    ++result.accepted_moves;
+
+    opt = optimize_all_branches(engine, options.branch_rounds_per_sweep, 1e-4,
+                                options.branch_options);
+    result.ln_likelihood = opt.ln_likelihood;
+    result.evaluations += static_cast<std::uint64_t>(opt.evaluations);
+  }
+  return result;
+}
+
+}  // namespace plf::core

@@ -1,0 +1,34 @@
+// Maximum-likelihood tree search: NNI hill climbing with branch-length
+// optimization — the RAxML-style counterpart of the Bayesian chain, built on
+// the same PLF engine (and therefore on the same fine-grain parallel
+// kernels). The proposal protocol makes trial rearrangements cheap: an NNI
+// that does not improve the likelihood is rolled back by a buffer flip.
+#pragma once
+
+#include <cstdint>
+
+#include "core/engine.hpp"
+#include "core/optimize.hpp"
+
+namespace plf::core {
+
+struct SearchOptions {
+  int max_rounds = 20;              ///< NNI sweeps over all internal edges
+  double improvement_epsilon = 1e-3;///< lnL gain required to accept a move
+  OptimizeOptions branch_options;
+  int branch_rounds_per_sweep = 1;  ///< full branch-optimization passes
+};
+
+struct SearchResult {
+  double ln_likelihood = 0.0;
+  int rounds = 0;            ///< NNI sweeps performed
+  int accepted_moves = 0;    ///< NNIs kept
+  std::uint64_t evaluations = 0;
+};
+
+/// Hill-climb from the engine's current state; the engine ends at the best
+/// tree found (a local optimum of the NNI neighborhood).
+SearchResult hill_climb(PlfEngine& engine,
+                        const SearchOptions& options = SearchOptions{});
+
+}  // namespace plf::core

@@ -1,0 +1,30 @@
+#include "gpu/coalescing.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <set>
+
+namespace plf::gpu {
+
+void CoalescingAnalyzer::record(const std::vector<std::uint64_t>& addresses,
+                                std::size_t bytes_per_lane) {
+  std::set<std::uint64_t> segments;
+  std::size_t active = 0;
+  for (std::uint64_t a : addresses) {
+    if (a == std::numeric_limits<std::uint64_t>::max()) continue;
+    ++active;
+    const std::uint64_t first = a / segment_bytes_;
+    const std::uint64_t last = (a + bytes_per_lane - 1) / segment_bytes_;
+    for (std::uint64_t s = first; s <= last; ++s) segments.insert(s);
+  }
+  if (active == 0) return;
+  ++report_.access_steps;
+  report_.transactions += segments.size();
+  // Dense packing of `active` lanes of `bytes_per_lane` spans this many
+  // segments at minimum.
+  const std::uint64_t dense_bytes =
+      static_cast<std::uint64_t>(active) * bytes_per_lane;
+  report_.ideal += (dense_bytes + segment_bytes_ - 1) / segment_bytes_;
+}
+
+}  // namespace plf::gpu

@@ -1,0 +1,53 @@
+// Warp-level memory coalescing analysis.
+//
+// The paper's key GPU data-layout insight (§3.4): "assigning groups of 4
+// threads to each likelihood vector discrete rate (array of 4 floats) allows
+// the compiler to coalesce memory accesses because the threads access ...
+// adjacent memory locations." This analyzer reproduces the Tesla-era
+// coalescing rule: for each warp access step, count the number of aligned
+// memory segments touched — 1 segment per half-warp is perfectly coalesced;
+// 16 segments is fully scattered. The PLF timing model uses the resulting
+// transaction ratio as its memory-efficiency factor, and the tests verify
+// the paper's claim that the entry-parallel layout coalesces.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace plf::gpu {
+
+struct CoalescingReport {
+  std::uint64_t access_steps = 0;   ///< warp-wide access instructions analyzed
+  std::uint64_t transactions = 0;   ///< memory segments actually fetched
+  std::uint64_t ideal = 0;          ///< segments had every access been dense
+
+  /// >= 1; 1.0 means perfectly coalesced.
+  double transaction_ratio() const {
+    return ideal == 0 ? 1.0
+                      : static_cast<double>(transactions) /
+                            static_cast<double>(ideal);
+  }
+};
+
+class CoalescingAnalyzer {
+ public:
+  /// Segment size of the coalescing hardware (Tesla: 64B for 32-bit words
+  /// per half-warp; we use 64).
+  explicit CoalescingAnalyzer(std::size_t segment_bytes = 64)
+      : segment_bytes_(segment_bytes) {}
+
+  /// Record one warp-wide access: `addresses[i]` is the byte address lane i
+  /// touches (element size `bytes_per_lane`). Lanes may be inactive (SIZE_MAX).
+  void record(const std::vector<std::uint64_t>& addresses,
+              std::size_t bytes_per_lane);
+
+  const CoalescingReport& report() const { return report_; }
+  void reset() { report_ = CoalescingReport{}; }
+
+ private:
+  std::size_t segment_bytes_;
+  CoalescingReport report_;
+};
+
+}  // namespace plf::gpu

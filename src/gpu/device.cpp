@@ -1,0 +1,61 @@
+#include "gpu/device.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace plf::gpu {
+
+DeviceSpec DeviceSpec::geforce_8800gt() {
+  DeviceSpec d;
+  d.name = "8800GT";
+  d.sm_count = 14;  // 112 streaming processors
+  d.cores_per_sm = 8;
+  d.shader_clock_hz = 1.5e9;
+  d.global_memory_bytes = 512ull << 20;
+  d.global_bandwidth_bps = 57.6e9;
+  d.max_threads_per_sm = 768;   // compute capability 1.1
+  d.max_blocks_per_sm = 8;
+  return d;
+}
+
+DeviceSpec DeviceSpec::gtx285() {
+  DeviceSpec d;
+  d.name = "GTX285";
+  d.sm_count = 30;  // 240 streaming processors
+  d.cores_per_sm = 8;
+  d.shader_clock_hz = 1.476e9;
+  d.global_memory_bytes = 1ull << 30;
+  d.global_bandwidth_bps = 159.0e9;
+  d.max_threads_per_sm = 1024;  // compute capability 1.3
+  d.max_blocks_per_sm = 8;
+  return d;
+}
+
+double occupancy(const DeviceSpec& spec, const LaunchConfig& cfg) {
+  if (cfg.threads_per_block == 0 ||
+      cfg.threads_per_block > spec.max_threads_per_block) {
+    return 0.0;
+  }
+  const std::size_t blocks_fit = std::min(
+      spec.max_blocks_per_sm, spec.max_threads_per_sm / cfg.threads_per_block);
+  if (blocks_fit == 0) return 0.0;
+  const std::size_t resident = blocks_fit * cfg.threads_per_block;
+  return static_cast<double>(resident) /
+         static_cast<double>(spec.max_threads_per_sm);
+}
+
+double wave_balance(const DeviceSpec& spec, const LaunchConfig& cfg) {
+  const std::size_t blocks_fit =
+      std::min(spec.max_blocks_per_sm,
+               cfg.threads_per_block > 0
+                   ? spec.max_threads_per_sm / cfg.threads_per_block
+                   : 0);
+  if (blocks_fit == 0 || cfg.blocks == 0) return 0.0;
+  const std::size_t slots_per_wave = spec.sm_count * blocks_fit;
+  const std::size_t waves =
+      (cfg.blocks + slots_per_wave - 1) / slots_per_wave;
+  return static_cast<double>(cfg.blocks) /
+         static_cast<double>(waves * slots_per_wave);
+}
+
+}  // namespace plf::gpu

@@ -1,0 +1,63 @@
+// Simulated 2009-era NVIDIA GPU (Tesla architecture, CUDA 2.x model).
+//
+// The device is modeled at the granularity the paper reasons about:
+// streaming multiprocessors (SMs) of 8 scalar cores each, warps of 32
+// threads, a per-SM resident-thread/block limit that determines occupancy,
+// global memory with a bandwidth roofline, and a PCIe link to the host whose
+// transfer cost is what ultimately sinks the GPU's total-time result in
+// Fig. 12.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace plf::gpu {
+
+inline constexpr std::size_t kWarpSize = 32;
+
+struct DeviceSpec {
+  std::string name = "GPU";
+  std::size_t sm_count = 14;            ///< streaming multiprocessors
+  std::size_t cores_per_sm = 8;         ///< scalar processors per SM
+  double shader_clock_hz = 1.5e9;
+  std::size_t global_memory_bytes = 512ull << 20;
+  double global_bandwidth_bps = 57.6e9; ///< device-memory roofline
+  std::size_t max_threads_per_block = 512;
+  std::size_t max_threads_per_sm = 768; ///< occupancy limit (Tesla: 768/1024)
+  std::size_t max_blocks_per_sm = 8;
+  double launch_overhead_s = 8e-6;      ///< host-side kernel dispatch cost
+  double sync_cycles = 40.0;            ///< __syncthreads() latency
+
+  std::size_t total_cores() const { return sm_count * cores_per_sm; }
+
+  /// NVIDIA GeForce 8800 GT: 112 cores @ 1.5 GHz, 512 MB (Table 1).
+  static DeviceSpec geforce_8800gt();
+  /// NVIDIA GTX 285: 240 cores @ 1.476 GHz, 1 GB (Table 1).
+  static DeviceSpec gtx285();
+};
+
+/// Host<->device interconnect: PCIe 1.1/2.0 x16 era numbers.
+struct PcieSpec {
+  double bandwidth_bps = 2.0e9;  ///< effective, not theoretical peak
+  double latency_s = 10e-6;      ///< per-transfer driver + DMA setup
+};
+
+/// Kernel launch geometry.
+struct LaunchConfig {
+  std::size_t blocks = 40;
+  std::size_t threads_per_block = 256;
+
+  std::size_t total_threads() const { return blocks * threads_per_block; }
+};
+
+/// Occupancy: resident warps per SM relative to the maximum, given the
+/// block size and per-SM limits. Low occupancy leaves memory latency
+/// exposed; the design-space sweep (§3.4) is largely this function.
+double occupancy(const DeviceSpec& spec, const LaunchConfig& cfg);
+
+/// Fraction of SM-wave slots doing useful work when `cfg.blocks` blocks are
+/// scheduled on the device (tail-wave imbalance).
+double wave_balance(const DeviceSpec& spec, const LaunchConfig& cfg);
+
+}  // namespace plf::gpu

@@ -1,0 +1,79 @@
+#include "gpu/device_memory.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/error.hpp"
+
+namespace plf::gpu {
+
+DevPtr DeviceMemory::malloc(std::size_t bytes) {
+  PLF_CHECK(bytes > 0, "cudaMalloc of zero bytes");
+  if (used_ + bytes > capacity_) {
+    throw HardwareViolation("device out of memory: " + std::to_string(bytes) +
+                            " bytes requested, " +
+                            std::to_string(capacity_ - used_) + " free");
+  }
+  used_ += bytes;
+  const std::uint64_t id = next_id_++;
+  allocs_.emplace(id, aligned_vector<std::uint8_t>(bytes, 0));
+  return DevPtr{id};
+}
+
+void DeviceMemory::free(DevPtr p) {
+  const auto it = allocs_.find(p.id);
+  PLF_CHECK(it != allocs_.end(), "cudaFree of invalid device pointer");
+  used_ -= it->second.size();
+  allocs_.erase(it);
+}
+
+double DeviceMemory::transfer(std::size_t bytes, double issue_time) {
+  const double start = std::max(issue_time, link_free_at_);
+  const double done =
+      start + pcie_.latency_s + static_cast<double>(bytes) / pcie_.bandwidth_bps;
+  stats_.pcie_busy_s += done - start;
+  link_free_at_ = done;
+  return done;
+}
+
+double DeviceMemory::h2d(DevPtr dst, std::size_t offset, const void* src,
+                         std::size_t bytes, double issue_time) {
+  auto it = allocs_.find(dst.id);
+  PLF_CHECK(it != allocs_.end(), "h2d to invalid device pointer");
+  PLF_CHECK(offset + bytes <= it->second.size(), "h2d out of bounds");
+  std::memcpy(it->second.data() + offset, src, bytes);
+  ++stats_.h2d_transfers;
+  stats_.h2d_bytes += bytes;
+  return transfer(bytes, issue_time);
+}
+
+double DeviceMemory::d2h(void* dst, DevPtr src, std::size_t offset,
+                         std::size_t bytes, double issue_time) {
+  auto it = allocs_.find(src.id);
+  PLF_CHECK(it != allocs_.end(), "d2h from invalid device pointer");
+  PLF_CHECK(offset + bytes <= it->second.size(), "d2h out of bounds");
+  std::memcpy(dst, it->second.data() + offset, bytes);
+  ++stats_.d2h_transfers;
+  stats_.d2h_bytes += bytes;
+  return transfer(bytes, issue_time);
+}
+
+float* DeviceMemory::as_floats(DevPtr p) {
+  auto it = allocs_.find(p.id);
+  PLF_CHECK(it != allocs_.end(), "device access through invalid pointer");
+  return reinterpret_cast<float*>(it->second.data());
+}
+
+const std::uint8_t* DeviceMemory::bytes(DevPtr p) const {
+  const auto it = allocs_.find(p.id);
+  PLF_CHECK(it != allocs_.end(), "device access through invalid pointer");
+  return it->second.data();
+}
+
+std::uint8_t* DeviceMemory::bytes(DevPtr p) {
+  auto it = allocs_.find(p.id);
+  PLF_CHECK(it != allocs_.end(), "device access through invalid pointer");
+  return it->second.data();
+}
+
+}  // namespace plf::gpu

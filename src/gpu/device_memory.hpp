@@ -1,0 +1,77 @@
+// Simulated device global memory and the PCIe transfer engine.
+//
+// Kernels may only touch device-resident buffers (as under CUDA): the PLF
+// backend must explicitly cudaMemcpy-style stage inputs in and results out,
+// and those transfers are exactly the "PCIe" slice of the paper's Fig. 12.
+// Allocation is tracked against the device capacity so that the three-level
+// partitioning's *global partitions* (split the data when it exceeds device
+// memory, §3.4) are forced just like on the real card.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "gpu/device.hpp"
+#include "util/aligned.hpp"
+
+namespace plf::gpu {
+
+/// Opaque device pointer handle.
+struct DevPtr {
+  std::uint64_t id = 0;
+  bool null() const { return id == 0; }
+};
+
+struct TransferStats {
+  std::uint64_t h2d_transfers = 0;
+  std::uint64_t d2h_transfers = 0;
+  std::uint64_t h2d_bytes = 0;
+  std::uint64_t d2h_bytes = 0;
+  double pcie_busy_s = 0.0;
+};
+
+class DeviceMemory {
+ public:
+  DeviceMemory(std::size_t capacity, const PcieSpec& pcie)
+      : capacity_(capacity), pcie_(pcie) {}
+
+  /// cudaMalloc: throws HardwareViolation when the device is out of memory.
+  DevPtr malloc(std::size_t bytes);
+  /// cudaFree.
+  void free(DevPtr p);
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t used() const { return used_; }
+
+  /// cudaMemcpy host->device. Returns the transfer's completion time given
+  /// `issue_time` (transfers serialize on the single PCIe link).
+  double h2d(DevPtr dst, std::size_t offset, const void* src,
+             std::size_t bytes, double issue_time);
+  /// cudaMemcpy device->host.
+  double d2h(void* dst, DevPtr src, std::size_t offset, std::size_t bytes,
+             double issue_time);
+
+  /// Raw device-side access for kernels. Only valid for live allocations.
+  float* as_floats(DevPtr p);
+  const std::uint8_t* bytes(DevPtr p) const;
+  std::uint8_t* bytes(DevPtr p);
+
+  const TransferStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = TransferStats{}; }
+
+ private:
+  double transfer(std::size_t bytes, double issue_time);
+
+  std::size_t capacity_;
+  PcieSpec pcie_;
+  std::size_t used_ = 0;
+  std::uint64_t next_id_ = 1;
+  std::unordered_map<std::uint64_t, aligned_vector<std::uint8_t>> allocs_;
+  TransferStats stats_;
+  double link_free_at_ = 0.0;
+};
+
+}  // namespace plf::gpu

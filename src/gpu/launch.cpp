@@ -1,0 +1,65 @@
+#include "gpu/launch.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace plf::gpu {
+
+void KernelLauncher::execute(
+    const LaunchConfig& cfg,
+    const std::function<void(std::size_t, std::size_t)>& body) const {
+  PLF_CHECK(cfg.threads_per_block >= 1 &&
+                cfg.threads_per_block <= spec_.max_threads_per_block,
+            "launch: threads per block out of range for this device");
+  PLF_CHECK(cfg.blocks >= 1, "launch: needs at least one block");
+  for (std::size_t b = 0; b < cfg.blocks; ++b) {
+    for (std::size_t t = 0; t < cfg.threads_per_block; ++t) {
+      body(b, t);
+    }
+  }
+}
+
+double KernelLauncher::kernel_time(const LaunchConfig& cfg,
+                                   std::size_t n_elems,
+                                   const KernelProfile& profile) const {
+  if (n_elems == 0) return spec_.launch_overhead_s;
+
+  const double occ = occupancy(spec_, cfg);
+  const double bal = wave_balance(spec_, cfg);
+  PLF_CHECK(occ > 0.0 && bal > 0.0, "launch configuration cannot run");
+
+  // Grid-stride: every thread processes ceil(n / total) elements; threads
+  // with no element still occupy their slot (quantization waste).
+  const std::size_t total_threads = cfg.total_threads();
+  const std::size_t per_thread =
+      (n_elems + total_threads - 1) / total_threads;
+  const double padded =
+      static_cast<double>(per_thread) * static_cast<double>(total_threads);
+
+  // Compute roofline: scalar cores retire ~1 flop/cycle; synchronization
+  // and divergence serialize issue slots.
+  const double cycles_per_elem =
+      profile.flops_per_elem * profile.divergence_factor +
+      profile.syncs_per_elem * spec_.sync_cycles;
+  double compute_s =
+      padded * cycles_per_elem /
+      (static_cast<double>(spec_.total_cores()) * spec_.shader_clock_hz);
+
+  // Low occupancy exposes memory latency: below ~50% residency the SMs
+  // cannot cover global-memory stalls — and equally cannot keep enough
+  // requests in flight to saturate the memory system, so the achievable
+  // bandwidth degrades with the same factor.
+  const double latency_hiding = std::min(1.0, occ / 0.5);
+  compute_s /= (bal * latency_hiding);
+
+  // Memory roofline with the coalescing transaction ratio.
+  const double mem_s = padded * profile.bytes_per_elem *
+                       profile.coalescing_ratio /
+                       (spec_.global_bandwidth_bps * bal * latency_hiding);
+
+  return spec_.launch_overhead_s + std::max(compute_s, mem_s);
+}
+
+}  // namespace plf::gpu

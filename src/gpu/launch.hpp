@@ -1,0 +1,51 @@
+// Kernel launch: functional grid execution plus the SM-level timing model.
+//
+// Functionally, a launch invokes the kernel body for every (block, thread)
+// index — our SPMD execution of the CUDA model. Temporally, `kernel_time`
+// estimates the duration from a per-element cost profile and the launch
+// geometry: occupancy (resident warps hide memory latency), tail-wave
+// balance (partially filled last wave of blocks), thread-quantization waste,
+// a divergence factor for conditional-heavy kernels, and a bandwidth
+// roofline scaled by the coalescing transaction ratio. These are exactly the
+// effects the paper's §3.4 design-space exploration trades off.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "gpu/device.hpp"
+
+namespace plf::gpu {
+
+/// Per-element cost description for the timing model. An "element" is one
+/// unit of the parallel work (e.g. one output float for the entry-parallel
+/// PLF kernel).
+struct KernelProfile {
+  double flops_per_elem = 1.0;
+  double bytes_per_elem = 4.0;
+  double syncs_per_elem = 0.0;      ///< __syncthreads() count (approach i)
+  double divergence_factor = 1.0;   ///< serialization from warp divergence
+  double coalescing_ratio = 1.0;    ///< memory transactions / ideal (>= 1)
+};
+
+class KernelLauncher {
+ public:
+  explicit KernelLauncher(const DeviceSpec& spec) : spec_(spec) {}
+
+  const DeviceSpec& spec() const { return spec_; }
+
+  /// Functional execution: body(block, thread) for every index pair.
+  void execute(const LaunchConfig& cfg,
+               const std::function<void(std::size_t block, std::size_t thread)>&
+                   body) const;
+
+  /// Simulated kernel duration for `n_elems` elements of work distributed
+  /// grid-stride over the launch geometry.
+  double kernel_time(const LaunchConfig& cfg, std::size_t n_elems,
+                     const KernelProfile& profile) const;
+
+ private:
+  DeviceSpec spec_;
+};
+
+}  // namespace plf::gpu

@@ -1,0 +1,145 @@
+#include "mcmc/chain.hpp"
+
+#include <cmath>
+
+#include "util/clock.hpp"
+#include "util/error.hpp"
+
+namespace plf::mcmc {
+
+std::uint64_t McmcResult::total_proposed() const {
+  std::uint64_t n = 0;
+  for (const auto& [name, s] : proposals) n += s.proposed;
+  return n;
+}
+
+std::uint64_t McmcResult::total_accepted() const {
+  std::uint64_t n = 0;
+  for (const auto& [name, s] : proposals) n += s.accepted;
+  return n;
+}
+
+McmcChain::McmcChain(core::PlfEngine& engine, const McmcOptions& options)
+    : engine_(&engine), opts_(options), rng_(options.seed) {
+  proposals_.push_back(std::make_unique<BranchLengthMultiplier>(opts_.tuning));
+  weights_.push_back(opts_.w_branch);
+  proposals_.push_back(std::make_unique<NniMove>(opts_.tuning));
+  weights_.push_back(opts_.w_nni);
+  proposals_.push_back(std::make_unique<GammaShapeMultiplier>(opts_.tuning));
+  weights_.push_back(opts_.w_shape);
+  proposals_.push_back(std::make_unique<GtrRatesDirichlet>(opts_.tuning));
+  weights_.push_back(opts_.w_rates);
+  proposals_.push_back(std::make_unique<BaseFrequenciesDirichlet>(opts_.tuning));
+  weights_.push_back(opts_.w_pi);
+  if (opts_.w_pinv > 0.0) {
+    proposals_.push_back(std::make_unique<PinvSlide>(opts_.tuning));
+    weights_.push_back(opts_.w_pinv);
+  }
+  if (opts_.w_spr > 0.0) {
+    proposals_.push_back(std::make_unique<SprMove>(opts_.tuning));
+    weights_.push_back(opts_.w_spr);
+  }
+
+  ln_lik_ = engine_->log_likelihood();
+}
+
+const Proposal& McmcChain::draw_proposal(Rng& rng) const {
+  return *proposals_[rng.categorical(weights_)];
+}
+
+bool McmcChain::step() {
+  ++generation_;
+  const Proposal& move = draw_proposal(rng_);
+  ProposalStats& st = stats_[move.name()];
+  ++st.proposed;
+
+  engine_->begin_proposal();
+  const double log_prior_hastings = move.propose(*engine_, rng_);
+
+  bool accept = false;
+  if (std::isfinite(log_prior_hastings)) {
+    const double proposed_ln_lik = engine_->log_likelihood();
+    const double log_ratio =
+        opts_.likelihood_power * (proposed_ln_lik - ln_lik_) +
+        log_prior_hastings;
+    if (log_ratio >= 0.0 || std::log(rng_.uniform() + 1e-300) < log_ratio) {
+      accept = true;
+      ln_lik_ = proposed_ln_lik;
+    }
+  }
+
+  if (accept) {
+    engine_->accept();
+    ++st.accepted;
+  } else {
+    engine_->reject();
+  }
+  return accept;
+}
+
+McmcResult McmcChain::run(std::uint64_t generations) {
+  Stopwatch wall;
+  const core::EngineStats before = engine_->stats();
+
+  McmcResult result;
+  result.best_ln_likelihood = ln_lik_;
+  auto take_sample = [&] {
+    result.samples.push_back(
+        McmcSample{generation_, ln_lik_, engine_->tree().total_length(),
+                   engine_->model_params().gamma_shape});
+    if (opts_.collect_trees) {
+      result.sampled_trees.push_back(engine_->tree().to_newick());
+    }
+  };
+  take_sample();
+
+  for (std::uint64_t g = 0; g < generations; ++g) {
+    step();
+    result.best_ln_likelihood = std::max(result.best_ln_likelihood, ln_lik_);
+    if (opts_.sample_every != 0 && generation_ % opts_.sample_every == 0) {
+      take_sample();
+    }
+  }
+
+  result.proposals = stats_;
+  result.final_ln_likelihood = ln_lik_;
+  result.final_tree_newick = engine_->tree().to_newick();
+  result.wall_seconds = wall.seconds();
+
+  const core::EngineStats after = engine_->stats();
+  core::EngineStats delta = after;
+  delta.down_calls -= before.down_calls;
+  delta.root_calls -= before.root_calls;
+  delta.scale_calls -= before.scale_calls;
+  delta.reduce_calls -= before.reduce_calls;
+  delta.tm_builds -= before.tm_builds;
+  delta.pattern_iterations -= before.pattern_iterations;
+  delta.plf_seconds -= before.plf_seconds;
+  delta.serial_seconds -= before.serial_seconds;
+  result.engine_stats = delta;
+  result.plf_wall_seconds = delta.plf_seconds;
+  result.serial_wall_seconds = result.wall_seconds - delta.plf_seconds;
+  return result;
+}
+
+arch::PlfWorkload workload_from_run(const McmcResult& result, std::size_t m,
+                                    std::size_t K, std::size_t taxa,
+                                    double baseline_freq_hz) {
+  arch::PlfWorkload w;
+  w.m = m;
+  w.K = K;
+  w.taxa = taxa;
+  w.down_calls = result.engine_stats.down_calls;
+  w.root_calls = result.engine_stats.root_calls;
+  w.scale_calls = result.engine_stats.scale_calls;
+  w.reduce_calls = result.engine_stats.reduce_calls;
+  w.tm_builds = result.engine_stats.tm_builds;
+  // The measured serial wall time, expressed in baseline-core cycles (the
+  // abstract unit the arch models consume). tm rebuilds are modeled
+  // separately, so subtract nothing here — the engine's measured serial
+  // time already excludes kernels only.
+  w.serial_cycles = result.serial_wall_seconds * baseline_freq_hz;
+  return w;
+}
+
+}  // namespace plf::mcmc

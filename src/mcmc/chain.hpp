@@ -1,0 +1,129 @@
+// Metropolis-Hastings chain over trees and model parameters — the MrBayes
+// role in this reproduction.
+//
+// The chain is the *application* wrapped around the PLF: per generation it
+// draws one move, evaluates the proposal's likelihood through the PlfEngine
+// (which recomputes only the dirtied conditional-likelihood vectors on
+// whatever backend the engine was built with), and accepts or rejects.
+// Reject is a pointer flip (the engine's touch/flip scheme), exactly like
+// MrBayes. Fixed seeds + fixed generation counts give the paper's "fair
+// comparison" reproducibility (§4).
+//
+// Besides inference, the chain reports the measurements the architecture
+// study needs: kernel call counts (the PLF workload) and the serial-vs-PLF
+// wall-time split (Fig. 12's PLF/Remaining decomposition).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "arch/workload.hpp"
+#include "core/engine.hpp"
+#include "mcmc/proposals.hpp"
+#include "util/rng.hpp"
+
+namespace plf::mcmc {
+
+struct McmcOptions {
+  std::uint64_t seed = 1;
+  std::uint64_t sample_every = 100;
+  /// Record the Newick string of every sampled tree (for consensus
+  /// summaries) — off by default to keep long runs lean.
+  bool collect_trees = false;
+  /// Tempering exponent beta on the LIKELIHOOD: the chain targets
+  /// prior(x) * L(x)^beta. 1.0 is the ordinary posterior; Metropolis
+  /// coupling (mcmc/coupled.hpp) runs heated chains with beta < 1.
+  double likelihood_power = 1.0;
+  ProposalTuning tuning;
+  /// Relative move probabilities (MrBayes-like defaults: branch lengths
+  /// dominate, topology next, model parameters occasional).
+  double w_branch = 5.0;
+  double w_nni = 3.0;
+  double w_shape = 0.7;
+  double w_rates = 0.7;
+  double w_pi = 0.6;
+  /// Weight of the +I slide; 0 (default) keeps the model family fixed at
+  /// whatever p_invariant the engine was built with.
+  double w_pinv = 0.0;
+  /// Weight of the eSPR topology move (default off: NNI-only move sets keep
+  /// historical trajectories/golden tests stable; enable for better mixing).
+  double w_spr = 0.0;
+};
+
+struct ProposalStats {
+  std::uint64_t proposed = 0;
+  std::uint64_t accepted = 0;
+  double acceptance_rate() const {
+    return proposed == 0 ? 0.0
+                         : static_cast<double>(accepted) /
+                               static_cast<double>(proposed);
+  }
+};
+
+struct McmcSample {
+  std::uint64_t generation;
+  double ln_likelihood;
+  double tree_length;
+  double gamma_shape;
+};
+
+struct McmcResult {
+  std::vector<McmcSample> samples;
+  std::vector<std::string> sampled_trees;  ///< when options.collect_trees
+  std::map<std::string, ProposalStats> proposals;
+  double final_ln_likelihood = 0.0;
+  double best_ln_likelihood = 0.0;
+  std::string final_tree_newick;
+  core::EngineStats engine_stats;   ///< PLF call counts for this run
+  double wall_seconds = 0.0;        ///< total run wall time
+  double plf_wall_seconds = 0.0;    ///< wall time inside PLF kernels
+  double serial_wall_seconds = 0.0; ///< wall_seconds - plf_wall_seconds
+
+  std::uint64_t total_proposed() const;
+  std::uint64_t total_accepted() const;
+};
+
+class McmcChain {
+ public:
+  McmcChain(core::PlfEngine& engine, const McmcOptions& options = McmcOptions{});
+
+  /// Execute one generation (one proposal + MH decision). Returns true when
+  /// the proposal was accepted.
+  bool step();
+
+  /// Run `generations` steps, collecting samples every opts.sample_every.
+  McmcResult run(std::uint64_t generations);
+
+  double ln_likelihood() const { return ln_lik_; }
+  std::uint64_t generation() const { return generation_; }
+  double likelihood_power() const { return opts_.likelihood_power; }
+  /// Used by Metropolis coupling when two chains swap heats.
+  void set_likelihood_power(double beta) { opts_.likelihood_power = beta; }
+  core::PlfEngine& engine() { return *engine_; }
+  const std::map<std::string, ProposalStats>& proposal_stats() const {
+    return stats_;
+  }
+
+ private:
+  const Proposal& draw_proposal(Rng& rng) const;
+
+  core::PlfEngine* engine_;
+  McmcOptions opts_;
+  Rng rng_;
+  std::vector<std::unique_ptr<Proposal>> proposals_;
+  std::vector<double> weights_;
+  std::map<std::string, ProposalStats> stats_;
+  std::uint64_t generation_ = 0;
+  double ln_lik_ = 0.0;
+};
+
+/// Bridge into the architecture study: convert a finished run's engine
+/// statistics into the PlfWorkload the arch models consume.
+arch::PlfWorkload workload_from_run(const McmcResult& result, std::size_t m,
+                                    std::size_t K, std::size_t taxa,
+                                    double baseline_freq_hz = 3.0e9);
+
+}  // namespace plf::mcmc

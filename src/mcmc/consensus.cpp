@@ -1,0 +1,233 @@
+#include "mcmc/consensus.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <sstream>
+#include <iomanip>
+
+#include "util/error.hpp"
+
+namespace plf::mcmc {
+
+namespace {
+
+std::size_t popcount(const Split& s) {
+  std::size_t n = 0;
+  for (auto w : s) n += static_cast<std::size_t>(std::popcount(w));
+  return n;
+}
+
+bool contains(const Split& outer, const Split& inner) {
+  for (std::size_t i = 0; i < outer.size(); ++i) {
+    if ((outer[i] & inner[i]) != inner[i]) return false;
+  }
+  return true;
+}
+
+bool test_bit(const Split& s, std::size_t i) {
+  return (s[i / 64] >> (i % 64)) & 1u;
+}
+
+void set_bit(Split& s, std::size_t i) { s[i / 64] |= std::uint64_t{1} << (i % 64); }
+
+std::vector<int> members(const Split& s, std::size_t n_taxa) {
+  std::vector<int> out;
+  for (std::size_t i = 0; i < n_taxa; ++i) {
+    if (test_bit(s, i)) out.push_back(static_cast<int>(i));
+  }
+  return out;
+}
+
+}  // namespace
+
+void TreeSampleSummary::add_tree(const phylo::Tree& tree) {
+  if (names_.empty()) {
+    names_ = tree.taxon_names();
+    words_ = (names_.size() + 63) / 64;
+  }
+  PLF_CHECK(tree.n_taxa() == names_.size(),
+            "consensus: tree has a different taxon count");
+
+  // Map this tree's taxon indices into the canonical name order.
+  std::vector<std::size_t> canon(tree.n_taxa());
+  for (std::size_t t = 0; t < tree.n_taxa(); ++t) {
+    const auto it =
+        std::find(names_.begin(), names_.end(), tree.taxon_name(static_cast<int>(t)));
+    PLF_CHECK(it != names_.end(),
+              "consensus: tree taxon not in the summary's taxon set: " +
+                  tree.taxon_name(static_cast<int>(t)));
+    canon[t] = static_cast<std::size_t>(it - names_.begin());
+  }
+
+  // Accumulate per-node taxon bitsets (canonical space), children first.
+  std::vector<Split> below(tree.n_nodes(), Split(words_, 0));
+  for (std::size_t id = 0; id < tree.n_nodes(); ++id) {
+    const auto& n = tree.node(static_cast<int>(id));
+    if (n.is_leaf()) {
+      set_bit(below[id], canon[static_cast<std::size_t>(n.taxon)]);
+    }
+  }
+
+  std::vector<Split> splits;
+  for (int id : tree.postorder_internals()) {
+    const auto& n = tree.node(id);
+    for (std::size_t w = 0; w < words_; ++w) {
+      below[static_cast<std::size_t>(id)][w] =
+          below[static_cast<std::size_t>(n.left)][w] |
+          below[static_cast<std::size_t>(n.right)][w];
+    }
+    if (id == tree.root()) continue;  // trivial full split
+    Split key = below[static_cast<std::size_t>(id)];
+    if (key[0] & 1u) {  // canonical side excludes canonical taxon 0
+      for (auto& w : key) w = ~w;
+      const std::size_t rem = names_.size() % 64;
+      if (rem != 0) key.back() &= (std::uint64_t{1} << rem) - 1;
+    }
+    if (popcount(key) >= 2) {  // nontrivial splits only
+      splits.push_back(std::move(key));
+    }
+  }
+
+  for (const auto& s : splits) ++counts_[s];
+  std::sort(splits.begin(), splits.end());
+  ++topology_counts_[splits];
+  ++n_trees_;
+}
+
+void TreeSampleSummary::add_newick(const std::string& newick) {
+  if (names_.empty()) {
+    add_tree(phylo::Tree::from_newick(newick));
+  } else {
+    add_tree(phylo::Tree::from_newick(newick, names_));
+  }
+}
+
+std::vector<SplitFrequency> TreeSampleSummary::split_frequencies() const {
+  std::vector<SplitFrequency> out;
+  out.reserve(counts_.size());
+  for (const auto& [split, count] : counts_) {
+    SplitFrequency f;
+    f.split = split;
+    f.taxa = members(split, names_.size());
+    f.count = count;
+    f.frequency =
+        n_trees_ == 0 ? 0.0
+                      : static_cast<double>(count) / static_cast<double>(n_trees_);
+    out.push_back(std::move(f));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SplitFrequency& a, const SplitFrequency& b) {
+              if (a.count != b.count) return a.count > b.count;
+              if (a.taxa.size() != b.taxa.size())
+                return a.taxa.size() < b.taxa.size();
+              return a.split < b.split;
+            });
+  return out;
+}
+
+std::string TreeSampleSummary::majority_rule_newick() const {
+  PLF_CHECK(n_trees_ > 0, "consensus: no trees added");
+
+  // Majority splits are pairwise compatible and, excluding taxon 0, nest as
+  // clades.
+  std::vector<Split> clades;
+  for (const auto& [split, count] : counts_) {
+    if (2 * count > n_trees_) clades.push_back(split);
+  }
+  // Small-to-large so parents come after children in the scan below.
+  std::sort(clades.begin(), clades.end(), [](const Split& a, const Split& b) {
+    const std::size_t pa = popcount(a), pb = popcount(b);
+    if (pa != pb) return pa < pb;
+    return a < b;
+  });
+
+  const std::size_t n = names_.size();
+  const int kRoot = -1;
+  // parent[i]: index into `clades` of the smallest clade strictly
+  // containing clade i, or kRoot.
+  std::vector<int> parent(clades.size(), kRoot);
+  for (std::size_t i = 0; i < clades.size(); ++i) {
+    for (std::size_t j = i + 1; j < clades.size(); ++j) {
+      if (contains(clades[j], clades[i])) {
+        parent[i] = static_cast<int>(j);
+        break;  // smallest container: first hit in size order
+      }
+    }
+  }
+  // Each taxon (except canonical 0) attaches to the smallest clade holding it.
+  std::vector<int> taxon_parent(n, kRoot);
+  for (std::size_t t = 1; t < n; ++t) {
+    for (std::size_t i = 0; i < clades.size(); ++i) {
+      if (test_bit(clades[i], t)) {
+        taxon_parent[t] = static_cast<int>(i);
+        break;
+      }
+    }
+  }
+
+  std::vector<std::vector<int>> clade_children(clades.size());
+  std::vector<int> top_clades;
+  for (std::size_t i = 0; i < clades.size(); ++i) {
+    if (parent[i] == kRoot) {
+      top_clades.push_back(static_cast<int>(i));
+    } else {
+      clade_children[static_cast<std::size_t>(parent[i])].push_back(
+          static_cast<int>(i));
+    }
+  }
+  std::vector<std::vector<int>> clade_taxa(clades.size());
+  std::vector<int> top_taxa;
+  for (std::size_t t = 1; t < n; ++t) {
+    if (taxon_parent[t] == kRoot) {
+      top_taxa.push_back(static_cast<int>(t));
+    } else {
+      clade_taxa[static_cast<std::size_t>(taxon_parent[t])].push_back(
+          static_cast<int>(t));
+    }
+  }
+
+  // Render: internal labels carry the split's posterior frequency.
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(2);
+  auto render_clade = [&](auto&& self, int ci) -> void {
+    os << '(';
+    bool first = true;
+    for (int t : clade_taxa[static_cast<std::size_t>(ci)]) {
+      if (!first) os << ',';
+      first = false;
+      os << names_[static_cast<std::size_t>(t)];
+    }
+    for (int child : clade_children[static_cast<std::size_t>(ci)]) {
+      if (!first) os << ',';
+      first = false;
+      self(self, child);
+    }
+    os << ')'
+       << static_cast<double>(counts_.at(clades[static_cast<std::size_t>(ci)])) /
+              static_cast<double>(n_trees_);
+  };
+
+  os << '(' << names_[0];
+  for (int t : top_taxa) os << ',' << names_[static_cast<std::size_t>(t)];
+  for (int ci : top_clades) {
+    os << ',';
+    render_clade(render_clade, ci);
+  }
+  os << ");";
+  return os.str();
+}
+
+double TreeSampleSummary::topology_frequency(const phylo::Tree& tree) const {
+  if (n_trees_ == 0) return 0.0;
+  TreeSampleSummary probe;
+  probe.names_ = names_;
+  probe.words_ = words_;
+  probe.add_tree(tree);
+  PLF_CHECK(probe.topology_counts_.size() == 1, "internal consensus error");
+  const auto& key = probe.topology_counts_.begin()->first;
+  const auto it = topology_counts_.find(key);
+  if (it == topology_counts_.end()) return 0.0;
+  return static_cast<double>(it->second) / static_cast<double>(n_trees_);
+}
+
+}  // namespace plf::mcmc

@@ -1,0 +1,64 @@
+// Posterior tree summaries (the MrBayes `sumt` role): split frequencies
+// across a sample of trees and the majority-rule consensus tree.
+//
+// A "split" (bipartition) is the taxon set on one side of a branch. Splits
+// are counted in a canonical taxon-name space fixed by the first tree added;
+// splits present in more than half the samples are mutually compatible and
+// nest into the majority-rule consensus, which may contain polytomies and is
+// therefore rendered directly as a (multifurcating) Newick string.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "phylo/tree.hpp"
+
+namespace plf::mcmc {
+
+/// A taxon bitset (words of 64), in the summary's canonical taxon order.
+using Split = std::vector<std::uint64_t>;
+
+struct SplitFrequency {
+  Split split;                      ///< canonical (taxon 0 excluded) side
+  std::vector<int> taxa;            ///< member taxon indices, ascending
+  std::uint64_t count = 0;
+  double frequency = 0.0;
+};
+
+class TreeSampleSummary {
+ public:
+  /// Accumulate one sampled topology. The first tree fixes the taxon-name
+  /// order; later trees may use any taxon indexing but must contain the
+  /// same names.
+  void add_tree(const phylo::Tree& tree);
+
+  /// Convenience: parse and add a Newick sample (as stored by McmcResult).
+  void add_newick(const std::string& newick);
+
+  std::size_t n_trees() const { return n_trees_; }
+  const std::vector<std::string>& taxon_names() const { return names_; }
+
+  /// All observed nontrivial splits with their sample frequencies,
+  /// most-frequent first (ties broken by clade size then lexicographic).
+  std::vector<SplitFrequency> split_frequencies() const;
+
+  /// Majority-rule consensus (splits with frequency > 0.5), rendered as a
+  /// Newick string that may contain polytomies. Internal nodes are labeled
+  /// with their split's posterior frequency (two decimals), as MrBayes does.
+  std::string majority_rule_newick() const;
+
+  /// Fraction of sampled trees whose full topology matches `tree`.
+  double topology_frequency(const phylo::Tree& tree) const;
+
+ private:
+  std::vector<std::string> names_;
+  std::size_t words_ = 0;
+  std::size_t n_trees_ = 0;
+  std::map<Split, std::uint64_t> counts_;
+  /// Multiset of full topologies (set of splits) for topology_frequency.
+  std::map<std::vector<Split>, std::uint64_t> topology_counts_;
+};
+
+}  // namespace plf::mcmc

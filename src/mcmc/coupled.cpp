@@ -1,0 +1,125 @@
+#include "mcmc/coupled.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/clock.hpp"
+#include "util/error.hpp"
+
+namespace plf::mcmc {
+
+CoupledChains::CoupledChains(std::vector<core::PlfEngine*> engines,
+                             const CoupledOptions& options)
+    : options_(options), rng_(options.chain.seed ^ 0xC0FFEEull) {
+  PLF_CHECK(!engines.empty(), "coupled chains need at least one engine");
+  PLF_CHECK(options.heat >= 0.0, "heat must be nonnegative");
+  options_.n_chains = engines.size();
+
+  for (std::size_t i = 0; i < engines.size(); ++i) {
+    ChainState cs;
+    cs.engine = engines[i];
+    cs.heat_rank = i;
+    McmcOptions chain_opts = options_.chain;
+    chain_opts.seed = options_.chain.seed + i;
+    chain_opts.likelihood_power = beta(i);
+    chain_opts.sample_every = 0;  // sampling is driven by the coupler
+    cs.chain = std::make_unique<McmcChain>(*engines[i], chain_opts);
+    chains_.push_back(std::move(cs));
+  }
+}
+
+std::size_t CoupledChains::cold_index() const {
+  for (std::size_t i = 0; i < chains_.size(); ++i) {
+    if (chains_[i].heat_rank == 0) return i;
+  }
+  throw Error("coupled chains: no cold chain (internal error)");
+}
+
+void CoupledChains::attempt_swap() {
+  if (chains_.size() < 2) return;
+  ++swaps_proposed_;
+
+  // Pick a random pair (MrBayes default behaviour).
+  const std::size_t i = rng_.below(chains_.size());
+  std::size_t j = rng_.below(chains_.size() - 1);
+  if (j >= i) ++j;
+
+  ChainState& a = chains_[i];
+  ChainState& b = chains_[j];
+  const double beta_a = beta(a.heat_rank);
+  const double beta_b = beta(b.heat_rank);
+  const double ln_a = a.chain->ln_likelihood();
+  const double ln_b = b.chain->ln_likelihood();
+
+  // Tempered-likelihood targets: priors cancel in the swap ratio.
+  const double log_ratio = (beta_a - beta_b) * (ln_b - ln_a);
+  if (log_ratio >= 0.0 || std::log(rng_.uniform() + 1e-300) < log_ratio) {
+    std::swap(a.heat_rank, b.heat_rank);
+    a.chain->set_likelihood_power(beta(a.heat_rank));
+    b.chain->set_likelihood_power(beta(b.heat_rank));
+    ++swaps_accepted_;
+  }
+}
+
+CoupledResult CoupledChains::run(std::uint64_t generations) {
+  Stopwatch wall;
+  CoupledResult result;
+
+  const std::uint64_t sample_every =
+      options_.chain.sample_every == 0 ? 100 : options_.chain.sample_every;
+
+  auto sample_cold = [&](std::uint64_t gen) {
+    const ChainState& cold = chains_[cold_index()];
+    result.cold.samples.push_back(
+        McmcSample{gen, cold.chain->ln_likelihood(),
+                   cold.engine->tree().total_length(),
+                   cold.engine->model_params().gamma_shape});
+    if (options_.chain.collect_trees) {
+      result.cold.sampled_trees.push_back(cold.engine->tree().to_newick());
+    }
+  };
+  sample_cold(0);
+  result.cold.best_ln_likelihood = chains_[cold_index()].chain->ln_likelihood();
+
+  for (std::uint64_t g = 1; g <= generations; ++g) {
+    for (auto& cs : chains_) cs.chain->step();
+    if (options_.swap_every != 0 && g % options_.swap_every == 0) {
+      attempt_swap();
+    }
+    if (g % sample_every == 0) sample_cold(g);
+    result.cold.best_ln_likelihood =
+        std::max(result.cold.best_ln_likelihood,
+                 chains_[cold_index()].chain->ln_likelihood());
+  }
+
+  const ChainState& cold = chains_[cold_index()];
+  result.cold.final_ln_likelihood = cold.chain->ln_likelihood();
+  result.cold.final_tree_newick = cold.engine->tree().to_newick();
+  result.cold.wall_seconds = wall.seconds();
+  // Aggregate proposal statistics over all chains (the PLF workload of an
+  // (MC)^3 run is the SUM over chains — how MrBayes multiplies the paper's
+  // kernel invocations).
+  for (const auto& cs : chains_) {
+    for (const auto& [name, st] : cs.chain->proposal_stats()) {
+      auto& agg = result.cold.proposals[name];
+      agg.proposed += st.proposed;
+      agg.accepted += st.accepted;
+    }
+  }
+  result.swaps_proposed = swaps_proposed_;
+  result.swaps_accepted = swaps_accepted_;
+  // Cold chain first, then by heat rank.
+  std::vector<const ChainState*> order;
+  for (const auto& cs : chains_) order.push_back(&cs);
+  std::sort(order.begin(), order.end(),
+            [](const ChainState* x, const ChainState* y) {
+              return x->heat_rank < y->heat_rank;
+            });
+  for (const ChainState* cs : order) {
+    result.final_ln_likelihoods.push_back(cs->chain->ln_likelihood());
+  }
+  return result;
+}
+
+}  // namespace plf::mcmc

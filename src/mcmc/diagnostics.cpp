@@ -1,0 +1,70 @@
+#include "mcmc/diagnostics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace plf::mcmc {
+
+namespace {
+
+double mean_of(const std::vector<double>& s) {
+  double m = 0.0;
+  for (double x : s) m += x;
+  return m / static_cast<double>(s.size());
+}
+
+/// Autocovariance at `lag` around a precomputed mean (1/n normalization).
+double autocov(const std::vector<double>& s, double mean, std::size_t lag) {
+  double c = 0.0;
+  for (std::size_t i = 0; i + lag < s.size(); ++i) {
+    c += (s[i] - mean) * (s[i + lag] - mean);
+  }
+  return c / static_cast<double>(s.size());
+}
+
+}  // namespace
+
+double autocorrelation(const std::vector<double>& series, std::size_t lag) {
+  PLF_CHECK(series.size() >= 2, "autocorrelation needs at least 2 samples");
+  PLF_CHECK(lag < series.size(), "lag exceeds series length");
+  const double m = mean_of(series);
+  const double c0 = autocov(series, m, 0);
+  if (c0 <= 0.0) return lag == 0 ? 1.0 : 0.0;  // constant series
+  return autocov(series, m, lag) / c0;
+}
+
+TraceSummary summarize_trace(const std::vector<double>& series) {
+  PLF_CHECK(series.size() >= 2, "summarize_trace needs at least 2 samples");
+  TraceSummary out;
+  out.n = series.size();
+  out.mean = mean_of(series);
+
+  double ss = 0.0;
+  for (double x : series) ss += (x - out.mean) * (x - out.mean);
+  out.variance = ss / static_cast<double>(series.size() - 1);
+
+  const double c0 = autocov(series, out.mean, 0);
+  if (c0 <= 0.0) {
+    // Constant chain: every sample equals the mean; ESS is the sample count.
+    out.autocorrelation_time = 1.0;
+    out.ess = static_cast<double>(out.n);
+    return out;
+  }
+
+  // Geyer initial positive sequence: sum rho(2k)+rho(2k+1) while positive.
+  double tau = 1.0;
+  const std::size_t max_lag = series.size() / 2;
+  for (std::size_t k = 1; k + 1 <= max_lag; k += 2) {
+    const double pair = autocov(series, out.mean, k) / c0 +
+                        autocov(series, out.mean, k + 1) / c0;
+    if (pair <= 0.0) break;
+    tau += 2.0 * pair;
+  }
+  out.autocorrelation_time = std::max(1.0, tau);
+  out.ess = static_cast<double>(out.n) / out.autocorrelation_time;
+  return out;
+}
+
+}  // namespace plf::mcmc

@@ -1,0 +1,25 @@
+// MCMC trace diagnostics: autocorrelation and effective sample size — what
+// practitioners run (Tracer, MrBayes' `sump`) before trusting a chain.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace plf::mcmc {
+
+struct TraceSummary {
+  std::size_t n = 0;
+  double mean = 0.0;
+  double variance = 0.0;           ///< sample variance (n-1)
+  double autocorrelation_time = 1.0;  ///< integrated, >= 1
+  double ess = 0.0;                ///< n / autocorrelation_time
+};
+
+/// Lag-k autocorrelation of a series (biased, standard normalization).
+double autocorrelation(const std::vector<double>& series, std::size_t lag);
+
+/// Effective sample size via Geyer's initial positive sequence estimator:
+/// sum consecutive autocorrelation pairs while they remain positive.
+TraceSummary summarize_trace(const std::vector<double>& series);
+
+}  // namespace plf::mcmc

@@ -1,0 +1,129 @@
+// MCMC proposal distributions (MrBayes-style moves).
+//
+// Each proposal mutates the PlfEngine inside an open proposal scope and
+// returns the log of (prior ratio x Hastings ratio); the chain adds the
+// likelihood ratio and applies the Metropolis-Hastings test. The moves are
+// the classic MrBayes set for GTR+Γ on unrooted trees:
+//   * branch-length multiplier
+//   * NNI topology move
+//   * Γ-shape multiplier
+//   * Dirichlet redraw of GTR exchangeabilities
+//   * Dirichlet redraw of stationary frequencies
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "util/rng.hpp"
+
+namespace plf::mcmc {
+
+/// Tuning parameters and priors for the standard move set.
+struct ProposalTuning {
+  double branch_lambda = 0.94;       ///< multiplier window 2*ln(1.6)
+  double shape_lambda = 0.81;        ///< multiplier window 2*ln(1.5)
+  double pinv_window = 0.1;          ///< +I slide half-width
+  double max_pinv = 0.95;            ///< upper bound of the +I prior support
+  double rates_concentration = 300.0;   ///< Dirichlet proposal tightness
+  double pi_concentration = 300.0;
+  double branch_exp_prior_rate = 10.0;  ///< Exp prior on branch lengths
+  double shape_exp_prior_rate = 1.0;    ///< Exp prior on the Γ shape
+  double min_branch_length = 1e-8;
+  double max_branch_length = 100.0;
+  double min_shape = 1e-3;
+  double max_shape = 200.0;
+};
+
+/// log pdf of Dirichlet(alpha) at x (both length-n, x on the simplex).
+double dirichlet_log_pdf(const std::vector<double>& alpha,
+                         const std::vector<double>& x);
+
+/// Abstract move. `propose` mutates the engine (which must be inside
+/// begin_proposal()) and returns log(prior ratio * Hastings ratio), or
+/// -infinity to force rejection (out-of-bounds proposals).
+class Proposal {
+ public:
+  virtual ~Proposal() = default;
+  virtual const char* name() const = 0;
+  virtual double propose(core::PlfEngine& engine, Rng& rng) const = 0;
+};
+
+class BranchLengthMultiplier final : public Proposal {
+ public:
+  explicit BranchLengthMultiplier(const ProposalTuning& t) : t_(t) {}
+  const char* name() const override { return "branch-multiplier"; }
+  double propose(core::PlfEngine& engine, Rng& rng) const override;
+
+ private:
+  ProposalTuning t_;
+};
+
+class NniMove final : public Proposal {
+ public:
+  explicit NniMove(const ProposalTuning& t) : t_(t) {}
+  const char* name() const override { return "nni"; }
+  double propose(core::PlfEngine& engine, Rng& rng) const override;
+
+ private:
+  ProposalTuning t_;
+};
+
+class GammaShapeMultiplier final : public Proposal {
+ public:
+  explicit GammaShapeMultiplier(const ProposalTuning& t) : t_(t) {}
+  const char* name() const override { return "gamma-shape"; }
+  double propose(core::PlfEngine& engine, Rng& rng) const override;
+
+ private:
+  ProposalTuning t_;
+};
+
+class GtrRatesDirichlet final : public Proposal {
+ public:
+  explicit GtrRatesDirichlet(const ProposalTuning& t) : t_(t) {}
+  const char* name() const override { return "gtr-rates"; }
+  double propose(core::PlfEngine& engine, Rng& rng) const override;
+
+ private:
+  ProposalTuning t_;
+};
+
+/// Reflective uniform slide on the proportion of invariable sites (+I),
+/// with a Uniform(0, max_pinv) prior. Only meaningful for engines whose
+/// model was built with p_invariant > 0 (the model family is fixed).
+class PinvSlide final : public Proposal {
+ public:
+  explicit PinvSlide(const ProposalTuning& t) : t_(t) {}
+  const char* name() const override { return "p-invariant"; }
+  double propose(core::PlfEngine& engine, Rng& rng) const override;
+
+ private:
+  ProposalTuning t_;
+};
+
+/// Subtree pruning and regrafting with a uniform split of the target
+/// branch. The prunable-subtree and valid-target counts are symmetric
+/// between the two states, so the Hastings ratio reduces to the branch-split
+/// densities: log(L_target / (L_u + L_w)).
+class SprMove final : public Proposal {
+ public:
+  explicit SprMove(const ProposalTuning& t) : t_(t) {}
+  const char* name() const override { return "espr"; }
+  double propose(core::PlfEngine& engine, Rng& rng) const override;
+
+ private:
+  ProposalTuning t_;
+};
+
+class BaseFrequenciesDirichlet final : public Proposal {
+ public:
+  explicit BaseFrequenciesDirichlet(const ProposalTuning& t) : t_(t) {}
+  const char* name() const override { return "base-frequencies"; }
+  double propose(core::PlfEngine& engine, Rng& rng) const override;
+
+ private:
+  ProposalTuning t_;
+};
+
+}  // namespace plf::mcmc

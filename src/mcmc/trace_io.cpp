@@ -1,0 +1,112 @@
+#include "mcmc/trace_io.hpp"
+
+#include <iomanip>
+#include <map>
+#include <ostream>
+#include <sstream>
+
+#include "phylo/tree.hpp"
+#include "util/error.hpp"
+
+namespace plf::mcmc {
+
+void write_params_trace(std::ostream& os, const McmcResult& result,
+                        const std::string& run_id) {
+  os << "[ID: " << run_id << "]\n";
+  os << "Gen\tLnL\tTL\talpha\n";
+  os << std::setprecision(10);
+  for (const auto& s : result.samples) {
+    os << s.generation << '\t' << s.ln_likelihood << '\t' << s.tree_length
+       << '\t' << s.gamma_shape << '\n';
+  }
+}
+
+std::vector<TraceRow> read_params_trace(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  // Header comment.
+  if (!std::getline(in, line) || line.empty() || line[0] != '[') {
+    throw ParseError(".p file must start with an [ID: ...] line");
+  }
+  // Column header.
+  if (!std::getline(in, line) || line.substr(0, 3) != "Gen") {
+    throw ParseError(".p file missing the Gen header line");
+  }
+  std::vector<TraceRow> rows;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    TraceRow r;
+    if (!(ls >> r.generation >> r.ln_likelihood >> r.tree_length >>
+          r.gamma_shape)) {
+      throw ParseError(".p file: malformed row: " + line);
+    }
+    rows.push_back(r);
+  }
+  return rows;
+}
+
+void write_tree_trace(std::ostream& os, const McmcResult& result) {
+  PLF_CHECK(!result.sampled_trees.empty(),
+            "write_tree_trace: run was not configured with collect_trees");
+  PLF_CHECK(result.sampled_trees.size() == result.samples.size(),
+            "write_tree_trace: sample/tree count mismatch");
+
+  // Taxon order from the first sampled tree.
+  const phylo::Tree first = phylo::Tree::from_newick(result.sampled_trees[0]);
+  const auto& names = first.taxon_names();
+
+  os << "#NEXUS\n[Tree trace written by plf-repro]\nBEGIN TREES;\n";
+  os << "  TRANSLATE\n";
+  for (std::size_t t = 0; t < names.size(); ++t) {
+    os << "    " << (t + 1) << ' ' << names[t]
+       << (t + 1 < names.size() ? "," : ";") << '\n';
+  }
+  for (std::size_t i = 0; i < result.sampled_trees.size(); ++i) {
+    // Re-express leaf names as translate indices.
+    const phylo::Tree tree =
+        phylo::Tree::from_newick(result.sampled_trees[i], names);
+    std::vector<std::string> numbered(names.size());
+    for (std::size_t t = 0; t < names.size(); ++t) {
+      numbered[t] = std::to_string(t + 1);
+    }
+    // Rebuild with numeric labels by swapping the name table.
+    std::string newick = tree.to_newick();
+    // Token-wise replace names with their indices (names may share prefixes,
+    // so match full label tokens only).
+    std::map<std::string, std::string> table;
+    for (std::size_t t = 0; t < names.size(); ++t) {
+      table[names[t]] = numbered[t];
+    }
+    std::string out;
+    std::string label;
+    bool in_length = false;
+    auto flush = [&] {
+      if (label.empty()) return;
+      const auto it = table.find(label);
+      out += (it != table.end()) ? it->second : label;
+      label.clear();
+    };
+    for (char c : newick) {
+      if (c == '(' || c == ')' || c == ',' || c == ';') {
+        flush();
+        in_length = false;
+        out += c;
+      } else if (c == ':') {
+        flush();
+        in_length = true;
+        out += c;
+      } else if (in_length) {
+        out += c;
+      } else {
+        label += c;
+      }
+    }
+    flush();
+    os << "  TREE gen." << result.samples[i].generation << " = [&U] " << out
+       << '\n';
+  }
+  os << "END;\n";
+}
+
+}  // namespace plf::mcmc

@@ -1,0 +1,37 @@
+// MrBayes-style run output files:
+//   .p — tab-separated parameter trace (generation, lnL, tree length, shape,
+//        p_invariant), the file Tracer-style tools consume;
+//   .t — NEXUS TREES block with a TRANSLATE table and one TREE per sample,
+//        the file `sumt`-style consensus tools consume.
+// Both round-trip through this library (read_params_trace / parse_nexus).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "mcmc/chain.hpp"
+
+namespace plf::mcmc {
+
+/// One row of a .p file.
+struct TraceRow {
+  std::uint64_t generation = 0;
+  double ln_likelihood = 0.0;
+  double tree_length = 0.0;
+  double gamma_shape = 0.0;
+};
+
+/// Write the parameter trace of a finished run. `run_id` lands in the
+/// header comment line, as MrBayes does.
+void write_params_trace(std::ostream& os, const McmcResult& result,
+                        const std::string& run_id = "plf-repro");
+
+/// Parse a .p file back into rows. Throws plf::ParseError on malformed input.
+std::vector<TraceRow> read_params_trace(const std::string& text);
+
+/// Write the tree trace (requires options.collect_trees during the run).
+/// Taxon order comes from the first sampled tree.
+void write_tree_trace(std::ostream& os, const McmcResult& result);
+
+}  // namespace plf::mcmc

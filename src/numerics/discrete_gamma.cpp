@@ -1,0 +1,58 @@
+#include "numerics/discrete_gamma.hpp"
+
+#include <cmath>
+
+#include "numerics/special.hpp"
+#include "util/error.hpp"
+
+namespace plf::num {
+
+std::vector<double> discrete_gamma_rates(double alpha, std::size_t k,
+                                         GammaDiscretization method) {
+  PLF_CHECK(alpha > 0.0, "discrete_gamma_rates: alpha must be positive");
+  PLF_CHECK(k >= 1, "discrete_gamma_rates: need at least one category");
+
+  std::vector<double> rates(k);
+  if (k == 1) {
+    rates[0] = 1.0;
+    return rates;
+  }
+
+  const double dk = static_cast<double>(k);
+
+  if (method == GammaDiscretization::kMedian) {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < k; ++i) {
+      const double p = (2.0 * static_cast<double>(i) + 1.0) / (2.0 * dk);
+      rates[i] = gamma_quantile(p, alpha, 1.0 / alpha);
+      sum += rates[i];
+    }
+    for (auto& r : rates) r *= dk / sum;  // renormalize to mean exactly 1
+    return rates;
+  }
+
+  // Mean-of-slice discretization (Yang 1994 eq. 10):
+  //   r_i = k * [ I(b_{i+1}; a+1) - I(b_i; a+1) ]
+  // where b_i are the category boundaries (quantiles of Gamma(a, 1/a)) and
+  // I(x; s) is the regularized incomplete gamma CDF with shape s, scale 1/a
+  // evaluated at the boundary; the +1 in shape comes from integrating r*pdf.
+  std::vector<double> cut(k + 1);
+  cut[0] = 0.0;
+  cut[k] = 0.0;  // sentinel, treated as +inf below
+  for (std::size_t i = 1; i < k; ++i) {
+    cut[i] = gamma_quantile(static_cast<double>(i) / dk, alpha, 1.0 / alpha);
+  }
+
+  // P(a+1, a*x) is the CDF of Gamma(a+1, 1/a) at x.
+  auto upper_cdf = [&](double x) { return incomplete_gamma_p(alpha + 1.0, alpha * x); };
+
+  double prev = 0.0;
+  for (std::size_t i = 0; i < k; ++i) {
+    const double next = (i + 1 == k) ? 1.0 : upper_cdf(cut[i + 1]);
+    rates[i] = dk * (next - prev);
+    prev = next;
+  }
+  return rates;
+}
+
+}  // namespace plf::num

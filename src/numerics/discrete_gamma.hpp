@@ -1,0 +1,25 @@
+// Discrete-Γ model of among-site rate variation (Yang, JME 1994).
+//
+// The continuous Gamma(alpha, 1/alpha) distribution over per-site rates
+// (mean 1) is approximated by `k` equiprobable categories; the paper's PLF
+// uses k = 4, making each conditional-likelihood element 4 rates x 4 states
+// = 16 floats (Fig. 3).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace plf::num {
+
+enum class GammaDiscretization {
+  kMean,    ///< category rate = mean of the quantile slice (MrBayes default)
+  kMedian,  ///< category rate = median of the slice, renormalized to mean 1
+};
+
+/// Compute the `k` category rates for shape `alpha`. Rates always have mean 1
+/// (exactly for kMean up to roundoff; renormalized for kMedian).
+std::vector<double> discrete_gamma_rates(
+    double alpha, std::size_t k,
+    GammaDiscretization method = GammaDiscretization::kMean);
+
+}  // namespace plf::num

@@ -1,0 +1,131 @@
+#include "numerics/eigen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace plf::num {
+
+SymmetricEigen jacobi_eigen(const std::vector<double>& a_in, std::size_t n) {
+  PLF_CHECK(a_in.size() == n * n, "jacobi_eigen: matrix size mismatch");
+  PLF_CHECK(n > 0, "jacobi_eigen: empty matrix");
+
+  // Symmetrize (tolerate tiny numerical asymmetry from upstream arithmetic).
+  std::vector<double> a(n * n);
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t c = 0; c < n; ++c)
+      a[r * n + c] = 0.5 * (a_in[r * n + c] + a_in[c * n + r]);
+
+  std::vector<double> v(n * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) v[i * n + i] = 1.0;
+
+  auto off_norm = [&]() {
+    double s = 0.0;
+    for (std::size_t r = 0; r < n; ++r)
+      for (std::size_t c = r + 1; c < n; ++c) s += a[r * n + c] * a[r * n + c];
+    return std::sqrt(2.0 * s);
+  };
+
+  const double scale = std::inner_product(a.begin(), a.end(), a.begin(), 0.0);
+  const double tol = 1e-14 * std::max(1.0, std::sqrt(scale));
+
+  const int kMaxSweeps = 100;
+  int sweep = 0;
+  while (off_norm() > tol) {
+    PLF_CHECK(++sweep <= kMaxSweeps, "jacobi_eigen: failed to converge");
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const double apq = a[p * n + q];
+        if (std::abs(apq) <= tol / static_cast<double>(n * n)) continue;
+        const double app = a[p * n + p];
+        const double aqq = a[q * n + q];
+        const double theta = (aqq - app) / (2.0 * apq);
+        const double t = (theta >= 0.0 ? 1.0 : -1.0) /
+                         (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+
+        for (std::size_t k = 0; k < n; ++k) {
+          const double akp = a[k * n + p];
+          const double akq = a[k * n + q];
+          a[k * n + p] = c * akp - s * akq;
+          a[k * n + q] = s * akp + c * akq;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double apk = a[p * n + k];
+          const double aqk = a[q * n + k];
+          a[p * n + k] = c * apk - s * aqk;
+          a[q * n + k] = s * apk + c * aqk;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double vkp = v[k * n + p];
+          const double vkq = v[k * n + q];
+          v[k * n + p] = c * vkp - s * vkq;
+          v[k * n + q] = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  // Sort eigenpairs ascending by eigenvalue.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t i, std::size_t j) {
+    return a[i * n + i] < a[j * n + j];
+  });
+
+  SymmetricEigen out;
+  out.n = n;
+  out.values.resize(n);
+  out.vectors.resize(n * n);
+  for (std::size_t j = 0; j < n; ++j) {
+    out.values[j] = a[order[j] * n + order[j]];
+    for (std::size_t r = 0; r < n; ++r) out.vectors[r * n + j] = v[r * n + order[j]];
+  }
+  return out;
+}
+
+ReversibleSpectral::ReversibleSpectral(const Matrix4& q,
+                                       const std::array<double, 4>& pi) {
+  for (double p : pi) PLF_CHECK(p > 0.0, "stationary frequencies must be positive");
+
+  std::array<double, 4> sqrt_pi{};
+  for (std::size_t i = 0; i < 4; ++i) sqrt_pi[i] = std::sqrt(pi[i]);
+
+  // B = D^{1/2} Q D^{-1/2}
+  std::vector<double> b(16);
+  for (std::size_t r = 0; r < 4; ++r)
+    for (std::size_t c = 0; c < 4; ++c)
+      b[r * 4 + c] = sqrt_pi[r] * q(r, c) / sqrt_pi[c];
+
+  const SymmetricEigen eig = jacobi_eigen(b, 4);
+  for (std::size_t i = 0; i < 4; ++i) lambda_[i] = eig.values[i];
+
+  // left = D^{-1/2} U,  right = U^T D^{1/2}
+  for (std::size_t r = 0; r < 4; ++r)
+    for (std::size_t c = 0; c < 4; ++c) {
+      left_(r, c) = eig.vec(r, c) / sqrt_pi[r];
+      right_(r, c) = eig.vec(c, r) * sqrt_pi[c];
+    }
+}
+
+Matrix4 ReversibleSpectral::transition_matrix(double t) const {
+  PLF_CHECK(t >= 0.0, "branch length must be nonnegative");
+  std::array<double, 4> e{};
+  for (std::size_t i = 0; i < 4; ++i) e[i] = std::exp(lambda_[i] * t);
+
+  Matrix4 p;
+  for (std::size_t r = 0; r < 4; ++r)
+    for (std::size_t c = 0; c < 4; ++c) {
+      double s = 0.0;
+      for (std::size_t k = 0; k < 4; ++k) s += left_(r, k) * e[k] * right_(k, c);
+      // Rounding can push an entry a hair below zero for tiny t; clamp so the
+      // single-precision likelihood kernels never see a negative probability.
+      p(r, c) = std::max(s, 0.0);
+    }
+  return p;
+}
+
+}  // namespace plf::num

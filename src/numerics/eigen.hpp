@@ -1,0 +1,55 @@
+// Symmetric eigendecomposition (cyclic Jacobi) and the reversible-Markov
+// matrix exponential built on top of it.
+//
+// For a time-reversible rate matrix Q with stationary distribution pi,
+//   B = D^{1/2} Q D^{-1/2}   with  D = diag(pi)
+// is symmetric. With B = U L U^T,
+//   P(t) = e^{Qt} = D^{-1/2} U e^{Lt} U^T D^{1/2},
+// which is how MrBayes/RAxML (and we) compute transition probabilities.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+#include "numerics/matrix4.hpp"
+
+namespace plf::num {
+
+/// Result of a symmetric eigendecomposition: A = V * diag(values) * V^T,
+/// eigenvalues ascending, eigenvectors in the columns of V.
+struct SymmetricEigen {
+  std::vector<double> values;        ///< n eigenvalues, ascending
+  std::vector<double> vectors;       ///< n x n row-major; column j <-> values[j]
+  std::size_t n = 0;
+
+  double vec(std::size_t row, std::size_t col) const {
+    return vectors[row * n + col];
+  }
+};
+
+/// Cyclic Jacobi eigensolver for a symmetric matrix (row-major, n x n).
+/// Off-diagonal asymmetry up to ~1e-12 is tolerated (the matrix is
+/// symmetrized first). Throws plf::Error if it fails to converge.
+SymmetricEigen jacobi_eigen(const std::vector<double>& a, std::size_t n);
+
+/// Spectral decomposition of a reversible 4x4 rate matrix, precomputed so
+/// that transition matrices for many branch lengths are cheap.
+class ReversibleSpectral {
+ public:
+  /// `q` must be a valid reversible rate matrix for stationary `pi`
+  /// (pi_i q_ij == pi_j q_ji, rows sum to 0, pi positive and summing to 1).
+  ReversibleSpectral(const Matrix4& q, const std::array<double, 4>& pi);
+
+  /// P(t) = exp(Q t). t >= 0.
+  Matrix4 transition_matrix(double t) const;
+
+  const std::array<double, 4>& eigenvalues() const { return lambda_; }
+
+ private:
+  std::array<double, 4> lambda_{};   // eigenvalues of B
+  Matrix4 left_{};                   // D^{-1/2} U
+  Matrix4 right_{};                  // U^T D^{1/2}
+};
+
+}  // namespace plf::num

@@ -1,0 +1,61 @@
+// Fixed-size 4x4 double matrix used for DNA rate and transition matrices.
+//
+// The nucleotide substitution matrix Q of the paper (Fig. 2) and the
+// per-branch transition-probability matrices P(t) = e^{Qt} are 4x4; keeping
+// them as a dedicated value type keeps the model code allocation-free.
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+namespace plf::num {
+
+inline constexpr std::size_t kStates = 4;  ///< A, C, G, T
+
+/// Row-major 4x4 matrix of doubles.
+struct Matrix4 {
+  std::array<double, kStates * kStates> m{};
+
+  double& operator()(std::size_t r, std::size_t c) { return m[r * kStates + c]; }
+  double operator()(std::size_t r, std::size_t c) const {
+    return m[r * kStates + c];
+  }
+
+  static Matrix4 identity() {
+    Matrix4 out;
+    for (std::size_t i = 0; i < kStates; ++i) out(i, i) = 1.0;
+    return out;
+  }
+
+  static Matrix4 zero() { return Matrix4{}; }
+
+  Matrix4 transposed() const {
+    Matrix4 out;
+    for (std::size_t r = 0; r < kStates; ++r)
+      for (std::size_t c = 0; c < kStates; ++c) out(c, r) = (*this)(r, c);
+    return out;
+  }
+
+  friend Matrix4 operator*(const Matrix4& a, const Matrix4& b) {
+    Matrix4 out;
+    for (std::size_t r = 0; r < kStates; ++r)
+      for (std::size_t c = 0; c < kStates; ++c) {
+        double s = 0.0;
+        for (std::size_t k = 0; k < kStates; ++k) s += a(r, k) * b(k, c);
+        out(r, c) = s;
+      }
+    return out;
+  }
+
+  std::array<double, kStates> operator*(const std::array<double, kStates>& v) const {
+    std::array<double, kStates> out{};
+    for (std::size_t r = 0; r < kStates; ++r) {
+      double s = 0.0;
+      for (std::size_t c = 0; c < kStates; ++c) s += (*this)(r, c) * v[c];
+      out[r] = s;
+    }
+    return out;
+  }
+};
+
+}  // namespace plf::num

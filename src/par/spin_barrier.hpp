@@ -1,0 +1,41 @@
+// Sense-reversing spin barrier.
+//
+// Used by the calibration microbenchmarks to measure the raw cost of a
+// cross-core synchronization point (the quantity the paper attributes the
+// multi-core scalability differences to, §4.1.1) without the scheduling
+// noise of a sleeping barrier.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+
+namespace plf::par {
+
+class SpinBarrier {
+ public:
+  explicit SpinBarrier(std::size_t parties)
+      : parties_(parties), remaining_(parties) {}
+
+  SpinBarrier(const SpinBarrier&) = delete;
+  SpinBarrier& operator=(const SpinBarrier&) = delete;
+
+  /// Blocks (spinning) until all parties arrive. Reusable.
+  void arrive_and_wait() {
+    const bool my_sense = !sense_.load(std::memory_order_relaxed);
+    if (remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      remaining_.store(parties_, std::memory_order_relaxed);
+      sense_.store(my_sense, std::memory_order_release);
+    } else {
+      while (sense_.load(std::memory_order_acquire) != my_sense) {
+        // spin
+      }
+    }
+  }
+
+ private:
+  const std::size_t parties_;
+  std::atomic<std::size_t> remaining_;
+  std::atomic<bool> sense_{false};
+};
+
+}  // namespace plf::par

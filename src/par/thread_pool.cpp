@@ -1,0 +1,173 @@
+#include "par/thread_pool.hpp"
+
+#include <algorithm>
+#include <exception>
+
+#include "util/clock.hpp"
+#include "util/error.hpp"
+
+namespace plf::par {
+
+struct ThreadPool::Region {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  Schedule schedule = Schedule::kStatic;
+  std::size_t chunk = 1;
+  std::size_t threads = 1;
+  const std::function<void(Range, std::size_t)>* body = nullptr;
+  std::atomic<std::size_t> next{0};  // dynamic-schedule cursor
+  std::mutex error_m;
+  std::exception_ptr error;  // first exception thrown by any participant
+};
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  std::size_t n = threads;
+  if (n == 0) {
+    n = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  // The calling thread is worker 0; spawn n-1 helpers.
+  workers_.reserve(n - 1);
+  for (std::size_t i = 1; i < n; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(m_);
+    shutting_down_ = true;
+  }
+  cv_start_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop(std::size_t worker_index) {
+  std::uint64_t seen_epoch = 0;
+  for (;;) {
+    Region* region = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(m_);
+      cv_start_.wait(lock, [&] {
+        return shutting_down_ || (active_ != nullptr && epoch_ != seen_epoch);
+      });
+      if (shutting_down_) return;
+      seen_epoch = epoch_;
+      region = active_;
+    }
+    try {
+      run_share(*region, worker_index);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(region->error_m);
+      if (!region->error) region->error = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lock(m_);
+      if (--remaining_ == 0) cv_done_.notify_one();
+    }
+  }
+}
+
+void ThreadPool::run_share(Region& region, std::size_t thread_index) {
+  const std::size_t total = region.end - region.begin;
+  if (total == 0) return;
+
+  if (region.schedule == Schedule::kStatic) {
+    // Contiguous block per thread, remainder spread over the first blocks.
+    const std::size_t base = total / region.threads;
+    const std::size_t extra = total % region.threads;
+    const std::size_t my_size = base + (thread_index < extra ? 1 : 0);
+    if (my_size == 0) return;
+    const std::size_t my_begin = region.begin + thread_index * base +
+                                 std::min(thread_index, extra);
+    (*region.body)(Range{my_begin, my_begin + my_size}, thread_index);
+    return;
+  }
+
+  // Dynamic: pull chunks off a shared cursor.
+  for (;;) {
+    const std::size_t start =
+        region.next.fetch_add(region.chunk, std::memory_order_relaxed);
+    if (start >= total) break;
+    const std::size_t stop = std::min(total, start + region.chunk);
+    (*region.body)(Range{region.begin + start, region.begin + stop},
+                   thread_index);
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
+                              const std::function<void(Range, std::size_t)>& body,
+                              Schedule schedule, std::size_t chunk) {
+  PLF_CHECK(begin <= end, "parallel_for: begin > end");
+  const std::size_t total = end - begin;
+  if (total == 0) return;
+
+  Stopwatch sw;
+
+  Region region;
+  region.begin = begin;
+  region.end = end;
+  region.schedule = schedule;
+  region.threads = size();
+  region.body = &body;
+  if (chunk == 0) {
+    // Default dynamic chunk: aim for ~4 chunks per thread.
+    chunk = std::max<std::size_t>(1, total / (4 * region.threads));
+  }
+  region.chunk = chunk;
+
+  if (workers_.empty()) {
+    run_share(region, 0);
+  } else {
+    {
+      std::lock_guard<std::mutex> lock(m_);
+      active_ = &region;
+      remaining_ = workers_.size();
+      ++epoch_;
+    }
+    cv_start_.notify_all();
+    try {
+      run_share(region, 0);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(region.error_m);
+      if (!region.error) region.error = std::current_exception();
+    }
+    {
+      std::unique_lock<std::mutex> lock(m_);
+      cv_done_.wait(lock, [&] { return remaining_ == 0; });
+      active_ = nullptr;
+    }
+    if (region.error) std::rethrow_exception(region.error);
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(stats_m_);
+    ++stats_.regions;
+    // The body time is included here; callers interested purely in overhead
+    // should time empty regions (see the calibration bench).
+    stats_.region_overhead_s += sw.seconds();
+  }
+}
+
+void ThreadPool::parallel_for_each(std::size_t begin, std::size_t end,
+                                   const std::function<void(std::size_t)>& body) {
+  parallel_for(begin, end, [&body](Range r, std::size_t) {
+    for (std::size_t i = r.begin; i < r.end; ++i) body(i);
+  });
+}
+
+PoolStats ThreadPool::stats() const {
+  std::lock_guard<std::mutex> lock(stats_m_);
+  return stats_;
+}
+
+void ThreadPool::reset_stats() {
+  std::lock_guard<std::mutex> lock(stats_m_);
+  stats_ = PoolStats{};
+}
+
+ThreadPool& default_pool() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace plf::par

@@ -1,0 +1,92 @@
+// Persistent worker pool with OpenMP-like parallel-for semantics.
+//
+// The paper parallelizes the outermost PLF loop with
+// `#pragma omp parallel for` (§3.2) and observes that the spawn/sync cost of
+// each parallel region is what limits scalability as the number of PLF calls
+// grows (§4.1.1). We reproduce that structure: one pool is created up front,
+// each `parallel_for` is a "parallel region" whose entry/exit are counted and
+// timed so the multi-core timing model can be calibrated from measurements.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace plf::par {
+
+/// Inclusive-exclusive index range [begin, end).
+struct Range {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  std::size_t size() const { return end - begin; }
+  bool empty() const { return begin >= end; }
+};
+
+/// How parallel_for distributes iterations.
+enum class Schedule {
+  kStatic,   ///< one contiguous block per worker (OpenMP schedule(static))
+  kDynamic,  ///< workers pull fixed-size chunks from a shared counter
+};
+
+/// Counters describing pool activity since the last reset, used by the
+/// architecture model calibration.
+struct PoolStats {
+  std::uint64_t regions = 0;        ///< number of parallel regions executed
+  double region_overhead_s = 0.0;   ///< total wall time in spawn+join outside body
+};
+
+class ThreadPool {
+ public:
+  /// Creates `threads` workers. 0 means std::thread::hardware_concurrency().
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of threads that execute a region (workers + calling thread).
+  std::size_t size() const { return workers_.size() + 1; }
+
+  /// Run `body(range, thread_index)` over [begin, end) across all threads.
+  /// Blocks until every iteration has completed (the implicit barrier at the
+  /// end of an OpenMP parallel-for). Safe to call repeatedly; not reentrant.
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(Range, std::size_t)>& body,
+                    Schedule schedule = Schedule::kStatic,
+                    std::size_t chunk = 0);
+
+  /// Convenience element-wise form: body(index).
+  void parallel_for_each(std::size_t begin, std::size_t end,
+                         const std::function<void(std::size_t)>& body);
+
+  PoolStats stats() const;
+  void reset_stats();
+
+ private:
+  struct Region;
+  void worker_loop(std::size_t worker_index);
+  void run_share(Region& region, std::size_t thread_index);
+
+  std::vector<std::thread> workers_;
+
+  std::mutex m_;
+  std::condition_variable cv_start_;
+  std::condition_variable cv_done_;
+  Region* active_ = nullptr;     // currently broadcast region (guarded by m_)
+  std::uint64_t epoch_ = 0;      // bumped per region so workers wake exactly once
+  std::size_t remaining_ = 0;    // workers still inside the active region
+  bool shutting_down_ = false;
+
+  mutable std::mutex stats_m_;
+  PoolStats stats_;
+};
+
+/// Pool shared by library components that do not manage their own
+/// (constructed on first use with hardware concurrency).
+ThreadPool& default_pool();
+
+}  // namespace plf::par

@@ -1,0 +1,125 @@
+#include "phylo/alignment.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace plf::phylo {
+
+Alignment::Alignment(std::vector<std::string> names,
+                     std::vector<std::string> sequences) {
+  PLF_CHECK(names.size() == sequences.size(),
+            "alignment: names/sequences size mismatch");
+  PLF_CHECK(!names.empty(), "alignment: needs at least one taxon");
+  columns_ = sequences.front().size();
+  PLF_CHECK(columns_ > 0, "alignment: empty sequences");
+  names_ = std::move(names);
+  data_.reserve(names_.size() * columns_);
+  for (std::size_t t = 0; t < names_.size(); ++t) {
+    const std::string& s = sequences[t];
+    PLF_CHECK(s.size() == columns_, "alignment: ragged rows (taxon " +
+                                        names_[t] + ")");
+    for (char c : s) {
+      const StateMask m = char_to_mask(c);
+      if (m == 0) {
+        throw ParseError(std::string("invalid DNA character '") + c +
+                         "' in taxon " + names_[t]);
+      }
+      data_.push_back(m);
+    }
+  }
+}
+
+std::string Alignment::sequence(std::size_t t) const {
+  std::string out(columns_, '?');
+  for (std::size_t c = 0; c < columns_; ++c) out[c] = mask_to_char(at(t, c));
+  return out;
+}
+
+std::size_t Alignment::taxon_index(const std::string& name) const {
+  const auto it = std::find(names_.begin(), names_.end(), name);
+  PLF_CHECK(it != names_.end(), "unknown taxon name: " + name);
+  return static_cast<std::size_t>(it - names_.begin());
+}
+
+Alignment Alignment::parse_fasta(const std::string& text) {
+  std::vector<std::string> names;
+  std::vector<std::string> seqs;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    const auto first = line.find_first_not_of(" \t");
+    if (first == std::string::npos) continue;  // blank / whitespace-only
+    if (first != 0) line = line.substr(first);
+    if (line[0] == '>') {
+      // Name is the first token after '>'.
+      std::istringstream hdr(line.substr(1));
+      std::string name;
+      hdr >> name;
+      if (name.empty()) throw ParseError("FASTA: empty sequence name");
+      names.push_back(name);
+      seqs.emplace_back();
+    } else {
+      if (names.empty()) throw ParseError("FASTA: sequence data before header");
+      for (char c : line) {
+        if (!std::isspace(static_cast<unsigned char>(c))) seqs.back() += c;
+      }
+    }
+  }
+  if (names.empty()) throw ParseError("FASTA: no sequences found");
+  return Alignment(std::move(names), std::move(seqs));
+}
+
+Alignment Alignment::parse_phylip(const std::string& text) {
+  std::istringstream in(text);
+  std::size_t n = 0, cols = 0;
+  if (!(in >> n >> cols)) throw ParseError("PHYLIP: missing header counts");
+  std::vector<std::string> names(n);
+  std::vector<std::string> seqs(n);
+  for (std::size_t t = 0; t < n; ++t) {
+    if (!(in >> names[t])) throw ParseError("PHYLIP: truncated taxon block");
+    std::string& s = seqs[t];
+    while (s.size() < cols) {
+      std::string chunk;
+      if (!(in >> chunk)) throw ParseError("PHYLIP: truncated sequence for " + names[t]);
+      s += chunk;
+    }
+    if (s.size() != cols) throw ParseError("PHYLIP: sequence longer than header for " + names[t]);
+  }
+  return Alignment(std::move(names), std::move(seqs));
+}
+
+Alignment Alignment::read_file(const std::string& path) {
+  std::ifstream f(path);
+  PLF_CHECK(f.good(), "cannot open alignment file: " + path);
+  std::ostringstream buf;
+  buf << f.rdbuf();
+  const std::string text = buf.str();
+  // Sniff: FASTA starts with '>'; PHYLIP with two integers.
+  const auto first = text.find_first_not_of(" \t\r\n");
+  if (first != std::string::npos && text[first] == '>') return parse_fasta(text);
+  return parse_phylip(text);
+}
+
+void Alignment::write_fasta(std::ostream& os) const {
+  for (std::size_t t = 0; t < n_taxa(); ++t) {
+    os << '>' << names_[t] << '\n';
+    const std::string seq = sequence(t);
+    for (std::size_t i = 0; i < seq.size(); i += 70) {
+      os << seq.substr(i, 70) << '\n';
+    }
+  }
+}
+
+void Alignment::write_phylip(std::ostream& os) const {
+  os << n_taxa() << ' ' << n_columns() << '\n';
+  for (std::size_t t = 0; t < n_taxa(); ++t) {
+    os << names_[t] << ' ' << sequence(t) << '\n';
+  }
+}
+
+}  // namespace plf::phylo

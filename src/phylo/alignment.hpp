@@ -1,0 +1,58 @@
+// Multiple sequence alignment container with FASTA and (sequential) PHYLIP
+// serialization — the dataset substrate: MrBayes reads aligned DNA matrices
+// and the paper's inputs are Seq-Gen alignments of 1K-50K columns.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "phylo/dna.hpp"
+
+namespace plf::phylo {
+
+/// A rectangular DNA alignment: `n_taxa` named rows of equal length.
+class Alignment {
+ public:
+  Alignment() = default;
+
+  /// Construct from parallel vectors of names and (equal-length) sequences.
+  Alignment(std::vector<std::string> names,
+            std::vector<std::string> sequences);
+
+  std::size_t n_taxa() const { return names_.size(); }
+  std::size_t n_columns() const { return columns_; }
+
+  const std::string& name(std::size_t taxon) const { return names_[taxon]; }
+  const std::vector<std::string>& names() const { return names_; }
+
+  /// State mask of taxon `t` at column `c`.
+  StateMask at(std::size_t t, std::size_t c) const {
+    return data_[t * columns_ + c];
+  }
+
+  /// Row of masks for one taxon.
+  const StateMask* row(std::size_t t) const { return &data_[t * columns_]; }
+
+  /// Sequence of taxon `t` rendered back to IUPAC characters.
+  std::string sequence(std::size_t t) const;
+
+  /// Index of the taxon with this name; throws plf::Error if absent.
+  std::size_t taxon_index(const std::string& name) const;
+
+  // --- I/O ---
+  static Alignment parse_fasta(const std::string& text);
+  static Alignment parse_phylip(const std::string& text);
+  static Alignment read_file(const std::string& path);  ///< by extension/sniffing
+
+  void write_fasta(std::ostream& os) const;
+  void write_phylip(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<StateMask> data_;  // row-major n_taxa x columns
+  std::size_t columns_ = 0;
+};
+
+}  // namespace plf::phylo

@@ -1,0 +1,69 @@
+#include "phylo/dna.hpp"
+
+#include <cctype>
+
+namespace plf::phylo {
+
+StateMask char_to_mask(char c) {
+  switch (std::toupper(static_cast<unsigned char>(c))) {
+    case 'A': return kMaskA;
+    case 'C': return kMaskC;
+    case 'G': return kMaskG;
+    case 'T':
+    case 'U': return kMaskT;
+    case 'R': return kMaskA | kMaskG;
+    case 'Y': return kMaskC | kMaskT;
+    case 'S': return kMaskC | kMaskG;
+    case 'W': return kMaskA | kMaskT;
+    case 'K': return kMaskG | kMaskT;
+    case 'M': return kMaskA | kMaskC;
+    case 'B': return kMaskC | kMaskG | kMaskT;
+    case 'D': return kMaskA | kMaskG | kMaskT;
+    case 'H': return kMaskA | kMaskC | kMaskT;
+    case 'V': return kMaskA | kMaskC | kMaskG;
+    case 'N':
+    case 'X':
+    case '?':
+    case 'O':
+    case '-':
+    case '.': return kGapMask;
+    default: return 0;
+  }
+}
+
+char mask_to_char(StateMask m) {
+  static constexpr char kTable[kNumMasks] = {
+      '?',  // 0000 invalid
+      'A',  // 0001
+      'C',  // 0010
+      'M',  // 0011
+      'G',  // 0100
+      'R',  // 0101
+      'S',  // 0110
+      'V',  // 0111
+      'T',  // 1000
+      'W',  // 1001
+      'Y',  // 1010
+      'H',  // 1011
+      'K',  // 1100
+      'D',  // 1101
+      'B',  // 1110
+      '-',  // 1111
+  };
+  return kTable[m & 15];
+}
+
+const std::array<float, kNumStates>& tip_row(StateMask m) {
+  static const auto kRows = [] {
+    std::array<std::array<float, kNumStates>, kNumMasks> rows{};
+    for (std::size_t mask = 0; mask < kNumMasks; ++mask) {
+      for (std::size_t s = 0; s < kNumStates; ++s) {
+        rows[mask][s] = (mask >> s) & 1u ? 1.0f : 0.0f;
+      }
+    }
+    return rows;
+  }();
+  return kRows[m & 15];
+}
+
+}  // namespace plf::phylo

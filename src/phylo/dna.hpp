@@ -1,0 +1,57 @@
+// DNA alphabet with IUPAC ambiguity codes.
+//
+// States are A=0, C=1, G=2, T=3 (the paper's Fig. 2 ordering). Observed
+// characters are stored as 4-bit masks so that ambiguity codes and gaps make
+// the tip conditional likelihoods exact: a tip's likelihood for state i is 1
+// if bit i is set, else 0 (Felsenstein 1981).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace plf::phylo {
+
+inline constexpr std::size_t kNumStates = 4;
+
+/// 4-bit presence mask over {A, C, G, T}. kGapMask (all bits) encodes '-'/'N'.
+using StateMask = std::uint8_t;
+
+inline constexpr StateMask kMaskA = 1;
+inline constexpr StateMask kMaskC = 2;
+inline constexpr StateMask kMaskG = 4;
+inline constexpr StateMask kMaskT = 8;
+inline constexpr StateMask kGapMask = 15;
+
+/// Number of distinct tip masks (1..15 are valid; 0 is invalid).
+inline constexpr std::size_t kNumMasks = 16;
+
+/// Translate an input character (case-insensitive IUPAC code, '-', '?', '.')
+/// to a state mask. Returns 0 for characters that are not valid DNA codes.
+StateMask char_to_mask(char c);
+
+/// Inverse of char_to_mask for display (returns an uppercase IUPAC code;
+/// '?' for the invalid mask 0).
+char mask_to_char(StateMask m);
+
+/// True when the mask identifies exactly one nucleotide.
+constexpr bool is_unambiguous(StateMask m) {
+  return m == kMaskA || m == kMaskC || m == kMaskG || m == kMaskT;
+}
+
+/// State index (0-3) for an unambiguous mask; undefined otherwise.
+constexpr std::size_t mask_to_state(StateMask m) {
+  return m == kMaskA ? 0 : m == kMaskC ? 1 : m == kMaskG ? 2 : 3;
+}
+
+constexpr StateMask state_to_mask(std::size_t state) {
+  return static_cast<StateMask>(1u << state);
+}
+
+/// Name of a state index, "ACGT"[i].
+constexpr char state_to_char(std::size_t state) { return "ACGT"[state]; }
+
+/// Tip likelihood row for each mask value: tip_row(m)[i] == (m >> i) & 1.
+const std::array<float, kNumStates>& tip_row(StateMask m);
+
+}  // namespace plf::phylo

@@ -1,0 +1,148 @@
+// Unrooted binary phylogenetic trees.
+//
+// Internally the unrooted tree is stored the way MrBayes evaluates it: rooted
+// at a designated *outgroup leaf*. The outgroup's single neighbor becomes the
+// "root" internal node; every other node hangs below it with a `parent`
+// pointer and the length of the branch to that parent. The root internal
+// node therefore has three neighbors — its two children and the outgroup —
+// which is exactly the three-way combination CondLikeRoot performs (§3.1).
+//
+// For n taxa (n >= 3) there are n leaves and n-2 internal nodes; every
+// internal node has exactly two children.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace plf::phylo {
+
+inline constexpr int kNoNode = -1;
+
+struct TreeNode {
+  int parent = kNoNode;  ///< kNoNode only for the root internal node
+  int left = kNoNode;    ///< kNoNode for leaves
+  int right = kNoNode;   ///< kNoNode for leaves
+  double length = 0.0;   ///< branch to parent (unused for the root)
+  int taxon = kNoNode;   ///< taxon index for leaves; kNoNode for internals
+
+  bool is_leaf() const { return taxon != kNoNode; }
+};
+
+class Tree {
+ public:
+  Tree() = default;
+
+  /// Parse a Newick string. Rooted (bifurcating top) inputs are unrooted;
+  /// the tree is then rooted at the leaf of taxon `outgroup_taxon`.
+  /// Taxon indices are assigned by first occurrence in the string.
+  static Tree from_newick(const std::string& text, int outgroup_taxon = 0);
+
+  /// Same, but taxon indices follow the given name order (e.g. alignment
+  /// row order). All leaf names must appear in `taxon_names`.
+  static Tree from_newick(const std::string& text,
+                          const std::vector<std::string>& taxon_names,
+                          int outgroup_taxon = 0);
+
+  /// Serialize as an unrooted Newick string with the root trifurcation
+  /// convention: (outgroup:len, left..., right...);
+  std::string to_newick(int precision = 6) const;
+
+  std::size_t n_taxa() const { return taxon_names_.size(); }
+  std::size_t n_nodes() const { return nodes_.size(); }
+  std::size_t n_internal() const { return n_taxa() >= 2 ? n_taxa() - 2 : 0; }
+  std::size_t n_branches() const { return n_nodes() >= 1 ? n_nodes() - 1 : 0; }
+
+  const TreeNode& node(int id) const { return nodes_[static_cast<std::size_t>(id)]; }
+  int root() const { return root_; }
+  int outgroup() const { return outgroup_; }
+
+  /// Node id of the leaf carrying taxon `t`.
+  int leaf_of(int t) const { return leaf_of_[static_cast<std::size_t>(t)]; }
+
+  const std::string& taxon_name(int t) const {
+    return taxon_names_[static_cast<std::size_t>(t)];
+  }
+  const std::vector<std::string>& taxon_names() const { return taxon_names_; }
+
+  /// Internal node ids in children-before-parent order; last element is the
+  /// root. This is the PLF evaluation order.
+  std::vector<int> postorder_internals() const;
+
+  /// All node ids with a parent (i.e. carrying a branch), leaves included.
+  std::vector<int> branch_nodes() const;
+
+  /// Ids of internal nodes (excluding the root) whose parent is also
+  /// internal or the root — i.e. the internal branches eligible for NNI.
+  std::vector<int> internal_edge_nodes() const;
+
+  double branch_length(int id) const { return nodes_[static_cast<std::size_t>(id)].length; }
+  void set_branch_length(int id, double len);
+
+  /// Sum of all branch lengths.
+  double total_length() const;
+
+  /// Nearest-neighbor interchange across the branch above `v` (which must
+  /// come from internal_edge_nodes()): swaps v's sibling with v's left or
+  /// right child. Branch lengths travel with their subtrees.
+  void nni(int v, bool swap_left);
+
+  /// Record for exactly reversing one SPR move.
+  struct SprUndo {
+    int s = kNoNode;       ///< pruned subtree root
+    int u = kNoNode;       ///< s's parent (the node that moved with it)
+    int w = kNoNode;       ///< s's original sibling
+    int target = kNoNode;  ///< branch the subtree was regrafted onto
+    double u_length = 0.0; ///< original branch lengths
+    double w_length = 0.0;
+    double t_length = 0.0;
+  };
+
+  /// Subtree pruning and regrafting: detach the subtree rooted at `s`
+  /// (together with its parent u; s's sibling w absorbs u's branch), then
+  /// insert u into the branch above `target`, giving u the length `split_x`
+  /// and leaving `target` the remainder. Requirements: `target` must come
+  /// from spr_valid_targets(s) and 0 < split_x < branch_length(target) + the
+  /// merged length... precisely: 0 < split_x < old branch_length(target).
+  SprUndo spr(int s, int target, double split_x);
+
+  /// Exactly reverse a previous spr() (the intervening state must be
+  /// untouched apart from the move itself).
+  void undo_spr(const SprUndo& undo);
+
+  /// Nodes whose branch can receive the subtree rooted at `s`: any node
+  /// with a parent, excluding s itself, s's subtree, s's parent and sibling,
+  /// and the outgroup. Empty when s cannot be pruned (s == root, or s's
+  /// parent is the root, or s is the outgroup).
+  std::vector<int> spr_valid_targets(int s) const;
+
+  /// True when `descendant` lies in the subtree rooted at `ancestor`.
+  bool in_subtree(int ancestor, int descendant) const;
+
+  /// A copy of this tree re-rooted at a different outgroup taxon (topology
+  /// and branch lengths unchanged; used to test likelihood invariance).
+  Tree rerooted(int outgroup_taxon) const;
+
+  /// Check all structural invariants; throws plf::Error on violation.
+  void validate() const;
+
+  /// Topology-only equality (same splits), ignoring branch lengths.
+  bool same_topology(const Tree& other) const;
+
+ private:
+  struct Adjacency;
+  static Tree from_adjacency(const Adjacency& adj,
+                             std::vector<std::string> taxon_names,
+                             int outgroup_taxon);
+  Adjacency to_adjacency() const;
+
+  void write_subtree(int id, std::string& out, int precision) const;
+
+  std::vector<TreeNode> nodes_;
+  std::vector<int> leaf_of_;              // taxon -> node id
+  std::vector<std::string> taxon_names_;  // taxon -> name
+  int root_ = kNoNode;
+  int outgroup_ = kNoNode;
+};
+
+}  // namespace plf::phylo

@@ -1,0 +1,57 @@
+// The paper's benchmark datasets (§4).
+//
+//  * The grid: trees with 10/20/50/100 leaves crossed with sub-alignments of
+//    1,000 / 5,000 / 20,000 / 50,000 DISTINCT columns (weight 1 each, since
+//    the paper extracted distinct columns — "the number of columns
+//    corresponds exactly to the number of patterns").
+//  * A stand-in for the real-world mammalian alignment: 20 organisms,
+//    28,740 columns compressed to ~8,543 distinct patterns with
+//    multiplicities.
+//
+// Generation is deterministic per (spec, seed).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "phylo/model.hpp"
+#include "phylo/patterns.hpp"
+#include "phylo/tree.hpp"
+
+namespace plf::seqgen {
+
+/// One cell of the paper's input grid, named like the paper: "50_20K".
+struct DatasetSpec {
+  std::size_t taxa = 10;
+  std::size_t patterns = 1000;
+
+  std::string name() const;
+};
+
+/// The 16-cell grid of Figures 9-11, in the paper's plotting order
+/// (columns-major: all leaf counts for 1K, then 5K, 20K, 50K).
+std::vector<DatasetSpec> paper_grid();
+
+struct Dataset {
+  std::string name;
+  phylo::Tree tree;
+  phylo::GtrParams model_params;
+  phylo::PatternMatrix patterns;
+};
+
+/// GTR+Γ parameters used for all simulated data (an unremarkable,
+/// empirically-shaped parameterization).
+phylo::GtrParams default_gtr_params();
+
+/// Simulate one grid dataset: Yule tree with `spec.taxa` leaves, columns
+/// evolved under GTR+Γ until `spec.patterns` DISTINCT patterns exist
+/// (weight 1 each — the paper's extraction step).
+Dataset make_grid_dataset(const DatasetSpec& spec, std::uint64_t seed = 42);
+
+/// Simulate the real-world stand-in: 20 taxa, `columns` evolved columns
+/// compressed with multiplicities (branch scale tuned so the distinct count
+/// lands near the paper's 8,543 of 28,740).
+Dataset make_real_dataset(std::uint64_t seed = 42, std::size_t columns = 28740);
+
+}  // namespace plf::seqgen

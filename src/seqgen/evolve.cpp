@@ -1,0 +1,112 @@
+#include "seqgen/evolve.hpp"
+
+#include "util/error.hpp"
+
+namespace plf::seqgen {
+
+SequenceEvolver::SequenceEvolver(const phylo::Tree& tree,
+                                 const phylo::SubstitutionModel& model)
+    : tree_(&tree), model_(&model), k_(model.n_rate_categories()) {
+  branch_tm_.resize(tree.n_nodes());
+  for (std::size_t id = 0; id < tree.n_nodes(); ++id) {
+    const phylo::TreeNode& n = tree.node(static_cast<int>(id));
+    if (n.parent == phylo::kNoNode) continue;
+    branch_tm_[id].resize(k_);
+    for (std::size_t k = 0; k < k_; ++k) {
+      branch_tm_[id][k] = model.transition_matrix(n.length, k);
+    }
+  }
+}
+
+std::size_t SequenceEvolver::sample_state(const num::Matrix4& p,
+                                          std::size_t from, Rng& rng) const {
+  const double u = rng.uniform();
+  double acc = 0.0;
+  for (std::size_t j = 0; j + 1 < 4; ++j) {
+    acc += p(from, j);
+    if (u < acc) return j;
+  }
+  return 3;
+}
+
+std::vector<phylo::StateMask> SequenceEvolver::evolve_column(Rng& rng) const {
+  // +I: an invariable site carries one stationary draw for every taxon.
+  if (model_->params().p_invariant > 0.0 &&
+      rng.uniform() < model_->params().p_invariant) {
+    const auto& pi = model_->pi();
+    const double u = rng.uniform();
+    std::size_t s = 3;
+    double acc = 0.0;
+    for (std::size_t j = 0; j + 1 < 4; ++j) {
+      acc += pi[j];
+      if (u < acc) {
+        s = j;
+        break;
+      }
+    }
+    return std::vector<phylo::StateMask>(tree_->n_taxa(),
+                                         phylo::state_to_mask(s));
+  }
+
+  const std::size_t k = rng.below(k_);  // equiprobable Γ categories
+
+  std::vector<phylo::StateMask> column(tree_->n_taxa(), 0);
+  // States per node along the walk; root state from the stationary law.
+  std::vector<std::size_t> state(tree_->n_nodes(), 0);
+
+  const auto& pi = model_->pi();
+  const double u = rng.uniform();
+  std::size_t s = 3;
+  double acc = 0.0;
+  for (std::size_t j = 0; j + 1 < 4; ++j) {
+    acc += pi[j];
+    if (u < acc) {
+      s = j;
+      break;
+    }
+  }
+  const int root = tree_->root();
+  state[static_cast<std::size_t>(root)] = s;
+
+  // Iterative preorder from the root; the outgroup leaf hangs off the root.
+  std::vector<int> stack;
+  auto descend = [&](int child, int parent) {
+    state[static_cast<std::size_t>(child)] = sample_state(
+        branch_tm_[static_cast<std::size_t>(child)][k],
+        state[static_cast<std::size_t>(parent)], rng);
+    stack.push_back(child);
+  };
+  descend(tree_->outgroup(), root);
+  stack.pop_back();  // leaf, nothing below
+  column[static_cast<std::size_t>(tree_->node(tree_->outgroup()).taxon)] =
+      phylo::state_to_mask(state[static_cast<std::size_t>(tree_->outgroup())]);
+
+  stack.push_back(root);
+  while (!stack.empty()) {
+    const int id = stack.back();
+    stack.pop_back();
+    const phylo::TreeNode& n = tree_->node(id);
+    if (n.is_leaf()) {
+      column[static_cast<std::size_t>(n.taxon)] =
+          phylo::state_to_mask(state[static_cast<std::size_t>(id)]);
+      continue;
+    }
+    descend(n.left, id);
+    descend(n.right, id);
+  }
+  return column;
+}
+
+phylo::Alignment SequenceEvolver::evolve(std::size_t n_columns, Rng& rng) const {
+  PLF_CHECK(n_columns > 0, "evolve: need at least one column");
+  std::vector<std::string> seqs(tree_->n_taxa(), std::string(n_columns, '?'));
+  for (std::size_t c = 0; c < n_columns; ++c) {
+    const auto column = evolve_column(rng);
+    for (std::size_t t = 0; t < tree_->n_taxa(); ++t) {
+      seqs[t][c] = phylo::mask_to_char(column[t]);
+    }
+  }
+  return phylo::Alignment(tree_->taxon_names(), std::move(seqs));
+}
+
+}  // namespace plf::seqgen

@@ -1,0 +1,47 @@
+// Sequence evolution along a tree (our Seq-Gen v1.3.2 equivalent, [9] in the
+// paper): Monte-Carlo simulation of DNA columns under GTR+Γ. Each column
+// draws one discrete-Γ rate category (rates are site-specific but constant
+// across the tree, as in the Γ model), samples the root state from the
+// stationary distribution, and walks the tree sampling child states from the
+// branch transition matrices.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "numerics/matrix4.hpp"
+#include "phylo/alignment.hpp"
+#include "phylo/dna.hpp"
+#include "phylo/model.hpp"
+#include "phylo/tree.hpp"
+#include "util/rng.hpp"
+
+namespace plf::seqgen {
+
+class SequenceEvolver {
+ public:
+  /// Transition matrices for every branch and rate category are precomputed
+  /// at construction (double precision — the simulation substrate does not
+  /// inherit the PLF's single-precision constraint).
+  SequenceEvolver(const phylo::Tree& tree, const phylo::SubstitutionModel& model);
+
+  /// Simulate one alignment column: per-taxon unambiguous state masks.
+  std::vector<phylo::StateMask> evolve_column(Rng& rng) const;
+
+  /// Simulate a full alignment with `n_columns` independent columns.
+  phylo::Alignment evolve(std::size_t n_columns, Rng& rng) const;
+
+  const phylo::Tree& tree() const { return *tree_; }
+
+ private:
+  std::size_t sample_state(const num::Matrix4& p, std::size_t from,
+                           Rng& rng) const;
+
+  const phylo::Tree* tree_;
+  const phylo::SubstitutionModel* model_;
+  std::size_t k_;
+  // branch_tm_[node][category]: P(rate_k * length(node)) for nodes with a parent.
+  std::vector<std::vector<num::Matrix4>> branch_tm_;
+};
+
+}  // namespace plf::seqgen

@@ -1,0 +1,17 @@
+#include "simd/simd.hpp"
+
+namespace plf::simd {
+
+std::string backend_name() {
+#if defined(PLF_SIMD_AVX) && defined(__FMA__)
+  return "avx+fma";
+#elif defined(PLF_SIMD_AVX)
+  return "avx";
+#elif defined(PLF_SIMD_SSE)
+  return "sse2";
+#else
+  return "scalar";
+#endif
+}
+
+}  // namespace plf::simd

@@ -1,0 +1,52 @@
+// Real and simulated time sources.
+//
+// Real kernels are timed with `Stopwatch`. The Cell/BE and GPU simulators
+// charge costs to a `VirtualClock` measured in seconds of simulated time;
+// parallel resources (SPEs, SMs, the DMA engine) each carry their own
+// timeline and are merged with max/plus semantics by the simulators.
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+
+namespace plf {
+
+/// Wall-clock stopwatch (monotonic).
+class Stopwatch {
+ public:
+  Stopwatch() : start_(now()) {}
+
+  void reset() { start_ = now(); }
+
+  /// Elapsed seconds since construction or last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  static clock::time_point now() { return clock::now(); }
+  clock::time_point start_;
+};
+
+/// A simulated timeline. Time only moves forward.
+class VirtualClock {
+ public:
+  /// Current simulated time in seconds.
+  double now() const { return t_; }
+
+  /// Advance by `dt` seconds (dt >= 0).
+  void advance(double dt) { t_ += dt; }
+
+  /// Move to at least `t` (used when synchronizing timelines: a consumer
+  /// cannot observe an event before it was produced).
+  void advance_to(double t) { t_ = std::max(t_, t); }
+
+  void reset() { t_ = 0.0; }
+
+ private:
+  double t_ = 0.0;
+};
+
+}  // namespace plf

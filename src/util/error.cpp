@@ -1,0 +1,14 @@
+#include "util/error.hpp"
+
+#include <sstream>
+
+namespace plf::detail {
+
+void throw_check_failure(const char* expr, const char* file, int line,
+                         const std::string& msg) {
+  std::ostringstream os;
+  os << msg << " [check `" << expr << "` failed at " << file << ":" << line << "]";
+  throw Error(os.str());
+}
+
+}  // namespace plf::detail

@@ -1,0 +1,48 @@
+// Error handling primitives shared by every plf module.
+//
+// We use exceptions for unrecoverable API misuse (per C++ Core Guidelines
+// E.2/E.3): simulator invariant violations (a DMA transfer that breaks the
+// Cell/BE alignment rules, a local-store overflow) throw `plf::Error` so that
+// tests can assert on them, while hot kernel paths stay assertion-free.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace plf {
+
+/// Base exception for all library errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when an input file / text blob cannot be parsed.
+class ParseError : public Error {
+ public:
+  explicit ParseError(const std::string& what) : Error("parse error: " + what) {}
+};
+
+/// Thrown when a simulated hardware constraint is violated
+/// (DMA size/alignment, local-store capacity, mailbox misuse, ...).
+class HardwareViolation : public Error {
+ public:
+  explicit HardwareViolation(const std::string& what)
+      : Error("hardware constraint violated: " + what) {}
+};
+
+namespace detail {
+[[noreturn]] void throw_check_failure(const char* expr, const char* file, int line,
+                                      const std::string& msg);
+}  // namespace detail
+
+}  // namespace plf
+
+/// Always-on invariant check (unlike assert, active in release builds).
+/// Usage: PLF_CHECK(size % 16 == 0, "DMA size must be 16-byte aligned");
+#define PLF_CHECK(expr, msg)                                              \
+  do {                                                                    \
+    if (!(expr)) {                                                        \
+      ::plf::detail::throw_check_failure(#expr, __FILE__, __LINE__, msg); \
+    }                                                                     \
+  } while (false)

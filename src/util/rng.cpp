@@ -1,0 +1,128 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace plf {
+
+namespace {
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ull;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+}  // namespace
+
+void Rng::reseed(std::uint64_t seed) {
+  std::uint64_t x = seed;
+  for (auto& s : s_) s = splitmix64(x);
+  // A state of all zeros is the one invalid xoshiro state; splitmix64 cannot
+  // produce four zero outputs in a row, but be defensive anyway.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+  have_spare_normal_ = false;
+}
+
+std::uint64_t Rng::below(std::uint64_t n) {
+  PLF_CHECK(n > 0, "Rng::below requires n > 0");
+  // Lemire-style rejection to avoid modulo bias.
+  const std::uint64_t threshold = (~n + 1) % n;  // == 2^64 mod n
+  for (;;) {
+    const std::uint64_t r = operator()();
+    if (r >= threshold) return r % n;
+  }
+}
+
+double Rng::normal() {
+  if (have_spare_normal_) {
+    have_spare_normal_ = false;
+    return spare_normal_;
+  }
+  double u, v, s;
+  do {
+    u = uniform(-1.0, 1.0);
+    v = uniform(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double factor = std::sqrt(-2.0 * std::log(s) / s);
+  spare_normal_ = v * factor;
+  have_spare_normal_ = true;
+  return u * factor;
+}
+
+double Rng::exponential(double lambda) {
+  PLF_CHECK(lambda > 0.0, "exponential rate must be positive");
+  // 1 - uniform() is in (0, 1], so the log is finite.
+  return -std::log(1.0 - uniform()) / lambda;
+}
+
+double Rng::gamma(double shape, double scale) {
+  PLF_CHECK(shape > 0.0 && scale > 0.0, "gamma parameters must be positive");
+  if (shape < 1.0) {
+    // Boost the shape above 1 and correct with the standard power trick.
+    const double u = uniform();
+    return gamma(shape + 1.0, scale) * std::pow(u, 1.0 / shape);
+  }
+  const double d = shape - 1.0 / 3.0;
+  const double c = 1.0 / std::sqrt(9.0 * d);
+  for (;;) {
+    double x, v;
+    do {
+      x = normal();
+      v = 1.0 + c * x;
+    } while (v <= 0.0);
+    v = v * v * v;
+    const double u = uniform();
+    if (u < 1.0 - 0.0331 * x * x * x * x) return d * v * scale;
+    if (std::log(u) < 0.5 * x * x + d * (1.0 - v + std::log(v))) return d * v * scale;
+  }
+}
+
+std::vector<double> Rng::dirichlet(const std::vector<double>& alpha) {
+  PLF_CHECK(!alpha.empty(), "dirichlet needs at least one parameter");
+  std::vector<double> out(alpha.size());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < alpha.size(); ++i) {
+    out[i] = gamma(alpha[i], 1.0);
+    sum += out[i];
+  }
+  for (auto& v : out) v /= sum;
+  return out;
+}
+
+std::size_t Rng::categorical(const std::vector<double>& weights) {
+  PLF_CHECK(!weights.empty(), "categorical needs at least one weight");
+  double total = 0.0;
+  for (double w : weights) {
+    PLF_CHECK(w >= 0.0, "categorical weights must be nonnegative");
+    total += w;
+  }
+  PLF_CHECK(total > 0.0, "categorical weights must not all be zero");
+  double r = uniform() * total;
+  for (std::size_t i = 0; i + 1 < weights.size(); ++i) {
+    r -= weights[i];
+    if (r < 0.0) return i;
+  }
+  return weights.size() - 1;
+}
+
+void Rng::jump() {
+  static constexpr std::uint64_t kJump[] = {0x180EC6D33CFD0ABAull,
+                                            0xD5A61266F0C9392Cull,
+                                            0xA9582618E03FC9AAull,
+                                            0x39ABDC4529B1661Cull};
+  std::array<std::uint64_t, 4> t{};
+  for (std::uint64_t jump : kJump) {
+    for (int b = 0; b < 64; ++b) {
+      if (jump & (std::uint64_t{1} << b)) {
+        for (int i = 0; i < 4; ++i) t[i] ^= s_[i];
+      }
+      operator()();
+    }
+  }
+  s_ = t;
+}
+
+}  // namespace plf

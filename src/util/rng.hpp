@@ -1,0 +1,81 @@
+// Deterministic random number generation.
+//
+// The paper fixes MrBayes' random seeds "to ensure a fair comparison of the
+// results" (§4); everything here is exactly reproducible across runs and
+// platforms. We implement xoshiro256** (public-domain algorithm by Blackman &
+// Vigna) instead of std::mt19937 because its stream is specified bit-exactly
+// and it is significantly faster, and we implement our own distributions
+// because libstdc++'s are not guaranteed to be stable across versions.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace plf {
+
+/// xoshiro256** PRNG with splitmix64 seeding. Satisfies
+/// UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull) { reseed(seed); }
+
+  void reseed(std::uint64_t seed);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~std::uint64_t{0}; }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>(operator()() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n).
+  std::uint64_t below(std::uint64_t n);
+
+  /// Standard normal variate (Marsaglia polar method).
+  double normal();
+
+  /// Exponential variate with rate `lambda`.
+  double exponential(double lambda);
+
+  /// Gamma(shape, scale) variate (Marsaglia-Tsang squeeze method).
+  double gamma(double shape, double scale);
+
+  /// Dirichlet sample with the given concentration parameters.
+  std::vector<double> dirichlet(const std::vector<double>& alpha);
+
+  /// Sample an index according to (unnormalized, nonnegative) weights.
+  std::size_t categorical(const std::vector<double>& weights);
+
+  /// Jump function: advances the state by 2^128 steps, for independent
+  /// parallel streams.
+  void jump();
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::array<std::uint64_t, 4> s_{};
+  bool have_spare_normal_ = false;
+  double spare_normal_ = 0.0;
+};
+
+}  // namespace plf

@@ -1,0 +1,41 @@
+// Small online statistics helper used by benchmarks and the calibration code.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <limits>
+
+namespace plf {
+
+/// Welford online mean/variance accumulator with min/max tracking.
+class OnlineStats {
+ public:
+  void add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+  }
+
+  std::size_t count() const { return n_; }
+  double mean() const { return mean_; }
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const {
+    return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+  }
+  double stddev() const { return std::sqrt(variance()); }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace plf

@@ -1,0 +1,40 @@
+// Plain-text table formatting for benchmark harness output.
+//
+// Every figure/table bench prints its series through this so that the rows
+// the paper reports can be compared side by side (and grepped / re-plotted).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace plf {
+
+/// A simple column-aligned text table with an optional title.
+class Table {
+ public:
+  explicit Table(std::string title = {}) : title_(std::move(title)) {}
+
+  /// Set the header row. Column count is fixed by this call.
+  Table& header(std::vector<std::string> cells);
+
+  /// Append a data row (must match the header width if one was set).
+  Table& row(std::vector<std::string> cells);
+
+  /// Convenience: format doubles with the given precision.
+  static std::string num(double v, int precision = 2);
+
+  /// Render to a stream with column alignment and a rule under the header.
+  void print(std::ostream& os) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Table& t);
+
+}  // namespace plf

@@ -1,0 +1,255 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "arch/models.hpp"
+#include "arch/systems.hpp"
+#include "arch/workload.hpp"
+#include "util/error.hpp"
+
+namespace plf::arch {
+namespace {
+
+TEST(SystemsTest, TableHasEightSystemsBaselineFirst) {
+  const auto systems = table1_systems();
+  ASSERT_EQ(systems.size(), 8u);
+  EXPECT_EQ(systems[0].name, "Baseline");
+  EXPECT_EQ(systems[0].family, SystemFamily::kBaseline);
+  EXPECT_EQ(systems[0].cores, 1u);
+}
+
+TEST(SystemsTest, Table1FactsMatchPaper) {
+  const auto& xeon = system_by_name("2xXeon(4)");
+  EXPECT_EQ(xeon.cores, 8u);
+  EXPECT_DOUBLE_EQ(xeon.freq_hz, 1.8e9);
+  EXPECT_EQ(xeon.topology.total_cores(), 8u);
+  EXPECT_EQ(xeon.topology.dies_per_package, 2u);  // two dual-core dies
+
+  const auto& opt4 = system_by_name("4xOpteron(4)");
+  EXPECT_EQ(opt4.cores, 16u);
+  EXPECT_EQ(opt4.topology.cores_per_die, 4u);  // monolithic quad die
+  EXPECT_TRUE(opt4.topology.die_cache_shared);
+
+  const auto& opt2 = system_by_name("8xOpteron(2)");
+  EXPECT_EQ(opt2.cores, 16u);
+  EXPECT_FALSE(opt2.topology.die_cache_shared);  // private L2s
+
+  EXPECT_EQ(system_by_name("PS3").cell.n_spes, 6u);
+  EXPECT_EQ(system_by_name("QS20").cell.n_spes, 16u);
+  EXPECT_EQ(system_by_name("8800GT").gpu.device.total_cores(), 112u);
+  EXPECT_EQ(system_by_name("GTX285").gpu.device.total_cores(), 240u);
+  EXPECT_EQ(system_by_name("8800GT").gpu.launch.blocks, 40u);
+  EXPECT_EQ(system_by_name("GTX285").gpu.launch.blocks, 85u);
+  EXPECT_THROW(system_by_name("nonexistent"), Error);
+}
+
+TEST(WorkloadTest, AnalyticCountsScaleSensibly) {
+  const auto w10 = analytic_mcmc_workload(10, 1000, 1000);
+  const auto w100 = analytic_mcmc_workload(100, 1000, 1000);
+  EXPECT_GT(w100.down_calls, w10.down_calls);  // deeper dirty paths
+  EXPECT_EQ(w10.root_calls, 1000u);
+  EXPECT_EQ(w10.reduce_calls, 1000u);
+  EXPECT_EQ(w10.scale_calls, w10.down_calls + w10.root_calls);
+  EXPECT_GT(w10.serial_cycles, 0.0);
+
+  const auto wlong = analytic_mcmc_workload(10, 1000, 2000);
+  EXPECT_NEAR(static_cast<double>(wlong.down_calls) / w10.down_calls, 2.0, 0.01);
+}
+
+TEST(MultiCoreModelTest, RegionOverheadGrowsWithTopologyDistance) {
+  MultiCoreModel xeon(system_by_name("2xXeon(4)"));
+  MultiCoreModel opt4(system_by_name("4xOpteron(4)"));
+  MultiCoreModel opt2(system_by_name("8xOpteron(2)"));
+
+  EXPECT_EQ(xeon.region_overhead_s(1), 0.0);
+  // Within one shared-cache die: cheapest.
+  EXPECT_LT(opt4.region_overhead_s(4), xeon.region_overhead_s(4));
+  // All 16 cores: the 8-package Opteron pays the most cross-package cost.
+  EXPECT_GT(opt2.region_overhead_s(16), opt4.region_overhead_s(16));
+  // Monotone in core count.
+  double prev = 0.0;
+  for (std::size_t n = 1; n <= 16; ++n) {
+    const double o = opt4.region_overhead_s(n);
+    EXPECT_GE(o, prev);
+    prev = o;
+  }
+}
+
+TEST(MultiCoreModelTest, SpeedupMatchesPaperShape) {
+  // Fig. 9's qualitative claims.
+  MultiCoreModel xeon(system_by_name("2xXeon(4)"));
+  MultiCoreModel opt4(system_by_name("4xOpteron(4)"));
+
+  // (a) Larger data sets scale better (1K is the worst case; lowest ~6 on
+  //     the Xeon).
+  const auto w1k = analytic_mcmc_workload(50, 1000, 2000);
+  const auto w50k = analytic_mcmc_workload(50, 50000, 2000);
+  const double s1k = xeon.relative_speedup(w1k, 8);
+  const double s50k = xeon.relative_speedup(w50k, 8);
+  EXPECT_LT(s1k, s50k);
+  EXPECT_GT(s1k, 4.5);   // paper: lowest ~6 for the 1K sets
+  EXPECT_LT(s50k, 8.0);
+
+  // (b) More computation intensity (leaves -> more calls) hurts.
+  const auto w10 = analytic_mcmc_workload(10, 5000, 2000);
+  const auto w100 = analytic_mcmc_workload(100, 5000, 2000);
+  EXPECT_GT(xeon.relative_speedup(w10, 8), xeon.relative_speedup(w100, 8));
+
+  // (c) The 16-core systems peak around ~12-13x for big data.
+  const double s16 = opt4.relative_speedup(w50k, 16);
+  EXPECT_GT(s16, 9.5);
+  EXPECT_LT(s16, 14.5);
+}
+
+TEST(MultiCoreModelTest, SharedCacheDieScalesBestAtLowCounts) {
+  // §4.1.1: the Opteron 8354's 4-core shared die communicates cheapest, so
+  // at 4 threads it beats the Xeon arrangement for small data.
+  MultiCoreModel xeon(system_by_name("2xXeon(4)"));
+  MultiCoreModel opt4(system_by_name("4xOpteron(4)"));
+  const auto w = analytic_mcmc_workload(50, 1000, 2000);
+  // Compare parallel-section efficiency (absolute times differ by clock).
+  const double eff_xeon =
+      xeon.plf_section_s(w, 1) / (4.0 * xeon.plf_section_s(w, 4));
+  const double eff_opt =
+      opt4.plf_section_s(w, 1) / (4.0 * opt4.plf_section_s(w, 4));
+  EXPECT_GT(eff_opt, eff_xeon);
+}
+
+TEST(MultiCoreModelTest, BaselinePlfFractionMatchesPaper) {
+  // ">90%" of baseline runtime in the PLF; 57s of 62s (~92%) on the real
+  // data set.
+  MultiCoreModel base(system_by_name("Baseline"));
+  const auto w = analytic_mcmc_workload(20, 8543, 2000);
+  const double plf = base.plf_section_s(w, 1);
+  const double serial = base.serial_s(w);
+  const double fraction = plf / (plf + serial);
+  EXPECT_GT(fraction, 0.85);
+  EXPECT_LT(fraction, 0.97);
+}
+
+TEST(MultiCoreModelTest, RejectsWrongFamilyAndBadCounts) {
+  EXPECT_THROW(MultiCoreModel{system_by_name("PS3")}, Error);
+  MultiCoreModel xeon(system_by_name("2xXeon(4)"));
+  EXPECT_THROW(xeon.region_overhead_s(9), Error);
+  const auto w = analytic_mcmc_workload(10, 1000, 10);
+  EXPECT_THROW(xeon.plf_section_s(w, 0), Error);
+}
+
+TEST(CellModelTest, SpeedupShapeMatchesFig10) {
+  CellModel ps3(system_by_name("PS3"));
+  CellModel qs20(system_by_name("QS20"));
+
+  const auto w20k = analytic_mcmc_workload(50, 20000, 200);
+  // Large data: near-ideal scaling at 6 SPEs, ~12x at 16 (paper Fig. 10).
+  const double s6 = ps3.speedup_vs_one_spe(w20k, 6);
+  EXPECT_GT(s6, 5.0);
+  EXPECT_LE(s6, 6.05);
+  const double s16 = qs20.speedup_vs_one_spe(w20k, 16);
+  EXPECT_GT(s16, 10.5);
+  EXPECT_LE(s16, 16.05);
+
+  // Small data scales visibly worse.
+  const auto w1k = analytic_mcmc_workload(50, 1000, 200);
+  EXPECT_LT(qs20.speedup_vs_one_spe(w1k, 16), s16);
+}
+
+TEST(CellModelTest, StableAcrossComputationIntensity) {
+  // "the performance is stable across the different computation
+  // intensities" — speedup varies little from 10 to 100 leaves.
+  CellModel qs20(system_by_name("QS20"));
+  const auto w10 = analytic_mcmc_workload(10, 20000, 100);
+  const auto w100 = analytic_mcmc_workload(100, 20000, 100);
+  const double s10 = qs20.speedup_vs_one_spe(w10, 16);
+  const double s100 = qs20.speedup_vs_one_spe(w100, 16);
+  EXPECT_NEAR(s10, s100, 0.15 * s10);
+}
+
+TEST(CellModelTest, PpeSerialPenaltyIsLarge) {
+  // §4.2: the Remaining time explodes on the in-order PPE.
+  CellModel ps3(system_by_name("PS3"));
+  MultiCoreModel base(system_by_name("Baseline"));
+  const auto w = analytic_mcmc_workload(20, 8543, 500);
+  EXPECT_GT(ps3.serial_s(w), 4.0 * base.serial_s(w));
+}
+
+TEST(GpuModelTest, PcieDominatesAndGtxKernelsFaster) {
+  GpuModel gt(system_by_name("8800GT"));
+  GpuModel gtx(system_by_name("GTX285"));
+  const auto w = analytic_mcmc_workload(50, 20000, 100);
+
+  const auto t_gt = gt.plf_section(w);
+  const auto t_gtx = gtx.plf_section(w);
+  // Fig. 12: transfers dwarf kernel time.
+  EXPECT_GT(t_gt.pcie_s, 2.0 * t_gt.kernel_s);
+  // Fig. 11: GTX kernels ~2x the 8800GT at 20K columns.
+  EXPECT_GT(t_gt.kernel_s / t_gtx.kernel_s, 1.6);
+  // The GTX285 testbed's PCIe 2.0 link moves the same bytes ~3x faster —
+  // the Fig. 12 reason it reaches ~1.5x overall while the 8800GT does not.
+  EXPECT_GT(t_gt.pcie_s / t_gtx.pcie_s, 2.0);
+  EXPECT_LT(t_gt.pcie_s / t_gtx.pcie_s, 4.0);
+}
+
+TEST(GpuModelTest, ThroughputGrowsWithDataSize) {
+  // Fig. 11: per-pattern PLF throughput improves with column count.
+  GpuModel gt(system_by_name("8800GT"));
+  const auto w1k = analytic_mcmc_workload(10, 1000, 100);
+  const auto w50k = analytic_mcmc_workload(10, 50000, 100);
+  const double thr_1k =
+      static_cast<double>(w1k.m) * static_cast<double>(w1k.plf_calls()) /
+      gt.plf_section(w1k).kernel_s;
+  const double thr_50k =
+      static_cast<double>(w50k.m) * static_cast<double>(w50k.plf_calls()) /
+      gt.plf_section(w50k).kernel_s;
+  EXPECT_GT(thr_50k, 1.5 * thr_1k);
+}
+
+TEST(TotalTimeTest, Figure12Ordering) {
+  // The headline §4.2 results, frequency-scaled:
+  //  * 8-core multi-core ~4x overall, 16-core ~7x;
+  //  * Cell and best GPU only ~1.5x;
+  //  * 8800GT can end up SLOWER than the baseline.
+  const auto& base_sys = system_by_name("Baseline");
+  MultiCoreModel base(base_sys);
+  const auto w = analytic_mcmc_workload(20, 8543, 1000);
+  const double t_base = base.total_s(w, 1);  // frequency scale = 1
+
+  MultiCoreModel xeon(system_by_name("2xXeon(4)"));
+  const double t_xeon =
+      frequency_scaled(xeon.total_s(w, 8), xeon.system(), base_sys);
+  const double speedup_8 = t_base / t_xeon;
+  EXPECT_GT(speedup_8, 3.0);
+  EXPECT_LT(speedup_8, 5.5);
+
+  MultiCoreModel opt4(system_by_name("4xOpteron(4)"));
+  const double t_opt =
+      frequency_scaled(opt4.total_s(w, 16), opt4.system(), base_sys);
+  const double speedup_16 = t_base / t_opt;
+  EXPECT_GT(speedup_16, 5.5);
+  EXPECT_LT(speedup_16, 9.0);
+
+  CellModel ps3(system_by_name("PS3"));
+  const double t_ps3 =
+      frequency_scaled(ps3.total_s(w, 6), ps3.system(), base_sys);
+  const double speedup_cell = t_base / t_ps3;
+  EXPECT_GT(speedup_cell, 1.0);
+  EXPECT_LT(speedup_cell, 2.5);
+
+  GpuModel gt(system_by_name("8800GT"));
+  const double t_gt = frequency_scaled(gt.total_s(w), gt.system(), base_sys);
+  EXPECT_GT(t_gt, 0.8 * t_base);  // at or above baseline cost
+
+  GpuModel gtx(system_by_name("GTX285"));
+  const double t_gtx =
+      frequency_scaled(gtx.total_s(w), gtx.system(), base_sys);
+  EXPECT_LT(t_gtx, t_gt);
+}
+
+TEST(FrequencyScalingTest, ScalesByClockRatio) {
+  const auto& base = system_by_name("Baseline");
+  const auto& xeon = system_by_name("2xXeon(4)");
+  EXPECT_DOUBLE_EQ(frequency_scaled(10.0, xeon, base), 10.0 * 1.8 / 3.0);
+  EXPECT_DOUBLE_EQ(frequency_scaled(10.0, base, base), 10.0);
+}
+
+}  // namespace
+}  // namespace plf::arch

@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/backend.hpp"
+#include "core/engine.hpp"
+#include "mcmc/chain.hpp"
+#include "mcmc/consensus.hpp"
+#include "phylo/patterns.hpp"
+#include "phylo/tree.hpp"
+#include "seqgen/datasets.hpp"
+#include "seqgen/evolve.hpp"
+#include "seqgen/random_tree.hpp"
+#include "util/error.hpp"
+
+namespace plf::mcmc {
+namespace {
+
+using phylo::Tree;
+
+TEST(ConsensusTest, SingleTreeAllSplitsAtFullFrequency) {
+  TreeSampleSummary s;
+  s.add_newick("((A:1,B:1):1,(C:1,D:1):1,(E:1,F:1):1);");
+  EXPECT_EQ(s.n_trees(), 1u);
+  const auto freqs = s.split_frequencies();
+  // 6 taxa -> 4 internal nodes, 3 nontrivial splits.
+  ASSERT_EQ(freqs.size(), 3u);
+  for (const auto& f : freqs) {
+    EXPECT_EQ(f.count, 1u);
+    EXPECT_DOUBLE_EQ(f.frequency, 1.0);
+    EXPECT_GE(f.taxa.size(), 2u);
+  }
+}
+
+TEST(ConsensusTest, IdenticalTreesConsensusRecoversTopology) {
+  const char* nwk = "((A:1,B:1):1,(C:1,D:1):1,(E:1,F:1):1);";
+  TreeSampleSummary s;
+  for (int i = 0; i < 10; ++i) s.add_newick(nwk);
+  const std::string consensus = s.majority_rule_newick();
+  // The consensus (stripped of support labels) must equal the input
+  // topology; parse it back and compare splits.
+  const Tree original = Tree::from_newick(nwk);
+  const Tree back = Tree::from_newick(consensus, original.taxon_names());
+  EXPECT_TRUE(back.same_topology(original)) << consensus;
+  // Full support labels present.
+  EXPECT_NE(consensus.find("1.00"), std::string::npos);
+}
+
+TEST(ConsensusTest, MinoritySplitsDropOut) {
+  // 3 trees: AB|rest twice, AC|rest once. Majority keeps only AB.
+  TreeSampleSummary s;
+  s.add_newick("((A:1,B:1):1,C:1,D:1);");
+  s.add_newick("((A:1,B:1):1,D:1,C:1);");
+  s.add_newick("((A:1,C:1):1,B:1,D:1);");
+  const auto freqs = s.split_frequencies();
+  ASSERT_EQ(freqs.size(), 2u);
+  EXPECT_EQ(freqs[0].count, 2u);  // AB
+  EXPECT_EQ(freqs[1].count, 1u);  // AC
+  const std::string consensus = s.majority_rule_newick();
+  // AB grouped with 0.67 support; C and D attach at the root polytomy.
+  EXPECT_NE(consensus.find("0.67"), std::string::npos);
+  EXPECT_EQ(consensus.find("0.33"), std::string::npos);
+}
+
+TEST(ConsensusTest, TotalConflictYieldsStarTree) {
+  TreeSampleSummary s;
+  s.add_newick("((A:1,B:1):1,C:1,D:1);");
+  s.add_newick("((A:1,C:1):1,B:1,D:1);");
+  s.add_newick("((A:1,D:1):1,B:1,C:1);");
+  const std::string consensus = s.majority_rule_newick();
+  // No split reaches >50%: star tree (single pair of outer parens).
+  EXPECT_EQ(std::count(consensus.begin(), consensus.end(), '('), 1);
+}
+
+TEST(ConsensusTest, TaxonOrderIndependent) {
+  // The same topology written with different rotations/taxon orderings
+  // counts as the same splits.
+  TreeSampleSummary s;
+  s.add_newick("((A:1,B:1):1,(C:1,D:1):1,E:1);");
+  s.add_newick("(E:2,(D:2,C:2):2,(B:2,A:2):2);");
+  const auto freqs = s.split_frequencies();
+  ASSERT_EQ(freqs.size(), 2u);
+  for (const auto& f : freqs) EXPECT_EQ(f.count, 2u);
+}
+
+TEST(ConsensusTest, TopologyFrequency) {
+  TreeSampleSummary s;
+  s.add_newick("((A:1,B:1):1,C:1,D:1);");
+  s.add_newick("((A:1,B:1):1,C:1,D:1);");
+  s.add_newick("((A:1,C:1):1,B:1,D:1);");
+  const Tree ab = Tree::from_newick("((A:1,B:1):1,C:1,D:1);");
+  const Tree ac = Tree::from_newick("((A:1,C:1):1,B:1,D:1);");
+  const Tree ad = Tree::from_newick("((A:1,D:1):1,B:1,C:1);");
+  EXPECT_NEAR(s.topology_frequency(ab), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(s.topology_frequency(ac), 1.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.topology_frequency(ad), 0.0);
+}
+
+TEST(ConsensusTest, MismatchedTaxaRejected) {
+  TreeSampleSummary s;
+  s.add_newick("((A:1,B:1):1,C:1,D:1);");
+  EXPECT_THROW(s.add_newick("((A:1,B:1):1,C:1,X:1);"), Error);
+  EXPECT_THROW(s.add_newick("((A:1,B:1):1,(C:1,D:1):1,E:1);"), Error);
+}
+
+TEST(ConsensusTest, EmptySummaryRejectsConsensus) {
+  TreeSampleSummary s;
+  EXPECT_THROW(s.majority_rule_newick(), Error);
+}
+
+TEST(ConsensusTest, NestedCladesRenderCorrectly) {
+  // All trees share ((C,D),E) nested structure.
+  TreeSampleSummary s;
+  for (int i = 0; i < 4; ++i) {
+    s.add_newick("(A:1,B:1,((C:1,D:1):1,E:1):1);");
+  }
+  const std::string consensus = s.majority_rule_newick();
+  const Tree back =
+      Tree::from_newick(consensus, {"A", "B", "C", "D", "E"});
+  EXPECT_TRUE(back.same_topology(
+      Tree::from_newick("(A:1,B:1,((C:1,D:1):1,E:1):1);",
+                        std::vector<std::string>{"A", "B", "C", "D", "E"})));
+}
+
+TEST(ConsensusTest, PosteriorFromRealChainIsConcentrated) {
+  // Strong-signal data: the chain's posterior sample should concentrate on
+  // the generating topology, and the consensus should recover it.
+  Rng rng(31);
+  const Tree true_tree = seqgen::yule_tree(6, rng, 1.0, 0.15);
+  phylo::GtrParams params = seqgen::default_gtr_params();
+  phylo::SubstitutionModel model(params);
+  seqgen::SequenceEvolver ev(true_tree, model);
+  auto data = phylo::PatternMatrix::compress(ev.evolve(1500, rng));
+
+  core::SerialBackend backend;
+  core::PlfEngine engine(data, params, true_tree, backend);
+  McmcOptions opts;
+  opts.seed = 3;
+  opts.sample_every = 20;
+  opts.collect_trees = true;
+  McmcChain chain(engine, opts);
+  const auto result = chain.run(2000);
+  ASSERT_GT(result.sampled_trees.size(), 50u);
+
+  TreeSampleSummary summary;
+  // Burn-in: drop the first quarter of samples.
+  for (std::size_t i = result.sampled_trees.size() / 4;
+       i < result.sampled_trees.size(); ++i) {
+    summary.add_newick(result.sampled_trees[i]);
+  }
+  EXPECT_GT(summary.topology_frequency(true_tree), 0.5);
+  const Tree consensus = Tree::from_newick(summary.majority_rule_newick(),
+                                           true_tree.taxon_names());
+  EXPECT_TRUE(consensus.same_topology(true_tree));
+}
+
+}  // namespace
+}  // namespace plf::mcmc

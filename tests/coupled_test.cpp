@@ -1,0 +1,207 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "core/backend.hpp"
+#include "core/engine.hpp"
+#include "mcmc/coupled.hpp"
+#include "mcmc/diagnostics.hpp"
+#include "phylo/patterns.hpp"
+#include "seqgen/datasets.hpp"
+#include "seqgen/evolve.hpp"
+#include "seqgen/random_tree.hpp"
+#include "util/error.hpp"
+
+namespace plf::mcmc {
+namespace {
+
+struct Instance {
+  phylo::Tree tree;
+  phylo::GtrParams params;
+  phylo::PatternMatrix data;
+};
+
+Instance make_instance(std::size_t taxa, std::size_t cols, std::uint64_t seed) {
+  Rng rng(seed);
+  phylo::Tree tree = seqgen::yule_tree(taxa, rng, 1.0, 0.15);
+  phylo::GtrParams params = seqgen::default_gtr_params();
+  phylo::SubstitutionModel model(params);
+  seqgen::SequenceEvolver ev(tree, model);
+  auto aln = ev.evolve(cols, rng);
+  return Instance{std::move(tree), params, phylo::PatternMatrix::compress(aln)};
+}
+
+struct CoupledFixture {
+  Instance inst;
+  core::SerialBackend backends[4];
+  std::vector<std::unique_ptr<core::PlfEngine>> engines;
+  std::vector<core::PlfEngine*> ptrs;
+
+  CoupledFixture(std::size_t n_chains, std::uint64_t seed)
+      : inst(make_instance(8, 150, seed)) {
+    for (std::size_t i = 0; i < n_chains; ++i) {
+      engines.push_back(std::make_unique<core::PlfEngine>(
+          inst.data, inst.params, inst.tree, backends[i]));
+      ptrs.push_back(engines.back().get());
+    }
+  }
+};
+
+TEST(CoupledTest, BetaLadderMatchesMrBayesScheme) {
+  CoupledFixture fx(4, 81);
+  CoupledOptions opts;
+  opts.heat = 0.2;
+  CoupledChains mc3(fx.ptrs, opts);
+  EXPECT_DOUBLE_EQ(mc3.beta(0), 1.0);
+  EXPECT_DOUBLE_EQ(mc3.beta(1), 1.0 / 1.2);
+  EXPECT_DOUBLE_EQ(mc3.beta(2), 1.0 / 1.4);
+  EXPECT_DOUBLE_EQ(mc3.beta(3), 1.0 / 1.6);
+}
+
+TEST(CoupledTest, RunsAndSwaps) {
+  CoupledFixture fx(4, 82);
+  CoupledOptions opts;
+  opts.chain.seed = 9;
+  opts.swap_every = 5;
+  opts.chain.sample_every = 50;
+  CoupledChains mc3(fx.ptrs, opts);
+  const auto result = mc3.run(1000);
+
+  EXPECT_EQ(result.swaps_proposed, 200u);
+  EXPECT_GT(result.swaps_accepted, 0u);
+  EXPECT_LE(result.swaps_accepted, result.swaps_proposed);
+  // All four chains stepped every generation.
+  EXPECT_EQ(result.cold.total_proposed(), 4000u);
+  EXPECT_EQ(result.final_ln_likelihoods.size(), 4u);
+  // 1000/50 samples + initial.
+  EXPECT_EQ(result.cold.samples.size(), 21u);
+}
+
+TEST(CoupledTest, DeterministicForFixedSeed) {
+  CoupledOptions opts;
+  opts.chain.seed = 5;
+  opts.swap_every = 10;
+  CoupledFixture f1(3, 83), f2(3, 83);
+  CoupledChains a(f1.ptrs, opts), b(f2.ptrs, opts);
+  const auto ra = a.run(400);
+  const auto rb = b.run(400);
+  EXPECT_EQ(ra.cold.final_ln_likelihood, rb.cold.final_ln_likelihood);
+  EXPECT_EQ(ra.swaps_accepted, rb.swaps_accepted);
+  EXPECT_EQ(ra.cold.final_tree_newick, rb.cold.final_tree_newick);
+}
+
+TEST(CoupledTest, ColdChainTracksPosterior) {
+  // The cold chain of a coupled run should reach a likelihood comparable to
+  // (or better than) a single-chain run of the same length.
+  CoupledFixture fx(4, 84);
+  CoupledOptions opts;
+  opts.chain.seed = 7;
+  CoupledChains mc3(fx.ptrs, opts);
+  const auto coupled = mc3.run(1500);
+
+  core::SerialBackend backend;
+  core::PlfEngine engine(fx.inst.data, fx.inst.params, fx.inst.tree, backend);
+  McmcOptions single_opts;
+  single_opts.seed = 7;
+  McmcChain single(engine, single_opts);
+  const auto single_result = single.run(1500);
+
+  EXPECT_GT(coupled.cold.best_ln_likelihood,
+            single_result.best_ln_likelihood - 30.0);
+}
+
+TEST(CoupledTest, HeatedChainsAcceptMoreProposals) {
+  // A heated chain's flatter target accepts more moves. Compare a strongly
+  // heated single chain (via likelihood_power) against the cold one.
+  auto inst = make_instance(8, 300, 85);
+  core::SerialBackend b1, b2;
+  core::PlfEngine cold_engine(inst.data, inst.params, inst.tree, b1);
+  core::PlfEngine hot_engine(inst.data, inst.params, inst.tree, b2);
+  McmcOptions cold_opts;
+  cold_opts.seed = 10;
+  McmcOptions hot_opts;
+  hot_opts.seed = 10;
+  hot_opts.likelihood_power = 0.2;
+  McmcChain cold(cold_engine, cold_opts);
+  McmcChain hot(hot_engine, hot_opts);
+  const auto rc = cold.run(1500);
+  const auto rh = hot.run(1500);
+  EXPECT_GT(rh.total_accepted(), rc.total_accepted() + 50);
+}
+
+TEST(CoupledTest, SingleChainDegeneratesToPlainMcmc) {
+  CoupledFixture fx(1, 86);
+  CoupledOptions opts;
+  opts.chain.seed = 11;
+  CoupledChains mc3(fx.ptrs, opts);
+  const auto result = mc3.run(300);
+  EXPECT_EQ(result.swaps_accepted, 0u);  // no partner to swap with
+  EXPECT_EQ(result.cold.total_proposed(), 300u);
+}
+
+TEST(CoupledTest, RejectsEmptyEngineList) {
+  CoupledOptions opts;
+  EXPECT_THROW(CoupledChains({}, opts), Error);
+}
+
+TEST(DiagnosticsTest, AutocorrelationBasics) {
+  // White-ish noise: lag-1 autocorrelation near zero.
+  Rng rng(1);
+  std::vector<double> noise(4000);
+  for (auto& x : noise) x = rng.normal();
+  EXPECT_NEAR(autocorrelation(noise, 0), 1.0, 1e-12);
+  EXPECT_NEAR(autocorrelation(noise, 1), 0.0, 0.05);
+
+  // AR(1) with phi = 0.9: lag-1 near 0.9.
+  std::vector<double> ar(8000);
+  ar[0] = 0.0;
+  for (std::size_t i = 1; i < ar.size(); ++i) {
+    ar[i] = 0.9 * ar[i - 1] + rng.normal();
+  }
+  EXPECT_NEAR(autocorrelation(ar, 1), 0.9, 0.05);
+}
+
+TEST(DiagnosticsTest, EssOrdersSeriesByMixing) {
+  Rng rng(2);
+  std::vector<double> noise(2000), ar(2000);
+  for (auto& x : noise) x = rng.normal();
+  ar[0] = 0.0;
+  for (std::size_t i = 1; i < ar.size(); ++i) {
+    ar[i] = 0.95 * ar[i - 1] + rng.normal();
+  }
+  const auto s_noise = summarize_trace(noise);
+  const auto s_ar = summarize_trace(ar);
+  EXPECT_GT(s_noise.ess, 1200.0);
+  EXPECT_LT(s_ar.ess, 0.3 * s_noise.ess);
+  EXPECT_GT(s_ar.autocorrelation_time, 5.0);
+  // AR(1) theory: tau = (1+phi)/(1-phi) = 39.
+  EXPECT_NEAR(s_ar.autocorrelation_time, 39.0, 25.0);
+}
+
+TEST(DiagnosticsTest, ConstantSeriesFullEss) {
+  std::vector<double> c(100, 3.5);
+  const auto s = summarize_trace(c);
+  EXPECT_DOUBLE_EQ(s.mean, 3.5);
+  EXPECT_DOUBLE_EQ(s.variance, 0.0);
+  EXPECT_DOUBLE_EQ(s.ess, 100.0);
+}
+
+TEST(DiagnosticsTest, RealChainTraceHasReasonableEss) {
+  auto inst = make_instance(7, 200, 87);
+  core::SerialBackend backend;
+  core::PlfEngine engine(inst.data, inst.params, inst.tree, backend);
+  McmcOptions opts;
+  opts.seed = 13;
+  opts.sample_every = 10;
+  McmcChain chain(engine, opts);
+  const auto result = chain.run(3000);
+  std::vector<double> trace;
+  for (const auto& s : result.samples) trace.push_back(s.ln_likelihood);
+  const auto summary = summarize_trace(trace);
+  EXPECT_GT(summary.ess, 5.0);
+  EXPECT_LE(summary.ess, static_cast<double>(trace.size()) + 1e-9);
+}
+
+}  // namespace
+}  // namespace plf::mcmc

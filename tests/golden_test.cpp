@@ -1,0 +1,69 @@
+// Golden regression values: exact outputs of fixed-seed runs, locked in so
+// that accidental numeric or stream changes (kernel edits, RNG changes,
+// compression-order changes) are caught immediately.
+//
+// The scalar-kernel lnL is compared at double precision but with a small
+// tolerance: FP contraction decisions may differ across compilers. The RNG
+// stream and integer counters must match EXACTLY on every platform
+// (xoshiro256** is bit-specified).
+#include <gtest/gtest.h>
+
+#include "core/backend.hpp"
+#include "core/engine.hpp"
+#include "mcmc/chain.hpp"
+#include "phylo/patterns.hpp"
+#include "seqgen/datasets.hpp"
+#include "seqgen/evolve.hpp"
+#include "seqgen/random_tree.hpp"
+#include "util/rng.hpp"
+
+namespace plf {
+namespace {
+
+TEST(GoldenTest, RngStreamIsBitExact) {
+  Rng r(42);
+  EXPECT_EQ(r(), 1546998764402558742ull);
+  EXPECT_EQ(r(), 6990951692964543102ull);
+}
+
+TEST(GoldenTest, FixedInstanceLikelihood) {
+  Rng rng(12001);
+  auto tree = seqgen::yule_tree(9, rng, 1.0, 0.15);
+  auto params = seqgen::default_gtr_params();
+  phylo::SubstitutionModel model(params);
+  seqgen::SequenceEvolver ev(tree, model);
+  auto data = phylo::PatternMatrix::compress(ev.evolve(250, rng));
+
+  // Data pipeline is bit-deterministic.
+  EXPECT_EQ(data.n_patterns(), 80u);
+  EXPECT_EQ(tree.to_newick().substr(0, 26), "(t1:0.0154031,((t5:0.06404");
+
+  core::SerialBackend b;
+  core::PlfEngine e(data, params, tree, b, core::KernelVariant::kScalar);
+  // Kernel arithmetic may contract differently across compilers: accept a
+  // float-level band around the locked value.
+  EXPECT_NEAR(e.log_likelihood(), -1025.1100511813, 2e-3);
+}
+
+TEST(GoldenTest, FixedSeedMcmcTrajectory) {
+  Rng rng(12002);
+  auto tree = seqgen::yule_tree(7, rng, 1.0, 0.15);
+  auto params = seqgen::default_gtr_params();
+  phylo::SubstitutionModel model(params);
+  seqgen::SequenceEvolver ev(tree, model);
+  auto data = phylo::PatternMatrix::compress(ev.evolve(150, rng));
+  core::SerialBackend b;
+  core::PlfEngine e(data, params, tree, b);
+  mcmc::McmcOptions o;
+  o.seed = 777;
+  mcmc::McmcChain chain(e, o);
+  const auto r = chain.run(500);
+  // The acceptance COUNT is locked exactly on this platform family; the
+  // final lnL to a loose band (accept/reject flips would change the count
+  // long before drifting the lnL this far).
+  EXPECT_EQ(r.total_accepted(), 299u);
+  EXPECT_NEAR(r.final_ln_likelihood, -456.5383879616, 1.0);
+}
+
+}  // namespace
+}  // namespace plf

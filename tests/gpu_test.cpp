@@ -1,0 +1,348 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "core/backend.hpp"
+#include "core/engine.hpp"
+#include "gpu/coalescing.hpp"
+#include "gpu/device.hpp"
+#include "gpu/device_memory.hpp"
+#include "gpu/launch.hpp"
+#include "gpu/plf_gpu.hpp"
+#include "phylo/patterns.hpp"
+#include "seqgen/datasets.hpp"
+#include "seqgen/evolve.hpp"
+#include "seqgen/random_tree.hpp"
+#include "test_support.hpp"
+#include "util/error.hpp"
+
+namespace plf::gpu {
+namespace {
+
+TEST(DeviceSpecTest, PresetsMatchTable1) {
+  const DeviceSpec g = DeviceSpec::geforce_8800gt();
+  EXPECT_EQ(g.total_cores(), 112u);
+  EXPECT_DOUBLE_EQ(g.shader_clock_hz, 1.5e9);
+  EXPECT_EQ(g.global_memory_bytes, 512ull << 20);
+
+  const DeviceSpec t = DeviceSpec::gtx285();
+  EXPECT_EQ(t.total_cores(), 240u);
+  EXPECT_NEAR(t.shader_clock_hz, 1.476e9, 1e3);
+  EXPECT_EQ(t.global_memory_bytes, 1ull << 30);
+  // Paper: GTX285 has 2.1x the cores of the 8800GT.
+  EXPECT_NEAR(static_cast<double>(t.total_cores()) / g.total_cores(), 2.1, 0.1);
+}
+
+TEST(OccupancyTest, FullAt256Threads) {
+  const DeviceSpec g = DeviceSpec::geforce_8800gt();
+  EXPECT_DOUBLE_EQ(occupancy(g, LaunchConfig{40, 256}), 1.0);  // 3 blocks x 256 = 768
+  EXPECT_LT(occupancy(g, LaunchConfig{40, 512}), 0.7);  // 1 block x 512 / 768
+  EXPECT_LT(occupancy(g, LaunchConfig{40, 32}), 0.5);   // 8 blocks x 32 = 256
+  EXPECT_EQ(occupancy(g, LaunchConfig{40, 1024}), 0.0); // over block limit
+}
+
+TEST(OccupancyTest, WaveBalancePenalizesTailWaves) {
+  const DeviceSpec g = DeviceSpec::geforce_8800gt();
+  // 14 SMs x 3 resident blocks = 42 slots/wave.
+  EXPECT_NEAR(wave_balance(g, LaunchConfig{42, 256}), 1.0, 1e-12);
+  EXPECT_NEAR(wave_balance(g, LaunchConfig{43, 256}), 43.0 / 84.0, 1e-12);
+  EXPECT_NEAR(wave_balance(g, LaunchConfig{40, 256}), 40.0 / 42.0, 1e-12);
+}
+
+TEST(DeviceMemoryTest, AllocTrackingAndOom) {
+  DeviceMemory mem(1024, PcieSpec{});
+  const DevPtr a = mem.malloc(512);
+  EXPECT_EQ(mem.used(), 512u);
+  EXPECT_THROW(mem.malloc(513), HardwareViolation);
+  mem.free(a);
+  EXPECT_EQ(mem.used(), 0u);
+  const DevPtr b = mem.malloc(1024);
+  mem.free(b);
+  EXPECT_THROW(mem.free(b), Error);  // double free
+}
+
+TEST(DeviceMemoryTest, TransfersMoveDataAndTakeTime) {
+  DeviceMemory mem(4096, PcieSpec{2.0e9, 10e-6});
+  const DevPtr p = mem.malloc(1024);
+  aligned_vector<std::uint8_t> src(1024, 0x5A), dst(1024, 0);
+  const double t1 = mem.h2d(p, 0, src.data(), 1024, 0.0);
+  EXPECT_NEAR(t1, 10e-6 + 1024.0 / 2.0e9, 1e-12);
+  const double t2 = mem.d2h(dst.data(), p, 0, 1024, t1);
+  EXPECT_GT(t2, t1);
+  EXPECT_EQ(dst[0], 0x5A);
+  EXPECT_EQ(dst[1023], 0x5A);
+  EXPECT_EQ(mem.stats().h2d_bytes, 1024u);
+  EXPECT_EQ(mem.stats().d2h_bytes, 1024u);
+}
+
+TEST(DeviceMemoryTest, BoundsChecked) {
+  DeviceMemory mem(4096, PcieSpec{});
+  const DevPtr p = mem.malloc(100);
+  aligned_vector<std::uint8_t> buf(200);
+  EXPECT_THROW(mem.h2d(p, 50, buf.data(), 100, 0.0), Error);
+  EXPECT_THROW(mem.d2h(buf.data(), p, 0, 101, 0.0), Error);
+}
+
+TEST(CoalescingTest, DenseWarpIsPerfect) {
+  CoalescingAnalyzer an(64);
+  std::vector<std::uint64_t> addrs(32);
+  for (std::size_t l = 0; l < 32; ++l) addrs[l] = l * 4;
+  an.record(addrs, 4);
+  EXPECT_EQ(an.report().transactions, 2u);  // 128 B = 2 x 64 B segments
+  EXPECT_DOUBLE_EQ(an.report().transaction_ratio(), 1.0);
+}
+
+TEST(CoalescingTest, StridedWarpIsPenalized) {
+  CoalescingAnalyzer an(64);
+  std::vector<std::uint64_t> addrs(32);
+  for (std::size_t l = 0; l < 32; ++l) addrs[l] = l * 256;  // one segment each
+  an.record(addrs, 4);
+  EXPECT_EQ(an.report().transactions, 32u);
+  EXPECT_GT(an.report().transaction_ratio(), 10.0);
+}
+
+TEST(CoalescingTest, InactiveLanesIgnored) {
+  CoalescingAnalyzer an(64);
+  std::vector<std::uint64_t> addrs(32, std::numeric_limits<std::uint64_t>::max());
+  an.record(addrs, 4);
+  EXPECT_EQ(an.report().access_steps, 0u);
+  addrs[0] = 0;
+  an.record(addrs, 4);
+  EXPECT_EQ(an.report().access_steps, 1u);
+  EXPECT_EQ(an.report().transactions, 1u);
+}
+
+TEST(LaunchTest, FunctionalExecutionCoversGrid) {
+  KernelLauncher l(DeviceSpec::geforce_8800gt());
+  std::vector<int> hits(8 * 64, 0);
+  l.execute(LaunchConfig{8, 64}, [&](std::size_t b, std::size_t t) {
+    ++hits[b * 64 + t];
+  });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(LaunchTest, InvalidConfigRejected) {
+  KernelLauncher l(DeviceSpec::geforce_8800gt());
+  EXPECT_THROW(l.execute(LaunchConfig{1, 1024}, [](std::size_t, std::size_t) {}),
+               Error);
+  EXPECT_THROW(l.kernel_time(LaunchConfig{0, 256}, 100, KernelProfile{}), Error);
+}
+
+TEST(LaunchTest, KernelTimeScalesWithWork) {
+  KernelLauncher l(DeviceSpec::geforce_8800gt());
+  KernelProfile prof;
+  prof.flops_per_elem = 16;
+  prof.bytes_per_elem = 0.1;  // compute-bound
+  const LaunchConfig cfg{42, 256};
+  const double t1 = l.kernel_time(cfg, 100000, prof);
+  const double t2 = l.kernel_time(cfg, 200000, prof);
+  EXPECT_GT(t2, t1);
+  // Minus the launch overhead, work doubles.
+  const double o = DeviceSpec::geforce_8800gt().launch_overhead_s;
+  EXPECT_NEAR((t2 - o) / (t1 - o), 2.0, 0.1);
+}
+
+TEST(LaunchTest, MemoryRooflineBinds) {
+  KernelLauncher l(DeviceSpec::geforce_8800gt());
+  KernelProfile compute;
+  compute.flops_per_elem = 1000;
+  compute.bytes_per_elem = 1;
+  KernelProfile memory;
+  memory.flops_per_elem = 1;
+  memory.bytes_per_elem = 1000;
+  const LaunchConfig cfg{42, 256};
+  const double tc = l.kernel_time(cfg, 100000, compute);
+  const double tm = l.kernel_time(cfg, 100000, memory);
+  // 1000 B / 57.6 GB/s > 1000 flops / 168 Gflop/s
+  EXPECT_GT(tm, tc);
+}
+
+TEST(LaunchTest, CoalescingRatioSlowsMemoryBoundKernels) {
+  KernelLauncher l(DeviceSpec::geforce_8800gt());
+  KernelProfile a;
+  a.bytes_per_elem = 100;
+  KernelProfile b = a;
+  b.coalescing_ratio = 4.0;
+  const LaunchConfig cfg{42, 256};
+  EXPECT_GT(l.kernel_time(cfg, 1 << 20, b), 2.0 * l.kernel_time(cfg, 1 << 20, a));
+}
+
+// ---------------------------------------------------------------------------
+// GpuPlf backend.
+// ---------------------------------------------------------------------------
+
+struct EngineInstance {
+  phylo::Tree tree;
+  phylo::GtrParams params;
+  phylo::PatternMatrix data;
+};
+
+EngineInstance engine_instance(std::size_t taxa, std::size_t cols,
+                               std::uint64_t seed) {
+  Rng rng(seed);
+  phylo::Tree tree = seqgen::yule_tree(taxa, rng, 1.0, 0.15);
+  phylo::GtrParams params = seqgen::default_gtr_params();
+  phylo::SubstitutionModel model(params);
+  seqgen::SequenceEvolver ev(tree, model);
+  auto aln = ev.evolve(cols, rng);
+  return EngineInstance{std::move(tree), params,
+                        phylo::PatternMatrix::compress(aln)};
+}
+
+TEST(GpuPlfTest, EntryParallelMatchesScalarHost) {
+  auto inst = engine_instance(9, 300, 21);
+  core::SerialBackend serial;
+  core::PlfEngine ref(inst.data, inst.params, inst.tree, serial,
+                      core::KernelVariant::kScalar);
+  const double expect = ref.log_likelihood();
+
+  GpuPlfConfig cfg;
+  GpuPlf gpu(cfg);
+  core::PlfEngine engine(inst.data, inst.params, inst.tree, gpu,
+                         core::KernelVariant::kScalar);
+  const double got = engine.log_likelihood();
+  // The arithmetic ORDER matches the scalar reference; bitwise equality is
+  // not guaranteed because GCC may contract a*b+c to FMA differently in the
+  // two translation units. Single-precision-level agreement is the claim.
+  EXPECT_NEAR(got, expect, std::abs(expect) * 1e-5);
+  EXPECT_GT(gpu.simulated_seconds(), 0.0);
+  EXPECT_GT(gpu.stats().kernel_launches, 0u);
+  EXPECT_GT(gpu.stats().pcie_s, 0.0);
+  EXPECT_GT(gpu.stats().h2d_bytes, gpu.stats().d2h_bytes / 4);
+}
+
+TEST(GpuPlfTest, ReductionParallelMatchesSimdRowHost) {
+  auto inst = engine_instance(8, 200, 22);
+  core::SerialBackend serial;
+  core::PlfEngine ref(inst.data, inst.params, inst.tree, serial,
+                      core::KernelVariant::kSimdRow);
+  GpuPlfConfig cfg;
+  cfg.scheme = ThreadScheme::kReductionParallel;
+  GpuPlf gpu(cfg);
+  core::PlfEngine engine(inst.data, inst.params, inst.tree, gpu,
+                         core::KernelVariant::kSimdRow);
+  EXPECT_NEAR(engine.log_likelihood(), ref.log_likelihood(),
+              std::abs(ref.log_likelihood()) * 1e-5);
+}
+
+TEST(GpuPlfTest, Gtx285AlsoCorrectAndFasterKernels) {
+  // Large enough that kernels are bandwidth-bound: the regime where the
+  // paper reports the GTX285 2.2-2.4x ahead (20K/50K column sets).
+  auto inst = engine_instance(20, 60000, 23);  // ~50K distinct patterns
+  core::SerialBackend serial;
+  core::PlfEngine ref(inst.data, inst.params, inst.tree, serial,
+                      core::KernelVariant::kScalar);
+  const double expect = ref.log_likelihood();
+
+  GpuPlfConfig c1;  // 8800GT
+  GpuPlfConfig c2;
+  c2.device = DeviceSpec::gtx285();
+  c2.launch = LaunchConfig{85, 256};
+  GpuPlf g1(c1), g2(c2);
+  {
+    core::PlfEngine e1(inst.data, inst.params, inst.tree, g1,
+                       core::KernelVariant::kScalar);
+    EXPECT_NEAR(e1.log_likelihood(), expect, std::abs(expect) * 1e-5);
+  }
+  {
+    core::PlfEngine e2(inst.data, inst.params, inst.tree, g2,
+                       core::KernelVariant::kScalar);
+    EXPECT_NEAR(e2.log_likelihood(), expect, std::abs(expect) * 1e-5);
+  }
+  EXPECT_LT(g2.stats().kernel_s, g1.stats().kernel_s);
+  // The paper reports 2.2-2.4x at 20K/50K; our timing model lands slightly
+  // lower (~1.8-2.1x) because it charges the GTX285's 85-block launch its
+  // full wave-imbalance penalty. Accept a band that brackets both.
+  const double ratio = g1.stats().kernel_s / g2.stats().kernel_s;
+  EXPECT_GT(ratio, 1.6);
+  EXPECT_LT(ratio, 3.2);
+}
+
+TEST(GpuPlfTest, EntryParallelFasterThanReductionParallel) {
+  // The paper's §3.4 ablation: approach (ii) ~2.5x faster at the PLF level.
+  auto inst = engine_instance(10, 30000, 24);
+  auto kernel_time = [&](ThreadScheme scheme) {
+    GpuPlfConfig cfg;
+    cfg.scheme = scheme;
+    GpuPlf gpu(cfg);
+    core::PlfEngine engine(inst.data, inst.params, inst.tree, gpu);
+    engine.log_likelihood();
+    return gpu.stats().kernel_s;
+  };
+  const double entry = kernel_time(ThreadScheme::kEntryParallel);
+  const double reduction = kernel_time(ThreadScheme::kReductionParallel);
+  EXPECT_GT(reduction / entry, 1.7);
+  EXPECT_LT(reduction / entry, 3.5);
+}
+
+TEST(GpuPlfTest, PcieDominatesKernelTime) {
+  // The Fig. 12 phenomenon: per-invocation transfers cost more than the
+  // kernels they feed.
+  auto inst = engine_instance(10, 3000, 25);
+  GpuPlfConfig cfg;
+  GpuPlf gpu(cfg);
+  core::PlfEngine engine(inst.data, inst.params, inst.tree, gpu);
+  engine.log_likelihood();
+  EXPECT_GT(gpu.stats().pcie_s, gpu.stats().kernel_s);
+}
+
+TEST(GpuPlfTest, GlobalPartitioningOnTinyDevice) {
+  // Shrink device memory so one PLF invocation cannot fit: the three-level
+  // partitioning's global partitions must kick in and still be correct.
+  auto inst = engine_instance(8, 2000, 26);
+  core::SerialBackend serial;
+  core::PlfEngine ref(inst.data, inst.params, inst.tree, serial,
+                      core::KernelVariant::kScalar);
+  GpuPlfConfig cfg;
+  cfg.device.global_memory_bytes = 96 * 1024;  // absurdly small
+  GpuPlf gpu(cfg);
+  core::PlfEngine engine(inst.data, inst.params, inst.tree, gpu,
+                         core::KernelVariant::kScalar);
+  EXPECT_NEAR(engine.log_likelihood(), ref.log_likelihood(),
+              std::abs(ref.log_likelihood()) * 1e-5);
+  EXPECT_GT(gpu.stats().global_partitions, 0u);
+}
+
+TEST(GpuPlfTest, McmcProposalsOnGpu) {
+  auto inst = engine_instance(8, 150, 27);
+  GpuPlfConfig cfg;
+  GpuPlf gpu(cfg);
+  core::PlfEngine engine(inst.data, inst.params, inst.tree, gpu);
+  const double before = engine.log_likelihood();
+  engine.begin_proposal();
+  engine.set_branch_length(engine.tree().branch_nodes()[0], 0.9);
+  engine.log_likelihood();
+  engine.reject();
+  EXPECT_DOUBLE_EQ(engine.log_likelihood(), before);
+}
+
+TEST(GpuPlfTest, EntryParallelLayoutCoalesces) {
+  GpuPlf gpu(GpuPlfConfig{});
+  const auto entry = gpu.analyze_cl_loads(ThreadScheme::kEntryParallel, 512, 4);
+  EXPECT_GT(entry.access_steps, 0u);
+  EXPECT_DOUBLE_EQ(entry.transaction_ratio(), 1.0);
+  // The cooperative layout re-reads each rate array 4x: more transactions
+  // per useful byte.
+  const auto red = gpu.analyze_cl_loads(ThreadScheme::kReductionParallel, 512, 4);
+  EXPECT_GE(red.transaction_ratio(), entry.transaction_ratio());
+}
+
+TEST(GpuPlfTest, DesignSpace256ThreadsNearOptimal) {
+  // §3.4: exploration found 256 threads x ~3 blocks/SM best. Verify the
+  // timing model prefers 256-thread blocks over tiny and oversized ones at
+  // a fixed representative workload.
+  KernelLauncher l(DeviceSpec::geforce_8800gt());
+  KernelProfile prof;
+  prof.flops_per_elem = 15;
+  prof.bytes_per_elem = 36;
+  const std::size_t n = 20000 * 16;
+  const double t256 = l.kernel_time(LaunchConfig{42, 256}, n, prof);
+  const double t32 = l.kernel_time(LaunchConfig{42, 32}, n, prof);
+  const double t512 = l.kernel_time(LaunchConfig{42, 512}, n, prof);
+  EXPECT_LT(t256, t32);
+  EXPECT_LE(t256, t512);
+}
+
+}  // namespace
+}  // namespace plf::gpu

@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "phylo/nexus.hpp"
+#include "phylo/tree.hpp"
+#include "util/error.hpp"
+
+namespace plf::phylo {
+namespace {
+
+const char* kBasic = R"(#NEXUS
+BEGIN DATA;
+  DIMENSIONS NTAX=3 NCHAR=8;
+  FORMAT DATATYPE=DNA MISSING=? GAP=-;
+  MATRIX
+    human   ACGTACGT
+    chimp   ACGTACGA
+    gorilla ACG-ACGA
+  ;
+END;
+)";
+
+TEST(NexusTest, ParsesBasicDataBlock) {
+  const NexusFile nx = parse_nexus(kBasic);
+  ASSERT_TRUE(nx.has_alignment);
+  EXPECT_EQ(nx.alignment.n_taxa(), 3u);
+  EXPECT_EQ(nx.alignment.n_columns(), 8u);
+  EXPECT_EQ(nx.alignment.name(0), "human");
+  EXPECT_EQ(nx.alignment.sequence(1), "ACGTACGA");
+  EXPECT_EQ(nx.alignment.at(2, 3), kGapMask);
+  EXPECT_TRUE(nx.trees.empty());
+}
+
+TEST(NexusTest, CaseInsensitiveKeywordsAndComments) {
+  const char* text = R"(#nexus
+[ a file comment
+spanning lines ]
+begin data;
+  dimensions ntax=2 nchar=4;
+  format datatype=dna;
+  matrix
+    a ACGT [inline comment]
+    b TGCA
+  ;
+end;
+)";
+  const NexusFile nx = parse_nexus(text);
+  EXPECT_EQ(nx.alignment.n_taxa(), 2u);
+  EXPECT_EQ(nx.alignment.sequence(0), "ACGT");
+}
+
+TEST(NexusTest, InterleavedMatrix) {
+  const char* text = R"(#NEXUS
+BEGIN DATA;
+  DIMENSIONS NTAX=2 NCHAR=8;
+  FORMAT DATATYPE=DNA INTERLEAVE=YES;
+  MATRIX
+    x ACGT
+    y TTTT
+    x ACGA
+    y CCCC
+  ;
+END;
+)";
+  const NexusFile nx = parse_nexus(text);
+  EXPECT_EQ(nx.alignment.sequence(0), "ACGTACGA");
+  EXPECT_EQ(nx.alignment.sequence(1), "TTTTCCCC");
+}
+
+TEST(NexusTest, TreesBlockWithTranslate) {
+  const char* text = R"(#NEXUS
+BEGIN TREES;
+  TRANSLATE
+    1 human,
+    2 chimp,
+    3 gorilla,
+    4 orang;
+  TREE best = [&U] ((1:0.1,2:0.2):0.05,3:0.3,4:0.4);
+  TREE alt = (1:1,3:1,(2:1,4:1):1);
+END;
+)";
+  const NexusFile nx = parse_nexus(text);
+  ASSERT_EQ(nx.trees.size(), 2u);
+  EXPECT_EQ(nx.trees[0].first, "best");
+  const Tree t = Tree::from_newick(nx.trees[0].second);
+  EXPECT_EQ(t.n_taxa(), 4u);
+  EXPECT_EQ(t.taxon_name(0), "human");
+  EXPECT_NEAR(t.total_length(), 1.05, 1e-9);
+  const Tree alt = Tree::from_newick(nx.trees[1].second, t.taxon_names());
+  EXPECT_FALSE(t.same_topology(alt));
+}
+
+TEST(NexusTest, DataAndTreesTogether) {
+  const std::string text = std::string(kBasic) + R"(
+BEGIN TREES;
+  TREE t1 = (human:0.1,chimp:0.1,gorilla:0.2);
+END;
+)";
+  const NexusFile nx = parse_nexus(text);
+  EXPECT_TRUE(nx.has_alignment);
+  ASSERT_EQ(nx.trees.size(), 1u);
+  const Tree t = Tree::from_newick(nx.trees[0].second, nx.alignment.names());
+  EXPECT_EQ(t.n_taxa(), 3u);
+}
+
+TEST(NexusTest, UnknownBlocksSkipped) {
+  const std::string full =
+      "#NEXUS\nBEGIN MRBAYES;\n  set autoclose=yes;\n  mcmc ngen=1000;\nEND;\n"
+      "BEGIN DATA;\n DIMENSIONS NTAX=2 NCHAR=2;\n FORMAT DATATYPE=DNA;\n"
+      " MATRIX\n  a AC\n  b GT\n ;\nEND;\n";
+  const NexusFile nx = parse_nexus(full);
+  EXPECT_EQ(nx.alignment.n_taxa(), 2u);
+}
+
+TEST(NexusTest, Errors) {
+  EXPECT_THROW(parse_nexus("BEGIN DATA; END;"), ParseError);  // no #NEXUS
+  EXPECT_THROW(parse_nexus("#NEXUS\nBEGIN DATA;\nMATRIX\n a AC\n"),
+               ParseError);  // unterminated
+  EXPECT_THROW(parse_nexus("#NEXUS\n[unclosed comment"), ParseError);
+  // NTAX mismatch.
+  EXPECT_THROW(parse_nexus("#NEXUS\nBEGIN DATA;\nDIMENSIONS NTAX=3 NCHAR=2;\n"
+                           "MATRIX\n a AC\n b GT\n;\nEND;\n"),
+               Error);
+  // Protein data unsupported.
+  EXPECT_THROW(parse_nexus("#NEXUS\nBEGIN DATA;\nFORMAT DATATYPE=PROTEIN;\n"
+                           "MATRIX\n a AC\n;\nEND;\n"),
+               ParseError);
+}
+
+TEST(NexusTest, WriteReadRoundTrip) {
+  Alignment aln({"tax1", "tax2", "tax3"}, {"ACGTAC", "AC--AC", "ANRYAC"});
+  std::vector<std::pair<std::string, std::string>> trees{
+      {"sample", "(tax1:0.1,tax2:0.2,tax3:0.3);"}};
+  std::ostringstream os;
+  write_nexus(os, aln, trees);
+
+  const NexusFile nx = parse_nexus(os.str());
+  ASSERT_TRUE(nx.has_alignment);
+  EXPECT_EQ(nx.alignment.n_taxa(), 3u);
+  for (std::size_t t = 0; t < 3; ++t) {
+    EXPECT_EQ(nx.alignment.sequence(t), aln.sequence(t));
+  }
+  ASSERT_EQ(nx.trees.size(), 1u);
+  const Tree t = Tree::from_newick(nx.trees[0].second, aln.names());
+  EXPECT_NEAR(t.total_length(), 0.6, 1e-9);
+}
+
+}  // namespace
+}  // namespace plf::phylo

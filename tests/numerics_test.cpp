@@ -1,0 +1,250 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "numerics/discrete_gamma.hpp"
+#include "numerics/eigen.hpp"
+#include "numerics/matrix4.hpp"
+#include "numerics/special.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace plf::num {
+namespace {
+
+TEST(Matrix4Test, IdentityAndMultiply) {
+  Matrix4 a;
+  int v = 1;
+  for (std::size_t r = 0; r < 4; ++r)
+    for (std::size_t c = 0; c < 4; ++c) a(r, c) = v++;
+  const Matrix4 i = Matrix4::identity();
+  const Matrix4 ai = a * i;
+  for (std::size_t r = 0; r < 4; ++r)
+    for (std::size_t c = 0; c < 4; ++c) EXPECT_DOUBLE_EQ(ai(r, c), a(r, c));
+}
+
+TEST(Matrix4Test, TransposeInvolution) {
+  Matrix4 a;
+  Rng rng(3);
+  for (auto& x : a.m) x = rng.uniform();
+  const Matrix4 att = a.transposed().transposed();
+  for (std::size_t i = 0; i < 16; ++i) EXPECT_DOUBLE_EQ(att.m[i], a.m[i]);
+}
+
+TEST(Matrix4Test, MatrixVectorProduct) {
+  Matrix4 a = Matrix4::identity();
+  a(0, 1) = 2.0;
+  const std::array<double, 4> v{1, 10, 100, 1000};
+  const auto r = a * v;
+  EXPECT_DOUBLE_EQ(r[0], 21.0);
+  EXPECT_DOUBLE_EQ(r[1], 10.0);
+}
+
+TEST(JacobiTest, DiagonalMatrix) {
+  const std::vector<double> a{3, 0, 0, 0, 1, 0, 0, 0, 2};
+  const auto e = jacobi_eigen(a, 3);
+  EXPECT_NEAR(e.values[0], 1.0, 1e-12);
+  EXPECT_NEAR(e.values[1], 2.0, 1e-12);
+  EXPECT_NEAR(e.values[2], 3.0, 1e-12);
+}
+
+TEST(JacobiTest, KnownTwoByTwo) {
+  // [[2,1],[1,2]] has eigenvalues 1 and 3.
+  const std::vector<double> a{2, 1, 1, 2};
+  const auto e = jacobi_eigen(a, 2);
+  EXPECT_NEAR(e.values[0], 1.0, 1e-12);
+  EXPECT_NEAR(e.values[1], 3.0, 1e-12);
+}
+
+TEST(JacobiTest, ReconstructsRandomSymmetricMatrix) {
+  Rng rng(7);
+  const std::size_t n = 6;
+  std::vector<double> a(n * n);
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t c = r; c < n; ++c) {
+      a[r * n + c] = a[c * n + r] = rng.uniform(-1.0, 1.0);
+    }
+  const auto e = jacobi_eigen(a, n);
+  // A == V diag(L) V^T
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) {
+      double s = 0.0;
+      for (std::size_t k = 0; k < n; ++k) {
+        s += e.vec(r, k) * e.values[k] * e.vec(c, k);
+      }
+      EXPECT_NEAR(s, a[r * n + c], 1e-10);
+    }
+  }
+}
+
+TEST(JacobiTest, EigenvectorsOrthonormal) {
+  Rng rng(11);
+  const std::size_t n = 5;
+  std::vector<double> a(n * n);
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t c = r; c < n; ++c) a[r * n + c] = a[c * n + r] = rng.normal();
+  const auto e = jacobi_eigen(a, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double dot = 0.0;
+      for (std::size_t k = 0; k < n; ++k) dot += e.vec(k, i) * e.vec(k, j);
+      EXPECT_NEAR(dot, i == j ? 1.0 : 0.0, 1e-10);
+    }
+  }
+}
+
+TEST(JacobiTest, RejectsSizeMismatch) {
+  EXPECT_THROW(jacobi_eigen(std::vector<double>(5), 2), Error);
+}
+
+// A simple reversible Q for spectral tests: JC69-like.
+Matrix4 jc_q() {
+  Matrix4 q;
+  for (std::size_t i = 0; i < 4; ++i)
+    for (std::size_t j = 0; j < 4; ++j) q(i, j) = i == j ? -1.0 : 1.0 / 3.0;
+  return q;
+}
+
+TEST(SpectralTest, TransitionMatrixRowsSumToOne) {
+  const std::array<double, 4> pi{0.25, 0.25, 0.25, 0.25};
+  ReversibleSpectral s(jc_q(), pi);
+  for (double t : {0.0, 0.01, 0.1, 1.0, 10.0}) {
+    const Matrix4 p = s.transition_matrix(t);
+    for (std::size_t r = 0; r < 4; ++r) {
+      double sum = 0.0;
+      for (std::size_t c = 0; c < 4; ++c) {
+        EXPECT_GE(p(r, c), 0.0);
+        sum += p(r, c);
+      }
+      EXPECT_NEAR(sum, 1.0, 1e-12);
+    }
+  }
+}
+
+TEST(SpectralTest, ZeroTimeIsIdentity) {
+  const std::array<double, 4> pi{0.25, 0.25, 0.25, 0.25};
+  ReversibleSpectral s(jc_q(), pi);
+  const Matrix4 p = s.transition_matrix(0.0);
+  for (std::size_t r = 0; r < 4; ++r)
+    for (std::size_t c = 0; c < 4; ++c)
+      EXPECT_NEAR(p(r, c), r == c ? 1.0 : 0.0, 1e-12);
+}
+
+TEST(SpectralTest, JcClosedForm) {
+  // JC69: P(t) diag = 1/4 + 3/4 e^{-4t/3}, off = 1/4 - 1/4 e^{-4t/3}.
+  const std::array<double, 4> pi{0.25, 0.25, 0.25, 0.25};
+  ReversibleSpectral s(jc_q(), pi);
+  for (double t : {0.05, 0.3, 1.2}) {
+    const Matrix4 p = s.transition_matrix(t);
+    const double e = std::exp(-4.0 * t / 3.0);
+    EXPECT_NEAR(p(0, 0), 0.25 + 0.75 * e, 1e-12);
+    EXPECT_NEAR(p(1, 2), 0.25 - 0.25 * e, 1e-12);
+  }
+}
+
+TEST(SpectralTest, ChapmanKolmogorov) {
+  // P(s+t) == P(s) P(t)
+  const std::array<double, 4> pi{0.25, 0.25, 0.25, 0.25};
+  ReversibleSpectral sp(jc_q(), pi);
+  const Matrix4 a = sp.transition_matrix(0.3);
+  const Matrix4 b = sp.transition_matrix(0.7);
+  const Matrix4 ab = a * b;
+  const Matrix4 c = sp.transition_matrix(1.0);
+  for (std::size_t i = 0; i < 16; ++i) EXPECT_NEAR(ab.m[i], c.m[i], 1e-12);
+}
+
+TEST(SpecialTest, IncompleteGammaKnownValues) {
+  // P(1, x) = 1 - e^{-x}
+  for (double x : {0.1, 0.5, 1.0, 3.0}) {
+    EXPECT_NEAR(incomplete_gamma_p(1.0, x), 1.0 - std::exp(-x), 1e-12);
+  }
+  // P(a, 0) = 0; P(a, inf-ish) -> 1
+  EXPECT_DOUBLE_EQ(incomplete_gamma_p(2.5, 0.0), 0.0);
+  EXPECT_NEAR(incomplete_gamma_p(2.5, 100.0), 1.0, 1e-12);
+}
+
+TEST(SpecialTest, IncompleteGammaMonotone) {
+  double prev = -1.0;
+  for (double x = 0.0; x < 10.0; x += 0.25) {
+    const double v = incomplete_gamma_p(2.0, x);
+    EXPECT_GT(v, prev);
+    prev = v;
+  }
+}
+
+TEST(SpecialTest, NormalQuantileKnownValues) {
+  EXPECT_NEAR(normal_quantile(0.5), 0.0, 1e-12);
+  EXPECT_NEAR(normal_quantile(0.975), 1.959963984540054, 1e-9);
+  EXPECT_NEAR(normal_quantile(0.025), -1.959963984540054, 1e-9);
+  EXPECT_NEAR(normal_quantile(0.8413447460685429), 1.0, 1e-9);
+}
+
+TEST(SpecialTest, ChiSquareQuantileKnownValues) {
+  // chi^2_1 median = 0.454936..., chi^2_2 quantile is -2 ln(1-p).
+  EXPECT_NEAR(chi_square_quantile(0.5, 1.0), 0.45493642311957296, 1e-8);
+  for (double p : {0.1, 0.5, 0.9, 0.99}) {
+    EXPECT_NEAR(chi_square_quantile(p, 2.0), -2.0 * std::log(1.0 - p), 1e-8);
+  }
+}
+
+TEST(SpecialTest, GammaQuantileInvertsCdf) {
+  for (double shape : {0.3, 1.0, 2.7}) {
+    for (double p : {0.05, 0.25, 0.5, 0.75, 0.95}) {
+      const double x = gamma_quantile(p, shape, 1.0 / shape);
+      EXPECT_NEAR(incomplete_gamma_p(shape, x * shape), p, 1e-7)
+          << "shape=" << shape << " p=" << p;
+    }
+  }
+}
+
+TEST(DiscreteGammaTest, MeanIsOne) {
+  for (double alpha : {0.1, 0.5, 1.0, 2.0, 10.0, 100.0}) {
+    for (std::size_t k : {1u, 2u, 4u, 8u}) {
+      const auto rates = discrete_gamma_rates(alpha, k);
+      ASSERT_EQ(rates.size(), k);
+      double mean = 0.0;
+      for (double r : rates) {
+        EXPECT_GT(r, 0.0);
+        mean += r;
+      }
+      mean /= static_cast<double>(k);
+      EXPECT_NEAR(mean, 1.0, 1e-8) << "alpha=" << alpha << " k=" << k;
+    }
+  }
+}
+
+TEST(DiscreteGammaTest, RatesAscending) {
+  const auto rates = discrete_gamma_rates(0.75, 4);
+  for (std::size_t i = 1; i < rates.size(); ++i) EXPECT_LT(rates[i - 1], rates[i]);
+}
+
+TEST(DiscreteGammaTest, MatchesPamlAlphaHalf) {
+  // PAML/Yang (1994) canonical example: alpha = 0.5, K = 4, mean-rate
+  // discretization: {0.0334, 0.2519, 0.8203, 2.8944}.
+  const auto r = discrete_gamma_rates(0.5, 4, GammaDiscretization::kMean);
+  EXPECT_NEAR(r[0], 0.0334, 5e-4);
+  EXPECT_NEAR(r[1], 0.2519, 5e-4);
+  EXPECT_NEAR(r[2], 0.8203, 5e-4);
+  EXPECT_NEAR(r[3], 2.8944, 5e-4);
+}
+
+TEST(DiscreteGammaTest, LargeAlphaApproachesUniform) {
+  const auto rates = discrete_gamma_rates(1e4, 4);
+  for (double r : rates) EXPECT_NEAR(r, 1.0, 0.05);
+}
+
+TEST(DiscreteGammaTest, MedianVariantAlsoMeanOne) {
+  const auto rates = discrete_gamma_rates(0.6, 4, GammaDiscretization::kMedian);
+  double mean = 0.0;
+  for (double r : rates) mean += r;
+  EXPECT_NEAR(mean / 4.0, 1.0, 1e-12);
+}
+
+TEST(DiscreteGammaTest, SingleCategoryIsRateOne) {
+  const auto rates = discrete_gamma_rates(0.42, 1);
+  ASSERT_EQ(rates.size(), 1u);
+  EXPECT_DOUBLE_EQ(rates[0], 1.0);
+}
+
+}  // namespace
+}  // namespace plf::num

@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/backend.hpp"
+#include "core/engine.hpp"
+#include "core/optimize.hpp"
+#include "phylo/patterns.hpp"
+#include "seqgen/datasets.hpp"
+#include "seqgen/evolve.hpp"
+#include "seqgen/random_tree.hpp"
+#include "util/error.hpp"
+
+namespace plf::core {
+namespace {
+
+struct Instance {
+  phylo::Tree tree;
+  phylo::GtrParams params;
+  phylo::PatternMatrix data;
+};
+
+Instance make_instance(std::size_t taxa, std::size_t cols, std::uint64_t seed,
+                       double scale = 0.15) {
+  Rng rng(seed);
+  phylo::Tree tree = seqgen::yule_tree(taxa, rng, 1.0, scale);
+  phylo::GtrParams params = seqgen::default_gtr_params();
+  phylo::SubstitutionModel model(params);
+  seqgen::SequenceEvolver ev(tree, model);
+  auto aln = ev.evolve(cols, rng);
+  return Instance{std::move(tree), params, phylo::PatternMatrix::compress(aln)};
+}
+
+TEST(OptimizeBranchTest, ImprovesPerturbedBranch) {
+  auto inst = make_instance(8, 800, 41);
+  SerialBackend backend;
+  PlfEngine engine(inst.data, inst.params, inst.tree, backend);
+  const int b = engine.tree().leaf_of(2);
+  const double true_len = engine.tree().branch_length(b);
+
+  engine.set_branch_length(b, true_len * 8.0);  // badly off
+  const double perturbed = engine.log_likelihood();
+  const auto r = optimize_branch(engine, b);
+  EXPECT_GT(r.ln_likelihood, perturbed);
+  EXPECT_GT(r.evaluations, 3);
+  // ML estimate lands near the generating value (data has finite signal).
+  EXPECT_NEAR(std::log(r.length), std::log(true_len), std::log(2.2));
+  EXPECT_DOUBLE_EQ(engine.tree().branch_length(b), r.length);
+}
+
+TEST(OptimizeBranchTest, AlreadyOptimalBranchBarelyMoves) {
+  auto inst = make_instance(8, 800, 42);
+  SerialBackend backend;
+  PlfEngine engine(inst.data, inst.params, inst.tree, backend);
+  const int b = engine.tree().leaf_of(4);
+  const auto first = optimize_branch(engine, b);
+  const auto second = optimize_branch(engine, b);
+  // The single-precision likelihood surface is flat near the optimum, so
+  // Brent may settle anywhere inside the tolerance basin.
+  EXPECT_NEAR(second.length, first.length, 0.1 * first.length + 1e-6);
+  EXPECT_NEAR(second.ln_likelihood, first.ln_likelihood, 1e-3);
+  EXPECT_GE(second.ln_likelihood, first.ln_likelihood - 1e-3);
+}
+
+TEST(OptimizeBranchTest, MonotoneNonDecreasingLikelihood) {
+  auto inst = make_instance(10, 300, 43);
+  SerialBackend backend;
+  PlfEngine engine(inst.data, inst.params, inst.tree, backend);
+  double prev = engine.log_likelihood();
+  for (int b : engine.tree().branch_nodes()) {
+    const auto r = optimize_branch(engine, b);
+    EXPECT_GE(r.ln_likelihood, prev - 1e-6) << "branch " << b;
+    prev = r.ln_likelihood;
+  }
+}
+
+TEST(OptimizeBranchTest, RespectsBounds) {
+  auto inst = make_instance(6, 100, 44);
+  SerialBackend backend;
+  PlfEngine engine(inst.data, inst.params, inst.tree, backend);
+  OptimizeOptions opts;
+  opts.min_length = 0.05;
+  opts.max_length = 0.2;
+  const auto r = optimize_branch(engine, engine.tree().leaf_of(1), opts);
+  EXPECT_GE(r.length, opts.min_length * 0.999);
+  EXPECT_LE(r.length, opts.max_length * 1.001);
+}
+
+TEST(OptimizeBranchTest, RejectsRootAndBadBounds) {
+  auto inst = make_instance(6, 100, 45);
+  SerialBackend backend;
+  PlfEngine engine(inst.data, inst.params, inst.tree, backend);
+  EXPECT_THROW(optimize_branch(engine, engine.tree().root()), Error);
+  OptimizeOptions bad;
+  bad.min_length = 1.0;
+  bad.max_length = 0.5;
+  EXPECT_THROW(optimize_branch(engine, engine.tree().leaf_of(0), bad), Error);
+}
+
+TEST(OptimizeAllTest, RecoversTreeLengthFromPerturbedStart) {
+  auto inst = make_instance(8, 2000, 46);
+  SerialBackend backend;
+
+  // Reference: lnL at the generating branch lengths.
+  PlfEngine ref(inst.data, inst.params, inst.tree, backend);
+  const double ln_true = ref.log_likelihood();
+
+  // Perturbed start: every branch at 0.5.
+  phylo::Tree start = inst.tree;
+  for (int b : start.branch_nodes()) start.set_branch_length(b, 0.5);
+  PlfEngine engine(inst.data, inst.params, start, backend);
+  const double ln_start = engine.log_likelihood();
+  ASSERT_LT(ln_start, ln_true - 100.0);
+
+  const auto r = optimize_all_branches(engine);
+  // ML on the true topology must meet or beat the generating parameters.
+  EXPECT_GT(r.ln_likelihood, ln_true - 5.0);
+  EXPECT_NEAR(engine.tree().total_length(), inst.tree.total_length(),
+              0.35 * inst.tree.total_length());
+}
+
+TEST(OptimizeAllTest, WorksOnThreadedBackend) {
+  auto inst = make_instance(7, 400, 47);
+  par::ThreadPool pool(3);
+  ThreadedBackend backend(pool);
+  PlfEngine engine(inst.data, inst.params, inst.tree, backend);
+  const double before = engine.log_likelihood();
+  engine.set_branch_length(engine.tree().leaf_of(0), 3.0);
+  const auto r = optimize_all_branches(engine, 3);
+  EXPECT_GE(r.ln_likelihood, before - 1.0);
+}
+
+TEST(OptimizeAllTest, ConvergesAndStops) {
+  auto inst = make_instance(6, 300, 48);
+  SerialBackend backend;
+  PlfEngine engine(inst.data, inst.params, inst.tree, backend);
+  const auto r1 = optimize_all_branches(engine, 10);
+  // A second full optimization finds (numerically) nothing new.
+  const auto r2 = optimize_all_branches(engine, 10);
+  EXPECT_NEAR(r2.ln_likelihood, r1.ln_likelihood, 1e-4);
+  EXPECT_LT(r2.evaluations, r1.evaluations + 1);
+}
+
+}  // namespace
+}  // namespace plf::core

@@ -1,0 +1,185 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "par/spin_barrier.hpp"
+#include "par/thread_pool.hpp"
+#include "util/error.hpp"
+
+namespace plf::par {
+namespace {
+
+TEST(ThreadPoolTest, SizeIncludesCaller) {
+  ThreadPool p(4);
+  EXPECT_EQ(p.size(), 4u);
+  ThreadPool p1(1);
+  EXPECT_EQ(p1.size(), 1u);
+}
+
+TEST(ThreadPoolTest, CoversAllIndicesExactlyOnceStatic) {
+  ThreadPool p(4);
+  std::vector<std::atomic<int>> hits(1000);
+  p.parallel_for(0, hits.size(), [&](Range r, std::size_t) {
+    for (std::size_t i = r.begin; i < r.end; ++i) hits[i].fetch_add(1);
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, CoversAllIndicesExactlyOnceDynamic) {
+  ThreadPool p(3);
+  std::vector<std::atomic<int>> hits(777);
+  p.parallel_for(
+      0, hits.size(),
+      [&](Range r, std::size_t) {
+        for (std::size_t i = r.begin; i < r.end; ++i) hits[i].fetch_add(1);
+      },
+      Schedule::kDynamic, 10);
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, NonZeroBegin) {
+  ThreadPool p(2);
+  std::atomic<std::size_t> sum{0};
+  p.parallel_for(100, 200, [&](Range r, std::size_t) {
+    std::size_t local = 0;
+    for (std::size_t i = r.begin; i < r.end; ++i) local += i;
+    sum += local;
+  });
+  std::size_t expect = 0;
+  for (std::size_t i = 100; i < 200; ++i) expect += i;
+  EXPECT_EQ(sum.load(), expect);
+}
+
+TEST(ThreadPoolTest, EmptyRangeIsNoop) {
+  ThreadPool p(2);
+  bool ran = false;
+  p.parallel_for(5, 5, [&](Range, std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPoolTest, RejectsInvertedRange) {
+  ThreadPool p(2);
+  EXPECT_THROW(p.parallel_for(3, 1, [](Range, std::size_t) {}), Error);
+}
+
+TEST(ThreadPoolTest, StaticPartitionIsContiguousPerThread) {
+  ThreadPool p(4);
+  std::vector<std::pair<std::size_t, std::size_t>> ranges(4, {~0ull, 0});
+  std::mutex m;
+  p.parallel_for(0, 103, [&](Range r, std::size_t tid) {
+    std::lock_guard<std::mutex> l(m);
+    ranges[tid] = {r.begin, r.end};
+  });
+  // Ranges must tile [0, 103) in thread order.
+  std::size_t cursor = 0;
+  for (std::size_t t = 0; t < 4; ++t) {
+    if (ranges[t].first == ~0ull) continue;  // thread got no work
+    EXPECT_EQ(ranges[t].first, cursor);
+    cursor = ranges[t].second;
+  }
+  EXPECT_EQ(cursor, 103u);
+}
+
+TEST(ThreadPoolTest, MoreThreadsThanWork) {
+  ThreadPool p(8);
+  std::vector<std::atomic<int>> hits(3);
+  p.parallel_for(0, hits.size(), [&](Range r, std::size_t) {
+    for (std::size_t i = r.begin; i < r.end; ++i) hits[i].fetch_add(1);
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ManySmallRegionsDoNotDeadlock) {
+  ThreadPool p(4);
+  std::atomic<std::size_t> total{0};
+  for (int rep = 0; rep < 2000; ++rep) {
+    p.parallel_for(0, 4, [&](Range r, std::size_t) {
+      total += r.size();
+    });
+  }
+  EXPECT_EQ(total.load(), 8000u);
+}
+
+TEST(ThreadPoolTest, ParallelForEach) {
+  ThreadPool p(3);
+  std::vector<std::atomic<int>> hits(50);
+  p.parallel_for_each(0, 50, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, StatsCountRegions) {
+  ThreadPool p(2);
+  p.reset_stats();
+  for (int i = 0; i < 5; ++i) {
+    p.parallel_for(0, 10, [](Range, std::size_t) {});
+  }
+  EXPECT_EQ(p.stats().regions, 5u);
+  EXPECT_GE(p.stats().region_overhead_s, 0.0);
+  p.reset_stats();
+  EXPECT_EQ(p.stats().regions, 0u);
+}
+
+TEST(ThreadPoolTest, ExceptionsInBodyDoNotCorruptPool) {
+  // Exceptions must not escape worker threads; we only guarantee behavior
+  // for the calling thread's share here.
+  ThreadPool p(1);
+  EXPECT_THROW(
+      p.parallel_for(0, 4, [](Range, std::size_t) { throw Error("boom"); }),
+      Error);
+  // Pool still usable.
+  std::atomic<int> n{0};
+  p.parallel_for(0, 4, [&](Range r, std::size_t) {
+    n += static_cast<int>(r.size());
+  });
+  EXPECT_EQ(n.load(), 4);
+}
+
+TEST(DefaultPoolTest, IsSingleton) {
+  EXPECT_EQ(&default_pool(), &default_pool());
+  EXPECT_GE(default_pool().size(), 1u);
+}
+
+TEST(SpinBarrierTest, SynchronizesPhases) {
+  const std::size_t n = 4;
+  SpinBarrier barrier(n);
+  std::atomic<int> phase0{0};
+  std::atomic<int> phase1{0};
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < n; ++t) {
+    threads.emplace_back([&] {
+      phase0.fetch_add(1);
+      barrier.arrive_and_wait();
+      // Everyone must have finished phase 0 before any thread reads here.
+      EXPECT_EQ(phase0.load(), static_cast<int>(n));
+      phase1.fetch_add(1);
+      barrier.arrive_and_wait();
+      EXPECT_EQ(phase1.load(), static_cast<int>(n));
+    });
+  }
+  for (auto& t : threads) t.join();
+}
+
+TEST(SpinBarrierTest, ReusableManyTimes) {
+  const std::size_t n = 3;
+  SpinBarrier barrier(n);
+  std::atomic<int> counter{0};
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < n; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 500; ++i) {
+        counter.fetch_add(1);
+        barrier.arrive_and_wait();
+        EXPECT_EQ(counter.load() % static_cast<int>(n), 0);
+        barrier.arrive_and_wait();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(counter.load(), 1500);
+}
+
+}  // namespace
+}  // namespace plf::par

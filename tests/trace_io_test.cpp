@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/backend.hpp"
+#include "core/engine.hpp"
+#include "mcmc/chain.hpp"
+#include "mcmc/consensus.hpp"
+#include "mcmc/trace_io.hpp"
+#include "phylo/nexus.hpp"
+#include "phylo/patterns.hpp"
+#include "seqgen/datasets.hpp"
+#include "seqgen/evolve.hpp"
+#include "seqgen/random_tree.hpp"
+#include "util/error.hpp"
+
+namespace plf::mcmc {
+namespace {
+
+McmcResult small_run(bool collect_trees, std::uint64_t seed = 3) {
+  Rng rng(seed);
+  phylo::Tree tree = seqgen::yule_tree(6, rng, 1.0, 0.15);
+  auto params = seqgen::default_gtr_params();
+  phylo::SubstitutionModel model(params);
+  seqgen::SequenceEvolver ev(tree, model);
+  auto data = phylo::PatternMatrix::compress(ev.evolve(100, rng));
+  static core::SerialBackend backend;
+  core::PlfEngine engine(data, params, tree, backend);
+  McmcOptions opts;
+  opts.seed = seed;
+  opts.sample_every = 40;
+  opts.collect_trees = collect_trees;
+  McmcChain chain(engine, opts);
+  return chain.run(400);
+}
+
+TEST(TraceIoTest, ParamsTraceRoundTrip) {
+  const auto result = small_run(false);
+  std::ostringstream os;
+  write_params_trace(os, result, "unit-test");
+
+  const auto rows = read_params_trace(os.str());
+  ASSERT_EQ(rows.size(), result.samples.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_EQ(rows[i].generation, result.samples[i].generation);
+    EXPECT_NEAR(rows[i].ln_likelihood, result.samples[i].ln_likelihood, 1e-6);
+    EXPECT_NEAR(rows[i].tree_length, result.samples[i].tree_length, 1e-6);
+    EXPECT_NEAR(rows[i].gamma_shape, result.samples[i].gamma_shape, 1e-6);
+  }
+  EXPECT_NE(os.str().find("[ID: unit-test]"), std::string::npos);
+}
+
+TEST(TraceIoTest, ParamsTraceErrors) {
+  EXPECT_THROW(read_params_trace("Gen\tLnL\n"), ParseError);
+  EXPECT_THROW(read_params_trace("[ID: x]\nnope\n"), ParseError);
+  EXPECT_THROW(read_params_trace("[ID: x]\nGen\tLnL\tTL\talpha\nbad row here\n"),
+               ParseError);
+}
+
+TEST(TraceIoTest, TreeTraceIsValidNexusWithTranslate) {
+  const auto result = small_run(true);
+  ASSERT_FALSE(result.sampled_trees.empty());
+  std::ostringstream os;
+  write_tree_trace(os, result);
+
+  // The trace must parse back through our own NEXUS reader, with the
+  // translate table resolving numeric labels to taxon names.
+  const auto nx = phylo::parse_nexus(os.str());
+  ASSERT_EQ(nx.trees.size(), result.sampled_trees.size());
+  const phylo::Tree original =
+      phylo::Tree::from_newick(result.sampled_trees.back());
+  const phylo::Tree reread =
+      phylo::Tree::from_newick(nx.trees.back().second, original.taxon_names());
+  EXPECT_TRUE(reread.same_topology(original));
+  EXPECT_NEAR(reread.total_length(), original.total_length(), 1e-4);
+  // Tree names carry the generation.
+  EXPECT_EQ(nx.trees.front().first, "gen.0");
+}
+
+TEST(TraceIoTest, TreeTraceFeedsConsensus) {
+  // The full sumt loop: run -> .t file -> parse -> consensus.
+  const auto result = small_run(true, 9);
+  std::ostringstream os;
+  write_tree_trace(os, result);
+  const auto nx = phylo::parse_nexus(os.str());
+
+  TreeSampleSummary summary;
+  for (const auto& [name, newick] : nx.trees) summary.add_newick(newick);
+  EXPECT_EQ(summary.n_trees(), result.sampled_trees.size());
+  EXPECT_FALSE(summary.majority_rule_newick().empty());
+}
+
+TEST(TraceIoTest, TreeTraceRequiresCollectedTrees) {
+  const auto result = small_run(false);
+  std::ostringstream os;
+  EXPECT_THROW(write_tree_trace(os, result), Error);
+}
+
+}  // namespace
+}  // namespace plf::mcmc

@@ -1,0 +1,196 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "phylo/tree.hpp"
+#include "util/error.hpp"
+
+namespace plf::phylo {
+namespace {
+
+const char* kQuartet = "(A:0.1,B:0.2,(C:0.3,D:0.4):0.5);";
+
+TEST(TreeParseTest, UnrootedQuartet) {
+  const Tree t = Tree::from_newick(kQuartet);
+  EXPECT_EQ(t.n_taxa(), 4u);
+  EXPECT_EQ(t.n_nodes(), 6u);
+  EXPECT_EQ(t.n_internal(), 2u);
+  t.validate();
+  EXPECT_EQ(t.taxon_name(0), "A");
+  EXPECT_EQ(t.outgroup(), t.leaf_of(0));
+}
+
+TEST(TreeParseTest, RootedInputIsUnrooted) {
+  // Rooted: top has two children; unrooting merges the two top branches.
+  const Tree t = Tree::from_newick("((A:0.1,B:0.2):0.3,(C:0.3,D:0.4):0.2);");
+  EXPECT_EQ(t.n_taxa(), 4u);
+  EXPECT_EQ(t.n_nodes(), 6u);
+  t.validate();
+  // Total length: 0.1+0.2+0.3+0.4 + merged(0.3+0.2) = 1.5
+  EXPECT_NEAR(t.total_length(), 1.5, 1e-9);
+}
+
+TEST(TreeParseTest, NamedTaxonOrder) {
+  const std::vector<std::string> names{"D", "C", "B", "A"};
+  const Tree t = Tree::from_newick(kQuartet, names);
+  EXPECT_EQ(t.taxon_name(0), "D");
+  EXPECT_EQ(t.node(t.leaf_of(3)).taxon, 3);  // "A"
+  t.validate();
+}
+
+TEST(TreeParseTest, UnknownTaxonRejected) {
+  EXPECT_THROW(Tree::from_newick(kQuartet, {"A", "B", "C", "X"}), ParseError);
+}
+
+TEST(TreeParseTest, MalformedInputs) {
+  EXPECT_THROW(Tree::from_newick("(A,B,C"), ParseError);
+  EXPECT_THROW(Tree::from_newick("(A,B,(C,D))"), ParseError);   // missing ';'
+  EXPECT_THROW(Tree::from_newick("(A:x,B:1,C:1);"), ParseError);  // bad number
+  EXPECT_THROW(Tree::from_newick("(A,B);"), Error);  // two taxa only
+}
+
+TEST(TreeParseTest, DuplicateTaxonRejected) {
+  EXPECT_THROW(Tree::from_newick("(A:1,A:1,B:1);"), Error);
+}
+
+TEST(TreeParseTest, WhitespaceTolerated) {
+  const Tree t = Tree::from_newick(" ( A:0.1 , B:0.2 , ( C:0.3 , D:0.4 ):0.5 ) ; ");
+  EXPECT_EQ(t.n_taxa(), 4u);
+}
+
+TEST(TreeNewickTest, RoundTripPreservesTopologyAndLengths) {
+  const Tree t = Tree::from_newick(kQuartet);
+  const Tree u = Tree::from_newick(t.to_newick(), t.taxon_names());
+  EXPECT_TRUE(t.same_topology(u));
+  EXPECT_NEAR(t.total_length(), u.total_length(), 1e-9);
+}
+
+TEST(TreeNewickTest, LargerRoundTrip) {
+  const char* nwk =
+      "((A:0.11,(B:0.12,C:0.13):0.14):0.15,(D:0.16,E:0.17):0.18,"
+      "((F:0.19,G:0.20):0.21,H:0.22):0.23);";
+  const Tree t = Tree::from_newick(nwk);
+  const Tree u = Tree::from_newick(t.to_newick(), t.taxon_names());
+  EXPECT_TRUE(t.same_topology(u));
+  EXPECT_NEAR(t.total_length(), u.total_length(), 1e-9);
+}
+
+TEST(TreeStructureTest, PostorderChildrenBeforeParents) {
+  const Tree t = Tree::from_newick(
+      "((A:1,(B:1,C:1):1):1,(D:1,E:1):1,(F:1,G:1):1);");
+  const auto order = t.postorder_internals();
+  EXPECT_EQ(order.size(), t.n_internal());
+  EXPECT_EQ(order.back(), t.root());
+  std::set<int> seen;
+  for (int id : order) {
+    const TreeNode& n = t.node(id);
+    for (int child : {n.left, n.right}) {
+      if (!t.node(child).is_leaf()) {
+        EXPECT_TRUE(seen.count(child)) << "child " << child << " after parent";
+      }
+    }
+    seen.insert(id);
+  }
+}
+
+TEST(TreeStructureTest, BranchNodesExcludeRoot) {
+  const Tree t = Tree::from_newick(kQuartet);
+  const auto branches = t.branch_nodes();
+  EXPECT_EQ(branches.size(), t.n_nodes() - 1);
+  EXPECT_EQ(std::count(branches.begin(), branches.end(), t.root()), 0);
+}
+
+TEST(TreeStructureTest, SetBranchLength) {
+  Tree t = Tree::from_newick(kQuartet);
+  const int leaf = t.leaf_of(2);
+  t.set_branch_length(leaf, 7.5);
+  EXPECT_DOUBLE_EQ(t.branch_length(leaf), 7.5);
+  EXPECT_THROW(t.set_branch_length(leaf, -1.0), Error);
+  EXPECT_THROW(t.set_branch_length(t.root(), 1.0), Error);
+}
+
+TEST(TreeNniTest, ProducesValidDifferentTopology) {
+  const char* nwk = "((A:1,B:1):1,(C:1,D:1):1,(E:1,F:1):1);";
+  Tree t = Tree::from_newick(nwk);
+  const Tree original = t;
+  const auto edges = t.internal_edge_nodes();
+  ASSERT_FALSE(edges.empty());
+  t.nni(edges[0], /*swap_left=*/true);
+  t.validate();
+  EXPECT_FALSE(t.same_topology(original));
+  EXPECT_NEAR(t.total_length(), original.total_length(), 1e-12);
+}
+
+TEST(TreeNniTest, IsInvolution) {
+  const char* nwk = "((A:1,(B:1,C:1):1):1,(D:1,E:1):1,(F:1,G:1):1);";
+  Tree t = Tree::from_newick(nwk);
+  const Tree original = t;
+  for (int v : t.internal_edge_nodes()) {
+    for (bool left : {true, false}) {
+      t.nni(v, left);
+      t.validate();
+      t.nni(v, left);
+      t.validate();
+      EXPECT_TRUE(t.same_topology(original));
+    }
+  }
+}
+
+TEST(TreeNniTest, RejectsLeafAndRoot) {
+  Tree t = Tree::from_newick(kQuartet);
+  EXPECT_THROW(t.nni(t.leaf_of(1), true), Error);
+  EXPECT_THROW(t.nni(t.root(), true), Error);
+}
+
+TEST(TreeNniTest, BothDirectionsDiffer) {
+  const char* nwk = "((A:1,B:1):1,(C:1,D:1):1,(E:1,F:1):1);";
+  Tree t1 = Tree::from_newick(nwk);
+  Tree t2 = Tree::from_newick(nwk);
+  const int v = t1.internal_edge_nodes()[0];
+  t1.nni(v, true);
+  t2.nni(v, false);
+  EXPECT_FALSE(t1.same_topology(t2));
+}
+
+TEST(TreeRerootTest, PreservesTopologyAndLength) {
+  const char* nwk =
+      "((A:0.11,(B:0.12,C:0.13):0.14):0.15,(D:0.16,E:0.17):0.18,"
+      "((F:0.19,G:0.2):0.21,H:0.22):0.23);";
+  const Tree t = Tree::from_newick(nwk);
+  for (int og = 0; og < static_cast<int>(t.n_taxa()); ++og) {
+    const Tree r = t.rerooted(og);
+    r.validate();
+    EXPECT_EQ(r.node(r.outgroup()).taxon, og);
+    EXPECT_TRUE(t.same_topology(r));
+    EXPECT_NEAR(t.total_length(), r.total_length(), 1e-9);
+  }
+}
+
+TEST(TreeTopologyTest, DistinguishesDifferentQuartets) {
+  const Tree ab = Tree::from_newick("((A:1,B:1):1,C:1,D:1);");
+  const Tree ac = Tree::from_newick("((A:1,C:1):1,B:1,D:1);");
+  const Tree ab2 = Tree::from_newick("(C:9,D:9,(B:9,A:9):9);");
+  EXPECT_FALSE(ab.same_topology(ac));
+  EXPECT_TRUE(ab.same_topology(ab2));  // lengths/rotation ignored
+}
+
+TEST(TreeTopologyTest, ManyTaxaSplitEquality) {
+  // 70 taxa exercises the multi-word bitset path.
+  std::string nwk = "(t0:1,t1:1";
+  for (int i = 2; i < 70; ++i) nwk += ",t" + std::to_string(i) + ":1";
+  nwk += ");";
+  // A star tree is not binary; build a caterpillar instead.
+  std::string cat = "(t0:1,t1:1,";
+  for (int i = 2; i < 69; ++i) cat += "(t" + std::to_string(i) + ":1,";
+  cat += "t69:1";
+  for (int i = 2; i < 69; ++i) cat += "):1";
+  cat += ");";
+  const Tree t = Tree::from_newick(cat);
+  EXPECT_EQ(t.n_taxa(), 70u);
+  t.validate();
+  EXPECT_TRUE(t.same_topology(t.rerooted(35)));
+}
+
+}  // namespace
+}  // namespace plf::phylo

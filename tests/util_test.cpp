@@ -1,0 +1,206 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "util/aligned.hpp"
+#include "util/clock.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace plf {
+namespace {
+
+TEST(Rng, DeterministicForFixedSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a() == b());
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, ReseedRestartsStream) {
+  Rng a(7);
+  const auto x0 = a();
+  const auto x1 = a();
+  a.reseed(7);
+  EXPECT_EQ(a(), x0);
+  EXPECT_EQ(a(), x1);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng r(5);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanIsHalf) {
+  Rng r(5);
+  OnlineStats s;
+  for (int i = 0; i < 100000; ++i) s.add(r.uniform());
+  EXPECT_NEAR(s.mean(), 0.5, 0.01);
+}
+
+TEST(Rng, BelowCoversRangeUniformly) {
+  Rng r(11);
+  std::array<int, 7> counts{};
+  for (int i = 0; i < 70000; ++i) ++counts[r.below(7)];
+  for (int c : counts) EXPECT_NEAR(c, 10000, 500);
+}
+
+TEST(Rng, BelowRejectsZero) {
+  Rng r(1);
+  EXPECT_THROW(r.below(0), Error);
+}
+
+TEST(Rng, NormalMomentsMatch) {
+  Rng r(13);
+  OnlineStats s;
+  for (int i = 0; i < 200000; ++i) s.add(r.normal());
+  EXPECT_NEAR(s.mean(), 0.0, 0.02);
+  EXPECT_NEAR(s.stddev(), 1.0, 0.02);
+}
+
+TEST(Rng, ExponentialMeanIsInverseRate) {
+  Rng r(17);
+  OnlineStats s;
+  for (int i = 0; i < 100000; ++i) s.add(r.exponential(4.0));
+  EXPECT_NEAR(s.mean(), 0.25, 0.01);
+}
+
+TEST(Rng, GammaMomentsMatch) {
+  Rng r(19);
+  OnlineStats s;
+  const double shape = 2.5, scale = 1.5;
+  for (int i = 0; i < 200000; ++i) s.add(r.gamma(shape, scale));
+  EXPECT_NEAR(s.mean(), shape * scale, 0.05);
+  EXPECT_NEAR(s.variance(), shape * scale * scale, 0.2);
+}
+
+TEST(Rng, GammaSmallShape) {
+  Rng r(23);
+  OnlineStats s;
+  for (int i = 0; i < 200000; ++i) s.add(r.gamma(0.4, 2.0));
+  EXPECT_NEAR(s.mean(), 0.8, 0.03);
+}
+
+TEST(Rng, DirichletSumsToOne) {
+  Rng r(29);
+  const auto v = r.dirichlet({1.0, 2.0, 3.0, 4.0});
+  double sum = 0.0;
+  for (double x : v) {
+    EXPECT_GT(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(Rng, DirichletMeanProportionalToAlpha) {
+  Rng r(31);
+  std::array<double, 3> mean{};
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const auto v = r.dirichlet({2.0, 3.0, 5.0});
+    for (int j = 0; j < 3; ++j) mean[static_cast<std::size_t>(j)] += v[static_cast<std::size_t>(j)];
+  }
+  EXPECT_NEAR(mean[0] / n, 0.2, 0.005);
+  EXPECT_NEAR(mean[1] / n, 0.3, 0.005);
+  EXPECT_NEAR(mean[2] / n, 0.5, 0.005);
+}
+
+TEST(Rng, CategoricalFollowsWeights) {
+  Rng r(37);
+  std::array<int, 3> counts{};
+  for (int i = 0; i < 60000; ++i) ++counts[r.categorical({1.0, 2.0, 3.0})];
+  EXPECT_NEAR(counts[0], 10000, 500);
+  EXPECT_NEAR(counts[1], 20000, 700);
+  EXPECT_NEAR(counts[2], 30000, 800);
+}
+
+TEST(Rng, CategoricalRejectsAllZero) {
+  Rng r(1);
+  EXPECT_THROW(r.categorical({0.0, 0.0}), Error);
+}
+
+TEST(Rng, JumpProducesDisjointStream) {
+  Rng a(99), b(99);
+  b.jump();
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(a());
+  for (int i = 0; i < 1000; ++i) EXPECT_FALSE(seen.count(b()));
+}
+
+TEST(Aligned, VectorIsDmaAligned) {
+  aligned_vector<float> v(100);
+  EXPECT_TRUE(is_aligned(v.data(), kDmaAlignBytes));
+}
+
+TEST(Aligned, RoundUp) {
+  EXPECT_EQ(round_up(0, 16), 0u);
+  EXPECT_EQ(round_up(1, 16), 16u);
+  EXPECT_EQ(round_up(16, 16), 16u);
+  EXPECT_EQ(round_up(17, 16), 32u);
+}
+
+TEST(OnlineStatsTest, MatchesDirectComputation) {
+  OnlineStats s;
+  for (double x : {1.0, 2.0, 3.0, 4.0, 5.0}) s.add(x);
+  EXPECT_EQ(s.count(), 5u);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 2.5);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(VirtualClockTest, MonotoneAdvance) {
+  VirtualClock c;
+  EXPECT_EQ(c.now(), 0.0);
+  c.advance(1.5);
+  EXPECT_DOUBLE_EQ(c.now(), 1.5);
+  c.advance_to(1.0);  // cannot go backwards
+  EXPECT_DOUBLE_EQ(c.now(), 1.5);
+  c.advance_to(2.0);
+  EXPECT_DOUBLE_EQ(c.now(), 2.0);
+}
+
+TEST(TableTest, FormatsAlignedColumns) {
+  Table t("demo");
+  t.header({"name", "value"});
+  t.row({"alpha", "1"});
+  t.row({"b", "22"});
+  std::ostringstream os;
+  os << t;
+  const std::string s = os.str();
+  EXPECT_NE(s.find("demo"), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(TableTest, RejectsRaggedRows) {
+  Table t;
+  t.header({"a", "b"});
+  EXPECT_THROW(t.row({"only-one"}), Error);
+}
+
+TEST(ErrorTest, CheckMacroThrowsWithContext) {
+  try {
+    PLF_CHECK(1 == 2, "math is broken");
+    FAIL() << "should have thrown";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("math is broken"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("1 == 2"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace plf
