@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_cell_buffering.dir/bench_ablation_cell_buffering.cpp.o"
+  "CMakeFiles/bench_ablation_cell_buffering.dir/bench_ablation_cell_buffering.cpp.o.d"
+  "bench_ablation_cell_buffering"
+  "bench_ablation_cell_buffering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_cell_buffering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

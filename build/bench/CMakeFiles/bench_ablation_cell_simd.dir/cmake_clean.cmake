@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_cell_simd.dir/bench_ablation_cell_simd.cpp.o"
+  "CMakeFiles/bench_ablation_cell_simd.dir/bench_ablation_cell_simd.cpp.o.d"
+  "bench_ablation_cell_simd"
+  "bench_ablation_cell_simd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_cell_simd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

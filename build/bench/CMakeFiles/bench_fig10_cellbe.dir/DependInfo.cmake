@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig10_cellbe.cpp" "bench/CMakeFiles/bench_fig10_cellbe.dir/bench_fig10_cellbe.cpp.o" "gcc" "bench/CMakeFiles/bench_fig10_cellbe.dir/bench_fig10_cellbe.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/arch/CMakeFiles/plf_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/mcmc/CMakeFiles/plf_mcmc.dir/DependInfo.cmake"
+  "/root/repo/build/src/seqgen/CMakeFiles/plf_seqgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/cell/CMakeFiles/plf_cell.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/plf_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/plf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/phylo/CMakeFiles/plf_phylo.dir/DependInfo.cmake"
+  "/root/repo/build/src/numerics/CMakeFiles/plf_numerics.dir/DependInfo.cmake"
+  "/root/repo/build/src/simd/CMakeFiles/plf_simd.dir/DependInfo.cmake"
+  "/root/repo/build/src/par/CMakeFiles/plf_par.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/plf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_cellbe.dir/bench_fig10_cellbe.cpp.o"
+  "CMakeFiles/bench_fig10_cellbe.dir/bench_fig10_cellbe.cpp.o.d"
+  "bench_fig10_cellbe"
+  "bench_fig10_cellbe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_cellbe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

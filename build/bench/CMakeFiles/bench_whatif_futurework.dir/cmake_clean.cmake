@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_whatif_futurework.dir/bench_whatif_futurework.cpp.o"
+  "CMakeFiles/bench_whatif_futurework.dir/bench_whatif_futurework.cpp.o.d"
+  "bench_whatif_futurework"
+  "bench_whatif_futurework.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_whatif_futurework.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

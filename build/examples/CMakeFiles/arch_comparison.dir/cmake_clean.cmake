@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arch_comparison.dir/arch_comparison.cpp.o"
+  "CMakeFiles/arch_comparison.dir/arch_comparison.cpp.o.d"
+  "arch_comparison"
+  "arch_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arch_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dataset_generator.dir/dataset_generator.cpp.o"
+  "CMakeFiles/dataset_generator.dir/dataset_generator.cpp.o.d"
+  "dataset_generator"
+  "dataset_generator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dataset_generator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

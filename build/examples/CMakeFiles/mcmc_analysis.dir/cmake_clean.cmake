@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcmc_analysis.dir/mcmc_analysis.cpp.o"
+  "CMakeFiles/mcmc_analysis.dir/mcmc_analysis.cpp.o.d"
+  "mcmc_analysis"
+  "mcmc_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcmc_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

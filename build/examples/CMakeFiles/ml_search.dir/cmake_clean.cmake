@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_search.dir/ml_search.cpp.o"
+  "CMakeFiles/ml_search.dir/ml_search.cpp.o.d"
+  "ml_search"
+  "ml_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

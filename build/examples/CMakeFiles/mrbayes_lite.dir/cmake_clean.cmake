@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrbayes_lite.dir/mrbayes_lite.cpp.o"
+  "CMakeFiles/mrbayes_lite.dir/mrbayes_lite.cpp.o.d"
+  "mrbayes_lite"
+  "mrbayes_lite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrbayes_lite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plf_arch.dir/models.cpp.o"
+  "CMakeFiles/plf_arch.dir/models.cpp.o.d"
+  "CMakeFiles/plf_arch.dir/systems.cpp.o"
+  "CMakeFiles/plf_arch.dir/systems.cpp.o.d"
+  "CMakeFiles/plf_arch.dir/workload.cpp.o"
+  "CMakeFiles/plf_arch.dir/workload.cpp.o.d"
+  "libplf_arch.a"
+  "libplf_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plf_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

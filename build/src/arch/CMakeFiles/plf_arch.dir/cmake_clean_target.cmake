@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libplf_arch.a"
+)

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cell/dma.cpp" "src/cell/CMakeFiles/plf_cell.dir/dma.cpp.o" "gcc" "src/cell/CMakeFiles/plf_cell.dir/dma.cpp.o.d"
+  "/root/repo/src/cell/local_store.cpp" "src/cell/CMakeFiles/plf_cell.dir/local_store.cpp.o" "gcc" "src/cell/CMakeFiles/plf_cell.dir/local_store.cpp.o.d"
+  "/root/repo/src/cell/machine.cpp" "src/cell/CMakeFiles/plf_cell.dir/machine.cpp.o" "gcc" "src/cell/CMakeFiles/plf_cell.dir/machine.cpp.o.d"
+  "/root/repo/src/cell/mailbox.cpp" "src/cell/CMakeFiles/plf_cell.dir/mailbox.cpp.o" "gcc" "src/cell/CMakeFiles/plf_cell.dir/mailbox.cpp.o.d"
+  "/root/repo/src/cell/spu.cpp" "src/cell/CMakeFiles/plf_cell.dir/spu.cpp.o" "gcc" "src/cell/CMakeFiles/plf_cell.dir/spu.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/plf_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/plf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/simd/CMakeFiles/plf_simd.dir/DependInfo.cmake"
+  "/root/repo/build/src/par/CMakeFiles/plf_par.dir/DependInfo.cmake"
+  "/root/repo/build/src/phylo/CMakeFiles/plf_phylo.dir/DependInfo.cmake"
+  "/root/repo/build/src/numerics/CMakeFiles/plf_numerics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

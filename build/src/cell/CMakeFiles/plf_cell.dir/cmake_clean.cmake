@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plf_cell.dir/dma.cpp.o"
+  "CMakeFiles/plf_cell.dir/dma.cpp.o.d"
+  "CMakeFiles/plf_cell.dir/local_store.cpp.o"
+  "CMakeFiles/plf_cell.dir/local_store.cpp.o.d"
+  "CMakeFiles/plf_cell.dir/machine.cpp.o"
+  "CMakeFiles/plf_cell.dir/machine.cpp.o.d"
+  "CMakeFiles/plf_cell.dir/mailbox.cpp.o"
+  "CMakeFiles/plf_cell.dir/mailbox.cpp.o.d"
+  "CMakeFiles/plf_cell.dir/spu.cpp.o"
+  "CMakeFiles/plf_cell.dir/spu.cpp.o.d"
+  "libplf_cell.a"
+  "libplf_cell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plf_cell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/backend.cpp" "src/core/CMakeFiles/plf_core.dir/backend.cpp.o" "gcc" "src/core/CMakeFiles/plf_core.dir/backend.cpp.o.d"
+  "/root/repo/src/core/engine.cpp" "src/core/CMakeFiles/plf_core.dir/engine.cpp.o" "gcc" "src/core/CMakeFiles/plf_core.dir/engine.cpp.o.d"
+  "/root/repo/src/core/kernels.cpp" "src/core/CMakeFiles/plf_core.dir/kernels.cpp.o" "gcc" "src/core/CMakeFiles/plf_core.dir/kernels.cpp.o.d"
+  "/root/repo/src/core/kernels_scalar.cpp" "src/core/CMakeFiles/plf_core.dir/kernels_scalar.cpp.o" "gcc" "src/core/CMakeFiles/plf_core.dir/kernels_scalar.cpp.o.d"
+  "/root/repo/src/core/kernels_simd_col.cpp" "src/core/CMakeFiles/plf_core.dir/kernels_simd_col.cpp.o" "gcc" "src/core/CMakeFiles/plf_core.dir/kernels_simd_col.cpp.o.d"
+  "/root/repo/src/core/kernels_simd_row.cpp" "src/core/CMakeFiles/plf_core.dir/kernels_simd_row.cpp.o" "gcc" "src/core/CMakeFiles/plf_core.dir/kernels_simd_row.cpp.o.d"
+  "/root/repo/src/core/optimize.cpp" "src/core/CMakeFiles/plf_core.dir/optimize.cpp.o" "gcc" "src/core/CMakeFiles/plf_core.dir/optimize.cpp.o.d"
+  "/root/repo/src/core/search.cpp" "src/core/CMakeFiles/plf_core.dir/search.cpp.o" "gcc" "src/core/CMakeFiles/plf_core.dir/search.cpp.o.d"
+  "/root/repo/src/core/tip_partial.cpp" "src/core/CMakeFiles/plf_core.dir/tip_partial.cpp.o" "gcc" "src/core/CMakeFiles/plf_core.dir/tip_partial.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/plf_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/numerics/CMakeFiles/plf_numerics.dir/DependInfo.cmake"
+  "/root/repo/build/src/simd/CMakeFiles/plf_simd.dir/DependInfo.cmake"
+  "/root/repo/build/src/par/CMakeFiles/plf_par.dir/DependInfo.cmake"
+  "/root/repo/build/src/phylo/CMakeFiles/plf_phylo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plf_core.dir/backend.cpp.o"
+  "CMakeFiles/plf_core.dir/backend.cpp.o.d"
+  "CMakeFiles/plf_core.dir/engine.cpp.o"
+  "CMakeFiles/plf_core.dir/engine.cpp.o.d"
+  "CMakeFiles/plf_core.dir/kernels.cpp.o"
+  "CMakeFiles/plf_core.dir/kernels.cpp.o.d"
+  "CMakeFiles/plf_core.dir/kernels_scalar.cpp.o"
+  "CMakeFiles/plf_core.dir/kernels_scalar.cpp.o.d"
+  "CMakeFiles/plf_core.dir/kernels_simd_col.cpp.o"
+  "CMakeFiles/plf_core.dir/kernels_simd_col.cpp.o.d"
+  "CMakeFiles/plf_core.dir/kernels_simd_row.cpp.o"
+  "CMakeFiles/plf_core.dir/kernels_simd_row.cpp.o.d"
+  "CMakeFiles/plf_core.dir/optimize.cpp.o"
+  "CMakeFiles/plf_core.dir/optimize.cpp.o.d"
+  "CMakeFiles/plf_core.dir/search.cpp.o"
+  "CMakeFiles/plf_core.dir/search.cpp.o.d"
+  "CMakeFiles/plf_core.dir/tip_partial.cpp.o"
+  "CMakeFiles/plf_core.dir/tip_partial.cpp.o.d"
+  "libplf_core.a"
+  "libplf_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plf_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plf_gpu.dir/coalescing.cpp.o"
+  "CMakeFiles/plf_gpu.dir/coalescing.cpp.o.d"
+  "CMakeFiles/plf_gpu.dir/device.cpp.o"
+  "CMakeFiles/plf_gpu.dir/device.cpp.o.d"
+  "CMakeFiles/plf_gpu.dir/device_memory.cpp.o"
+  "CMakeFiles/plf_gpu.dir/device_memory.cpp.o.d"
+  "CMakeFiles/plf_gpu.dir/launch.cpp.o"
+  "CMakeFiles/plf_gpu.dir/launch.cpp.o.d"
+  "CMakeFiles/plf_gpu.dir/plf_gpu.cpp.o"
+  "CMakeFiles/plf_gpu.dir/plf_gpu.cpp.o.d"
+  "libplf_gpu.a"
+  "libplf_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plf_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

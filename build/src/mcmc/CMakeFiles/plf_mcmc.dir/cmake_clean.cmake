@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plf_mcmc.dir/chain.cpp.o"
+  "CMakeFiles/plf_mcmc.dir/chain.cpp.o.d"
+  "CMakeFiles/plf_mcmc.dir/consensus.cpp.o"
+  "CMakeFiles/plf_mcmc.dir/consensus.cpp.o.d"
+  "CMakeFiles/plf_mcmc.dir/coupled.cpp.o"
+  "CMakeFiles/plf_mcmc.dir/coupled.cpp.o.d"
+  "CMakeFiles/plf_mcmc.dir/diagnostics.cpp.o"
+  "CMakeFiles/plf_mcmc.dir/diagnostics.cpp.o.d"
+  "CMakeFiles/plf_mcmc.dir/proposals.cpp.o"
+  "CMakeFiles/plf_mcmc.dir/proposals.cpp.o.d"
+  "CMakeFiles/plf_mcmc.dir/trace_io.cpp.o"
+  "CMakeFiles/plf_mcmc.dir/trace_io.cpp.o.d"
+  "libplf_mcmc.a"
+  "libplf_mcmc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plf_mcmc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/numerics/discrete_gamma.cpp" "src/numerics/CMakeFiles/plf_numerics.dir/discrete_gamma.cpp.o" "gcc" "src/numerics/CMakeFiles/plf_numerics.dir/discrete_gamma.cpp.o.d"
+  "/root/repo/src/numerics/eigen.cpp" "src/numerics/CMakeFiles/plf_numerics.dir/eigen.cpp.o" "gcc" "src/numerics/CMakeFiles/plf_numerics.dir/eigen.cpp.o.d"
+  "/root/repo/src/numerics/special.cpp" "src/numerics/CMakeFiles/plf_numerics.dir/special.cpp.o" "gcc" "src/numerics/CMakeFiles/plf_numerics.dir/special.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/plf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plf_numerics.dir/discrete_gamma.cpp.o"
+  "CMakeFiles/plf_numerics.dir/discrete_gamma.cpp.o.d"
+  "CMakeFiles/plf_numerics.dir/eigen.cpp.o"
+  "CMakeFiles/plf_numerics.dir/eigen.cpp.o.d"
+  "CMakeFiles/plf_numerics.dir/special.cpp.o"
+  "CMakeFiles/plf_numerics.dir/special.cpp.o.d"
+  "libplf_numerics.a"
+  "libplf_numerics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plf_numerics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

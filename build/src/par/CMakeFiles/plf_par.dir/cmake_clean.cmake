@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plf_par.dir/thread_pool.cpp.o"
+  "CMakeFiles/plf_par.dir/thread_pool.cpp.o.d"
+  "libplf_par.a"
+  "libplf_par.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plf_par.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

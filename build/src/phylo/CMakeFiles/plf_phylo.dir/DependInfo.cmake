@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/phylo/alignment.cpp" "src/phylo/CMakeFiles/plf_phylo.dir/alignment.cpp.o" "gcc" "src/phylo/CMakeFiles/plf_phylo.dir/alignment.cpp.o.d"
+  "/root/repo/src/phylo/dna.cpp" "src/phylo/CMakeFiles/plf_phylo.dir/dna.cpp.o" "gcc" "src/phylo/CMakeFiles/plf_phylo.dir/dna.cpp.o.d"
+  "/root/repo/src/phylo/model.cpp" "src/phylo/CMakeFiles/plf_phylo.dir/model.cpp.o" "gcc" "src/phylo/CMakeFiles/plf_phylo.dir/model.cpp.o.d"
+  "/root/repo/src/phylo/nexus.cpp" "src/phylo/CMakeFiles/plf_phylo.dir/nexus.cpp.o" "gcc" "src/phylo/CMakeFiles/plf_phylo.dir/nexus.cpp.o.d"
+  "/root/repo/src/phylo/patterns.cpp" "src/phylo/CMakeFiles/plf_phylo.dir/patterns.cpp.o" "gcc" "src/phylo/CMakeFiles/plf_phylo.dir/patterns.cpp.o.d"
+  "/root/repo/src/phylo/tree.cpp" "src/phylo/CMakeFiles/plf_phylo.dir/tree.cpp.o" "gcc" "src/phylo/CMakeFiles/plf_phylo.dir/tree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/plf_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/numerics/CMakeFiles/plf_numerics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

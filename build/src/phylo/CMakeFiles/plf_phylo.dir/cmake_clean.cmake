@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plf_phylo.dir/alignment.cpp.o"
+  "CMakeFiles/plf_phylo.dir/alignment.cpp.o.d"
+  "CMakeFiles/plf_phylo.dir/dna.cpp.o"
+  "CMakeFiles/plf_phylo.dir/dna.cpp.o.d"
+  "CMakeFiles/plf_phylo.dir/model.cpp.o"
+  "CMakeFiles/plf_phylo.dir/model.cpp.o.d"
+  "CMakeFiles/plf_phylo.dir/nexus.cpp.o"
+  "CMakeFiles/plf_phylo.dir/nexus.cpp.o.d"
+  "CMakeFiles/plf_phylo.dir/patterns.cpp.o"
+  "CMakeFiles/plf_phylo.dir/patterns.cpp.o.d"
+  "CMakeFiles/plf_phylo.dir/tree.cpp.o"
+  "CMakeFiles/plf_phylo.dir/tree.cpp.o.d"
+  "libplf_phylo.a"
+  "libplf_phylo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plf_phylo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

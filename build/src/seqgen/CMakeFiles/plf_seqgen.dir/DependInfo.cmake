@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/seqgen/datasets.cpp" "src/seqgen/CMakeFiles/plf_seqgen.dir/datasets.cpp.o" "gcc" "src/seqgen/CMakeFiles/plf_seqgen.dir/datasets.cpp.o.d"
+  "/root/repo/src/seqgen/evolve.cpp" "src/seqgen/CMakeFiles/plf_seqgen.dir/evolve.cpp.o" "gcc" "src/seqgen/CMakeFiles/plf_seqgen.dir/evolve.cpp.o.d"
+  "/root/repo/src/seqgen/random_tree.cpp" "src/seqgen/CMakeFiles/plf_seqgen.dir/random_tree.cpp.o" "gcc" "src/seqgen/CMakeFiles/plf_seqgen.dir/random_tree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/plf_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/numerics/CMakeFiles/plf_numerics.dir/DependInfo.cmake"
+  "/root/repo/build/src/phylo/CMakeFiles/plf_phylo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plf_seqgen.dir/datasets.cpp.o"
+  "CMakeFiles/plf_seqgen.dir/datasets.cpp.o.d"
+  "CMakeFiles/plf_seqgen.dir/evolve.cpp.o"
+  "CMakeFiles/plf_seqgen.dir/evolve.cpp.o.d"
+  "CMakeFiles/plf_seqgen.dir/random_tree.cpp.o"
+  "CMakeFiles/plf_seqgen.dir/random_tree.cpp.o.d"
+  "libplf_seqgen.a"
+  "libplf_seqgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plf_seqgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

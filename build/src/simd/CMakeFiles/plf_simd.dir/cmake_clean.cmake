@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plf_simd.dir/simd.cpp.o"
+  "CMakeFiles/plf_simd.dir/simd.cpp.o.d"
+  "libplf_simd.a"
+  "libplf_simd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plf_simd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plf_util.dir/error.cpp.o"
+  "CMakeFiles/plf_util.dir/error.cpp.o.d"
+  "CMakeFiles/plf_util.dir/rng.cpp.o"
+  "CMakeFiles/plf_util.dir/rng.cpp.o.d"
+  "CMakeFiles/plf_util.dir/table.cpp.o"
+  "CMakeFiles/plf_util.dir/table.cpp.o.d"
+  "libplf_util.a"
+  "libplf_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plf_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/invariant_sites_test.dir/invariant_sites_test.cpp.o"
+  "CMakeFiles/invariant_sites_test.dir/invariant_sites_test.cpp.o.d"
+  "invariant_sites_test"
+  "invariant_sites_test.pdb"
+  "invariant_sites_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/invariant_sites_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phylo_test.dir/phylo_test.cpp.o"
+  "CMakeFiles/phylo_test.dir/phylo_test.cpp.o.d"
+  "phylo_test"
+  "phylo_test.pdb"
+  "phylo_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phylo_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

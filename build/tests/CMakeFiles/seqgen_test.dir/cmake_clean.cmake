@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seqgen_test.dir/seqgen_test.cpp.o"
+  "CMakeFiles/seqgen_test.dir/seqgen_test.cpp.o.d"
+  "seqgen_test"
+  "seqgen_test.pdb"
+  "seqgen_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seqgen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
