@@ -27,7 +27,10 @@ struct SyntheticJob {
   aligned_vector<float> ln_scaler;
   aligned_vector<double> scaler_total;
   aligned_vector<std::uint32_t> weights;
-  std::vector<phylo::StateMask> out_mask;
+  // aligned_vector, not std::vector: the Cell DMA rounds mask transfers up
+  // to 16 bytes, so the backing allocation must be padded (the aligned
+  // allocator rounds every allocation up to 128 bytes).
+  aligned_vector<phylo::StateMask> out_mask;
 
   SyntheticJob(std::size_t m_, std::size_t K_) : m(m_), K(K_) {
     phylo::GtrParams p = seqgen::default_gtr_params();

@@ -3,24 +3,19 @@
 #include <algorithm>
 #include <cstring>
 
-#include "util/error.hpp"
+#include "util/contracts.hpp"
 
 namespace plf::cell {
 
 double DmaEngine::account(std::size_t bytes, std::size_t ls_offset,
                           const void* ea, double issue_time) {
   if (bytes == 0) return issue_time;
-  if (ls_offset % kDmaElementAlign != 0) {
-    throw HardwareViolation("DMA local-store address not 16-byte aligned");
-  }
-  if (reinterpret_cast<std::uintptr_t>(ea) % kDmaElementAlign != 0) {
-    throw HardwareViolation("DMA effective address not 16-byte aligned");
-  }
-  if (bytes % kDmaElementAlign != 0) {
-    throw HardwareViolation(
-        "DMA size must be a multiple of 16 bytes (got " +
-        std::to_string(bytes) + ")");
-  }
+  PLF_CHECK_HW(ls_offset % kDmaElementAlign == 0,
+               "DMA local-store address not 16-byte aligned");
+  PLF_CHECK_ALIGNED(ea, kDmaElementAlign);
+  PLF_CHECK_HW(bytes % kDmaElementAlign == 0,
+               "DMA size must be a multiple of 16 bytes (got " +
+                   std::to_string(bytes) + ")");
 
   // Split into <=16 KB hardware transfers (a DMA list on real hardware).
   double t = std::max(issue_time, engine_free_at_);
@@ -41,7 +36,7 @@ double DmaEngine::account(std::size_t bytes, std::size_t ls_offset,
 
 double DmaEngine::get(LocalStore& ls, const LsRegion& dst, const void* src,
                       std::size_t bytes, double issue_time) {
-  PLF_CHECK(bytes <= dst.bytes, "DMA get overflows the LS region");
+  PLF_CHECK_HW(bytes <= dst.bytes, "DMA get overflows the LS region");
   const double done = account(bytes, dst.offset, src, issue_time);
   std::memcpy(ls.at(LsRegion{dst.offset, bytes}), src, bytes);
   return done;
@@ -49,7 +44,7 @@ double DmaEngine::get(LocalStore& ls, const LsRegion& dst, const void* src,
 
 double DmaEngine::put(const LocalStore& ls, const LsRegion& src, void* dst,
                       std::size_t bytes, double issue_time) {
-  PLF_CHECK(bytes <= src.bytes, "DMA put overruns the LS region");
+  PLF_CHECK_HW(bytes <= src.bytes, "DMA put overruns the LS region");
   const double done = account(bytes, src.offset, dst, issue_time);
   std::memcpy(dst,
               const_cast<LocalStore&>(ls).at(LsRegion{src.offset, bytes}),

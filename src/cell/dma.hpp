@@ -46,6 +46,12 @@ class DmaEngine {
 
   /// main memory -> local store ("get"). Returns the simulated completion
   /// time given the transfer was issued at `issue_time`.
+  ///
+  /// `bytes` must honor the 16-byte size rule, so callers moving byte-granular
+  /// data (tip masks) round the size up — which means `src` must point into an
+  /// allocation with at least `round_up(bytes, 16)` readable bytes. Buffers
+  /// from util/aligned.hpp satisfy this (the allocator pads every allocation
+  /// to 128 bytes); plain std::vector storage does not.
   double get(LocalStore& ls, const LsRegion& dst, const void* src,
              std::size_t bytes, double issue_time);
 

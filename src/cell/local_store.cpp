@@ -1,12 +1,17 @@
 #include "cell/local_store.hpp"
 
+#include "util/contracts.hpp"
+
 namespace plf::cell {
 
 LsRegion LocalStore::alloc(std::size_t bytes, std::size_t align) {
   PLF_CHECK(align > 0 && (align & (align - 1)) == 0,
             "LS alignment must be a power of two");
   const std::size_t offset = round_up(top_, align);
-  if (offset + bytes > capacity_) {
+  // Overflow-safe form of `offset + bytes > capacity_` (round_up itself can
+  // wrap when top_ is within `align` of SIZE_MAX, which only a hostile caller
+  // can provoke — but the simulator must fail loudly, not corrupt top_).
+  if (offset < top_ || offset > capacity_ || bytes > capacity_ - offset) {
     throw HardwareViolation(
         "local store exhausted: request of " + std::to_string(bytes) +
         " bytes at offset " + std::to_string(offset) + " exceeds " +

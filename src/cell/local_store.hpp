@@ -68,7 +68,7 @@ class LocalStore {
 
  private:
   void check_region(const LsRegion& r) const {
-    PLF_CHECK(r.offset + r.bytes <= capacity_,
+    PLF_CHECK(r.offset <= capacity_ && r.bytes <= capacity_ - r.offset,
               "local store region out of bounds");
   }
 

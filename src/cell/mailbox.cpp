@@ -2,13 +2,14 @@
 
 #include <algorithm>
 
+#include "util/contracts.hpp"
+
 namespace plf::cell {
 
 double Mailbox::write(std::uint32_t value, double time) {
-  if (fifo_.size() >= depth_) {
-    throw HardwareViolation("mailbox overflow: writer would stall (depth " +
-                            std::to_string(depth_) + ")");
-  }
+  PLF_CHECK_HW(fifo_.size() < depth_,
+               "mailbox overflow: writer would stall (depth " +
+                   std::to_string(depth_) + ")");
   const double done = time + timings_.write_latency_s;
   fifo_.push_back(Entry{value, done});
   ++messages_;

@@ -2,6 +2,7 @@
 // SIMD/backend variants are validated against.
 #include <cmath>
 
+#include "core/kernel_contracts.hpp"
 #include "core/kernels.hpp"
 
 namespace plf::core {
@@ -28,6 +29,7 @@ inline void child_values(const ChildArgs& ch, std::size_t c, std::size_t k,
 }
 
 void down_scalar(const DownArgs& a, std::size_t begin, std::size_t end) {
+  detail::check_down(a, begin, end, /*needs_transpose=*/false);
   for (std::size_t c = begin; c < end; ++c) {
     float* out = a.out + c * a.K * 4;
     for (std::size_t k = 0; k < a.K; ++k) {
@@ -40,6 +42,7 @@ void down_scalar(const DownArgs& a, std::size_t begin, std::size_t end) {
 }
 
 void root_scalar(const RootArgs& a, std::size_t begin, std::size_t end) {
+  detail::check_root(a, begin, end, /*needs_transpose=*/false);
   const DownArgs& d = a.down;
   for (std::size_t c = begin; c < end; ++c) {
     float* out = d.out + c * d.K * 4;
@@ -57,6 +60,7 @@ void root_scalar(const RootArgs& a, std::size_t begin, std::size_t end) {
 }
 
 void scale_scalar(const ScaleArgs& a, std::size_t begin, std::size_t end) {
+  detail::check_scale(a, begin, end);
   for (std::size_t c = begin; c < end; ++c) {
     float* cl = a.cl + c * a.K * 4;
     float m = cl[0];
@@ -77,6 +81,7 @@ void scale_scalar(const ScaleArgs& a, std::size_t begin, std::size_t end) {
 
 double root_reduce_scalar(const RootReduceArgs& a, std::size_t begin,
                           std::size_t end) {
+  detail::check_root_reduce(a, begin, end);
   double partial = 0.0;
   const double inv_k = 1.0 / static_cast<double>(a.K);
   for (std::size_t c = begin; c < end; ++c) {

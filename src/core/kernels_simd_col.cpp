@@ -9,6 +9,7 @@
 //
 // kSimdCol8 widens the same scheme to 8 lanes (two rate categories per
 // register), a modern-host extension the 2009 hardware did not have.
+#include "core/kernel_contracts.hpp"
 #include "core/kernels.hpp"
 #include "simd/vec4f.hpp"
 #include "simd/vec8f.hpp"
@@ -42,6 +43,8 @@ inline Vec4f child_values(const ChildArgs& ch, std::size_t c, std::size_t k,
 }
 
 void down_col(const DownArgs& a, std::size_t begin, std::size_t end) {
+  detail::check_down(a, begin, end, /*needs_transpose=*/true);
+  detail::check_down_aligned(a);
   for (std::size_t c = begin; c < end; ++c) {
     float* out = a.out + c * a.K * 4;
     for (std::size_t k = 0; k < a.K; ++k) {
@@ -53,6 +56,8 @@ void down_col(const DownArgs& a, std::size_t begin, std::size_t end) {
 }
 
 void root_col(const RootArgs& a, std::size_t begin, std::size_t end) {
+  detail::check_root(a, begin, end, /*needs_transpose=*/true);
+  detail::check_root_aligned(a);
   const DownArgs& d = a.down;
   for (std::size_t c = begin; c < end; ++c) {
     float* out = d.out + c * d.K * 4;
@@ -92,6 +97,8 @@ inline Vec8f child_values8(const ChildArgs& ch, std::size_t c, std::size_t k,
 }
 
 void down_col8(const DownArgs& a, std::size_t begin, std::size_t end) {
+  detail::check_down(a, begin, end, /*needs_transpose=*/true);
+  detail::check_down_aligned(a);
   const std::size_t k_pairs = a.K / 2 * 2;
   for (std::size_t c = begin; c < end; ++c) {
     float* out = a.out + c * a.K * 4;
@@ -110,6 +117,8 @@ void down_col8(const DownArgs& a, std::size_t begin, std::size_t end) {
 }
 
 void root_col8(const RootArgs& a, std::size_t begin, std::size_t end) {
+  detail::check_root(a, begin, end, /*needs_transpose=*/true);
+  detail::check_root_aligned(a);
   const DownArgs& d = a.down;
   const std::size_t k_pairs = d.K / 2 * 2;
   for (std::size_t c = begin; c < end; ++c) {

@@ -7,6 +7,7 @@
 // (bench_ablation_cell_simd / bench_ablation_gpu_threads).
 #include <cmath>
 
+#include "core/kernel_contracts.hpp"
 #include "core/kernels.hpp"
 #include "simd/vec4f.hpp"
 
@@ -35,6 +36,8 @@ inline Vec4f child_values(const ChildArgs& ch, std::size_t c, std::size_t k,
 }
 
 void down_row(const DownArgs& a, std::size_t begin, std::size_t end) {
+  detail::check_down(a, begin, end, /*needs_transpose=*/false);
+  detail::check_down_aligned(a);
   for (std::size_t c = begin; c < end; ++c) {
     float* out = a.out + c * a.K * 4;
     for (std::size_t k = 0; k < a.K; ++k) {
@@ -46,6 +49,8 @@ void down_row(const DownArgs& a, std::size_t begin, std::size_t end) {
 }
 
 void root_row(const RootArgs& a, std::size_t begin, std::size_t end) {
+  detail::check_root(a, begin, end, /*needs_transpose=*/false);
+  detail::check_root_aligned(a);
   const DownArgs& d = a.down;
   for (std::size_t c = begin; c < end; ++c) {
     float* out = d.out + c * d.K * 4;
@@ -61,6 +66,8 @@ void root_row(const RootArgs& a, std::size_t begin, std::size_t end) {
 }
 
 void scale_simd(const ScaleArgs& a, std::size_t begin, std::size_t end) {
+  detail::check_scale(a, begin, end);
+  PLF_DCHECK_ALIGNED(a.cl, detail::kKernelAlignBytes);
   for (std::size_t c = begin; c < end; ++c) {
     float* cl = a.cl + c * a.K * 4;
     Vec4f m = Vec4f::load(cl);
@@ -82,6 +89,8 @@ void scale_simd(const ScaleArgs& a, std::size_t begin, std::size_t end) {
 
 double root_reduce_simd(const RootReduceArgs& a, std::size_t begin,
                         std::size_t end) {
+  detail::check_root_reduce(a, begin, end);
+  PLF_DCHECK_ALIGNED(a.cl, detail::kKernelAlignBytes);
   const Vec4f pi(a.pi[0], a.pi[1], a.pi[2], a.pi[3]);
   const double inv_k = 1.0 / static_cast<double>(a.K);
   double partial = 0.0;

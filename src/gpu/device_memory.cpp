@@ -3,13 +3,13 @@
 #include <algorithm>
 #include <cstring>
 
-#include "util/error.hpp"
+#include "util/contracts.hpp"
 
 namespace plf::gpu {
 
 DevPtr DeviceMemory::malloc(std::size_t bytes) {
   PLF_CHECK(bytes > 0, "cudaMalloc of zero bytes");
-  if (used_ + bytes > capacity_) {
+  if (bytes > capacity_ - used_) {
     throw HardwareViolation("device out of memory: " + std::to_string(bytes) +
                             " bytes requested, " +
                             std::to_string(capacity_ - used_) + " free");
@@ -40,7 +40,10 @@ double DeviceMemory::h2d(DevPtr dst, std::size_t offset, const void* src,
                          std::size_t bytes, double issue_time) {
   auto it = allocs_.find(dst.id);
   PLF_CHECK(it != allocs_.end(), "h2d to invalid device pointer");
-  PLF_CHECK(offset + bytes <= it->second.size(), "h2d out of bounds");
+  PLF_CHECK_HW(offset <= it->second.size() &&
+                   bytes <= it->second.size() - offset,
+               "h2d out of bounds");
+  PLF_DCHECK(src != nullptr || bytes == 0, "h2d from null host pointer");
   std::memcpy(it->second.data() + offset, src, bytes);
   ++stats_.h2d_transfers;
   stats_.h2d_bytes += bytes;
@@ -51,7 +54,10 @@ double DeviceMemory::d2h(void* dst, DevPtr src, std::size_t offset,
                          std::size_t bytes, double issue_time) {
   auto it = allocs_.find(src.id);
   PLF_CHECK(it != allocs_.end(), "d2h from invalid device pointer");
-  PLF_CHECK(offset + bytes <= it->second.size(), "d2h out of bounds");
+  PLF_CHECK_HW(offset <= it->second.size() &&
+                   bytes <= it->second.size() - offset,
+               "d2h out of bounds");
+  PLF_DCHECK(dst != nullptr || bytes == 0, "d2h to null host pointer");
   std::memcpy(dst, it->second.data() + offset, bytes);
   ++stats_.d2h_transfers;
   stats_.d2h_bytes += bytes;

@@ -8,13 +8,30 @@
 
 #include <atomic>
 #include <cstddef>
+#include <thread>
+
+#include "util/contracts.hpp"
 
 namespace plf::par {
+
+/// Hint to the CPU that we are in a spin-wait loop. On x86 this is the
+/// `pause` instruction (reduces the memory-order-violation flush on loop
+/// exit and yields pipeline resources to the sibling hyperthread); elsewhere
+/// it is a no-op and the caller's periodic yield provides the backoff.
+inline void cpu_relax() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield" ::: "memory");
+#endif
+}
 
 class SpinBarrier {
  public:
   explicit SpinBarrier(std::size_t parties)
-      : parties_(parties), remaining_(parties) {}
+      : parties_(parties), remaining_(parties) {
+    PLF_CHECK(parties >= 1, "SpinBarrier needs at least one party");
+  }
 
   SpinBarrier(const SpinBarrier&) = delete;
   SpinBarrier& operator=(const SpinBarrier&) = delete;
@@ -26,13 +43,27 @@ class SpinBarrier {
       remaining_.store(parties_, std::memory_order_relaxed);
       sense_.store(my_sense, std::memory_order_release);
     } else {
+      // Spin with a CPU-relax hint, falling back to the OS scheduler once
+      // the wait is clearly long (oversubscription, sanitizer slowdown, a
+      // single-core host): a pure busy-wait would livelock when the last
+      // arriving party cannot get a core to run on.
+      std::size_t spins = 0;
       while (sense_.load(std::memory_order_acquire) != my_sense) {
-        // spin
+        if (++spins < kSpinsBeforeYield) {
+          cpu_relax();
+        } else {
+          std::this_thread::yield();
+        }
       }
     }
   }
 
  private:
+  /// Spins before each wait falls back to yielding. Low enough that a
+  /// descheduled releaser is found quickly, high enough that the common
+  /// all-cores-running rendezvous never enters the kernel.
+  static constexpr std::size_t kSpinsBeforeYield = 4096;
+
   const std::size_t parties_;
   std::atomic<std::size_t> remaining_;
   std::atomic<bool> sense_{false};

@@ -4,7 +4,7 @@
 #include <exception>
 
 #include "util/clock.hpp"
-#include "util/error.hpp"
+#include "util/contracts.hpp"
 
 namespace plf::par {
 
@@ -101,6 +101,18 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
   const std::size_t total = end - begin;
   if (total == 0) return;
 
+  // Regions are not reentrant: a body that calls parallel_for on the same
+  // pool would deadlock waiting for workers that are busy inside it. Catch
+  // that misuse up front instead.
+  bool expected = false;
+  PLF_CHECK(in_region_.compare_exchange_strong(expected, true,
+                                               std::memory_order_acq_rel),
+            "parallel_for: nested call on the same pool (not reentrant)");
+  struct RegionFlagReset {
+    std::atomic<bool>& flag;
+    ~RegionFlagReset() { flag.store(false, std::memory_order_release); }
+  } in_region_reset{in_region_};
+
   Stopwatch sw;
 
   Region region;
@@ -114,6 +126,8 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
     chunk = std::max<std::size_t>(1, total / (4 * region.threads));
   }
   region.chunk = chunk;
+  PLF_DCHECK(region.chunk >= 1, "parallel_for: zero dynamic chunk");
+  PLF_DCHECK(region.threads >= 1, "parallel_for: pool has no threads");
 
   if (workers_.empty()) {
     run_share(region, 0);

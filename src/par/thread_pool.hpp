@@ -80,6 +80,7 @@ class ThreadPool {
   std::uint64_t epoch_ = 0;      // bumped per region so workers wake exactly once
   std::size_t remaining_ = 0;    // workers still inside the active region
   bool shutting_down_ = false;
+  std::atomic<bool> in_region_{false};  // rejects nested parallel_for calls
 
   mutable std::mutex stats_m_;
   PoolStats stats_;

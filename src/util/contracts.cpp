@@ -1,0 +1,50 @@
+#include "util/contracts.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace plf {
+
+bool contracts_active() noexcept { return PLF_CONTRACTS_LEVEL != 0; }
+
+}  // namespace plf
+
+namespace plf::detail {
+
+void throw_hw_check_failure(const char* expr, const char* file, int line,
+                            const std::string& msg) {
+  std::ostringstream os;
+  os << msg << " [check `" << expr << "` failed at " << file << ":" << line
+     << "]";
+  throw HardwareViolation(os.str());
+}
+
+void throw_alignment_failure(const void* ptr, std::size_t align,
+                             const char* expr, const char* file, int line) {
+  std::ostringstream os;
+  os << "pointer `" << expr << "` = " << ptr << " is not " << align
+     << "-byte aligned [at " << file << ":" << line << "]";
+  throw HardwareViolation(os.str());
+}
+
+void contract_abort(const char* kind, const char* expr, const char* file,
+                    int line, const char* msg) noexcept {
+  std::fprintf(stderr, "plf: contract violation: %s [%s `%s` failed at %s:%d]\n",
+               msg, kind, expr, file, line);
+  std::fflush(stderr);
+  std::abort();
+}
+
+void contract_abort_aligned(const void* ptr, std::size_t align,
+                            const char* expr, const char* file,
+                            int line) noexcept {
+  std::fprintf(stderr,
+               "plf: contract violation: pointer `%s` = %p is not %zu-byte "
+               "aligned [at %s:%d]\n",
+               expr, ptr, align, file, line);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace plf::detail

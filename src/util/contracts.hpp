@@ -1,0 +1,154 @@
+// Contract / invariant-check macros for the PLF kernels and simulators.
+//
+// Two severity tiers, matching how the code is exercised:
+//
+//   PLF_CHECK(expr, msg)          always on; throws plf::Error. For API misuse
+//                                 on cold paths (parse, setup, region entry).
+//                                 Defined in util/error.hpp; re-exported here.
+//   PLF_CHECK_HW(expr, msg)       always on; throws plf::HardwareViolation.
+//                                 For simulated hardware rules (DMA size,
+//                                 LS capacity, device-memory bounds) so tests
+//                                 can assert on the exact violation class.
+//   PLF_CHECK_ALIGNED(ptr, n)     always on; throws plf::HardwareViolation
+//                                 with the offending pointer value. For the
+//                                 16/128-byte DMA and SIMD alignment rules.
+//
+//   PLF_DCHECK(expr, msg)         checked builds only; prints a diagnostic to
+//                                 stderr and aborts (death-testable, safe in
+//                                 noexcept and hot paths). Compiles to nothing
+//                                 in release builds: the condition is not
+//                                 evaluated, only type-checked.
+//   PLF_DCHECK_ALIGNED(ptr, n)    checked-build alignment variant of above.
+//   PLF_ASSUME(expr)              checked builds: fatal check. Release builds:
+//                                 optimizer hint (__builtin_unreachable on the
+//                                 false branch) — `expr` must be side-effect
+//                                 free.
+//
+// "Checked build" means any of: NDEBUG not defined (Debug builds), a
+// sanitizer preset (the build system defines PLF_CONTRACTS_CHECKED for every
+// PLF_SANITIZE mode), or a per-target -DPLF_CONTRACTS_CHECKED=1 (used by the
+// contract death tests to stay active under RelWithDebInfo).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "util/error.hpp"
+
+#if !defined(PLF_CONTRACTS_LEVEL)
+#if defined(PLF_CONTRACTS_CHECKED) || !defined(NDEBUG)
+#define PLF_CONTRACTS_LEVEL 1
+#else
+#define PLF_CONTRACTS_LEVEL 0
+#endif
+#endif
+
+namespace plf {
+
+/// True when the plf libraries themselves were compiled with checked
+/// contracts (Debug, a sanitizer preset, or -DPLF_CONTRACTS=ON). Lets tests
+/// that provoke PLF_DCHECK failures inside library code skip cleanly when
+/// the library build compiled those checks out.
+bool contracts_active() noexcept;
+
+}  // namespace plf
+
+namespace plf::detail {
+
+/// Throws HardwareViolation (always-on hardware-rule checks).
+[[noreturn]] void throw_hw_check_failure(const char* expr, const char* file,
+                                         int line, const std::string& msg);
+
+/// Throws HardwareViolation with the pointer value in the message.
+[[noreturn]] void throw_alignment_failure(const void* ptr, std::size_t align,
+                                          const char* expr, const char* file,
+                                          int line);
+
+/// Prints "plf: contract violation ..." to stderr and aborts. Used by the
+/// checked-build-only macros so they work inside noexcept code and under
+/// gtest death tests.
+[[noreturn]] void contract_abort(const char* kind, const char* expr,
+                                 const char* file, int line,
+                                 const char* msg) noexcept;
+
+/// contract_abort carrying a misaligned pointer value.
+[[noreturn]] void contract_abort_aligned(const void* ptr, std::size_t align,
+                                         const char* expr, const char* file,
+                                         int line) noexcept;
+
+inline bool contract_is_aligned(const void* p, std::size_t align) noexcept {
+  return reinterpret_cast<std::uintptr_t>(p) % align == 0;
+}
+
+}  // namespace plf::detail
+
+/// Always-on simulated-hardware invariant; throws plf::HardwareViolation.
+#define PLF_CHECK_HW(expr, msg)                                                \
+  do {                                                                         \
+    if (!(expr)) {                                                             \
+      ::plf::detail::throw_hw_check_failure(#expr, __FILE__, __LINE__, msg);   \
+    }                                                                          \
+  } while (false)
+
+/// Always-on pointer alignment invariant; throws plf::HardwareViolation.
+#define PLF_CHECK_ALIGNED(ptr, n)                                              \
+  do {                                                                         \
+    if (!::plf::detail::contract_is_aligned((ptr), (n))) {                     \
+      ::plf::detail::throw_alignment_failure((ptr), (n), #ptr, __FILE__,       \
+                                             __LINE__);                        \
+    }                                                                          \
+  } while (false)
+
+#if PLF_CONTRACTS_LEVEL
+
+#define PLF_DCHECK(expr, msg)                                                  \
+  do {                                                                         \
+    if (!(expr)) {                                                             \
+      ::plf::detail::contract_abort("dcheck", #expr, __FILE__, __LINE__, msg); \
+    }                                                                          \
+  } while (false)
+
+#define PLF_DCHECK_ALIGNED(ptr, n)                                             \
+  do {                                                                         \
+    if (!::plf::detail::contract_is_aligned((ptr), (n))) {                     \
+      ::plf::detail::contract_abort_aligned((ptr), (n), #ptr, __FILE__,        \
+                                            __LINE__);                         \
+    }                                                                          \
+  } while (false)
+
+#define PLF_ASSUME(expr)                                                       \
+  do {                                                                         \
+    if (!(expr)) {                                                             \
+      ::plf::detail::contract_abort("assumption", #expr, __FILE__, __LINE__,   \
+                                    "assumed condition is false");             \
+    }                                                                          \
+  } while (false)
+
+#else  // release: DCHECKs vanish (unevaluated), ASSUME feeds the optimizer.
+
+#define PLF_DCHECK(expr, msg) \
+  do {                        \
+    (void)sizeof(!(expr));    \
+  } while (false)
+
+#define PLF_DCHECK_ALIGNED(ptr, n) \
+  do {                             \
+    (void)sizeof(ptr);             \
+    (void)sizeof(n);               \
+  } while (false)
+
+#if defined(__clang__)
+#define PLF_ASSUME(expr) __builtin_assume(expr)
+#elif defined(__GNUC__)
+#define PLF_ASSUME(expr)                    \
+  do {                                      \
+    if (!(expr)) __builtin_unreachable();   \
+  } while (false)
+#else
+#define PLF_ASSUME(expr) \
+  do {                   \
+    (void)sizeof(!(expr)); \
+  } while (false)
+#endif
+
+#endif  // PLF_CONTRACTS_LEVEL

@@ -1,0 +1,162 @@
+// Tests for the contract/invariant layer (util/contracts.hpp).
+//
+// This TU is compiled with -DPLF_CONTRACTS_CHECKED=1 (see tests/CMakeLists),
+// so the PLF_DCHECK/PLF_ASSUME family is active here even in release builds
+// and can be exercised with death tests. The *library* objects keep whatever
+// contract level the build selected; the kernel-entry integration tests query
+// plf::contracts_active() and skip when the library was built unchecked.
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+#include "core/kernels.hpp"
+#include "util/aligned.hpp"
+#include "util/contracts.hpp"
+
+namespace plf {
+namespace {
+
+using core::DownArgs;
+using core::KernelVariant;
+
+TEST(CheckTest, PassingCheckIsSilent) {
+  EXPECT_NO_THROW(PLF_CHECK(1 + 1 == 2, "arithmetic works"));
+  EXPECT_NO_THROW(PLF_CHECK_HW(true, "hardware rule holds"));
+}
+
+TEST(CheckTest, FailingCheckThrowsErrorWithContext) {
+  try {
+    PLF_CHECK(2 + 2 == 5, "math is broken");
+    FAIL() << "PLF_CHECK did not throw";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("math is broken"), std::string::npos) << what;
+    EXPECT_NE(what.find("2 + 2 == 5"), std::string::npos) << what;
+    EXPECT_NE(what.find("contracts_test.cpp"), std::string::npos) << what;
+  }
+}
+
+TEST(CheckTest, FailingHwCheckThrowsHardwareViolation) {
+  EXPECT_THROW(PLF_CHECK_HW(false, "simulated rule"), HardwareViolation);
+}
+
+TEST(CheckTest, AlignedCheckAcceptsAlignedPointer) {
+  aligned_vector<float> v(32, 0.0f);
+  EXPECT_NO_THROW(PLF_CHECK_ALIGNED(v.data(), 16));
+  EXPECT_NO_THROW(PLF_CHECK_ALIGNED(v.data(), kDmaAlignBytes));
+}
+
+TEST(CheckTest, AlignedCheckRejectsMisalignedPointer) {
+  aligned_vector<std::uint8_t> v(64, 0);
+  const std::uint8_t* off = v.data() + 3;
+  try {
+    PLF_CHECK_ALIGNED(off, 16);
+    FAIL() << "PLF_CHECK_ALIGNED did not throw";
+  } catch (const HardwareViolation& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("16-byte aligned"), std::string::npos) << what;
+    EXPECT_NE(what.find("off"), std::string::npos) << what;
+  }
+}
+
+TEST(DcheckDeathTest, FailingDcheckAborts) {
+  testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(PLF_DCHECK(false, "dcheck fired"),
+               "contract violation: dcheck fired");
+}
+
+TEST(DcheckDeathTest, PassingDcheckIsSilent) {
+  int evaluations = 0;
+  PLF_DCHECK(++evaluations == 1, "must pass");
+  EXPECT_EQ(evaluations, 1);  // checked build: condition evaluated once
+}
+
+TEST(DcheckDeathTest, MisalignedDcheckAborts) {
+  testing::FLAGS_gtest_death_test_style = "threadsafe";
+  aligned_vector<std::uint8_t> v(64, 0);
+  const std::uint8_t* off = v.data() + 1;
+  EXPECT_DEATH(PLF_DCHECK_ALIGNED(off, 16), "not 16-byte aligned");
+}
+
+TEST(AssumeDeathTest, FalseAssumptionAbortsInCheckedBuilds) {
+  testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(PLF_ASSUME(1 == 2), "contract violation");
+}
+
+TEST(AssumeDeathTest, TrueAssumptionIsSilent) { PLF_ASSUME(1 == 1); }
+
+/// Minimal valid cond_like_down argument pack over aligned storage.
+struct DownFixture {
+  static constexpr std::size_t kPatterns = 8;
+  static constexpr std::size_t kCats = 4;
+  aligned_vector<float> cl_l, cl_r, out, p, pt;
+
+  DownFixture()
+      : cl_l(kPatterns * kCats * 4, 0.25f),
+        cl_r(kPatterns * kCats * 4, 0.25f),
+        out(kPatterns * kCats * 4, 0.0f),
+        p(kCats * 16, 0.25f),
+        pt(kCats * 16, 0.25f) {}
+
+  DownArgs args() {
+    DownArgs a;
+    a.left.cl = cl_l.data();
+    a.left.p = p.data();
+    a.left.pt = pt.data();
+    a.right.cl = cl_r.data();
+    a.right.p = p.data();
+    a.right.pt = pt.data();
+    a.out = out.data();
+    a.K = kCats;
+    return a;
+  }
+};
+
+TEST(KernelContractTest, ValidArgumentsRunOnEveryVariant) {
+  DownFixture f;
+  for (auto v : {KernelVariant::kScalar, KernelVariant::kSimdRow,
+                 KernelVariant::kSimdCol, KernelVariant::kSimdCol8}) {
+    DownArgs a = f.args();
+    core::kernels(v).down(a, 0, DownFixture::kPatterns);
+    for (float x : f.out) EXPECT_GT(x, 0.0f);
+  }
+}
+
+TEST(KernelContractDeathTest, MisalignedOutputTripsSimdEntryContract) {
+  if (!contracts_active()) {
+    GTEST_SKIP() << "library built without checked contracts";
+  }
+  testing::FLAGS_gtest_death_test_style = "threadsafe";
+  DownFixture f;
+  DownArgs a = f.args();
+  a.out = f.out.data() + 1;  // off by one float: 4-byte, not 16-byte, aligned
+  EXPECT_DEATH(core::kernels(KernelVariant::kSimdCol).down(a, 0, 4),
+               "contract violation");
+}
+
+TEST(KernelContractDeathTest, ZeroRateCategoriesTripsEntryContract) {
+  if (!contracts_active()) {
+    GTEST_SKIP() << "library built without checked contracts";
+  }
+  testing::FLAGS_gtest_death_test_style = "threadsafe";
+  DownFixture f;
+  DownArgs a = f.args();
+  a.K = 0;
+  EXPECT_DEATH(core::kernels(KernelVariant::kScalar).down(a, 0, 4),
+               "rate category");
+}
+
+TEST(KernelContractDeathTest, AmbiguousChildTripsEntryContract) {
+  if (!contracts_active()) {
+    GTEST_SKIP() << "library built without checked contracts";
+  }
+  testing::FLAGS_gtest_death_test_style = "threadsafe";
+  DownFixture f;
+  DownArgs a = f.args();
+  a.left.cl = nullptr;  // neither internal (cl) nor tip (mask)
+  EXPECT_DEATH(core::kernels(KernelVariant::kScalar).down(a, 0, 4),
+               "contract violation");
+}
+
+}  // namespace
+}  // namespace plf

@@ -1,0 +1,79 @@
+#!/usr/bin/env bash
+# Correctness gate: builds and tests the tree under every checking mode.
+#
+#   tools/check.sh              # run everything available on this host
+#   tools/check.sh plain        # RelWithDebInfo build + ctest
+#   tools/check.sh asan         # ASan+UBSan preset + ctest
+#   tools/check.sh tsan         # TSan preset + ctest
+#   tools/check.sh tidy         # clang-tidy over src/ (skipped if absent)
+#
+# Stages that need a tool the host lacks (clang-tidy) are skipped with a
+# warning rather than failed, so the script is usable both on dev machines
+# and as the single entry point for CI (which installs everything).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+JOBS="${JOBS:-$(nproc 2>/dev/null || echo 2)}"
+FAILED=()
+SKIPPED=()
+
+note() { printf '\n\033[1;34m== %s ==\033[0m\n' "$*"; }
+warn() { printf '\033[1;33mwarning: %s\033[0m\n' "$*" >&2; }
+
+run_preset() {
+  local preset="$1"
+  note "preset '${preset}': configure"
+  cmake --preset "${preset}"
+  note "preset '${preset}': build"
+  cmake --build --preset "${preset}" -j "${JOBS}"
+  note "preset '${preset}': ctest"
+  ctest --preset "${preset}"
+}
+
+stage_plain() { run_preset default; }
+stage_asan()  { run_preset asan-ubsan; }
+stage_tsan()  { run_preset tsan; }
+
+stage_tidy() {
+  if ! command -v clang-tidy >/dev/null 2>&1; then
+    warn "clang-tidy not found on PATH; skipping the lint stage"
+    SKIPPED+=(tidy)
+    return 0
+  fi
+  note "preset 'tidy': configure + build (clang-tidy on every TU)"
+  cmake --preset tidy
+  cmake --build --preset tidy -j "${JOBS}"
+}
+
+run_stage() {
+  local name="$1"
+  if "stage_${name}"; then
+    return 0
+  else
+    FAILED+=("${name}")
+    return 0
+  fi
+}
+
+STAGES=("$@")
+if [[ ${#STAGES[@]} -eq 0 ]]; then
+  STAGES=(plain asan tsan tidy)
+fi
+
+for s in "${STAGES[@]}"; do
+  case "$s" in
+    plain|asan|tsan|tidy) run_stage "$s" ;;
+    *) echo "unknown stage '$s' (expected plain|asan|tsan|tidy)" >&2; exit 2 ;;
+  esac
+done
+
+note "summary"
+if [[ ${#SKIPPED[@]} -gt 0 ]]; then
+  echo "skipped: ${SKIPPED[*]} (missing tools)"
+fi
+if [[ ${#FAILED[@]} -gt 0 ]]; then
+  echo "FAILED stages: ${FAILED[*]}"
+  exit 1
+fi
+echo "all requested stages passed"
