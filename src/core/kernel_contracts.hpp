@@ -1,0 +1,99 @@
+// Entry-point contracts for the PLF kernels.
+//
+// Every kernel variant (scalar, simd-row, simd-col, simd-col8) receives raw
+// pointers plus a half-open pattern range from whichever backend partitioned
+// the outermost loop (threads, simulated SPEs, simulated CUDA blocks). These
+// helpers spell out the trust boundary once so all variants check identical
+// preconditions:
+//
+//   - the range is well-formed (begin <= end),
+//   - K >= 1 rate categories,
+//   - exactly one of {cl, mask} per child, with the matching matrix table
+//     (p/pt for internal children, tp for tips),
+//   - for the SIMD variants, 16-byte alignment of every array the kernels
+//     access with aligned vector loads/stores (util/aligned.hpp allocates at
+//     128 bytes, so a violation means a caller sliced a buffer mid-register).
+//
+// All checks are PLF_DCHECK-level: active in Debug / sanitizer / contract
+// builds, compiled out of release kernels (these functions sit on the hot
+// path — they run once per (node, chunk), not per site, but the PLF is called
+// millions of times per MCMC run).
+#pragma once
+
+#include "core/kernels.hpp"
+#include "util/contracts.hpp"
+
+namespace plf::core::detail {
+
+/// SIMD register width the aligned kernel loads/stores assume, in bytes.
+inline constexpr std::size_t kKernelAlignBytes = 16;
+
+inline void check_child(const ChildArgs& ch, bool needs_transpose) {
+  PLF_DCHECK((ch.cl != nullptr) != (ch.mask != nullptr),
+             "child must be exactly one of internal (cl) or tip (mask)");
+  if (ch.mask != nullptr) {
+    PLF_DCHECK(ch.tp != nullptr, "tip child needs its tip-partial table");
+  } else if (needs_transpose) {
+    PLF_DCHECK(ch.pt != nullptr,
+               "internal child needs the transposed transition matrices");
+  } else {
+    PLF_DCHECK(ch.p != nullptr,
+               "internal child needs the row-major transition matrices");
+  }
+}
+
+inline void check_child_aligned(const ChildArgs& ch) {
+  if (ch.mask != nullptr) {
+    PLF_DCHECK_ALIGNED(ch.tp, kKernelAlignBytes);
+  } else {
+    PLF_DCHECK_ALIGNED(ch.cl, kKernelAlignBytes);
+    if (ch.p != nullptr) PLF_DCHECK_ALIGNED(ch.p, kKernelAlignBytes);
+    if (ch.pt != nullptr) PLF_DCHECK_ALIGNED(ch.pt, kKernelAlignBytes);
+  }
+}
+
+inline void check_down(const DownArgs& a, std::size_t begin, std::size_t end,
+                       bool needs_transpose) {
+  PLF_DCHECK(begin <= end, "cond_like_down: reversed pattern range");
+  PLF_DCHECK(a.K >= 1, "cond_like_down: needs at least one rate category");
+  PLF_DCHECK(a.out != nullptr, "cond_like_down: null output array");
+  check_child(a.left, needs_transpose);
+  check_child(a.right, needs_transpose);
+}
+
+inline void check_down_aligned(const DownArgs& a) {
+  PLF_DCHECK_ALIGNED(a.out, kKernelAlignBytes);
+  check_child_aligned(a.left);
+  check_child_aligned(a.right);
+}
+
+inline void check_root(const RootArgs& a, std::size_t begin, std::size_t end,
+                       bool needs_transpose) {
+  check_down(a.down, begin, end, needs_transpose);
+  PLF_DCHECK(a.out_mask != nullptr && a.out_tp != nullptr,
+             "cond_like_root: outgroup tip masks/table required");
+}
+
+inline void check_root_aligned(const RootArgs& a) {
+  check_down_aligned(a.down);
+  PLF_DCHECK_ALIGNED(a.out_tp, kKernelAlignBytes);
+}
+
+inline void check_scale(const ScaleArgs& a, std::size_t begin,
+                        std::size_t end) {
+  PLF_DCHECK(begin <= end, "cond_like_scaler: reversed pattern range");
+  PLF_DCHECK(a.K >= 1, "cond_like_scaler: needs at least one rate category");
+  PLF_DCHECK(a.cl != nullptr && a.ln_scaler != nullptr,
+             "cond_like_scaler: null array");
+}
+
+inline void check_root_reduce(const RootReduceArgs& a, std::size_t begin,
+                              std::size_t end) {
+  PLF_DCHECK(begin <= end, "root_reduce: reversed pattern range");
+  PLF_DCHECK(a.K >= 1, "root_reduce: needs at least one rate category");
+  PLF_DCHECK(a.cl != nullptr && a.ln_scaler_total != nullptr &&
+                 a.weights != nullptr,
+             "root_reduce: null array");
+}
+
+}  // namespace plf::core::detail

@@ -101,13 +101,15 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
   const std::size_t total = end - begin;
   if (total == 0) return;
 
-  // Regions are not reentrant: a body that calls parallel_for on the same
-  // pool would deadlock waiting for workers that are busy inside it. Catch
-  // that misuse up front instead.
+  // A pool runs one region at a time: a body that calls parallel_for on the
+  // same pool would deadlock waiting for workers that are busy inside it, and
+  // two external threads sharing a pool would corrupt the region state. Catch
+  // both misuses up front instead.
   bool expected = false;
   PLF_CHECK(in_region_.compare_exchange_strong(expected, true,
                                                std::memory_order_acq_rel),
-            "parallel_for: nested call on the same pool (not reentrant)");
+            "parallel_for: pool already running a region "
+            "(nested or concurrent call; pools are single-region)");
   struct RegionFlagReset {
     std::atomic<bool>& flag;
     ~RegionFlagReset() { flag.store(false, std::memory_order_release); }

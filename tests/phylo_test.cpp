@@ -211,7 +211,9 @@ TEST(ModelTest, CategoryRatesOrderedMeanOne) {
   ASSERT_EQ(r.size(), 4u);
   double mean = 0.0;
   for (std::size_t i = 0; i < 4; ++i) {
-    if (i) EXPECT_GT(r[i], r[i - 1]);
+    if (i) {
+      EXPECT_GT(r[i], r[i - 1]);
+    }
     mean += r[i];
   }
   EXPECT_NEAR(mean / 4.0, 1.0, 1e-9);

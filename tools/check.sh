@@ -21,14 +21,18 @@ SKIPPED=()
 note() { printf '\n\033[1;34m== %s ==\033[0m\n' "$*"; }
 warn() { printf '\033[1;33mwarning: %s\033[0m\n' "$*" >&2; }
 
+# Steps are chained with && because stages run inside an if-condition
+# (run_stage), which suppresses `set -e` in the function body: without the
+# chain a failed configure/build would fall through to ctest against a stale
+# tree and could be masked as a pass.
 run_preset() {
   local preset="$1"
-  note "preset '${preset}': configure"
-  cmake --preset "${preset}"
-  note "preset '${preset}': build"
-  cmake --build --preset "${preset}" -j "${JOBS}"
-  note "preset '${preset}': ctest"
-  ctest --preset "${preset}"
+  note "preset '${preset}': configure" &&
+    cmake --preset "${preset}" &&
+    note "preset '${preset}': build" &&
+    cmake --build --preset "${preset}" -j "${JOBS}" &&
+    note "preset '${preset}': ctest" &&
+    ctest --preset "${preset}"
 }
 
 stage_plain() { run_preset default; }
@@ -41,9 +45,9 @@ stage_tidy() {
     SKIPPED+=(tidy)
     return 0
   fi
-  note "preset 'tidy': configure + build (clang-tidy on every TU)"
-  cmake --preset tidy
-  cmake --build --preset tidy -j "${JOBS}"
+  note "preset 'tidy': configure + build (clang-tidy on every TU)" &&
+    cmake --preset tidy &&
+    cmake --build --preset tidy -j "${JOBS}"
 }
 
 run_stage() {
