@@ -1,0 +1,110 @@
+// Ablation: site-repeat compaction (docs/SITE_REPEATS.md) on vs off.
+//
+// Sweeps duplicate-column fractions on one tree and measures the wall time
+// the engine spends inside the PLF kernels for full re-evaluations (every
+// node recomputed, as after a model move — the workload the compaction must
+// beat). The compacted path must win big on dup-heavy data and cost nothing
+// measurable on all-unique data, where the per-node auto/on gate keeps the
+// dense path.
+#include <cstdint>
+#include <iostream>
+#include <vector>
+
+#include "core/backend.hpp"
+#include "core/engine.hpp"
+#include "phylo/patterns.hpp"
+#include "seqgen/datasets.hpp"
+#include "seqgen/random_tree.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace plf;
+
+/// m columns of which a `dup_fraction` share are copies of earlier columns.
+phylo::PatternMatrix make_columns(const std::vector<std::string>& names,
+                                  std::size_t m, double dup_fraction,
+                                  Rng& rng) {
+  const std::size_t n_taxa = names.size();
+  const auto n_unique =
+      static_cast<std::size_t>(static_cast<double>(m) * (1.0 - dup_fraction));
+  std::vector<std::vector<phylo::StateMask>> cols;
+  cols.reserve(m);
+  for (std::size_t c = 0; c < m; ++c) {
+    if (c < n_unique || n_unique == 0) {
+      std::vector<phylo::StateMask> col(n_taxa);
+      for (auto& x : col) x = phylo::state_to_mask(rng.below(4));
+      cols.push_back(std::move(col));
+    } else {
+      cols.push_back(cols[rng.below(n_unique)]);  // duplicate of an earlier one
+    }
+  }
+  return phylo::PatternMatrix::from_patterns(
+      names, cols, std::vector<std::uint32_t>(cols.size(), 1));
+}
+
+struct RunResult {
+  double plf_s = 0.0;
+  double rebuild_s = 0.0;
+  double compression = 1.0;
+};
+
+RunResult run(const phylo::PatternMatrix& data, const phylo::Tree& tree,
+              const phylo::GtrParams& params, core::SiteRepeatsMode mode,
+              int iterations) {
+  core::SerialBackend backend;
+  core::PlfEngine engine(data, params, tree, backend,
+                         core::KernelVariant::kSimdCol, mode);
+  engine.log_likelihood();  // warm up: class identification + first eval
+  RunResult r;
+  r.rebuild_s = engine.stats().repeat_rebuild_seconds;  // one-time, amortized
+  engine.reset_stats();
+  for (int i = 0; i < iterations; ++i) {
+    engine.set_model(params);  // dirty everything: full PLF re-evaluation
+    engine.log_likelihood();
+  }
+  r.plf_s = engine.stats().plf_seconds;
+  r.compression = engine.stats().repeat_compression_ratio();
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  constexpr std::size_t kTaxa = 20;
+  constexpr std::size_t kColumns = 4000;
+  constexpr int kIterations = 30;
+
+  Rng rng(2025);
+  const phylo::Tree tree = seqgen::yule_tree(kTaxa, rng, 1.0, 0.2);
+  auto params = seqgen::default_gtr_params();
+
+  Table t("Site-repeat ablation: full PLF re-evaluations, serial simd-col, " +
+          std::to_string(kColumns) + " columns x " +
+          std::to_string(kIterations) + " iterations");
+  t.header({"dup fraction", "dense s", "repeats s", "kernel speedup",
+            "realized compression", "ident s"});
+
+  for (const double dup : {0.0, 0.25, 0.5, 0.75, 0.9}) {
+    Rng data_rng(7000 + static_cast<std::uint64_t>(dup * 100));
+    const auto data =
+        make_columns(tree.taxon_names(), kColumns, dup, data_rng);
+
+    const RunResult off =
+        run(data, tree, params, core::SiteRepeatsMode::kOff, kIterations);
+    const RunResult on =
+        run(data, tree, params, core::SiteRepeatsMode::kOn, kIterations);
+
+    t.row({Table::num(dup, 2), Table::num(off.plf_s, 3),
+           Table::num(on.plf_s, 3), Table::num(off.plf_s / on.plf_s, 2) + "x",
+           Table::num(on.compression, 2) + "x", Table::num(on.rebuild_s, 4)});
+  }
+  std::cout << t << "\n";
+  std::cout
+      << "Duplicate columns cannot be folded by global pattern compression\n"
+         "(their weights are per-site), so only the per-node repeat classes\n"
+         "recover the redundancy. Identification (ident) runs once per\n"
+         "topology, not per evaluation, and is amortized across the chain.\n";
+  return 0;
+}

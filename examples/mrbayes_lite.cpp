@@ -4,11 +4,15 @@
 // (ESS), split frequencies, and a majority-rule consensus tree with support
 // values. With no input file it demonstrates itself on simulated data.
 //
-// Usage: mrbayes_lite [alignment-file] [generations] [chains] [seed]
+// Usage: mrbayes_lite [--site-repeats=on|off|auto] [alignment-file]
+//                     [generations] [chains] [seed]
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "core/backend.hpp"
 #include "core/engine.hpp"
@@ -56,11 +60,24 @@ plf::phylo::Alignment load_or_simulate(const char* path, std::uint64_t seed) {
 int run_main(int argc, char** argv) {
   using namespace plf;
 
-  const char* path = (argc > 1 && argv[1][0] != '\0') ? argv[1] : nullptr;
+  core::SiteRepeatsMode repeats = core::SiteRepeatsMode::kAuto;
+  std::vector<const char*> pos;
+  for (int i = 1; i < argc; ++i) {
+    constexpr const char* kRepeatsFlag = "--site-repeats=";
+    if (std::strncmp(argv[i], kRepeatsFlag, std::strlen(kRepeatsFlag)) == 0) {
+      repeats = core::site_repeats_mode_from_string(
+          argv[i] + std::strlen(kRepeatsFlag));
+    } else {
+      pos.push_back(argv[i]);
+    }
+  }
+  const char* path = (!pos.empty() && pos[0][0] != '\0') ? pos[0] : nullptr;
   const std::uint64_t gens =
-      argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 5000;
-  const std::size_t n_chains = argc > 3 ? std::strtoul(argv[3], nullptr, 10) : 4;
-  const std::uint64_t seed = argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 1;
+      pos.size() > 1 ? std::strtoull(pos[1], nullptr, 10) : 5000;
+  const std::size_t n_chains =
+      pos.size() > 2 ? std::strtoul(pos[2], nullptr, 10) : 4;
+  const std::uint64_t seed =
+      pos.size() > 3 ? std::strtoull(pos[3], nullptr, 10) : 1;
 
   std::cout << "== mrbayes_lite ==\n";
   const phylo::Alignment aln = load_or_simulate(path, seed);
@@ -69,7 +86,8 @@ int run_main(int argc, char** argv) {
             << " columns, " << data.n_patterns() << " distinct patterns\n";
   std::cout << "run: " << gens << " generations, " << n_chains
             << " coupled chains (1 cold + " << (n_chains - 1)
-            << " heated), GTR+I+G, seed " << seed << "\n\n";
+            << " heated), GTR+I+G, seed " << seed << ", site repeats "
+            << core::to_string(repeats) << "\n\n";
 
   // Starting state: a random tree, default model with +I enabled.
   Rng rng(seed ^ 0xABCDEF);
@@ -87,7 +105,8 @@ int run_main(int argc, char** argv) {
     // Engines must share taxon naming with the data.
     start = phylo::Tree::from_newick(start.to_newick(), aln.names());
     engines.push_back(std::make_unique<core::PlfEngine>(
-        data, start_params, start, backend));
+        data, start_params, start, backend, core::KernelVariant::kSimdCol,
+        repeats));
     ptrs.push_back(engines.back().get());
   }
 
@@ -146,6 +165,14 @@ int run_main(int argc, char** argv) {
             << Table::num(
                    engines[mc3.cold_index()]->model_params().p_invariant, 3)
             << "\n";
+  const auto& cold_stats = engines[mc3.cold_index()]->stats();
+  if (cold_stats.repeat_sites_computed > 0) {
+    std::cout << "site repeats: " << Table::num(
+                     cold_stats.repeat_compression_ratio(), 2)
+              << "x compression on compacted kernel calls ("
+              << Table::num(100.0 * cold_stats.down_repeat_hit_rate(), 1)
+              << "% of CondLikeDown calls)\n";
+  }
   return 0;
 }
 

@@ -23,6 +23,13 @@ class ExecutionBackend {
 
   virtual std::string name() const = 0;
 
+  /// Whether this backend forwards compacted (site-indexed) kernel
+  /// invocations faithfully — see DownArgs::site_index. Backends that stage
+  /// data through simulated hardware paths (Cell DMA chunking, GPU global
+  /// memory) run the dense path only; the engine falls back automatically
+  /// and their run_* entries reject indexed arguments outright.
+  virtual bool supports_site_repeats() const { return false; }
+
   virtual void run_down(const KernelSet& ks, const DownArgs& args,
                         std::size_t m) = 0;
   virtual void run_root(const KernelSet& ks, const RootArgs& args,
@@ -38,6 +45,7 @@ class ExecutionBackend {
 class SerialBackend final : public ExecutionBackend {
  public:
   std::string name() const override { return "serial"; }
+  bool supports_site_repeats() const override { return true; }
   void run_down(const KernelSet& ks, const DownArgs& a, std::size_t m) override;
   void run_root(const KernelSet& ks, const RootArgs& a, std::size_t m) override;
   void run_scale(const KernelSet& ks, const ScaleArgs& a, std::size_t m) override;
@@ -53,6 +61,7 @@ class ThreadedBackend final : public ExecutionBackend {
   explicit ThreadedBackend(par::ThreadPool& pool) : pool_(pool) {}
 
   std::string name() const override;
+  bool supports_site_repeats() const override { return true; }
   void run_down(const KernelSet& ks, const DownArgs& a, std::size_t m) override;
   void run_root(const KernelSet& ks, const RootArgs& a, std::size_t m) override;
   void run_scale(const KernelSet& ks, const ScaleArgs& a, std::size_t m) override;

@@ -1,5 +1,7 @@
 #include "core/engine.hpp"
 
+#include <cstring>
+
 #include "util/clock.hpp"
 #include "util/error.hpp"
 
@@ -7,12 +9,13 @@ namespace plf::core {
 
 PlfEngine::PlfEngine(phylo::PatternMatrix data, const phylo::GtrParams& params,
                      phylo::Tree tree, ExecutionBackend& backend,
-                     KernelVariant variant)
+                     KernelVariant variant, SiteRepeatsMode site_repeats)
     : data_(std::move(data)),
       model_(params),
       tree_(std::move(tree)),
       backend_(&backend),
-      kernels_(&kernels(variant)) {
+      kernels_(&kernels(variant)),
+      repeats_mode_(site_repeats) {
   PLF_CHECK(data_.n_taxa() == tree_.n_taxa(),
             "pattern matrix and tree disagree on taxon count");
   m_ = data_.n_patterns();
@@ -44,6 +47,14 @@ PlfEngine::PlfEngine(phylo::PatternMatrix data, const phylo::GtrParams& params,
     }
   }
   const_lik_.assign(m_, 0.0f);
+
+  // Site-repeat caching: identification is deferred to the first evaluation
+  // (construction just marks every node stale).
+  repeats_enabled_ = repeats_mode_ != SiteRepeatsMode::kOff &&
+                     backend_->supports_site_repeats() && m_ > 0;
+  if (repeats_enabled_) {
+    repeats_ = SiteRepeats(data_, tree_);
+  }
 }
 
 void PlfEngine::mark_node_dirty(int node) {
@@ -106,6 +117,16 @@ void PlfEngine::reject() {
   for (auto it = spr_log_.rbegin(); it != spr_log_.rend(); ++it) {
     tree_.undo_spr(*it);
   }
+  // Topology is back to the pre-proposal shape, but the repeat classes were
+  // re-marked against the proposal's topology: re-identify against the
+  // restored one. (CLV buffers flip back pointer-wise below; classes have no
+  // double buffer — they are recomputed, which is cheap relative to kernels.)
+  if (repeats_enabled_) {
+    for (auto it = nni_log_.rbegin(); it != nni_log_.rend(); ++it) {
+      repeats_.invalidate_path(tree_, it->first);
+    }
+    if (!spr_log_.empty()) repeats_.invalidate_all();
+  }
   // Undo model change.
   if (old_params_) {
     model_ = phylo::SubstitutionModel(*old_params_);
@@ -142,6 +163,8 @@ void PlfEngine::apply_nni(int v, bool swap_left) {
   if (in_proposal_) nni_log_.emplace_back(v, swap_left);
   // v's children changed, so v and everything above it must be recomputed.
   mark_path_dirty(v);
+  // Descendant sets changed for the same nodes: their repeat classes are out.
+  if (repeats_enabled_) repeats_.invalidate_path(tree_, v);
 }
 
 void PlfEngine::apply_spr(int s, int target, double split_x) {
@@ -154,6 +177,8 @@ void PlfEngine::apply_spr(int s, int target, double split_x) {
   mark_branch_dirty(undo.target);
   mark_path_dirty(tree_.node(undo.w).parent);  // where the subtree left
   mark_path_dirty(undo.u);                     // where it arrived
+  // SPR rewires ancestry broadly; re-identify all repeat classes.
+  if (repeats_enabled_) repeats_.invalidate_all();
 }
 
 void PlfEngine::set_model(const phylo::GtrParams& params) {
@@ -218,6 +243,31 @@ ChildArgs PlfEngine::make_child(int node) const {
   return ch;
 }
 
+const NodeRepeats* PlfEngine::repeats_for(int id) const {
+  if (!repeats_enabled_) return nullptr;
+  const NodeRepeats& nr = repeats_.node(id);
+  if (nr.n_classes >= m_) return nullptr;  // nothing repeats: dense is free
+  if (repeats_mode_ == SiteRepeatsMode::kAuto &&
+      static_cast<double>(nr.n_classes) >
+          kSiteRepeatsAutoMaxUniqueFraction * static_cast<double>(m_)) {
+    return nullptr;  // too few repeats to pay for the scatter pass
+  }
+  return &nr;
+}
+
+void PlfEngine::scatter_repeats(const NodeRepeats& nr, float* cl,
+                                float* ln_scaler) const {
+  const std::size_t block = k_ * 4;  // one site's CLV entries
+  for (std::size_t c = 0; c < m_; ++c) {
+    const std::size_t rep = nr.unique_sites[nr.class_of_site[c]];
+    if (rep == c) continue;  // representative: computed in place
+    // Representatives are first occurrences, so rep < c always: the source
+    // block is final by the time it is copied forward.
+    std::memcpy(cl + c * block, cl + rep * block, block * sizeof(float));
+    ln_scaler[c] = ln_scaler[rep];
+  }
+}
+
 void PlfEngine::evaluate() {
   Stopwatch serial_sw;
 
@@ -229,6 +279,15 @@ void PlfEngine::evaluate() {
     }
   }
   stats_.serial_seconds += serial_sw.seconds();
+
+  // 1b. Re-identify repeat classes on nodes whose subtree changed (lazy: the
+  // topology moves only marked them stale). Postorder inside refresh()
+  // guarantees children are identified before parents.
+  if (repeats_enabled_ && repeats_.any_stale()) {
+    Stopwatch repeat_sw;
+    repeats_.refresh(tree_);
+    stats_.repeat_rebuild_seconds += repeat_sw.seconds();
+  }
 
   // 2. Recompute dirty internal nodes, children before parents.
   for (int id : tree_.postorder_internals()) {
@@ -246,6 +305,14 @@ void PlfEngine::evaluate() {
       target = st.active;
     }
     float* out = st.cl[static_cast<std::size_t>(target)].data();
+    float* ln_scaler = st.scaler[static_cast<std::size_t>(target)].data();
+
+    // Site-repeat compaction: compute only the class representatives, then
+    // scatter their CLV blocks (and scaler entries) to the duplicate sites.
+    const NodeRepeats* nr = repeats_for(id);
+    const std::uint32_t* site_index =
+        nr != nullptr ? nr->unique_sites.data() : nullptr;
+    const std::size_t run_m = nr != nullptr ? nr->n_classes : m_;
 
     Stopwatch plf_sw;
     if (id == tree_.root()) {
@@ -254,29 +321,43 @@ void PlfEngine::evaluate() {
       ra.down.right = make_child(n.right);
       ra.down.out = out;
       ra.down.K = k_;
+      ra.down.site_index = site_index;
+      ra.down.n_sites = m_;
       const int og = tree_.outgroup();
       const BranchState& ob = branches_[static_cast<std::size_t>(og)];
       ra.out_mask = data_.row(static_cast<std::size_t>(tree_.node(og).taxon));
       ra.out_tp = ob.tp[static_cast<std::size_t>(ob.active)].data();
-      backend_->run_root(*kernels_, ra, m_);
+      backend_->run_root(*kernels_, ra, run_m);
       ++stats_.root_calls;
+      if (nr != nullptr) ++stats_.repeat_root_hits;
     } else {
       DownArgs da;
       da.left = make_child(n.left);
       da.right = make_child(n.right);
       da.out = out;
       da.K = k_;
-      backend_->run_down(*kernels_, da, m_);
+      da.site_index = site_index;
+      da.n_sites = m_;
+      backend_->run_down(*kernels_, da, run_m);
       ++stats_.down_calls;
+      if (nr != nullptr) ++stats_.repeat_down_hits;
     }
 
     ScaleArgs sa;
     sa.cl = out;
-    sa.ln_scaler = st.scaler[static_cast<std::size_t>(target)].data();
+    sa.ln_scaler = ln_scaler;
     sa.K = k_;
-    backend_->run_scale(*kernels_, sa, m_);
+    sa.site_index = site_index;
+    sa.n_sites = m_;
+    backend_->run_scale(*kernels_, sa, run_m);
     ++stats_.scale_calls;
-    stats_.pattern_iterations += 2 * m_;  // one PLF pass + one scaler pass
+    if (nr != nullptr) {
+      ++stats_.repeat_scale_hits;
+      stats_.repeat_sites_total += m_;
+      stats_.repeat_sites_computed += run_m;
+      scatter_repeats(*nr, out, ln_scaler);
+    }
+    stats_.pattern_iterations += 2 * run_m;  // one PLF pass + one scaler pass
     stats_.plf_seconds += plf_sw.seconds();
 
     if (target != st.active) {

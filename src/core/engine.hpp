@@ -21,6 +21,7 @@
 
 #include "core/backend.hpp"
 #include "core/kernels.hpp"
+#include "core/repeats.hpp"
 #include "core/tip_partial.hpp"
 #include "phylo/model.hpp"
 #include "phylo/patterns.hpp"
@@ -37,16 +38,50 @@ struct EngineStats {
   std::uint64_t scale_calls = 0;
   std::uint64_t reduce_calls = 0;
   std::uint64_t tm_builds = 0;            ///< per-branch matrix rebuilds
-  std::uint64_t pattern_iterations = 0;   ///< sum of m over all kernel calls
+  std::uint64_t pattern_iterations = 0;   ///< sites actually iterated by kernels
   double plf_seconds = 0.0;               ///< wall time inside kernels
   double serial_seconds = 0.0;            ///< matrix rebuilds + scaler totals
+
+  // Site-repeat caching (docs/SITE_REPEATS.md). A "hit" is a kernel call that
+  // took the compacted path; sites_total/sites_computed cover hits only, so
+  // their ratio is the realized compression.
+  std::uint64_t repeat_down_hits = 0;
+  std::uint64_t repeat_root_hits = 0;
+  std::uint64_t repeat_scale_hits = 0;
+  std::uint64_t repeat_sites_total = 0;     ///< m summed over compacted calls
+  std::uint64_t repeat_sites_computed = 0;  ///< unique classes summed over them
+  double repeat_rebuild_seconds = 0.0;      ///< class identification time
+
+  /// Sites per computed class on the compacted calls (1.0 when none ran).
+  double repeat_compression_ratio() const {
+    return repeat_sites_computed == 0
+               ? 1.0
+               : static_cast<double>(repeat_sites_total) /
+                     static_cast<double>(repeat_sites_computed);
+  }
+  double down_repeat_hit_rate() const {
+    return down_calls == 0 ? 0.0
+                           : static_cast<double>(repeat_down_hits) /
+                                 static_cast<double>(down_calls);
+  }
+  double root_repeat_hit_rate() const {
+    return root_calls == 0 ? 0.0
+                           : static_cast<double>(repeat_root_hits) /
+                                 static_cast<double>(root_calls);
+  }
+  double scale_repeat_hit_rate() const {
+    return scale_calls == 0 ? 0.0
+                            : static_cast<double>(repeat_scale_hits) /
+                                  static_cast<double>(scale_calls);
+  }
 };
 
 class PlfEngine {
  public:
   PlfEngine(phylo::PatternMatrix data, const phylo::GtrParams& params,
             phylo::Tree tree, ExecutionBackend& backend,
-            KernelVariant variant = KernelVariant::kSimdCol);
+            KernelVariant variant = KernelVariant::kSimdCol,
+            SiteRepeatsMode site_repeats = SiteRepeatsMode::kAuto);
 
   /// Evaluate the log likelihood, recomputing whatever is dirty.
   double log_likelihood();
@@ -75,6 +110,17 @@ class PlfEngine {
 
   const EngineStats& stats() const { return stats_; }
   void reset_stats() { stats_ = EngineStats{}; }
+
+  /// Requested site-repeats policy (the effective path also depends on the
+  /// backend's supports_site_repeats() and each node's compression).
+  SiteRepeatsMode site_repeats_mode() const { return repeats_mode_; }
+  /// True when this engine can ever take the compacted path.
+  bool site_repeats_enabled() const { return repeats_enabled_; }
+  /// Sites-per-class averaged over internal nodes (identification must have
+  /// run, i.e. after the first log_likelihood() with repeats enabled).
+  double repeat_mean_compression() const {
+    return repeats_.initialized() ? repeats_.mean_compression() : 1.0;
+  }
 
   /// Read-only view of an internal node's active conditional likelihoods
   /// (tests/diagnostics).
@@ -106,6 +152,12 @@ class PlfEngine {
   void rebuild_branch(int node);
   ChildArgs make_child(int node) const;
   void evaluate();
+  /// Repeat classes to compact node `id` with, or nullptr for the dense path
+  /// (mode/backend/compression gate). Identification must be fresh.
+  const NodeRepeats* repeats_for(int id) const;
+  /// Copy each repeat class's representative CLV block and scaler entry to
+  /// the class's duplicate sites (representatives precede duplicates).
+  void scatter_repeats(const NodeRepeats& nr, float* cl, float* ln_scaler) const;
 
   phylo::PatternMatrix data_;
   phylo::SubstitutionModel model_;
@@ -118,6 +170,13 @@ class PlfEngine {
 
   std::vector<NodeState> nodes_;     ///< indexed by node id; internals only
   std::vector<BranchState> branches_;///< indexed by node id; all but root
+
+  // Site-repeat caching (see core/repeats.hpp). Classes are invariant under
+  // branch-length/model changes; topology moves invalidate the affected
+  // root paths and evaluate() refreshes lazily.
+  SiteRepeatsMode repeats_mode_ = SiteRepeatsMode::kAuto;
+  bool repeats_enabled_ = false;  ///< mode != off && backend supports it
+  SiteRepeats repeats_;
   aligned_vector<double> scaler_total_; ///< per-pattern summed log scalers
   /// +I support: per-pattern AND of all taxon masks (which states could be
   /// shared by every taxon; fixed by the data) and the resulting

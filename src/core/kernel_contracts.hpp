@@ -52,11 +52,30 @@ inline void check_child_aligned(const ChildArgs& ch) {
   }
 }
 
+/// Trust boundary of the site-repeat index vector: the engine hands kernels a
+/// compacted site list built by core/repeats. The representative sites are
+/// strictly increasing by construction, so the last entry bounds the whole
+/// range — checked always (O(1), it guards every subsequent indexed store);
+/// the monotonicity itself is re-verified per chunk in checked builds.
+inline void check_site_index(const std::uint32_t* site_index, std::size_t begin,
+                             std::size_t end, std::size_t n_sites) {
+  if (site_index == nullptr || begin >= end) return;
+  PLF_CHECK(site_index[end - 1] < n_sites,
+            "site_index: repeat index out of range");
+#if PLF_CONTRACTS_LEVEL
+  for (std::size_t i = begin + 1; i < end; ++i) {
+    PLF_DCHECK(site_index[i - 1] < site_index[i],
+               "site_index: representative sites must be strictly increasing");
+  }
+#endif
+}
+
 inline void check_down(const DownArgs& a, std::size_t begin, std::size_t end,
                        bool needs_transpose) {
   PLF_DCHECK(begin <= end, "cond_like_down: reversed pattern range");
   PLF_DCHECK(a.K >= 1, "cond_like_down: needs at least one rate category");
   PLF_DCHECK(a.out != nullptr, "cond_like_down: null output array");
+  check_site_index(a.site_index, begin, end, a.n_sites);
   check_child(a.left, needs_transpose);
   check_child(a.right, needs_transpose);
 }
@@ -85,6 +104,7 @@ inline void check_scale(const ScaleArgs& a, std::size_t begin,
   PLF_DCHECK(a.K >= 1, "cond_like_scaler: needs at least one rate category");
   PLF_DCHECK(a.cl != nullptr && a.ln_scaler != nullptr,
              "cond_like_scaler: null array");
+  check_site_index(a.site_index, begin, end, a.n_sites);
 }
 
 inline void check_root_reduce(const RootReduceArgs& a, std::size_t begin,

@@ -62,6 +62,15 @@ struct DownArgs {
   ChildArgs right;
   float* out = nullptr;  ///< clP, same layout as inputs
   std::size_t K = 4;     ///< number of discrete rate categories
+  /// Site-repeat compaction (optional). When non-null, iteration index idx in
+  /// [begin, end) addresses pattern site_index[idx] instead of idx — every
+  /// load and the store go through the mapped site, so the kernel computes
+  /// only repeat-class representative sites; the engine scatters the results
+  /// to duplicate sites afterwards. Entries are strictly increasing and
+  /// bounded by n_sites (the contract layer verifies both). Backends that
+  /// cannot honor the indirection must refuse it (supports_site_repeats()).
+  const std::uint32_t* site_index = nullptr;
+  std::size_t n_sites = 0;  ///< exclusive bound on site_index entries
 };
 
 /// Arguments for cond_like_root: down plus the third (outgroup) neighbor,
@@ -77,6 +86,8 @@ struct ScaleArgs {
   float* cl = nullptr;         ///< scaled in place
   float* ln_scaler = nullptr;  ///< per-pattern log scale factor (overwritten)
   std::size_t K = 4;
+  const std::uint32_t* site_index = nullptr;  ///< see DownArgs::site_index
+  std::size_t n_sites = 0;
 };
 
 /// Arguments for the root log-likelihood reduction.

@@ -30,7 +30,8 @@ inline void child_values(const ChildArgs& ch, std::size_t c, std::size_t k,
 
 void down_scalar(const DownArgs& a, std::size_t begin, std::size_t end) {
   detail::check_down(a, begin, end, /*needs_transpose=*/false);
-  for (std::size_t c = begin; c < end; ++c) {
+  for (std::size_t idx = begin; idx < end; ++idx) {
+    const std::size_t c = a.site_index != nullptr ? a.site_index[idx] : idx;
     float* out = a.out + c * a.K * 4;
     for (std::size_t k = 0; k < a.K; ++k) {
       float l[4], r[4];
@@ -44,7 +45,8 @@ void down_scalar(const DownArgs& a, std::size_t begin, std::size_t end) {
 void root_scalar(const RootArgs& a, std::size_t begin, std::size_t end) {
   detail::check_root(a, begin, end, /*needs_transpose=*/false);
   const DownArgs& d = a.down;
-  for (std::size_t c = begin; c < end; ++c) {
+  for (std::size_t idx = begin; idx < end; ++idx) {
+    const std::size_t c = d.site_index != nullptr ? d.site_index[idx] : idx;
     float* out = d.out + c * d.K * 4;
     const float* tp =
         a.out_tp + static_cast<std::size_t>(a.out_mask[c]) * d.K * 4;
@@ -61,7 +63,8 @@ void root_scalar(const RootArgs& a, std::size_t begin, std::size_t end) {
 
 void scale_scalar(const ScaleArgs& a, std::size_t begin, std::size_t end) {
   detail::check_scale(a, begin, end);
-  for (std::size_t c = begin; c < end; ++c) {
+  for (std::size_t idx = begin; idx < end; ++idx) {
+    const std::size_t c = a.site_index != nullptr ? a.site_index[idx] : idx;
     float* cl = a.cl + c * a.K * 4;
     float m = cl[0];
     for (std::size_t v = 1; v < a.K * 4; ++v) {

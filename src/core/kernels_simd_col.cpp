@@ -45,7 +45,8 @@ inline Vec4f child_values(const ChildArgs& ch, std::size_t c, std::size_t k,
 void down_col(const DownArgs& a, std::size_t begin, std::size_t end) {
   detail::check_down(a, begin, end, /*needs_transpose=*/true);
   detail::check_down_aligned(a);
-  for (std::size_t c = begin; c < end; ++c) {
+  for (std::size_t idx = begin; idx < end; ++idx) {
+    const std::size_t c = a.site_index != nullptr ? a.site_index[idx] : idx;
     float* out = a.out + c * a.K * 4;
     for (std::size_t k = 0; k < a.K; ++k) {
       const Vec4f l = child_values(a.left, c, k, a.K);
@@ -59,7 +60,8 @@ void root_col(const RootArgs& a, std::size_t begin, std::size_t end) {
   detail::check_root(a, begin, end, /*needs_transpose=*/true);
   detail::check_root_aligned(a);
   const DownArgs& d = a.down;
-  for (std::size_t c = begin; c < end; ++c) {
+  for (std::size_t idx = begin; idx < end; ++idx) {
+    const std::size_t c = d.site_index != nullptr ? d.site_index[idx] : idx;
     float* out = d.out + c * d.K * 4;
     const float* tp =
         a.out_tp + static_cast<std::size_t>(a.out_mask[c]) * d.K * 4;
@@ -100,7 +102,8 @@ void down_col8(const DownArgs& a, std::size_t begin, std::size_t end) {
   detail::check_down(a, begin, end, /*needs_transpose=*/true);
   detail::check_down_aligned(a);
   const std::size_t k_pairs = a.K / 2 * 2;
-  for (std::size_t c = begin; c < end; ++c) {
+  for (std::size_t idx = begin; idx < end; ++idx) {
+    const std::size_t c = a.site_index != nullptr ? a.site_index[idx] : idx;
     float* out = a.out + c * a.K * 4;
     std::size_t k = 0;
     for (; k < k_pairs; k += 2) {
@@ -121,7 +124,8 @@ void root_col8(const RootArgs& a, std::size_t begin, std::size_t end) {
   detail::check_root_aligned(a);
   const DownArgs& d = a.down;
   const std::size_t k_pairs = d.K / 2 * 2;
-  for (std::size_t c = begin; c < end; ++c) {
+  for (std::size_t idx = begin; idx < end; ++idx) {
+    const std::size_t c = d.site_index != nullptr ? d.site_index[idx] : idx;
     float* out = d.out + c * d.K * 4;
     const float* tp =
         a.out_tp + static_cast<std::size_t>(a.out_mask[c]) * d.K * 4;

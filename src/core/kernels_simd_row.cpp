@@ -38,7 +38,8 @@ inline Vec4f child_values(const ChildArgs& ch, std::size_t c, std::size_t k,
 void down_row(const DownArgs& a, std::size_t begin, std::size_t end) {
   detail::check_down(a, begin, end, /*needs_transpose=*/false);
   detail::check_down_aligned(a);
-  for (std::size_t c = begin; c < end; ++c) {
+  for (std::size_t idx = begin; idx < end; ++idx) {
+    const std::size_t c = a.site_index != nullptr ? a.site_index[idx] : idx;
     float* out = a.out + c * a.K * 4;
     for (std::size_t k = 0; k < a.K; ++k) {
       const Vec4f l = child_values(a.left, c, k, a.K);
@@ -52,7 +53,8 @@ void root_row(const RootArgs& a, std::size_t begin, std::size_t end) {
   detail::check_root(a, begin, end, /*needs_transpose=*/false);
   detail::check_root_aligned(a);
   const DownArgs& d = a.down;
-  for (std::size_t c = begin; c < end; ++c) {
+  for (std::size_t idx = begin; idx < end; ++idx) {
+    const std::size_t c = d.site_index != nullptr ? d.site_index[idx] : idx;
     float* out = d.out + c * d.K * 4;
     const float* tp =
         a.out_tp + static_cast<std::size_t>(a.out_mask[c]) * d.K * 4;
@@ -68,7 +70,8 @@ void root_row(const RootArgs& a, std::size_t begin, std::size_t end) {
 void scale_simd(const ScaleArgs& a, std::size_t begin, std::size_t end) {
   detail::check_scale(a, begin, end);
   PLF_DCHECK_ALIGNED(a.cl, detail::kKernelAlignBytes);
-  for (std::size_t c = begin; c < end; ++c) {
+  for (std::size_t idx = begin; idx < end; ++idx) {
+    const std::size_t c = a.site_index != nullptr ? a.site_index[idx] : idx;
     float* cl = a.cl + c * a.K * 4;
     Vec4f m = Vec4f::load(cl);
     for (std::size_t k = 1; k < a.K; ++k) {

@@ -1,0 +1,139 @@
+#include "core/repeats.hpp"
+
+#include <unordered_map>
+
+#include "util/error.hpp"
+
+namespace plf::core {
+
+std::string to_string(SiteRepeatsMode m) {
+  switch (m) {
+    case SiteRepeatsMode::kOff: return "off";
+    case SiteRepeatsMode::kOn: return "on";
+    case SiteRepeatsMode::kAuto: return "auto";
+  }
+  return "?";
+}
+
+SiteRepeatsMode site_repeats_mode_from_string(const std::string& s) {
+  if (s == "off") return SiteRepeatsMode::kOff;
+  if (s == "on") return SiteRepeatsMode::kOn;
+  if (s == "auto") return SiteRepeatsMode::kAuto;
+  throw Error("--site-repeats: expected on|off|auto, got '" + s + "'");
+}
+
+SiteRepeats::SiteRepeats(const phylo::PatternMatrix& data,
+                         const phylo::Tree& tree)
+    : data_(&data), m_(data.n_patterns()) {
+  PLF_CHECK(data.n_taxa() == tree.n_taxa(),
+            "SiteRepeats: pattern matrix and tree disagree on taxon count");
+  nodes_.resize(tree.n_nodes());
+  stale_.assign(tree.n_nodes(), 0);
+  invalidate_all();
+}
+
+void SiteRepeats::invalidate_path(const phylo::Tree& tree, int from_node) {
+  for (int id = from_node; id != phylo::kNoNode; id = tree.node(id).parent) {
+    if (!tree.node(id).is_leaf()) {
+      stale_[static_cast<std::size_t>(id)] = 1;
+      any_stale_ = true;
+    }
+  }
+}
+
+void SiteRepeats::invalidate_all() {
+  for (auto& s : stale_) s = 1;
+  any_stale_ = true;
+}
+
+const std::uint32_t* SiteRepeats::child_classes(
+    const phylo::Tree& tree, int child,
+    std::vector<std::uint32_t>& scratch) const {
+  if (tree.node(child).is_leaf()) {
+    const phylo::StateMask* row =
+        data_->row(static_cast<std::size_t>(tree.node(child).taxon));
+    scratch.resize(m_);
+    for (std::size_t c = 0; c < m_; ++c) scratch[c] = row[c];
+    return scratch.data();
+  }
+  const NodeRepeats& nr = nodes_[static_cast<std::size_t>(child)];
+  PLF_CHECK(nr.class_of_site.size() == m_,
+            "SiteRepeats: child classes missing (postorder violated)");
+  return nr.class_of_site.data();
+}
+
+void SiteRepeats::rebuild_node(const phylo::Tree& tree, int id) {
+  const phylo::TreeNode& n = tree.node(id);
+  std::vector<std::uint32_t> scratch_l, scratch_r;
+  const std::uint32_t* lc = child_classes(tree, n.left, scratch_l);
+  const std::uint32_t* rc = child_classes(tree, n.right, scratch_r);
+  const phylo::StateMask* out_row = nullptr;
+  if (id == tree.root()) {
+    const int og = tree.outgroup();
+    out_row = data_->row(static_cast<std::size_t>(tree.node(og).taxon));
+  }
+
+  NodeRepeats& nr = nodes_[static_cast<std::size_t>(id)];
+  nr.class_of_site.resize(m_);
+  nr.unique_sites.clear();
+
+  using KeyMap =
+      std::unordered_map<std::uint64_t, std::uint32_t, phylo::SubtreePatternHash>;
+  KeyMap ids;
+  ids.reserve(m_);
+  KeyMap pair_ids;  // root only: ranks the (left, right) pairs before the
+                    // outgroup mask is folded in, keeping the packing dense
+  if (out_row != nullptr) pair_ids.reserve(m_);
+  for (std::size_t c = 0; c < m_; ++c) {
+    std::uint64_t key = phylo::subtree_pattern_key(lc[c], rc[c]);
+    if (out_row != nullptr) {
+      const auto [pit, pair_inserted] =
+          pair_ids.try_emplace(key, static_cast<std::uint32_t>(pair_ids.size()));
+      (void)pair_inserted;
+      key = phylo::subtree_pattern_key_with_mask(pit->second, out_row[c]);
+    }
+    const auto [it, inserted] =
+        ids.try_emplace(key, static_cast<std::uint32_t>(nr.unique_sites.size()));
+    if (inserted) {
+      nr.unique_sites.push_back(static_cast<std::uint32_t>(c));
+    }
+    nr.class_of_site[c] = it->second;
+  }
+  nr.n_classes = static_cast<std::uint32_t>(nr.unique_sites.size());
+  PLF_CHECK(nr.n_classes >= 1 || m_ == 0,
+            "SiteRepeats: no classes for a nonempty pattern set");
+}
+
+void SiteRepeats::refresh(const phylo::Tree& tree) {
+  PLF_CHECK(initialized(), "SiteRepeats: refresh before construction");
+  if (!any_stale_) return;
+  for (int id : tree.postorder_internals()) {
+    if (stale_[static_cast<std::size_t>(id)] != 0) {
+      rebuild_node(tree, id);
+      stale_[static_cast<std::size_t>(id)] = 0;
+    }
+  }
+  any_stale_ = false;
+}
+
+const NodeRepeats& SiteRepeats::node(int id) const {
+  const auto& nr = nodes_[static_cast<std::size_t>(id)];
+  PLF_CHECK(stale_[static_cast<std::size_t>(id)] == 0 &&
+                nr.class_of_site.size() == m_,
+            "SiteRepeats: node classes are stale (refresh() first)");
+  return nr;
+}
+
+double SiteRepeats::mean_compression() const {
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (std::size_t id = 0; id < nodes_.size(); ++id) {
+    if (nodes_[id].class_of_site.size() == m_ && m_ > 0) {
+      sum += nodes_[id].compression();
+      ++n;
+    }
+  }
+  return n == 0 ? 1.0 : sum / static_cast<double>(n);
+}
+
+}  // namespace plf::core

@@ -1,0 +1,118 @@
+// Site-repeat identification for the PLF kernels.
+//
+// In real alignments many sites induce the same pattern when restricted to a
+// subtree: their conditional-likelihood entries at that subtree's root are
+// byte-identical (CLVs depend on the tip states below the node and on the
+// globally-shared branch lengths/model, not on the site index). BEAGLE and
+// epa-ng exploit this by computing each distinct per-node pattern once and
+// reusing it (Kobert, Stamatakis, Flouri 2017). This module performs the
+// bottom-up identification:
+//
+//   tip t        class(site c) = state mask of t at c        (<= 16 classes)
+//   internal v   class(c) = id of the pair (class_left(c), class_right(c))
+//   root         additionally folds in the outgroup tip's mask, matching
+//                CondLikeRoot's three-way product
+//
+// ids are assigned in first-occurrence order, so each class's representative
+// site (its first member) is strictly increasing across classes — the kernels
+// rely on that for the O(1) bound contract, and the engine's scatter relies
+// on every representative preceding its duplicates.
+//
+// Classes are invariant under branch-length and model changes; only topology
+// moves (NNI/SPR) change which sites repeat, and only for the nodes whose
+// descendant set changed. The engine invalidates those paths and calls
+// refresh() before the next evaluation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "phylo/patterns.hpp"
+#include "phylo/tree.hpp"
+#include "util/aligned.hpp"
+
+namespace plf::core {
+
+/// Runtime policy for the repeat-compacted kernel path
+/// (--site-repeats=on|off|auto).
+enum class SiteRepeatsMode {
+  kOff,   ///< always the dense path
+  kOn,    ///< compact whenever a node has any repeated site
+  kAuto,  ///< compact only where the per-node compression clears a threshold
+};
+
+std::string to_string(SiteRepeatsMode m);
+
+/// Parse an on|off|auto flag value; throws plf::Error on anything else.
+SiteRepeatsMode site_repeats_mode_from_string(const std::string& s);
+
+/// kAuto enables the compacted path for a node only when unique classes make
+/// up at most this fraction of its sites: below that the skipped arithmetic
+/// provably outweighs the scatter pass and index indirection (see
+/// docs/SITE_REPEATS.md for the measurement).
+inline constexpr double kSiteRepeatsAutoMaxUniqueFraction = 0.9;
+
+/// One internal node's repeat classes over the engine's m patterns.
+struct NodeRepeats {
+  std::uint32_t n_classes = 0;
+  /// site -> repeat-class id (size m; ids dense in [0, n_classes)).
+  aligned_vector<std::uint32_t> class_of_site;
+  /// class id -> representative (first-occurrence) site. Strictly increasing.
+  aligned_vector<std::uint32_t> unique_sites;
+
+  /// Sites per unique class (1.0 = no repeats).
+  double compression() const {
+    return n_classes == 0 ? 1.0
+                          : static_cast<double>(class_of_site.size()) /
+                                static_cast<double>(n_classes);
+  }
+};
+
+/// Repeat classes for every internal node of one (data, tree) pair, with
+/// path-wise invalidation for topology moves.
+class SiteRepeats {
+ public:
+  SiteRepeats() = default;
+
+  /// Lazily initialized: all nodes start stale; call refresh() before use.
+  SiteRepeats(const phylo::PatternMatrix& data, const phylo::Tree& tree);
+
+  bool initialized() const { return data_ != nullptr; }
+
+  /// Mark `from_node` and every ancestor stale (the nodes whose descendant
+  /// set an NNI across the branch above `from_node` can change).
+  void invalidate_path(const phylo::Tree& tree, int from_node);
+
+  /// Mark every internal node stale (SPR moves, or initial state).
+  void invalidate_all();
+
+  bool any_stale() const { return any_stale_; }
+
+  /// Recompute every stale node's classes, children before parents. The tree
+  /// must have the same node-id space as at construction.
+  void refresh(const phylo::Tree& tree);
+
+  /// Classes of internal node `id`. Must not be stale (refresh() first).
+  const NodeRepeats& node(int id) const;
+
+  std::size_t n_patterns() const { return m_; }
+
+  /// Sites-per-class averaged over all internal nodes (diagnostic; the
+  /// engine's stats report the per-call ratios actually realized).
+  double mean_compression() const;
+
+ private:
+  void rebuild_node(const phylo::Tree& tree, int id);
+  /// Child's per-site class ids: tip masks widened, or the child's table.
+  const std::uint32_t* child_classes(const phylo::Tree& tree, int child,
+                                     std::vector<std::uint32_t>& scratch) const;
+
+  const phylo::PatternMatrix* data_ = nullptr;
+  std::size_t m_ = 0;
+  std::vector<NodeRepeats> nodes_;  ///< indexed by node id; internals only
+  std::vector<char> stale_;
+  bool any_stale_ = false;
+};
+
+}  // namespace plf::core

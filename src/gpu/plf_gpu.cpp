@@ -206,16 +206,25 @@ double GpuPlf::down_like(const core::DownArgs& a, std::size_t m,
 
 void GpuPlf::run_down(const core::KernelSet& /*ks*/, const core::DownArgs& a,
                       std::size_t m) {
+  // Dense-only backend: the three-level grid partitioning and the coalesced
+  // device layout address contiguous pattern blocks; a site-index indirection
+  // would break both, so the engine must fall back (supports_site_repeats()).
+  PLF_CHECK(a.site_index == nullptr,
+            "GpuPlf is a dense-only backend: site_index rejected");
   down_like(a, m, nullptr);
 }
 
 void GpuPlf::run_root(const core::KernelSet& /*ks*/, const core::RootArgs& a,
                       std::size_t m) {
+  PLF_CHECK(a.down.site_index == nullptr,
+            "GpuPlf is a dense-only backend: site_index rejected");
   down_like(a.down, m, &a);
 }
 
 void GpuPlf::run_scale(const core::KernelSet& /*ks*/, const core::ScaleArgs& a,
                        std::size_t m) {
+  PLF_CHECK(a.site_index == nullptr,
+            "GpuPlf is a dense-only backend: site_index rejected");
   const std::size_t K = a.K;
   const double pcie_before = mem_.stats().pcie_busy_s;
   double t = clock_.now();

@@ -8,6 +8,8 @@
 // (xoshiro256** is bit-specified).
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "core/backend.hpp"
 #include "core/engine.hpp"
 #include "mcmc/chain.hpp"
@@ -43,6 +45,38 @@ TEST(GoldenTest, FixedInstanceLikelihood) {
   // Kernel arithmetic may contract differently across compilers: accept a
   // float-level band around the locked value.
   EXPECT_NEAR(e.log_likelihood(), -1025.1100511813, 2e-3);
+}
+
+// Dup-heavy fixture: every distinct column appears three times (weight 1
+// each, so the global pattern compression cannot fold them — only the
+// site-repeat machinery can). Locks both the lnL value and the promise that
+// the compacted default (kAuto) is bit-identical to the dense path.
+TEST(GoldenTest, DupHeavyInstanceLikelihood) {
+  Rng rng(12003);
+  auto tree = seqgen::yule_tree(6, rng, 1.0, 0.15);
+  std::vector<std::vector<phylo::StateMask>> cols;
+  for (int base = 0; base < 40; ++base) {
+    std::vector<phylo::StateMask> col(6);
+    for (auto& m : col) m = phylo::state_to_mask(rng.below(4));
+    for (int rep = 0; rep < 3; ++rep) cols.push_back(col);  // 2/3 duplicates
+  }
+  const auto data = phylo::PatternMatrix::from_patterns(
+      tree.taxon_names(), cols, std::vector<std::uint32_t>(cols.size(), 1));
+  ASSERT_EQ(data.n_patterns(), 120u);
+
+  auto params = seqgen::default_gtr_params();
+  core::SerialBackend b_auto, b_off;
+  core::PlfEngine e(data, params, tree, b_auto, core::KernelVariant::kScalar);
+  core::PlfEngine dense(data, params, tree, b_off,
+                        core::KernelVariant::kScalar,
+                        core::SiteRepeatsMode::kOff);
+  EXPECT_NEAR(e.log_likelihood(), -1374.4493811520, 2e-3);
+  EXPECT_EQ(e.log_likelihood(), dense.log_likelihood());
+  // The default (auto) mode must have taken the compacted path and realized
+  // at least the 3x duplication this fixture bakes in.
+  EXPECT_TRUE(e.site_repeats_enabled());
+  EXPECT_GT(e.stats().repeat_down_hits, 0u);
+  EXPECT_GE(e.stats().repeat_compression_ratio(), 3.0);
 }
 
 TEST(GoldenTest, FixedSeedMcmcTrajectory) {

@@ -1,0 +1,230 @@
+// Unit tests for site-repeat class identification (core/repeats.hpp): class
+// counts on hand-built data sets, tip-vs-inner class composition, and the
+// invalidation protocol under the mutations an MCMC run performs.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/backend.hpp"
+#include "core/engine.hpp"
+#include "core/repeats.hpp"
+#include "phylo/patterns.hpp"
+#include "phylo/tree.hpp"
+#include "seqgen/datasets.hpp"
+#include "seqgen/evolve.hpp"
+#include "seqgen/random_tree.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace plf::core {
+namespace {
+
+// Four taxa rooted at outgroup A: internals are the (C,D) cherry and the
+// root joining B with that cherry.
+phylo::Tree four_taxon_tree() {
+  return phylo::Tree::from_newick("(A:0.1,B:0.1,(C:0.1,D:0.1):0.1);",
+                                  {"A", "B", "C", "D"});
+}
+
+/// One alignment column: masks for A, B, C, D in taxon order.
+phylo::PatternMatrix make_data(
+    const std::vector<std::vector<phylo::StateMask>>& columns) {
+  return phylo::PatternMatrix::from_patterns(
+      {"A", "B", "C", "D"}, columns,
+      std::vector<std::uint32_t>(columns.size(), 1));
+}
+
+TEST(SiteRepeatsModeTest, StringRoundTrip) {
+  for (auto m : {SiteRepeatsMode::kOff, SiteRepeatsMode::kOn,
+                 SiteRepeatsMode::kAuto}) {
+    EXPECT_EQ(site_repeats_mode_from_string(to_string(m)), m);
+  }
+  EXPECT_THROW(site_repeats_mode_from_string("maybe"), Error);
+  EXPECT_THROW(site_repeats_mode_from_string(""), Error);
+}
+
+TEST(SiteRepeatsTest, AllIdenticalColumnsCollapseToOneClass) {
+  const phylo::Tree tree = four_taxon_tree();
+  const std::vector<phylo::StateMask> col = {1, 2, 4, 8};  // A C G T
+  const auto data = make_data(std::vector<std::vector<phylo::StateMask>>(8, col));
+
+  SiteRepeats sr(data, tree);
+  ASSERT_TRUE(sr.any_stale());
+  sr.refresh(tree);
+  ASSERT_FALSE(sr.any_stale());
+
+  for (int id : tree.postorder_internals()) {
+    const NodeRepeats& nr = sr.node(id);
+    EXPECT_EQ(nr.n_classes, 1u) << "node " << id;
+    ASSERT_EQ(nr.unique_sites.size(), 1u);
+    EXPECT_EQ(nr.unique_sites[0], 0u);  // representative = first occurrence
+    for (std::uint32_t cls : nr.class_of_site) EXPECT_EQ(cls, 0u);
+    EXPECT_DOUBLE_EQ(nr.compression(), 8.0);
+  }
+  EXPECT_DOUBLE_EQ(sr.mean_compression(), 8.0);
+}
+
+TEST(SiteRepeatsTest, AllUniqueColumnsStayFullyDense) {
+  const phylo::Tree tree = four_taxon_tree();
+  // Every site gets a distinct (C,D) mask pair, so the cherry — and
+  // everything above it — has one class per site.
+  std::vector<std::vector<phylo::StateMask>> cols;
+  for (phylo::StateMask c : {1, 2}) {
+    for (phylo::StateMask d : {1, 2, 4, 8}) {
+      cols.push_back({1, 1, c, d});
+    }
+  }
+  const auto data = make_data(cols);
+
+  SiteRepeats sr(data, tree);
+  sr.refresh(tree);
+  for (int id : tree.postorder_internals()) {
+    const NodeRepeats& nr = sr.node(id);
+    EXPECT_EQ(nr.n_classes, cols.size()) << "node " << id;
+    for (std::size_t c = 0; c < cols.size(); ++c) {
+      EXPECT_EQ(nr.class_of_site[c], c);
+      EXPECT_EQ(nr.unique_sites[c], c);
+    }
+    EXPECT_DOUBLE_EQ(nr.compression(), 1.0);
+  }
+}
+
+TEST(SiteRepeatsTest, InnerClassesComposeTipClasses) {
+  const phylo::Tree tree = four_taxon_tree();
+  // Cherry (C,D): pairs (1,4),(1,4),(2,4),(2,4) -> 2 classes.
+  // Root (B, cherry) + outgroup A: (1,cls0),(2,cls0),(1,cls1),(2,cls1)
+  // with constant A -> 4 classes.
+  const auto data = make_data({
+      {1, 1, 1, 4},
+      {1, 2, 1, 4},
+      {1, 1, 2, 4},
+      {1, 2, 2, 4},
+  });
+
+  SiteRepeats sr(data, tree);
+  sr.refresh(tree);
+
+  // Find the cherry: the internal node that is not the root.
+  int cherry = phylo::kNoNode;
+  for (int id : tree.postorder_internals()) {
+    if (id != tree.root()) cherry = id;
+  }
+  ASSERT_NE(cherry, phylo::kNoNode);
+
+  const NodeRepeats& ch = sr.node(cherry);
+  EXPECT_EQ(ch.n_classes, 2u);
+  EXPECT_EQ(ch.class_of_site[0], ch.class_of_site[1]);
+  EXPECT_EQ(ch.class_of_site[2], ch.class_of_site[3]);
+  EXPECT_NE(ch.class_of_site[0], ch.class_of_site[2]);
+
+  const NodeRepeats& rt = sr.node(tree.root());
+  EXPECT_EQ(rt.n_classes, 4u);  // B's mask splits each cherry class
+}
+
+TEST(SiteRepeatsTest, RootClassFoldsOutgroupMask) {
+  const phylo::Tree tree = four_taxon_tree();
+  // B, C, D identical on both sites; only the outgroup A differs. The cherry
+  // sees one class, but the root's three-way product includes A's tip, so
+  // its classes must split.
+  const auto data = make_data({
+      {1, 1, 1, 1},
+      {2, 1, 1, 1},
+  });
+
+  SiteRepeats sr(data, tree);
+  sr.refresh(tree);
+
+  for (int id : tree.postorder_internals()) {
+    const NodeRepeats& nr = sr.node(id);
+    if (id == tree.root()) {
+      EXPECT_EQ(nr.n_classes, 2u);
+    } else {
+      EXPECT_EQ(nr.n_classes, 1u);
+    }
+  }
+}
+
+TEST(SiteRepeatsTest, StaleAccessThrowsAndPathInvalidationIsAncestral) {
+  const phylo::Tree tree = four_taxon_tree();
+  const std::vector<phylo::StateMask> col = {1, 2, 4, 8};
+  const auto data = make_data(std::vector<std::vector<phylo::StateMask>>(4, col));
+
+  SiteRepeats sr(data, tree);
+  EXPECT_THROW(sr.node(tree.root()), Error);  // refresh() not called yet
+  sr.refresh(tree);
+  EXPECT_NO_THROW(sr.node(tree.root()));
+
+  // Invalidate from the cherry: the cherry and the root go stale; accessing
+  // either throws until the next refresh.
+  int cherry = phylo::kNoNode;
+  for (int id : tree.postorder_internals()) {
+    if (id != tree.root()) cherry = id;
+  }
+  sr.invalidate_path(tree, cherry);
+  EXPECT_TRUE(sr.any_stale());
+  EXPECT_THROW(sr.node(cherry), Error);
+  EXPECT_THROW(sr.node(tree.root()), Error);
+  sr.refresh(tree);
+  EXPECT_EQ(sr.node(cherry).n_classes, 1u);
+}
+
+// The classes must track every mutation an MCMC chain performs: branch
+// lengths (no class change, values change), NNI inside a proposal, and
+// rejection (classes re-identified against the restored topology). The
+// repeat-compacted engine must match a dense engine bit-for-bit throughout,
+// because compaction only skips arithmetic that would produce identical bits.
+TEST(SiteRepeatsEngineTest, TracksMutationsMidMcmc) {
+  Rng rng(77);
+  phylo::Tree tree = seqgen::yule_tree(8, rng, 1.0, 0.15);
+  phylo::GtrParams params = seqgen::default_gtr_params();
+  phylo::SubstitutionModel model(params);
+  seqgen::SequenceEvolver ev(tree, model);
+  const auto data = phylo::PatternMatrix::compress(ev.evolve(400, rng));
+
+  SerialBackend b_on, b_off;
+  PlfEngine on(data, params, tree, b_on, KernelVariant::kSimdCol,
+               SiteRepeatsMode::kOn);
+  PlfEngine off(data, params, tree, b_off, KernelVariant::kSimdCol,
+                SiteRepeatsMode::kOff);
+  ASSERT_TRUE(on.site_repeats_enabled());
+  ASSERT_FALSE(off.site_repeats_enabled());
+
+  EXPECT_EQ(on.log_likelihood(), off.log_likelihood());
+  EXPECT_GT(on.stats().repeat_down_hits, 0u);
+  EXPECT_GT(on.repeat_mean_compression(), 1.0);
+
+  // Branch-length change: classes are invariant, CLVs are not.
+  const int leaf = on.tree().leaf_of(3);
+  on.set_branch_length(leaf, 0.91);
+  off.set_branch_length(leaf, 0.91);
+  EXPECT_EQ(on.log_likelihood(), off.log_likelihood());
+
+  // NNI inside a proposal, then reject: the compacted engine must
+  // re-identify classes for the proposal topology AND again for the
+  // restored one.
+  const auto edges = on.tree().internal_edge_nodes();
+  ASSERT_FALSE(edges.empty());
+  const int v = edges[edges.size() / 2];
+
+  on.begin_proposal();
+  off.begin_proposal();
+  on.apply_nni(v, true);
+  off.apply_nni(v, true);
+  EXPECT_EQ(on.log_likelihood(), off.log_likelihood());
+  on.reject();
+  off.reject();
+  EXPECT_EQ(on.log_likelihood(), off.log_likelihood());
+
+  // Accepted NNI stays consistent too.
+  on.begin_proposal();
+  off.begin_proposal();
+  on.apply_nni(v, false);
+  off.apply_nni(v, false);
+  EXPECT_EQ(on.log_likelihood(), off.log_likelihood());
+  on.accept();
+  off.accept();
+  EXPECT_EQ(on.log_likelihood(), off.log_likelihood());
+}
+
+}  // namespace
+}  // namespace plf::core

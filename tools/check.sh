@@ -3,6 +3,7 @@
 #
 #   tools/check.sh              # run everything available on this host
 #   tools/check.sh plain        # RelWithDebInfo build + ctest
+#   tools/check.sh checked      # checked contracts + site-repeat diff suite
 #   tools/check.sh asan         # ASan+UBSan preset + ctest
 #   tools/check.sh tsan         # TSan preset + ctest
 #   tools/check.sh tidy         # clang-tidy over src/ (skipped if absent)
@@ -39,6 +40,18 @@ stage_plain() { run_preset default; }
 stage_asan()  { run_preset asan-ubsan; }
 stage_tsan()  { run_preset tsan; }
 
+# Checked-contract build running the site-repeat differential suite: every
+# backend x repeats on/off cross-check plus the repeat-class unit tests, with
+# the PLF_DCHECK-level contracts (index monotonicity etc.) armed.
+stage_checked() {
+  note "preset 'checked': configure" &&
+    cmake --preset checked &&
+    note "preset 'checked': build" &&
+    cmake --build --preset checked -j "${JOBS}" &&
+    note "preset 'checked': differential suite" &&
+    ctest --preset checked -R 'BackendDiff|SiteRepeats|Repeats|Contract|Check'
+}
+
 stage_tidy() {
   if ! command -v clang-tidy >/dev/null 2>&1; then
     warn "clang-tidy not found on PATH; skipping the lint stage"
@@ -62,13 +75,14 @@ run_stage() {
 
 STAGES=("$@")
 if [[ ${#STAGES[@]} -eq 0 ]]; then
-  STAGES=(plain asan tsan tidy)
+  STAGES=(plain checked asan tsan tidy)
 fi
 
 for s in "${STAGES[@]}"; do
   case "$s" in
-    plain|asan|tsan|tidy) run_stage "$s" ;;
-    *) echo "unknown stage '$s' (expected plain|asan|tsan|tidy)" >&2; exit 2 ;;
+    plain|checked|asan|tsan|tidy) run_stage "$s" ;;
+    *) echo "unknown stage '$s' (expected plain|checked|asan|tsan|tidy)" >&2
+       exit 2 ;;
   esac
 done
 
