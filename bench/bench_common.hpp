@@ -9,12 +9,18 @@
 #pragma once
 
 #include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
 #include <map>
+#include <string>
 
 #include "arch/workload.hpp"
 #include "core/backend.hpp"
 #include "core/engine.hpp"
 #include "mcmc/chain.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "phylo/patterns.hpp"
 #include "seqgen/datasets.hpp"
 #include "seqgen/evolve.hpp"
@@ -22,6 +28,35 @@
 #include "util/rng.hpp"
 
 namespace plf::bench {
+
+/// Publish one bench result cell into the global metrics registry as the
+/// gauge "bench.<bench>.<row>.<column>", so a run's table is recoverable
+/// from the structured JSON dump (emit_metrics_json below) without parsing
+/// the human-readable output.
+inline void publish_bench_value(const std::string& bench,
+                                const std::string& row,
+                                const std::string& column, double value) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+  reg.set_gauge(reg.gauge("bench." + bench + "." + row + "." + column), value);
+}
+
+/// If the PLF_BENCH_JSON environment variable names a file, dump the global
+/// metrics registry (bench.* gauges published above plus any engine/kernel
+/// metrics the run recorded) there as JSON. Benches call this once before
+/// exiting; without the variable it is a no-op, so interactive runs keep
+/// their table-only output.
+inline void emit_metrics_json(const std::string& bench) {
+  const char* path = std::getenv("PLF_BENCH_JSON");
+  if (path == nullptr || *path == '\0') return;
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "PLF_BENCH_JSON: cannot open " << path << "\n";
+    return;
+  }
+  publish_bench_value(bench, "meta", "emitted", 1.0);
+  obs::write_metrics_json(out, obs::MetricsRegistry::global().snapshot());
+  std::cerr << "metrics json: " << path << " (" << bench << ")\n";
+}
 
 /// Measured-by-proxy workload: call counts from a real chain on `taxa`
 /// taxa, scaled to `generations`, with pattern count `m`.

@@ -40,6 +40,9 @@ int main() {
     const double s_opt2 = opt2.relative_speedup(w, 16);
     t.row({spec.name(), Table::num(s_xeon, 2), Table::num(s_opt4, 2),
            Table::num(s_opt2, 2)});
+    bench::publish_bench_value("fig09", spec.name(), "xeon8_speedup", s_xeon);
+    bench::publish_bench_value("fig09", spec.name(), "opt16_speedup", s_opt4);
+    bench::publish_bench_value("fig09", spec.name(), "opt2x16_speedup", s_opt2);
     eff_sum += s_xeon / 8.0 + s_opt4 / 16.0 + s_opt2 / 16.0;
     eff_count += 3;
   }
@@ -47,5 +50,8 @@ int main() {
   std::cout << "average parallel efficiency: "
             << Table::num(100.0 * eff_sum / eff_count, 1)
             << "%  (paper: ~71% average for the multi-cores)\n";
+  bench::publish_bench_value("fig09", "summary", "avg_efficiency_pct",
+                             100.0 * eff_sum / eff_count);
+  bench::emit_metrics_json("fig09");
   return 0;
 }

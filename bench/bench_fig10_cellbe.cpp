@@ -38,9 +38,14 @@ int main() {
     best_eff = std::max(best_eff, eff);
     t.row({spec.name(), Table::num(s6, 2), Table::num(s16, 2),
            Table::num(100.0 * eff, 1) + "%"});
+    bench::publish_bench_value("fig10", spec.name(), "ps3_speedup", s6);
+    bench::publish_bench_value("fig10", spec.name(), "qs20_speedup", s16);
   }
   std::cout << t << "\n";
   std::cout << "peak PLF efficiency: " << Table::num(100.0 * best_eff, 1)
             << "%  (paper: 92%)\n";
+  bench::publish_bench_value("fig10", "summary", "peak_efficiency_pct",
+                             100.0 * best_eff);
+  bench::emit_metrics_json("fig10");
   return 0;
 }

@@ -42,9 +42,12 @@ int main() {
     const double s_gtx = throughput(gtx, w) / ref;
     t.row({spec.name(), Table::num(s_gt, 2), Table::num(s_gtx, 2),
            Table::num(s_gtx / s_gt, 2)});
+    bench::publish_bench_value("fig11", spec.name(), "gt8800_speedup", s_gt);
+    bench::publish_bench_value("fig11", spec.name(), "gtx285_speedup", s_gtx);
   }
   std::cout << t << "\n";
   std::cout << "paper: GTX285/8800GT = 2.2x at 20K, up to 2.4x at 50K;\n"
                "core-count ratio 240/112 = 2.1x.\n";
+  bench::emit_metrics_json("fig11");
   return 0;
 }

@@ -66,6 +66,10 @@ int main() {
            pcie > 0.0 ? Table::num(100.0 * pcie / t_base, 1) : "-",
            Table::num(100.0 * total / t_base, 1),
            Table::num(t_base / total, 2)});
+    bench::publish_bench_value("fig12", name, "plf_s", plf);
+    bench::publish_bench_value("fig12", name, "remaining_s", rem);
+    bench::publish_bench_value("fig12", name, "pcie_s", pcie);
+    bench::publish_bench_value("fig12", name, "speedup", t_base / total);
   };
 
   add("Baseline", base.plf_section_s(w, 1), base.serial_s(w), 0.0);
@@ -97,5 +101,6 @@ int main() {
          "Cell reduces PLF to 20-30% but the PPE inflates Remaining (~1.5x\n"
          "overall); GPUs reach 5-10% PLF but pay PCIe — the 8800GT ends\n"
          "slower than the baseline, the GTX285 at ~1.5x.\n";
+  bench::emit_metrics_json("fig12");
   return 0;
 }

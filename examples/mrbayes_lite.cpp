@@ -4,8 +4,15 @@
 // (ESS), split frequencies, and a majority-rule consensus tree with support
 // values. With no input file it demonstrates itself on simulated data.
 //
-// Usage: mrbayes_lite [--site-repeats=on|off|auto] [alignment-file]
+// Usage: mrbayes_lite [--site-repeats=on|off|auto] [--profile[=FILE]]
+//                     [--metrics-json[=FILE]] [alignment-file]
 //                     [generations] [chains] [seed]
+//
+// --profile enables span tracing, prints the paper-style (Fig. 12) time
+// breakdown after the run, and writes a chrome://tracing / Perfetto-loadable
+// trace to FILE (default plf_trace.json). --metrics-json dumps the full
+// metrics snapshot (counters, gauges, timer stats) as JSON to FILE (default
+// plf_metrics.json).
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
@@ -20,6 +27,9 @@
 #include "mcmc/consensus.hpp"
 #include "mcmc/coupled.hpp"
 #include "mcmc/diagnostics.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
 #include "phylo/nexus.hpp"
 #include "util/error.hpp"
 #include "phylo/patterns.hpp"
@@ -61,15 +71,29 @@ int run_main(int argc, char** argv) {
   using namespace plf;
 
   core::SiteRepeatsMode repeats = core::SiteRepeatsMode::kAuto;
+  std::string profile_path;   // empty: profiling report/trace off
+  std::string metrics_path;   // empty: metrics JSON off
   std::vector<const char*> pos;
   for (int i = 1; i < argc; ++i) {
     constexpr const char* kRepeatsFlag = "--site-repeats=";
+    const std::string arg = argv[i];
     if (std::strncmp(argv[i], kRepeatsFlag, std::strlen(kRepeatsFlag)) == 0) {
       repeats = core::site_repeats_mode_from_string(
           argv[i] + std::strlen(kRepeatsFlag));
+    } else if (arg == "--profile") {
+      profile_path = "plf_trace.json";
+    } else if (arg.rfind("--profile=", 0) == 0) {
+      profile_path = arg.substr(std::strlen("--profile="));
+    } else if (arg == "--metrics-json") {
+      metrics_path = "plf_metrics.json";
+    } else if (arg.rfind("--metrics-json=", 0) == 0) {
+      metrics_path = arg.substr(std::strlen("--metrics-json="));
     } else {
       pos.push_back(argv[i]);
     }
+  }
+  if (!profile_path.empty()) {
+    obs::MetricsRegistry::global().enable_tracing(true);
   }
   const char* path = (!pos.empty() && pos[0][0] != '\0') ? pos[0] : nullptr;
   const std::uint64_t gens =
@@ -172,6 +196,30 @@ int run_main(int argc, char** argv) {
               << "x compression on compacted kernel calls ("
               << Table::num(100.0 * cold_stats.down_repeat_hit_rate(), 1)
               << "% of CondLikeDown calls)\n";
+  }
+
+  if (!profile_path.empty() || !metrics_path.empty()) {
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+    engines[mc3.cold_index()]->publish_stats(reg);
+    const obs::Snapshot snap = reg.snapshot();
+    if (!profile_path.empty()) {
+      const obs::Breakdown b =
+          obs::build_breakdown(snap, result.cold.wall_seconds, backend.name());
+      std::cout << "\n" << obs::format_breakdown(b) << "\n";
+      std::ofstream trace_out(profile_path);
+      if (!trace_out) throw Error("cannot open trace file: " + profile_path);
+      obs::write_chrome_trace(trace_out, reg);
+      std::cout << "trace: " << profile_path
+                << " (load in chrome://tracing or ui.perfetto.dev)\n";
+    }
+    if (!metrics_path.empty()) {
+      std::ofstream metrics_out(metrics_path);
+      if (!metrics_out) {
+        throw Error("cannot open metrics file: " + metrics_path);
+      }
+      obs::write_metrics_json(metrics_out, snap);
+      std::cout << "metrics: " << metrics_path << "\n";
+    }
   }
   return 0;
 }

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/names.hpp"
+#include "obs/profile.hpp"
 #include "util/error.hpp"
 
 namespace plf::cell {
@@ -11,6 +13,17 @@ namespace {
 /// SPE block start satisfies the DMA alignment rules (the paper's "dummy
 /// elements" trick).
 constexpr std::size_t kBlockQuantum = 16;
+
+/// Mirror the cumulative run stats into the global metrics registry. The
+/// simulated seconds are virtual-clock values, so they become gauges rather
+/// than timers (they must never mix into wall-clock sections); the DMA wait
+/// doubles as the backend's Fig. 12 "transfer" column.
+void publish_cell_metrics([[maybe_unused]] const CellRunStats& s) {
+  PLF_PROF_GAUGE(obs::kGaugeCellSimPlfSeconds, s.simulated_plf_s);
+  PLF_PROF_GAUGE(obs::kGaugeCellSpuDmaWaitSeconds, s.spu_dma_wait_s);
+  PLF_PROF_GAUGE(obs::kGaugeCellDmaBytes, static_cast<double>(s.dma_bytes));
+  PLF_PROF_GAUGE(obs::kGaugeTransferSimSeconds, s.spu_dma_wait_s);
+}
 }  // namespace
 
 CellMachine::CellMachine(const CellConfig& config) : config_(config) {
@@ -59,6 +72,7 @@ double CellMachine::offload(SpuCommand cmd, const SpuJob& proto, std::size_t m,
     Spu& spu = *spes_[s];
     ppe_t = spu.inbound().write(static_cast<std::uint32_t>(cmd), ppe_t);
     ++stats_.mailbox_messages;
+    PLF_PROF_COUNT(obs::kCounterCellMailboxMessages, 1);
 
     const SpuRunResult r = spu.service(job, ppe_t);
     finish = std::max(finish, r.finish_time);
@@ -78,6 +92,8 @@ double CellMachine::offload(SpuCommand cmd, const SpuJob& proto, std::size_t m,
   clock_.advance_to(done);
   stats_.simulated_plf_s += duration;
   ++stats_.plf_invocations;
+  PLF_PROF_COUNT(obs::kCounterCellPlfInvocations, 1);
+  publish_cell_metrics(stats());
   return duration;
 }
 

@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "obs/names.hpp"
+#include "obs/profile.hpp"
 #include "util/clock.hpp"
 #include "util/error.hpp"
 
@@ -272,10 +274,13 @@ void PlfEngine::evaluate() {
   Stopwatch serial_sw;
 
   // 1. Rebuild dirty branch matrices (serial work, like MrBayes' TiProbs).
-  for (std::size_t id = 0; id < tree_.n_nodes(); ++id) {
-    const phylo::TreeNode& n = tree_.node(static_cast<int>(id));
-    if (n.parent != phylo::kNoNode && branches_[id].dirty) {
-      rebuild_branch(static_cast<int>(id));
+  {
+    PLF_PROF_SCOPE(obs::kTimerTiProbs);
+    for (std::size_t id = 0; id < tree_.n_nodes(); ++id) {
+      const phylo::TreeNode& n = tree_.node(static_cast<int>(id));
+      if (n.parent != phylo::kNoNode && branches_[id].dirty) {
+        rebuild_branch(static_cast<int>(id));
+      }
     }
   }
   stats_.serial_seconds += serial_sw.seconds();
@@ -284,6 +289,7 @@ void PlfEngine::evaluate() {
   // topology moves only marked them stale). Postorder inside refresh()
   // guarantees children are identified before parents.
   if (repeats_enabled_ && repeats_.any_stale()) {
+    PLF_PROF_SCOPE(obs::kTimerRepeatIdentify);
     Stopwatch repeat_sw;
     repeats_.refresh(tree_);
     stats_.repeat_rebuild_seconds += repeat_sw.seconds();
@@ -327,7 +333,10 @@ void PlfEngine::evaluate() {
       const BranchState& ob = branches_[static_cast<std::size_t>(og)];
       ra.out_mask = data_.row(static_cast<std::size_t>(tree_.node(og).taxon));
       ra.out_tp = ob.tp[static_cast<std::size_t>(ob.active)].data();
-      backend_->run_root(*kernels_, ra, run_m);
+      {
+        PLF_PROF_SCOPE(obs::kTimerCondLikeRoot);
+        backend_->run_root(*kernels_, ra, run_m);
+      }
       ++stats_.root_calls;
       if (nr != nullptr) ++stats_.repeat_root_hits;
     } else {
@@ -338,7 +347,10 @@ void PlfEngine::evaluate() {
       da.K = k_;
       da.site_index = site_index;
       da.n_sites = m_;
-      backend_->run_down(*kernels_, da, run_m);
+      {
+        PLF_PROF_SCOPE(obs::kTimerCondLikeDown);
+        backend_->run_down(*kernels_, da, run_m);
+      }
       ++stats_.down_calls;
       if (nr != nullptr) ++stats_.repeat_down_hits;
     }
@@ -349,12 +361,16 @@ void PlfEngine::evaluate() {
     sa.K = k_;
     sa.site_index = site_index;
     sa.n_sites = m_;
-    backend_->run_scale(*kernels_, sa, run_m);
+    {
+      PLF_PROF_SCOPE(obs::kTimerCondLikeScaler);
+      backend_->run_scale(*kernels_, sa, run_m);
+    }
     ++stats_.scale_calls;
     if (nr != nullptr) {
       ++stats_.repeat_scale_hits;
       stats_.repeat_sites_total += m_;
       stats_.repeat_sites_computed += run_m;
+      PLF_PROF_SCOPE(obs::kTimerRepeatScatter);
       scatter_repeats(*nr, out, ln_scaler);
     }
     stats_.pattern_iterations += 2 * run_m;  // one PLF pass + one scaler pass
@@ -372,13 +388,16 @@ void PlfEngine::evaluate() {
 
   // 3. Sum per-node scalers (serial bookkeeping).
   serial_sw.reset();
-  scaler_total_.assign(m_, 0.0);
-  for (std::size_t id = 0; id < tree_.n_nodes(); ++id) {
-    const phylo::TreeNode& n = tree_.node(static_cast<int>(id));
-    if (n.is_leaf()) continue;
-    const NodeState& st = nodes_[id];
-    const float* sc = st.scaler[static_cast<std::size_t>(st.active)].data();
-    for (std::size_t c = 0; c < m_; ++c) scaler_total_[c] += sc[c];
+  {
+    PLF_PROF_SCOPE(obs::kTimerScalerSum);
+    scaler_total_.assign(m_, 0.0);
+    for (std::size_t id = 0; id < tree_.n_nodes(); ++id) {
+      const phylo::TreeNode& n = tree_.node(static_cast<int>(id));
+      if (n.is_leaf()) continue;
+      const NodeState& st = nodes_[id];
+      const float* sc = st.scaler[static_cast<std::size_t>(st.active)].data();
+      for (std::size_t c = 0; c < m_; ++c) scaler_total_[c] += sc[c];
+    }
   }
   stats_.serial_seconds += serial_sw.seconds();
 
@@ -403,12 +422,33 @@ void PlfEngine::evaluate() {
     rr.const_lik = const_lik_.data();
     rr.p_invariant = static_cast<float>(model_.params().p_invariant);
   }
-  ln_lik_ = backend_->run_root_reduce(*kernels_, rr, m_);
+  {
+    PLF_PROF_SCOPE(obs::kTimerRootReduce);
+    ln_lik_ = backend_->run_root_reduce(*kernels_, rr, m_);
+  }
   ++stats_.reduce_calls;
   stats_.pattern_iterations += m_;
   stats_.plf_seconds += reduce_sw.seconds();
 
   lik_valid_ = true;
+}
+
+void PlfEngine::publish_stats(obs::MetricsRegistry& registry) const {
+  const auto set = [&registry](const char* name, double value) {
+    registry.set_gauge(registry.gauge(name), value);
+  };
+  set(obs::kGaugeEngineDownCalls, static_cast<double>(stats_.down_calls));
+  set(obs::kGaugeEngineRootCalls, static_cast<double>(stats_.root_calls));
+  set(obs::kGaugeEngineScaleCalls, static_cast<double>(stats_.scale_calls));
+  set(obs::kGaugeEngineReduceCalls, static_cast<double>(stats_.reduce_calls));
+  set(obs::kGaugeEngineTmBuilds, static_cast<double>(stats_.tm_builds));
+  set(obs::kGaugeEnginePatternIterations,
+      static_cast<double>(stats_.pattern_iterations));
+  set(obs::kGaugeRepeatDownHitRate, stats_.down_repeat_hit_rate());
+  set(obs::kGaugeRepeatRootHitRate, stats_.root_repeat_hit_rate());
+  set(obs::kGaugeRepeatScaleHitRate, stats_.scale_repeat_hit_rate());
+  set(obs::kGaugeRepeatCompressionRatio, stats_.repeat_compression_ratio());
+  set(obs::kGaugeRepeatRebuildSeconds, stats_.repeat_rebuild_seconds);
 }
 
 double PlfEngine::log_likelihood() {

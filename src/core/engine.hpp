@@ -21,6 +21,7 @@
 
 #include "core/backend.hpp"
 #include "core/kernels.hpp"
+#include "obs/metrics.hpp"
 #include "core/repeats.hpp"
 #include "core/tip_partial.hpp"
 #include "phylo/model.hpp"
@@ -110,6 +111,12 @@ class PlfEngine {
 
   const EngineStats& stats() const { return stats_; }
   void reset_stats() { stats_ = EngineStats{}; }
+
+  /// Fold the current EngineStats into `registry` as "engine.*" gauges
+  /// (call counts, pattern iterations, site-repeat hit rates and realized
+  /// compression). Gauges are last-write-wins, so repeated publication is
+  /// idempotent. Cold path: available regardless of PLF_PROFILING.
+  void publish_stats(obs::MetricsRegistry& registry) const;
 
   /// Requested site-repeats policy (the effective path also depends on the
   /// backend's supports_site_repeats() and each node's compression).

@@ -5,12 +5,27 @@
 #include <cstring>
 #include <vector>
 
+#include "obs/names.hpp"
+#include "obs/profile.hpp"
 #include "phylo/dna.hpp"
 #include "util/error.hpp"
 
 namespace plf::gpu {
 
 namespace {
+
+/// Mirror the cumulative run stats into the global metrics registry. The
+/// kernel/PCIe seconds are virtual-clock values, published as gauges (never
+/// wall-clock timers); pcie_s is this backend's Fig. 12 "transfer" column.
+void publish_gpu_metrics([[maybe_unused]] const GpuRunStats& s,
+                         [[maybe_unused]] std::uint64_t h2d_bytes,
+                         [[maybe_unused]] std::uint64_t d2h_bytes) {
+  PLF_PROF_GAUGE(obs::kGaugeGpuKernelSimSeconds, s.kernel_s);
+  PLF_PROF_GAUGE(obs::kGaugeGpuPcieSimSeconds, s.pcie_s);
+  PLF_PROF_GAUGE(obs::kGaugeGpuH2dBytes, static_cast<double>(h2d_bytes));
+  PLF_PROF_GAUGE(obs::kGaugeGpuD2hBytes, static_cast<double>(d2h_bytes));
+  PLF_PROF_GAUGE(obs::kGaugeTransferSimSeconds, s.pcie_s);
+}
 
 /// Inner product of one transition-matrix row with one rate array, in the
 /// arithmetic order of the corresponding host kernel (so results are
@@ -175,6 +190,7 @@ double GpuPlf::down_like(const core::DownArgs& a, std::size_t m,
     t += kt;
     stats_.kernel_s += kt;
     ++stats_.kernel_launches;
+    PLF_PROF_COUNT(obs::kCounterGpuKernelLaunches, 1);
 
     // ---- Results back to the host. ----
     t = mem_.d2h(a.out + p0 * K * 4, dev_out, 0, pm_count * cl_pp, t);
@@ -200,6 +216,7 @@ double GpuPlf::down_like(const core::DownArgs& a, std::size_t m,
   stats_.pcie_s += mem_.stats().pcie_busy_s - pcie_before;
   stats_.h2d_bytes = mem_.stats().h2d_bytes;
   stats_.d2h_bytes = mem_.stats().d2h_bytes;
+  publish_gpu_metrics(stats_, mem_.stats().h2d_bytes, mem_.stats().d2h_bytes);
   clock_.advance_to(t);
   return t - t_begin;
 }
@@ -268,6 +285,7 @@ void GpuPlf::run_scale(const core::KernelSet& /*ks*/, const core::ScaleArgs& a,
   t += kt;
   stats_.kernel_s += kt;
   ++stats_.kernel_launches;
+  PLF_PROF_COUNT(obs::kCounterGpuKernelLaunches, 1);
 
   t = mem_.d2h(a.cl, dev_cl, 0, cl_bytes, t);
   t = mem_.d2h(a.ln_scaler, dev_sc, 0, m * sizeof(float), t);
@@ -276,6 +294,7 @@ void GpuPlf::run_scale(const core::KernelSet& /*ks*/, const core::ScaleArgs& a,
 
   ++stats_.plf_invocations;
   stats_.pcie_s += mem_.stats().pcie_busy_s - pcie_before;
+  publish_gpu_metrics(stats_, mem_.stats().h2d_bytes, mem_.stats().d2h_bytes);
   clock_.advance_to(t);
 }
 
@@ -344,6 +363,7 @@ double GpuPlf::run_root_reduce(const core::KernelSet& /*ks*/,
   t += kt;
   stats_.kernel_s += kt;
   ++stats_.kernel_launches;
+  PLF_PROF_COUNT(obs::kCounterGpuKernelLaunches, 1);
 
   // Block partials d2h.
   aligned_vector<double> host_partials(blocks);
@@ -361,6 +381,7 @@ double GpuPlf::run_root_reduce(const core::KernelSet& /*ks*/,
 
   ++stats_.plf_invocations;
   stats_.pcie_s += mem_.stats().pcie_busy_s - pcie_before;
+  publish_gpu_metrics(stats_, mem_.stats().h2d_bytes, mem_.stats().d2h_bytes);
   clock_.advance_to(t);
   return sum;
 }

@@ -1,0 +1,265 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace plf::obs {
+
+namespace {
+
+/// Trace buffer cap across all shards of one registry. A 200-generation
+/// profiled mrbayes_lite run emits ~30k spans; the cap bounds pathological
+/// runs at ~6 MB of events while counting what was dropped.
+constexpr std::uint64_t kMaxTraceEvents = 1u << 18;
+
+std::uint64_t next_registry_serial() {
+  static std::atomic<std::uint64_t> serial{1};
+  return serial.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+/// Per-thread slot arrays. Written only by the owning thread; the mutex is
+/// contended only when snapshot()/reset() visits, so hot-path locking is
+/// uncontended (fast-path CAS) in the steady state.
+struct MetricsRegistry::Shard {
+  mutable std::mutex m;  // const flush paths lock shards they only read
+  std::vector<std::uint64_t> counters;  // indexed by MetricId
+  std::vector<OnlineStats> timers;      // indexed by MetricId
+  std::vector<TraceEvent> events;
+  std::uint32_t tid = 0;  // shard index, used as the trace thread id
+};
+
+MetricsRegistry::MetricsRegistry() : serial_(next_registry_serial()) {}
+
+MetricsRegistry::~MetricsRegistry() = default;
+
+MetricsRegistry::Shard& MetricsRegistry::make_shard() {
+  // Caller holds no locks.
+  std::lock_guard<std::mutex> lock(mutex_);
+  shards_.push_back(std::make_unique<Shard>());
+  shards_.back()->tid = static_cast<std::uint32_t>(shards_.size() - 1);
+  return *shards_.back();
+}
+
+MetricsRegistry::Shard& MetricsRegistry::shard_for_this_thread() {
+  // Thread-local shard cache: (registry serial -> shard). Entries for dead
+  // registries are never dereferenced (lookup is by serial, which is never
+  // reused), so stale entries are harmless; the vector stays tiny because
+  // few registries exist at once.
+  struct CacheEntry {
+    std::uint64_t serial;
+    Shard* shard;
+  };
+  thread_local std::vector<CacheEntry> cache;
+  for (const CacheEntry& e : cache) {
+    if (e.serial == serial_) return *e.shard;
+  }
+  Shard& shard = make_shard();
+  cache.push_back(CacheEntry{serial_, &shard});
+  return shard;
+}
+
+MetricId MetricsRegistry::intern(std::string_view name, MetricKind kind) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (std::size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i].name == name) {
+      PLF_CHECK(names_[i].kind == kind,
+                "metric '" + std::string(name) +
+                    "' already interned with a different kind");
+      return static_cast<MetricId>(i);
+    }
+  }
+  names_.push_back(NameEntry{std::string(name), kind});
+  gauge_values_.push_back(0.0);
+  return static_cast<MetricId>(names_.size() - 1);
+}
+
+MetricId MetricsRegistry::counter(std::string_view name) {
+  return intern(name, MetricKind::kCounter);
+}
+
+MetricId MetricsRegistry::gauge(std::string_view name) {
+  return intern(name, MetricKind::kGauge);
+}
+
+MetricId MetricsRegistry::timer(std::string_view name) {
+  return intern(name, MetricKind::kTimer);
+}
+
+void MetricsRegistry::add(MetricId id, std::uint64_t delta) {
+  Shard& s = shard_for_this_thread();
+  std::lock_guard<std::mutex> lock(s.m);
+  if (s.counters.size() <= id) s.counters.resize(id + 1, 0);
+  s.counters[id] += delta;
+}
+
+void MetricsRegistry::record_seconds(MetricId id, double seconds) {
+  Shard& s = shard_for_this_thread();
+  std::lock_guard<std::mutex> lock(s.m);
+  if (s.timers.size() <= id) s.timers.resize(id + 1);
+  s.timers[id].add(seconds);
+}
+
+void MetricsRegistry::record_span(MetricId id, std::uint64_t start_ns,
+                                  std::uint64_t end_ns) {
+  if (!tracing_enabled()) return;
+  if (trace_count_.fetch_add(1, std::memory_order_relaxed) >= kMaxTraceEvents) {
+    trace_dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  Shard& s = shard_for_this_thread();
+  std::lock_guard<std::mutex> lock(s.m);
+  s.events.push_back(TraceEvent{
+      id, start_ns, end_ns >= start_ns ? end_ns - start_ns : 0, s.tid});
+}
+
+void MetricsRegistry::set_gauge(MetricId id, double value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  PLF_CHECK(id < gauge_values_.size() && names_[id].kind == MetricKind::kGauge,
+            "set_gauge: id is not a gauge");
+  gauge_values_[id] = value;
+}
+
+void MetricsRegistry::enable_tracing(bool on) {
+  tracing_.store(on, std::memory_order_relaxed);
+}
+
+std::uint64_t MetricsRegistry::trace_events_dropped() const {
+  return trace_dropped_.load(std::memory_order_relaxed);
+}
+
+Snapshot MetricsRegistry::snapshot() const {
+  // Copy the name table and gauge values, then merge each shard under its
+  // own lock. Writers racing with the flush land in either the current or
+  // the next snapshot — both are coherent.
+  std::vector<NameEntry> names;
+  std::vector<double> gauges;
+  std::vector<const Shard*> shards;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    names = names_;
+    gauges = gauge_values_;
+    shards.reserve(shards_.size());
+    for (const auto& s : shards_) shards.push_back(s.get());
+  }
+
+  std::vector<std::uint64_t> counter_totals(names.size(), 0);
+  std::vector<OnlineStats> timer_totals(names.size());
+  for (const Shard* s : shards) {
+    std::lock_guard<std::mutex> lock(s->m);
+    for (std::size_t i = 0; i < s->counters.size() && i < names.size(); ++i) {
+      counter_totals[i] += s->counters[i];
+    }
+    for (std::size_t i = 0; i < s->timers.size() && i < names.size(); ++i) {
+      timer_totals[i].merge(s->timers[i]);
+    }
+  }
+
+  Snapshot snap;
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    switch (names[i].kind) {
+      case MetricKind::kCounter:
+        snap.counters.push_back(Snapshot::Counter{names[i].name,
+                                                  counter_totals[i]});
+        break;
+      case MetricKind::kGauge:
+        snap.gauges.push_back(Snapshot::Gauge{names[i].name, gauges[i]});
+        break;
+      case MetricKind::kTimer:
+        snap.timers.push_back(Snapshot::Timer{names[i].name, timer_totals[i]});
+        break;
+    }
+  }
+  auto by_name = [](const auto& a, const auto& b) { return a.name < b.name; };
+  std::sort(snap.counters.begin(), snap.counters.end(), by_name);
+  std::sort(snap.gauges.begin(), snap.gauges.end(), by_name);
+  std::sort(snap.timers.begin(), snap.timers.end(), by_name);
+  return snap;
+}
+
+std::vector<TraceEvent> MetricsRegistry::trace_events() const {
+  std::vector<const Shard*> shards;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shards.reserve(shards_.size());
+    for (const auto& s : shards_) shards.push_back(s.get());
+  }
+  std::vector<TraceEvent> out;
+  for (const Shard* s : shards) {
+    std::lock_guard<std::mutex> lock(s->m);
+    out.insert(out.end(), s->events.begin(), s->events.end());
+  }
+  std::sort(out.begin(), out.end(), [](const TraceEvent& a, const TraceEvent& b) {
+    return a.start_ns < b.start_ns;
+  });
+  return out;
+}
+
+std::string MetricsRegistry::metric_name(MetricId id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  PLF_CHECK(id < names_.size(), "metric_name: unknown id");
+  return names_[id].name;
+}
+
+void MetricsRegistry::reset() {
+  std::vector<Shard*> shards;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::fill(gauge_values_.begin(), gauge_values_.end(), 0.0);
+    shards.reserve(shards_.size());
+    for (const auto& s : shards_) shards.push_back(s.get());
+  }
+  for (Shard* s : shards) {
+    std::lock_guard<std::mutex> lock(s->m);
+    std::fill(s->counters.begin(), s->counters.end(), 0);
+    std::fill(s->timers.begin(), s->timers.end(), OnlineStats{});
+    s->events.clear();
+  }
+  trace_count_.store(0, std::memory_order_relaxed);
+  trace_dropped_.store(0, std::memory_order_relaxed);
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+const Snapshot::Counter* Snapshot::find_counter(std::string_view name) const {
+  for (const auto& c : counters) {
+    if (c.name == name) return &c;
+  }
+  return nullptr;
+}
+
+const Snapshot::Gauge* Snapshot::find_gauge(std::string_view name) const {
+  for (const auto& g : gauges) {
+    if (g.name == name) return &g;
+  }
+  return nullptr;
+}
+
+const Snapshot::Timer* Snapshot::find_timer(std::string_view name) const {
+  for (const auto& t : timers) {
+    if (t.name == name) return &t;
+  }
+  return nullptr;
+}
+
+double Snapshot::timer_total_s(std::string_view name) const {
+  const Timer* t = find_timer(name);
+  return t == nullptr ? 0.0 : t->stats.total();
+}
+
+std::uint64_t Snapshot::counter_value(std::string_view name) const {
+  const Counter* c = find_counter(name);
+  return c == nullptr ? 0 : c->value;
+}
+
+double Snapshot::gauge_value(std::string_view name) const {
+  const Gauge* g = find_gauge(name);
+  return g == nullptr ? 0.0 : g->value;
+}
+
+}  // namespace plf::obs

@@ -1,0 +1,73 @@
+// Canonical metric names shared by the instrumentation points and the
+// breakdown report, so the report never chases a misspelled key.
+//
+// Naming scheme: "<layer>.<what>", with the three PLF kernels and the root
+// reduction carrying the paper's own names (CondLikeDown / CondLikeRoot /
+// CondLikeScaler; §2) under the "plf." prefix.
+#pragma once
+
+namespace plf::obs {
+
+// The three PLF kernels + the root reduction (the paper's parallel section).
+inline constexpr const char* kTimerCondLikeDown = "plf.CondLikeDown";
+inline constexpr const char* kTimerCondLikeRoot = "plf.CondLikeRoot";
+inline constexpr const char* kTimerCondLikeScaler = "plf.CondLikeScaler";
+inline constexpr const char* kTimerRootReduce = "plf.RootReduce";
+
+// Engine serial work (the "Remaining" contributors that are measurable
+// per-phase; the rest of Remaining is application code outside the engine).
+inline constexpr const char* kTimerTiProbs = "engine.TiProbs";
+inline constexpr const char* kTimerScalerSum = "engine.ScalerSum";
+inline constexpr const char* kTimerRepeatIdentify = "engine.RepeatIdentify";
+inline constexpr const char* kTimerRepeatScatter = "engine.RepeatScatter";
+
+// Thread pool (multi-core backend, §3.2).
+inline constexpr const char* kTimerParRegion = "par.region";
+inline constexpr const char* kTimerParWorker = "par.worker";
+inline constexpr const char* kCounterParRegions = "par.regions";
+
+// MCMC application layer.
+inline constexpr const char* kTimerMcmcGeneration = "mcmc.generation";
+inline constexpr const char* kCounterMcmcGenerations = "mcmc.generations";
+
+// Simulated transfer time (the Fig. 12 "PCIe" column; the GPU backend
+// publishes its accumulated PCIe seconds here, the Cell backend its DMA
+// wait). Simulated seconds never mix into the wall-clock sections — the
+// report keeps them in a separate, clearly-labeled row.
+inline constexpr const char* kGaugeTransferSimSeconds = "backend.transfer_sim_s";
+
+// Cell/BE simulator.
+inline constexpr const char* kCounterCellMailboxMessages = "cell.mailbox_messages";
+inline constexpr const char* kCounterCellPlfInvocations = "cell.plf_invocations";
+inline constexpr const char* kGaugeCellSimPlfSeconds = "cell.sim_plf_s";
+inline constexpr const char* kGaugeCellSpuDmaWaitSeconds = "cell.spu_dma_wait_s";
+inline constexpr const char* kGaugeCellDmaBytes = "cell.dma_bytes";
+
+// GPU simulator.
+inline constexpr const char* kCounterGpuKernelLaunches = "gpu.kernel_launches";
+inline constexpr const char* kGaugeGpuKernelSimSeconds = "gpu.sim_kernel_s";
+inline constexpr const char* kGaugeGpuPcieSimSeconds = "gpu.sim_pcie_s";
+inline constexpr const char* kGaugeGpuH2dBytes = "gpu.h2d_bytes";
+inline constexpr const char* kGaugeGpuD2hBytes = "gpu.d2h_bytes";
+
+// Engine statistics published as gauges (PlfEngine::publish_stats folds the
+// PR 2 site-repeat counters into the registry through these).
+inline constexpr const char* kGaugeEngineDownCalls = "engine.down_calls";
+inline constexpr const char* kGaugeEngineRootCalls = "engine.root_calls";
+inline constexpr const char* kGaugeEngineScaleCalls = "engine.scale_calls";
+inline constexpr const char* kGaugeEngineReduceCalls = "engine.reduce_calls";
+inline constexpr const char* kGaugeEngineTmBuilds = "engine.tm_builds";
+inline constexpr const char* kGaugeEnginePatternIterations =
+    "engine.pattern_iterations";
+inline constexpr const char* kGaugeRepeatDownHitRate =
+    "engine.repeat_down_hit_rate";
+inline constexpr const char* kGaugeRepeatRootHitRate =
+    "engine.repeat_root_hit_rate";
+inline constexpr const char* kGaugeRepeatScaleHitRate =
+    "engine.repeat_scale_hit_rate";
+inline constexpr const char* kGaugeRepeatCompressionRatio =
+    "engine.repeat_compression_ratio";
+inline constexpr const char* kGaugeRepeatRebuildSeconds =
+    "engine.repeat_rebuild_s";
+
+}  // namespace plf::obs

@@ -1,0 +1,104 @@
+#include "obs/report.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "obs/names.hpp"
+#include "util/table.hpp"
+
+namespace plf::obs {
+
+namespace {
+
+KernelShare kernel_share(const Snapshot& snap, const char* timer_name,
+                         const char* short_name) {
+  KernelShare ks;
+  ks.name = short_name;
+  if (const Snapshot::Timer* t = snap.find_timer(timer_name)) {
+    ks.seconds = t->stats.total();
+    ks.calls = t->stats.count();
+  }
+  return ks;
+}
+
+}  // namespace
+
+Breakdown build_breakdown(const Snapshot& snapshot, double total_s,
+                          std::string backend) {
+  Breakdown b;
+  b.backend = std::move(backend);
+
+  b.kernels = {
+      kernel_share(snapshot, kTimerCondLikeDown, "CondLikeDown"),
+      kernel_share(snapshot, kTimerCondLikeRoot, "CondLikeRoot"),
+      kernel_share(snapshot, kTimerCondLikeScaler, "CondLikeScaler"),
+      kernel_share(snapshot, kTimerRootReduce, "RootReduce"),
+  };
+  for (const KernelShare& k : b.kernels) b.plf_s += k.seconds;
+
+  b.engine_serial_s = snapshot.timer_total_s(kTimerTiProbs) +
+                      snapshot.timer_total_s(kTimerScalerSum) +
+                      snapshot.timer_total_s(kTimerRepeatIdentify) +
+                      snapshot.timer_total_s(kTimerRepeatScatter);
+
+  b.transfer_sim_s = snapshot.gauge_value(kGaugeTransferSimSeconds);
+
+  // Clock jitter on very short runs can leave total_s below the summed
+  // kernel time; clamp so Remaining is never negative and the two
+  // wall-clock sections partition total exactly.
+  b.total_s = std::max(total_s, b.plf_s);
+  b.remaining_s = b.total_s - b.plf_s;
+
+  if (b.total_s > 0.0) {
+    b.plf_pct = 100.0 * b.plf_s / b.total_s;
+    b.remaining_pct = 100.0 * b.remaining_s / b.total_s;
+  } else {
+    // Nothing measured at all: call it 100% Remaining so sections still
+    // sum to 100 for downstream format/sum checks.
+    b.remaining_pct = 100.0;
+  }
+
+  const double engine_s = b.plf_s + b.engine_serial_s;
+  for (KernelShare& k : b.kernels) {
+    k.pct_of_engine = engine_s > 0.0 ? 100.0 * k.seconds / engine_s : 0.0;
+  }
+  b.plf_pct_of_engine = engine_s > 0.0 ? 100.0 * b.plf_s / engine_s : 0.0;
+
+  return b;
+}
+
+std::string format_breakdown(const Breakdown& b) {
+  std::ostringstream os;
+
+  Table kernels("per-kernel profile (share of measured engine time)");
+  kernels.header({"kernel", "calls", "seconds", "% of engine"});
+  for (const KernelShare& k : b.kernels) {
+    kernels.row({k.name, std::to_string(k.calls), Table::num(k.seconds, 4),
+                 Table::num(k.pct_of_engine, 1)});
+  }
+  kernels.row({"(engine serial: TiProbs+scalers+repeats)", "-",
+               Table::num(b.engine_serial_s, 4),
+               Table::num(100.0 - b.plf_pct_of_engine, 1)});
+
+  Table sections("time breakdown [" + b.backend + "] (paper Fig. 12 shape)");
+  sections.header({"section", "seconds", "% of total"});
+  sections.row({"PLF (parallel section)", Table::num(b.plf_s, 4),
+                Table::num(b.plf_pct, 1)});
+  sections.row({"Remaining (serial)", Table::num(b.remaining_s, 4),
+                Table::num(b.remaining_pct, 1)});
+  sections.row({"total", Table::num(b.total_s, 4),
+                Table::num(b.plf_pct + b.remaining_pct, 1)});
+
+  os << "== PLF time breakdown ==\n"
+     << kernels << "\n"
+     << "PLF kernels: " << Table::num(b.plf_pct_of_engine, 1)
+     << "% of measured engine time (paper: 85-95% of MrBayes total)\n\n"
+     << sections;
+  if (b.transfer_sim_s > 0.0) {
+    os << "simulated transfer (PCIe/DMA, virtual clock — not wall time): "
+       << Table::num(b.transfer_sim_s, 4) << " s\n";
+  }
+  return os.str();
+}
+
+}  // namespace plf::obs

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <exception>
 
+#include "obs/names.hpp"
+#include "obs/profile.hpp"
 #include "util/clock.hpp"
 #include "util/contracts.hpp"
 
@@ -71,6 +73,10 @@ void ThreadPool::run_share(Region& region, std::size_t thread_index) {
   const std::size_t total = region.end - region.begin;
   if (total == 0) return;
 
+  // One span per participating worker per region; each worker thread records
+  // into its own registry shard, so these show up as separate trace rows.
+  PLF_PROF_SCOPE(obs::kTimerParWorker);
+
   if (region.schedule == Schedule::kStatic) {
     // Contiguous block per thread, remainder spread over the first blocks.
     const std::size_t base = total / region.threads;
@@ -116,6 +122,8 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
   } in_region_reset{in_region_};
 
   Stopwatch sw;
+  PLF_PROF_COUNT(obs::kCounterParRegions, 1);
+  PLF_PROF_SCOPE(obs::kTimerParRegion);
 
   Region region;
   region.begin = begin;

@@ -7,10 +7,39 @@
 #pragma once
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 
 namespace plf {
+
+/// Nanosecond timestamp function the observability layer samples. The
+/// default reads the monotonic steady clock; tests inject a deterministic
+/// source so timer math is exactly reproducible.
+using NowNsFn = std::uint64_t (*)();
+
+namespace detail {
+inline std::atomic<NowNsFn> g_now_ns_source{nullptr};
+}  // namespace detail
+
+/// Monotonic nanoseconds (or the injected source's value).
+inline std::uint64_t now_ns() {
+  if (const NowNsFn fn = detail::g_now_ns_source.load(std::memory_order_acquire);
+      fn != nullptr) {
+    return fn();
+  }
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Install a fake time source for now_ns(); nullptr restores the steady
+/// clock. Returns the previously installed source. Not meant to be swapped
+/// while timers are running — tests install it up front.
+inline NowNsFn set_now_ns_source(NowNsFn fn) {
+  return detail::g_now_ns_source.exchange(fn, std::memory_order_acq_rel);
+}
 
 /// Wall-clock stopwatch (monotonic).
 class Stopwatch {

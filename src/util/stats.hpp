@@ -1,6 +1,7 @@
 // Small online statistics helper used by benchmarks and the calibration code.
 #pragma once
 
+#include <algorithm>
 #include <cmath>
 #include <cstddef>
 #include <limits>
@@ -19,10 +20,41 @@ class OnlineStats {
     if (x > max_) max_ = x;
   }
 
+  /// Fold another accumulator in (Chan et al. parallel combination). Used by
+  /// the metrics registry to merge per-thread timer shards on flush.
+  void merge(const OnlineStats& other) {
+    if (other.n_ == 0) return;
+    if (n_ == 0) {
+      *this = other;
+      return;
+    }
+    const std::size_t n = n_ + other.n_;
+    const double delta = other.mean_ - mean_;
+    m2_ += other.m2_ + delta * delta * static_cast<double>(n_) *
+                           static_cast<double>(other.n_) /
+                           static_cast<double>(n);
+    mean_ += delta * static_cast<double>(other.n_) / static_cast<double>(n);
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+    n_ = n;
+  }
+
   std::size_t count() const { return n_; }
   double mean() const { return mean_; }
-  double min() const { return min_; }
-  double max() const { return max_; }
+
+  /// Smallest/largest sample seen. With no samples there is no extremum:
+  /// both return quiet NaN (never the internal ±infinity sentinels), so
+  /// metric reports can detect and label the empty state instead of
+  /// printing "inf".
+  double min() const {
+    return n_ == 0 ? std::numeric_limits<double>::quiet_NaN() : min_;
+  }
+  double max() const {
+    return n_ == 0 ? std::numeric_limits<double>::quiet_NaN() : max_;
+  }
+
+  /// Sum of all samples (mean * count; exact enough for time accounting).
+  double total() const { return mean_ * static_cast<double>(n_); }
 
   /// Sample variance (n-1 denominator); 0 for fewer than two samples.
   double variance() const {

@@ -1,0 +1,138 @@
+// Property-based tests for the subtree-pattern keys and their hash
+// (src/phylo/patterns.hpp). The repeat-identification pass (core/repeats)
+// depends on two properties checked here: the key packings are injective
+// over their documented domains (class ids < 2^32, masks < 16), and the
+// splitmix64-finalizer hash is a bijection with well-spread low bits (the
+// bits hash tables actually index with).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "phylo/dna.hpp"
+#include "phylo/patterns.hpp"
+#include "util/rng.hpp"
+
+namespace plf::phylo {
+namespace {
+
+constexpr int kRandomTrials = 100000;
+
+TEST(SubtreePatternKey, RoundTripsBothFields) {
+  Rng rng(42);
+  for (int i = 0; i < kRandomTrials; ++i) {
+    const auto left = static_cast<std::uint32_t>(rng());
+    const auto right = static_cast<std::uint32_t>(rng());
+    const std::uint64_t key = subtree_pattern_key(left, right);
+    EXPECT_EQ(static_cast<std::uint32_t>(key >> 32), left);
+    EXPECT_EQ(static_cast<std::uint32_t>(key & 0xffffffffull), right);
+  }
+}
+
+TEST(SubtreePatternKey, InjectiveOnRandomClassPairs) {
+  // Injectivity follows from the round-trip, but check the set-level
+  // property directly on random draws: distinct (left, right) pairs never
+  // produce the same key.
+  Rng rng(7);
+  std::unordered_set<std::uint64_t> keys;
+  std::unordered_set<std::uint64_t> pairs_seen;
+  for (int i = 0; i < kRandomTrials; ++i) {
+    const auto left = static_cast<std::uint32_t>(rng());
+    const auto right = static_cast<std::uint32_t>(rng());
+    const std::uint64_t pair =
+        (static_cast<std::uint64_t>(left) << 32) | right;
+    if (!pairs_seen.insert(pair).second) continue;  // duplicate draw
+    EXPECT_TRUE(keys.insert(subtree_pattern_key(left, right)).second)
+        << "collision for (" << left << ", " << right << ")";
+  }
+}
+
+TEST(SubtreePatternKeyWithMask, InjectiveOverClassesAndAllTipMasks) {
+  // Exhaustive over all 16 masks for a sample of class ids, including the
+  // extremes of the documented domain.
+  Rng rng(11);
+  std::vector<std::uint32_t> classes = {0, 1, 0xffffffffu};
+  for (int i = 0; i < 1000; ++i) {
+    classes.push_back(static_cast<std::uint32_t>(rng()));
+  }
+  std::unordered_set<std::uint64_t> keys;
+  std::unordered_set<std::uint64_t> inputs;
+  for (const std::uint32_t cls : classes) {
+    if (!inputs.insert(cls).second) continue;  // duplicate class draw
+    for (std::uint32_t m = 0; m < 16; ++m) {
+      const auto mask = static_cast<StateMask>(m);
+      EXPECT_TRUE(keys.insert(subtree_pattern_key_with_mask(cls, mask)).second)
+          << "collision for (" << cls << ", mask " << m << ")";
+    }
+  }
+  EXPECT_EQ(keys.size(), inputs.size() * 16);
+}
+
+TEST(SubtreePatternKeyWithMask, MaskOccupiesLowBitsOnly) {
+  // The packing shifts the class by exactly the mask width: masks from
+  // kGapMask down to 0 must never bleed into the class field.
+  for (std::uint32_t m = 0; m < 16; ++m) {
+    const std::uint64_t key =
+        subtree_pattern_key_with_mask(0x12345678u, static_cast<StateMask>(m));
+    EXPECT_EQ(key >> 4, 0x12345678ull);
+    EXPECT_EQ(key & 0xfull, m);
+  }
+}
+
+TEST(SubtreePatternHash, BijectiveOnSequentialAndRandomKeys) {
+  // The splitmix64 finalizer is invertible, so any input set hashes with
+  // ZERO collisions — stronger than "few collisions", and exactly why the
+  // repeat identification can use it without a fallback comparison.
+  const SubtreePatternHash h;
+  std::unordered_set<std::uint64_t> inputs;
+  for (std::uint64_t k = 0; k < 100000; ++k) inputs.insert(k);
+  Rng rng(23);
+  for (int i = 0; i < kRandomTrials; ++i) inputs.insert(rng());
+
+  std::unordered_set<std::uint64_t> hashes;
+  for (const std::uint64_t k : inputs) hashes.insert(h(k));
+  EXPECT_EQ(hashes.size(), inputs.size());
+}
+
+TEST(SubtreePatternHash, LowBitsSpreadSequentialKeys) {
+  // Dense sequential keys (the worst case for the identity hash) must land
+  // uniformly in 256 buckets keyed by the hash's low byte. With n = 2^16
+  // draws the expected bucket load is 256; a fair hash stays within ±6
+  // sigma (sigma = sqrt(n * p * (1-p)) ~ 16).
+  const SubtreePatternHash h;
+  constexpr std::uint64_t kN = 65536;
+  std::vector<int> buckets(256, 0);
+  for (std::uint64_t k = 0; k < kN; ++k) {
+    ++buckets[h(k) & 0xff];
+  }
+  const double expected = static_cast<double>(kN) / 256.0;
+  const double sigma = 15.97;  // sqrt(65536 * (1/256) * (255/256))
+  for (int b = 0; b < 256; ++b) {
+    EXPECT_NEAR(buckets[b], expected, 6.0 * sigma) << "bucket " << b;
+  }
+}
+
+TEST(SubtreePatternHash, AvalancheOnSingleBitFlips) {
+  // Flipping any single input bit should flip about half of the 64 output
+  // bits. Averaged over random bases, every bit position must stay within
+  // [24, 40] flipped bits — a coarse avalanche criterion that the identity
+  // hash (1 flipped bit) and shift-only mixers fail decisively.
+  const SubtreePatternHash h;
+  Rng rng(31);
+  constexpr int kBases = 256;
+  for (int bit = 0; bit < 64; ++bit) {
+    double flipped = 0.0;
+    for (int i = 0; i < kBases; ++i) {
+      const std::uint64_t x = rng();
+      const std::uint64_t d = h(x) ^ h(x ^ (1ull << bit));
+      flipped += static_cast<double>(__builtin_popcountll(d));
+    }
+    const double mean = flipped / kBases;
+    EXPECT_GT(mean, 24.0) << "weak diffusion from input bit " << bit;
+    EXPECT_LT(mean, 40.0) << "biased diffusion from input bit " << bit;
+  }
+}
+
+}  // namespace
+}  // namespace plf::phylo

@@ -162,6 +162,72 @@ TEST(OnlineStatsTest, MatchesDirectComputation) {
   EXPECT_DOUBLE_EQ(s.max(), 5.0);
 }
 
+TEST(OnlineStatsTest, EmptyExtremesAreNaNNotInfinity) {
+  // min()/max() of an empty accumulator used to return +/-infinity (the
+  // fold identities), which poisoned downstream reports and is not even
+  // representable in JSON. NaN says "no samples" unambiguously.
+  const OnlineStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_TRUE(std::isnan(s.min()));
+  EXPECT_TRUE(std::isnan(s.max()));
+  EXPECT_DOUBLE_EQ(s.total(), 0.0);
+}
+
+TEST(OnlineStatsTest, TotalIsSumOfSamples) {
+  OnlineStats s;
+  for (double x : {0.5, 1.5, 2.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.total(), 4.0);
+}
+
+TEST(OnlineStatsTest, MergeMatchesSingleAccumulator) {
+  Rng r(101);
+  OnlineStats whole, left, right;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = r.normal();
+    whole.add(x);
+    (i % 3 == 0 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-12);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(left.min(), whole.min());
+  EXPECT_DOUBLE_EQ(left.max(), whole.max());
+}
+
+TEST(OnlineStatsTest, MergeWithEmptyIsIdentityEitherWay) {
+  OnlineStats a;
+  for (double x : {1.0, 2.0, 3.0}) a.add(x);
+  OnlineStats empty;
+  OnlineStats a_copy = a;
+  a_copy.merge(empty);
+  EXPECT_EQ(a_copy.count(), 3u);
+  EXPECT_DOUBLE_EQ(a_copy.mean(), 2.0);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 3u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(empty.min(), 1.0);
+  EXPECT_DOUBLE_EQ(empty.max(), 3.0);
+}
+
+TEST(ClockTest, NowNsSourceIsInjectable) {
+  // The default source is the steady clock; tests may swap in a fake.
+  static std::uint64_t fake = 12345;
+  struct Restore {
+    NowNsFn prev = nullptr;
+    ~Restore() { set_now_ns_source(prev); }
+  } restore;
+  restore.prev = set_now_ns_source([] { return fake; });
+  EXPECT_EQ(now_ns(), 12345u);
+  fake = 99999;
+  EXPECT_EQ(now_ns(), 99999u);
+  set_now_ns_source(restore.prev);
+  restore.prev = nullptr;
+  const std::uint64_t a = now_ns();
+  const std::uint64_t b = now_ns();
+  EXPECT_LE(a, b);  // steady clock is monotone
+}
+
 TEST(VirtualClockTest, MonotoneAdvance) {
   VirtualClock c;
   EXPECT_EQ(c.now(), 0.0);
