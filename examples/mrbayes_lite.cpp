@@ -4,9 +4,9 @@
 // (ESS), split frequencies, and a majority-rule consensus tree with support
 // values. With no input file it demonstrates itself on simulated data.
 //
-// Usage: mrbayes_lite [--site-repeats=on|off|auto] [--profile[=FILE]]
-//                     [--metrics-json[=FILE]] [alignment-file]
-//                     [generations] [chains] [seed]
+// Usage: mrbayes_lite [--site-repeats=on|off|auto] [--dispatch=percall|plan]
+//                     [--profile[=FILE]] [--metrics-json[=FILE]]
+//                     [alignment-file] [generations] [chains] [seed]
 //
 // --profile enables span tracing, prints the paper-style (Fig. 12) time
 // breakdown after the run, and writes a chrome://tracing / Perfetto-loadable
@@ -71,6 +71,7 @@ int run_main(int argc, char** argv) {
   using namespace plf;
 
   core::SiteRepeatsMode repeats = core::SiteRepeatsMode::kAuto;
+  core::DispatchMode dispatch = core::DispatchMode::kPlan;
   std::string profile_path;   // empty: profiling report/trace off
   std::string metrics_path;   // empty: metrics JSON off
   std::vector<const char*> pos;
@@ -80,6 +81,9 @@ int run_main(int argc, char** argv) {
     if (std::strncmp(argv[i], kRepeatsFlag, std::strlen(kRepeatsFlag)) == 0) {
       repeats = core::site_repeats_mode_from_string(
           argv[i] + std::strlen(kRepeatsFlag));
+    } else if (arg.rfind("--dispatch=", 0) == 0) {
+      dispatch = core::dispatch_mode_from_string(
+          arg.substr(std::strlen("--dispatch=")));
     } else if (arg == "--profile") {
       profile_path = "plf_trace.json";
     } else if (arg.rfind("--profile=", 0) == 0) {
@@ -111,7 +115,8 @@ int run_main(int argc, char** argv) {
   std::cout << "run: " << gens << " generations, " << n_chains
             << " coupled chains (1 cold + " << (n_chains - 1)
             << " heated), GTR+I+G, seed " << seed << ", site repeats "
-            << core::to_string(repeats) << "\n\n";
+            << core::to_string(repeats) << ", dispatch "
+            << core::to_string(dispatch) << "\n\n";
 
   // Starting state: a random tree, default model with +I enabled.
   Rng rng(seed ^ 0xABCDEF);
@@ -130,7 +135,7 @@ int run_main(int argc, char** argv) {
     start = phylo::Tree::from_newick(start.to_newick(), aln.names());
     engines.push_back(std::make_unique<core::PlfEngine>(
         data, start_params, start, backend, core::KernelVariant::kSimdCol,
-        repeats));
+        repeats, dispatch));
     ptrs.push_back(engines.back().get());
   }
 

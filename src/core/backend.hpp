@@ -7,15 +7,60 @@
 // m patterns and decides the partitioning: serially, over a thread pool
 // (the general-purpose multi-core scheme, §3.2), over simulated SPEs
 // (plf::cell) or over a simulated CUDA grid (plf::gpu).
+//
+// Backends receive work at two grains:
+//
+//   run_down/run_root/run_scale/run_root_reduce — one kernel invocation,
+//       one synchronization per call (the paper's per-call structure whose
+//       spawn/sync overhead drives Fig. 9);
+//   run_plan — a whole evaluation's dependency-leveled batch of PlfOps
+//       (core/plan.hpp). The default implementation loops ops through the
+//       per-call entries, so every backend is plan-capable and bit-identical
+//       to per-call dispatch from day one; backends advertising kFusedPlan
+//       override it to amortize synchronization across a level.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 
 #include "core/kernels.hpp"
+#include "core/plan.hpp"
 #include "par/thread_pool.hpp"
 
 namespace plf::core {
+
+/// What a backend can faithfully execute beyond the baseline per-call
+/// contract. The engine consults this instead of per-feature virtuals.
+enum class Capabilities : std::uint32_t {
+  kNone = 0,
+  /// Forwards compacted (site-indexed) kernel invocations faithfully — see
+  /// DownArgs::site_index. Backends that stage data through simulated
+  /// hardware paths (Cell DMA chunking, GPU global memory) run the dense
+  /// path only; the engine falls back automatically and their run_* entries
+  /// reject indexed arguments outright.
+  kSiteRepeats = 1u << 0,
+  /// run_plan is a real batched implementation (fused kernels and/or one
+  /// synchronization per dependency level), not the default per-op loop.
+  kFusedPlan = 1u << 1,
+  /// run_plan coalesces host<->device transfers across a batch instead of
+  /// paying a full round trip per kernel invocation.
+  kBatchedTransfers = 1u << 2,
+};
+
+constexpr Capabilities operator|(Capabilities a, Capabilities b) {
+  return static_cast<Capabilities>(static_cast<std::uint32_t>(a) |
+                                   static_cast<std::uint32_t>(b));
+}
+
+constexpr Capabilities operator&(Capabilities a, Capabilities b) {
+  return static_cast<Capabilities>(static_cast<std::uint32_t>(a) &
+                                   static_cast<std::uint32_t>(b));
+}
+
+constexpr bool has_capability(Capabilities set, Capabilities cap) {
+  return (set & cap) != Capabilities::kNone;
+}
 
 class ExecutionBackend {
  public:
@@ -23,12 +68,7 @@ class ExecutionBackend {
 
   virtual std::string name() const = 0;
 
-  /// Whether this backend forwards compacted (site-indexed) kernel
-  /// invocations faithfully — see DownArgs::site_index. Backends that stage
-  /// data through simulated hardware paths (Cell DMA chunking, GPU global
-  /// memory) run the dense path only; the engine falls back automatically
-  /// and their run_* entries reject indexed arguments outright.
-  virtual bool supports_site_repeats() const { return false; }
+  virtual Capabilities capabilities() const { return Capabilities::kNone; }
 
   virtual void run_down(const KernelSet& ks, const DownArgs& args,
                         std::size_t m) = 0;
@@ -39,13 +79,23 @@ class ExecutionBackend {
   /// Full root reduction (must be deterministic for a fixed configuration).
   virtual double run_root_reduce(const KernelSet& ks,
                                  const RootReduceArgs& args, std::size_t m) = 0;
+
+  /// Execute a finalized dependency-leveled batch (see core/plan.hpp):
+  /// every op's fused down/root + scale kernels, plus the repeat scatter for
+  /// compacted ops, respecting level order. The default walks ops in plan
+  /// order through the per-call entries above — bit-identical to per-call
+  /// dispatch. Overrides must preserve that bit-identity (per-site math is
+  /// partition-invariant; level order keeps the data dependencies).
+  virtual void run_plan(const KernelSet& ks, const PlfPlan& plan);
 };
 
 /// Everything on the calling thread (the paper's Baseline system).
 class SerialBackend final : public ExecutionBackend {
  public:
   std::string name() const override { return "serial"; }
-  bool supports_site_repeats() const override { return true; }
+  Capabilities capabilities() const override {
+    return Capabilities::kSiteRepeats;
+  }
   void run_down(const KernelSet& ks, const DownArgs& a, std::size_t m) override;
   void run_root(const KernelSet& ks, const RootArgs& a, std::size_t m) override;
   void run_scale(const KernelSet& ks, const ScaleArgs& a, std::size_t m) override;
@@ -55,18 +105,25 @@ class SerialBackend final : public ExecutionBackend {
 
 /// OpenMP-style parallel-for over the outermost pattern loop (§3.2): one
 /// parallel region per PLF invocation with an implicit barrier at the end —
-/// the spawn/sync structure whose overhead drives Fig. 9.
+/// the spawn/sync structure whose overhead drives Fig. 9. run_plan lifts
+/// that structure to one region per dependency level: all of a level's ops
+/// are concatenated into a single iteration space and each worker fuses
+/// down/root + scale on its chunk, so a node costs ~1/(2·level width) of the
+/// former spawn/sync overhead (docs/EXECUTION_PLAN.md has the arithmetic).
 class ThreadedBackend final : public ExecutionBackend {
  public:
   explicit ThreadedBackend(par::ThreadPool& pool) : pool_(pool) {}
 
   std::string name() const override;
-  bool supports_site_repeats() const override { return true; }
+  Capabilities capabilities() const override {
+    return Capabilities::kSiteRepeats | Capabilities::kFusedPlan;
+  }
   void run_down(const KernelSet& ks, const DownArgs& a, std::size_t m) override;
   void run_root(const KernelSet& ks, const RootArgs& a, std::size_t m) override;
   void run_scale(const KernelSet& ks, const ScaleArgs& a, std::size_t m) override;
   double run_root_reduce(const KernelSet& ks, const RootReduceArgs& a,
                          std::size_t m) override;
+  void run_plan(const KernelSet& ks, const PlfPlan& plan) override;
 
   par::ThreadPool& pool() { return pool_; }
 

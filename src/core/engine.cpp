@@ -5,19 +5,22 @@
 #include "obs/names.hpp"
 #include "obs/profile.hpp"
 #include "util/clock.hpp"
+#include "util/contracts.hpp"
 #include "util/error.hpp"
 
 namespace plf::core {
 
 PlfEngine::PlfEngine(phylo::PatternMatrix data, const phylo::GtrParams& params,
                      phylo::Tree tree, ExecutionBackend& backend,
-                     KernelVariant variant, SiteRepeatsMode site_repeats)
+                     KernelVariant variant, SiteRepeatsMode site_repeats,
+                     DispatchMode dispatch)
     : data_(std::move(data)),
       model_(params),
       tree_(std::move(tree)),
       backend_(&backend),
       kernels_(&kernels(variant)),
-      repeats_mode_(site_repeats) {
+      repeats_mode_(site_repeats),
+      dispatch_(dispatch) {
   PLF_CHECK(data_.n_taxa() == tree_.n_taxa(),
             "pattern matrix and tree disagree on taxon count");
   m_ = data_.n_patterns();
@@ -52,8 +55,10 @@ PlfEngine::PlfEngine(phylo::PatternMatrix data, const phylo::GtrParams& params,
 
   // Site-repeat caching: identification is deferred to the first evaluation
   // (construction just marks every node stale).
-  repeats_enabled_ = repeats_mode_ != SiteRepeatsMode::kOff &&
-                     backend_->supports_site_repeats() && m_ > 0;
+  repeats_enabled_ =
+      repeats_mode_ != SiteRepeatsMode::kOff &&
+      has_capability(backend_->capabilities(), Capabilities::kSiteRepeats) &&
+      m_ > 0;
   if (repeats_enabled_) {
     repeats_ = SiteRepeats(data_, tree_);
   }
@@ -147,6 +152,9 @@ void PlfEngine::reject() {
   for (int id : branch_dirty_marks_) {
     branches_[static_cast<std::size_t>(id)].dirty = false;
   }
+  // The flips above wholesale-reverted scaler rows the incremental total
+  // already absorbed; only a full resum can reconcile it.
+  scaler_resum_ = true;
   ln_lik_ = saved_ln_lik_;
   lik_valid_ = saved_lik_valid_;
 }
@@ -167,6 +175,7 @@ void PlfEngine::apply_nni(int v, bool swap_left) {
   mark_path_dirty(v);
   // Descendant sets changed for the same nodes: their repeat classes are out.
   if (repeats_enabled_) repeats_.invalidate_path(tree_, v);
+  scaler_resum_ = true;  // topology change: rebuild the scaler total
 }
 
 void PlfEngine::apply_spr(int s, int target, double split_x) {
@@ -181,6 +190,7 @@ void PlfEngine::apply_spr(int s, int target, double split_x) {
   mark_path_dirty(undo.u);                     // where it arrived
   // SPR rewires ancestry broadly; re-identify all repeat classes.
   if (repeats_enabled_) repeats_.invalidate_all();
+  scaler_resum_ = true;  // topology change: rebuild the scaler total
 }
 
 void PlfEngine::set_model(const phylo::GtrParams& params) {
@@ -245,6 +255,21 @@ ChildArgs PlfEngine::make_child(int node) const {
   return ch;
 }
 
+ChildArgs PlfEngine::make_plan_child(int node) const {
+  ChildArgs ch = make_child(node);
+  if (!tree_.node(node).is_leaf()) {
+    const int target = plan_target_[static_cast<std::size_t>(node)];
+    if (target >= 0) {
+      // The child is recomputed by this same plan (an earlier level): read
+      // the buffer its op writes, which becomes active at post-processing.
+      ch.cl = nodes_[static_cast<std::size_t>(node)]
+                  .cl[static_cast<std::size_t>(target)]
+                  .data();
+    }
+  }
+  return ch;
+}
+
 const NodeRepeats* PlfEngine::repeats_for(int id) const {
   if (!repeats_enabled_) return nullptr;
   const NodeRepeats& nr = repeats_.node(id);
@@ -259,57 +284,114 @@ const NodeRepeats* PlfEngine::repeats_for(int id) const {
 
 void PlfEngine::scatter_repeats(const NodeRepeats& nr, float* cl,
                                 float* ln_scaler) const {
-  const std::size_t block = k_ * 4;  // one site's CLV entries
-  for (std::size_t c = 0; c < m_; ++c) {
-    const std::size_t rep = nr.unique_sites[nr.class_of_site[c]];
-    if (rep == c) continue;  // representative: computed in place
-    // Representatives are first occurrences, so rep < c always: the source
-    // block is final by the time it is copied forward.
-    std::memcpy(cl + c * block, cl + rep * block, block * sizeof(float));
-    ln_scaler[c] = ln_scaler[rep];
-  }
+  core::scatter_repeats(nr, k_, cl, ln_scaler);  // core/plan.cpp
 }
 
-void PlfEngine::evaluate() {
-  Stopwatch serial_sw;
-
-  // 1. Rebuild dirty branch matrices (serial work, like MrBayes' TiProbs).
-  {
-    PLF_PROF_SCOPE(obs::kTimerTiProbs);
-    for (std::size_t id = 0; id < tree_.n_nodes(); ++id) {
-      const phylo::TreeNode& n = tree_.node(static_cast<int>(id));
-      if (n.parent != phylo::kNoNode && branches_[id].dirty) {
-        rebuild_branch(static_cast<int>(id));
-      }
-    }
-  }
-  stats_.serial_seconds += serial_sw.seconds();
-
-  // 1b. Re-identify repeat classes on nodes whose subtree changed (lazy: the
-  // topology moves only marked them stale). Postorder inside refresh()
-  // guarantees children are identified before parents.
-  if (repeats_enabled_ && repeats_.any_stale()) {
-    PLF_PROF_SCOPE(obs::kTimerRepeatIdentify);
-    Stopwatch repeat_sw;
-    repeats_.refresh(tree_);
-    stats_.repeat_rebuild_seconds += repeat_sw.seconds();
-  }
-
-  // 2. Recompute dirty internal nodes, children before parents.
+void PlfEngine::collect_recompute_targets() {
+  recompute_targets_.clear();
   for (int id : tree_.postorder_internals()) {
-    NodeState& st = nodes_[static_cast<std::size_t>(id)];
-    const phylo::TreeNode& n = tree_.node(id);
-    // A node is stale if flagged, or if a child was recomputed after it; the
-    // dirty propagation in mark_path_dirty guarantees flags are set on the
-    // whole path, so the flag alone is sufficient here.
+    const NodeState& st = nodes_[static_cast<std::size_t>(id)];
+    // A node is stale if flagged; the dirty propagation in mark_path_dirty
+    // guarantees flags are set on the whole root path, so the flag alone is
+    // sufficient here.
     if (!st.dirty) continue;
-
     // First recomputation in a proposal flips; later ones overwrite the
     // proposal's own buffer (see NodeState::flip_epoch).
     int target = st.active ^ 1;
     if (in_proposal_ && st.flip_epoch == proposal_epoch_) {
       target = st.active;
     }
+    recompute_targets_.emplace_back(id, target);
+  }
+}
+
+void PlfEngine::build_plan() {
+  recompute_.assign(tree_.n_nodes(), 0);
+  plan_target_.assign(tree_.n_nodes(), -1);
+  for (const auto& [id, target] : recompute_targets_) {
+    recompute_[static_cast<std::size_t>(id)] = 1;
+    plan_target_[static_cast<std::size_t>(id)] = target;
+  }
+  const std::vector<int> levels = compute_levels(tree_, recompute_);
+
+  plan_.reset(tree_.n_nodes(), m_);
+  for (const auto& [id, target] : recompute_targets_) {
+    const phylo::TreeNode& n = tree_.node(id);
+    NodeState& st = nodes_[static_cast<std::size_t>(id)];
+    float* out = st.cl[static_cast<std::size_t>(target)].data();
+    float* ln_scaler = st.scaler[static_cast<std::size_t>(target)].data();
+    const NodeRepeats* nr = repeats_for(id);
+
+    PlfOp op;
+    op.node = id;
+    op.left = n.left;
+    op.right = n.right;
+    op.is_root = id == tree_.root();
+    op.repeats = nr;
+    op.run_m = nr != nullptr ? nr->n_classes : m_;
+    op.args.down.left = make_plan_child(n.left);
+    op.args.down.right = make_plan_child(n.right);
+    op.args.down.out = out;
+    op.args.down.K = k_;
+    op.args.down.site_index = nr != nullptr ? nr->unique_sites.data() : nullptr;
+    op.args.down.n_sites = m_;
+    if (op.is_root) {
+      const int og = tree_.outgroup();
+      const BranchState& ob = branches_[static_cast<std::size_t>(og)];
+      op.args.out_mask =
+          data_.row(static_cast<std::size_t>(tree_.node(og).taxon));
+      op.args.out_tp = ob.tp[static_cast<std::size_t>(ob.active)].data();
+    }
+    op.scale.cl = out;
+    op.scale.ln_scaler = ln_scaler;
+    op.scale.K = k_;
+    op.scale.site_index = op.args.down.site_index;
+    op.scale.n_sites = m_;
+    plan_.add(op, static_cast<std::size_t>(
+                      levels[static_cast<std::size_t>(id)]));
+
+    // Work accounting identical to what the per-call loop counts.
+    if (op.is_root) {
+      ++stats_.root_calls;
+      if (nr != nullptr) ++stats_.repeat_root_hits;
+    } else {
+      ++stats_.down_calls;
+      if (nr != nullptr) ++stats_.repeat_down_hits;
+    }
+    ++stats_.scale_calls;
+    if (nr != nullptr) {
+      ++stats_.repeat_scale_hits;
+      stats_.repeat_sites_total += m_;
+      stats_.repeat_sites_computed += op.run_m;
+    }
+    stats_.pattern_iterations += 2 * op.run_m;
+  }
+  plan_.finalize();
+  PLF_DCHECK(plan_.n_ops() == recompute_targets_.size(),
+             "plan must cover the dirty set exactly");
+  ++stats_.plan_builds;
+  stats_.plan_ops += plan_.n_ops();
+  stats_.plan_levels += plan_.n_levels();
+}
+
+void PlfEngine::post_process_plan() {
+  for (const auto& [id, target] : recompute_targets_) {
+    NodeState& st = nodes_[static_cast<std::size_t>(id)];
+    if (target != st.active) {
+      st.active = target;
+      if (in_proposal_) {
+        flipped_nodes_.push_back(id);
+        st.flip_epoch = proposal_epoch_;
+      }
+    }
+    st.dirty = false;
+  }
+}
+
+void PlfEngine::execute_percall() {
+  for (const auto& [id, target] : recompute_targets_) {
+    NodeState& st = nodes_[static_cast<std::size_t>(id)];
+    const phylo::TreeNode& n = tree_.node(id);
     float* out = st.cl[static_cast<std::size_t>(target)].data();
     float* ln_scaler = st.scaler[static_cast<std::size_t>(target)].data();
 
@@ -385,18 +467,106 @@ void PlfEngine::evaluate() {
     }
     st.dirty = false;
   }
+}
 
-  // 3. Sum per-node scalers (serial bookkeeping).
+void PlfEngine::evaluate() {
+  Stopwatch serial_sw;
+
+  // 1. Rebuild dirty branch matrices (serial work, like MrBayes' TiProbs).
+  {
+    PLF_PROF_SCOPE(obs::kTimerTiProbs);
+    for (std::size_t id = 0; id < tree_.n_nodes(); ++id) {
+      const phylo::TreeNode& n = tree_.node(static_cast<int>(id));
+      if (n.parent != phylo::kNoNode && branches_[id].dirty) {
+        rebuild_branch(static_cast<int>(id));
+      }
+    }
+  }
+  stats_.serial_seconds += serial_sw.seconds();
+
+  // 1b. Re-identify repeat classes on nodes whose subtree changed (lazy: the
+  // topology moves only marked them stale). Postorder inside refresh()
+  // guarantees children are identified before parents.
+  if (repeats_enabled_ && repeats_.any_stale()) {
+    PLF_PROF_SCOPE(obs::kTimerRepeatIdentify);
+    Stopwatch repeat_sw;
+    repeats_.refresh(tree_);
+    stats_.repeat_rebuild_seconds += repeat_sw.seconds();
+  }
+
+  // 2. Recompute dirty internal nodes, children before parents: collect the
+  // dirty postorder (with each node's resolved write target) once, then
+  // dispatch it per-call or as one dependency-leveled plan.
+  collect_recompute_targets();
+
+  // 2a. Retire the recomputed nodes' old scaler-total contributions while
+  // their pre-evaluation buffers are still active. Shared by both dispatch
+  // modes and walked in the same order as the post-kernel addition pass, so
+  // scaler_total_ stays bit-identical between --dispatch=percall and plan.
+  if (!scaler_resum_) {
+    serial_sw.reset();
+    PLF_PROF_SCOPE(obs::kTimerScalerSum);
+    for (const auto& [id, target] : recompute_targets_) {
+      const NodeState& st = nodes_[static_cast<std::size_t>(id)];
+      const float* sc = st.scaler[static_cast<std::size_t>(st.active)].data();
+      for (std::size_t c = 0; c < m_; ++c) {
+        scaler_total_[c] -= static_cast<double>(sc[c]);
+      }
+    }
+    stats_.serial_seconds += serial_sw.seconds();
+  }
+
+  // 2b. Execute.
+  if (dispatch_ == DispatchMode::kPlan) {
+    if (!recompute_targets_.empty()) {
+      serial_sw.reset();
+      {
+        PLF_PROF_SCOPE(obs::kTimerPlanBuild);
+        Stopwatch build_sw;
+        build_plan();
+        stats_.plan_build_seconds += build_sw.seconds();
+      }
+      stats_.serial_seconds += serial_sw.seconds();
+
+      Stopwatch plf_sw;
+      {
+        PLF_PROF_SCOPE(obs::kTimerPlanExecute);
+        backend_->run_plan(*kernels_, plan_);
+      }
+      stats_.plf_seconds += plf_sw.seconds();
+
+      post_process_plan();
+    }
+  } else {
+    execute_percall();
+  }
+
+  // 3. Fold the new scaler rows into the per-pattern total — incrementally
+  // (same node order as the 2a subtraction), or a full resum over every
+  // internal node when flagged (first evaluation, reject, topology change).
   serial_sw.reset();
   {
     PLF_PROF_SCOPE(obs::kTimerScalerSum);
-    scaler_total_.assign(m_, 0.0);
-    for (std::size_t id = 0; id < tree_.n_nodes(); ++id) {
-      const phylo::TreeNode& n = tree_.node(static_cast<int>(id));
-      if (n.is_leaf()) continue;
-      const NodeState& st = nodes_[id];
-      const float* sc = st.scaler[static_cast<std::size_t>(st.active)].data();
-      for (std::size_t c = 0; c < m_; ++c) scaler_total_[c] += sc[c];
+    if (scaler_resum_) {
+      scaler_total_.assign(m_, 0.0);
+      for (std::size_t id = 0; id < tree_.n_nodes(); ++id) {
+        const phylo::TreeNode& n = tree_.node(static_cast<int>(id));
+        if (n.is_leaf()) continue;
+        const NodeState& st = nodes_[id];
+        const float* sc = st.scaler[static_cast<std::size_t>(st.active)].data();
+        for (std::size_t c = 0; c < m_; ++c) scaler_total_[c] += sc[c];
+      }
+      scaler_resum_ = false;
+      ++stats_.scaler_resums;
+    } else {
+      for (const auto& [id, target] : recompute_targets_) {
+        const NodeState& st = nodes_[static_cast<std::size_t>(id)];
+        const float* sc = st.scaler[static_cast<std::size_t>(target)].data();
+        for (std::size_t c = 0; c < m_; ++c) {
+          scaler_total_[c] += static_cast<double>(sc[c]);
+        }
+        ++stats_.scaler_delta_updates;
+      }
     }
   }
   stats_.serial_seconds += serial_sw.seconds();
@@ -449,6 +619,13 @@ void PlfEngine::publish_stats(obs::MetricsRegistry& registry) const {
   set(obs::kGaugeRepeatScaleHitRate, stats_.scale_repeat_hit_rate());
   set(obs::kGaugeRepeatCompressionRatio, stats_.repeat_compression_ratio());
   set(obs::kGaugeRepeatRebuildSeconds, stats_.repeat_rebuild_seconds);
+  set(obs::kGaugeEnginePlanBuilds, static_cast<double>(stats_.plan_builds));
+  set(obs::kGaugeEnginePlanOps, static_cast<double>(stats_.plan_ops));
+  set(obs::kGaugeEnginePlanLevels, static_cast<double>(stats_.plan_levels));
+  set(obs::kGaugeEngineScalerResums,
+      static_cast<double>(stats_.scaler_resums));
+  set(obs::kGaugeEngineScalerDeltaUpdates,
+      static_cast<double>(stats_.scaler_delta_updates));
 }
 
 double PlfEngine::log_likelihood() {

@@ -21,6 +21,7 @@
 
 #include "core/backend.hpp"
 #include "core/kernels.hpp"
+#include "core/plan.hpp"
 #include "obs/metrics.hpp"
 #include "core/repeats.hpp"
 #include "core/tip_partial.hpp"
@@ -53,6 +54,20 @@ struct EngineStats {
   std::uint64_t repeat_sites_computed = 0;  ///< unique classes summed over them
   double repeat_rebuild_seconds = 0.0;      ///< class identification time
 
+  // Plan dispatch (docs/EXECUTION_PLAN.md). One build per evaluation with
+  // dirty nodes; plan_ops/plan_levels accumulate over builds, so their ratio
+  // is the mean level width — the spawn/sync amortization factor.
+  std::uint64_t plan_builds = 0;
+  std::uint64_t plan_ops = 0;
+  std::uint64_t plan_levels = 0;
+  double plan_build_seconds = 0.0;
+
+  // Scaler-total bookkeeping: full O(nodes*m) resums (first evaluation and
+  // after topology changes/rejects) vs incremental delta updates (one
+  // subtract+add per recomputed node).
+  std::uint64_t scaler_resums = 0;
+  std::uint64_t scaler_delta_updates = 0;
+
   /// Sites per computed class on the compacted calls (1.0 when none ran).
   double repeat_compression_ratio() const {
     return repeat_sites_computed == 0
@@ -82,7 +97,8 @@ class PlfEngine {
   PlfEngine(phylo::PatternMatrix data, const phylo::GtrParams& params,
             phylo::Tree tree, ExecutionBackend& backend,
             KernelVariant variant = KernelVariant::kSimdCol,
-            SiteRepeatsMode site_repeats = SiteRepeatsMode::kAuto);
+            SiteRepeatsMode site_repeats = SiteRepeatsMode::kAuto,
+            DispatchMode dispatch = DispatchMode::kPlan);
 
   /// Evaluate the log likelihood, recomputing whatever is dirty.
   double log_likelihood();
@@ -118,8 +134,12 @@ class PlfEngine {
   /// idempotent. Cold path: available regardless of PLF_PROFILING.
   void publish_stats(obs::MetricsRegistry& registry) const;
 
+  /// How evaluations reach the backend: per-call kernels or dependency-
+  /// leveled plans. Fixed at construction; results are bit-identical.
+  DispatchMode dispatch_mode() const { return dispatch_; }
+
   /// Requested site-repeats policy (the effective path also depends on the
-  /// backend's supports_site_repeats() and each node's compression).
+  /// backend's Capabilities::kSiteRepeats and each node's compression).
   SiteRepeatsMode site_repeats_mode() const { return repeats_mode_; }
   /// True when this engine can ever take the compacted path.
   bool site_repeats_enabled() const { return repeats_enabled_; }
@@ -158,7 +178,20 @@ class PlfEngine {
   void mark_branch_dirty(int node);
   void rebuild_branch(int node);
   ChildArgs make_child(int node) const;
+  /// make_child, except a child this evaluation also recomputes resolves to
+  /// its TARGET buffer: plan dispatch defers all flips to post-processing,
+  /// so the active index still names the pre-evaluation state while the
+  /// plan's ops must read what earlier levels will have written.
+  ChildArgs make_plan_child(int node) const;
   void evaluate();
+  /// The evaluation phases evaluate() composes (docs/EXECUTION_PLAN.md):
+  /// collect the dirty postorder with each node's write target, then either
+  /// replay the per-call loop or build-plan / execute-plan / post-process.
+  void collect_recompute_targets();
+  void build_plan();
+  void execute_percall();
+  /// Deferred flips + dirty clearing after a plan executes.
+  void post_process_plan();
   /// Repeat classes to compact node `id` with, or nullptr for the dense path
   /// (mode/backend/compression gate). Identification must be fresh.
   const NodeRepeats* repeats_for(int id) const;
@@ -184,7 +217,23 @@ class PlfEngine {
   SiteRepeatsMode repeats_mode_ = SiteRepeatsMode::kAuto;
   bool repeats_enabled_ = false;  ///< mode != off && backend supports it
   SiteRepeats repeats_;
+
+  // Batched dispatch (core/plan.hpp). recompute_targets_ is the dirty
+  // postorder with each node's resolved write target — the shared input of
+  // both dispatch paths and of the incremental scaler passes, which must
+  // walk it in identical order for cross-mode bit-identity.
+  DispatchMode dispatch_ = DispatchMode::kPlan;
+  PlfPlan plan_;
+  std::vector<std::pair<int, int>> recompute_targets_;  ///< (node, target)
+  std::vector<char> recompute_;    ///< node id -> in recompute set (scratch)
+  std::vector<int> plan_target_;   ///< node id -> target buffer, -1 outside
+
   aligned_vector<double> scaler_total_; ///< per-pattern summed log scalers
+  /// When set, the next evaluation re-sums scaler_total_ from every internal
+  /// node instead of applying per-node deltas: required on first use and
+  /// whenever buffer flips were reverted wholesale (reject) or node
+  /// ancestry changed (NNI/SPR).
+  bool scaler_resum_ = true;
   /// +I support: per-pattern AND of all taxon masks (which states could be
   /// shared by every taxon; fixed by the data) and the resulting
   /// invariant-site likelihoods under the current pi (refreshed per eval).

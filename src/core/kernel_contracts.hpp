@@ -21,6 +21,7 @@
 #pragma once
 
 #include "core/kernels.hpp"
+#include "core/plan.hpp"
 #include "util/contracts.hpp"
 
 namespace plf::core::detail {
@@ -114,6 +115,58 @@ inline void check_root_reduce(const RootReduceArgs& a, std::size_t begin,
   PLF_DCHECK(a.cl != nullptr && a.ln_scaler_total != nullptr &&
                  a.weights != nullptr,
              "root_reduce: null array");
+}
+
+/// Trust boundary of batched dispatch: every run_plan implementation calls
+/// this once per plan before touching any op. Checked-build body verifies
+/// the properties the executors rely on for correctness under fusion and
+/// per-level parallelism (O(ops + children) — once per evaluation, not per
+/// site):
+///
+///   - the plan is finalized and its level ranges tile ops() exactly, with
+///     no empty level (levels are dense by construction);
+///   - each op sits in the level the plan indexes it under, and every child
+///     with an op of its own sits in a STRICTLY earlier level (ops outside
+///     the plan report level -1), so intra-level execution order is free;
+///   - the fused scale stage aliases the op's own down/root output
+///     (scale.cl == args.down.out) with a real scaler row to fill, so a
+///     backend may rescale each site chunk immediately after computing it;
+///   - run_m never exceeds the plan's pattern count, and a compacted op's
+///     run_m/site_index agree with its repeat classes.
+inline void check_plan(const PlfPlan& plan) {
+  PLF_DCHECK(plan.finalized(), "run_plan: plan must be finalized");
+#if PLF_CONTRACTS_LEVEL
+  std::size_t tiled = 0;
+  for (std::size_t l = 0; l < plan.n_levels(); ++l) {
+    PLF_DCHECK(plan.level_begin(l) == tiled,
+               "run_plan: level ranges must tile the op list");
+    PLF_DCHECK(plan.level_begin(l) < plan.level_end(l),
+               "run_plan: empty dependency level");
+    tiled = plan.level_end(l);
+    for (std::size_t i = plan.level_begin(l); i < plan.level_end(l); ++i) {
+      const PlfOp& op = plan.ops()[i];
+      PLF_DCHECK(plan.level_of_node(op.node) == static_cast<int>(l),
+                 "run_plan: op scheduled outside its indexed level");
+      for (int child : {op.left, op.right}) {
+        PLF_DCHECK(plan.level_of_node(child) < static_cast<int>(l),
+                   "run_plan: child op must be in a strictly earlier level");
+      }
+      PLF_DCHECK(op.scale.cl == op.args.down.out,
+                 "run_plan: fused scale must alias the op's down output");
+      PLF_DCHECK(op.scale.ln_scaler != nullptr,
+                 "run_plan: fused scale needs a scaler row");
+      PLF_DCHECK(op.run_m <= plan.m(), "run_plan: op exceeds pattern count");
+      if (op.repeats != nullptr) {
+        PLF_DCHECK(op.run_m == op.repeats->n_classes,
+                   "run_plan: compacted op must iterate its class count");
+        PLF_DCHECK(op.args.down.site_index == op.repeats->unique_sites.data(),
+                   "run_plan: compacted op must index its representatives");
+      }
+    }
+  }
+  PLF_DCHECK(tiled == plan.n_ops(),
+             "run_plan: levels must partition the op list exactly");
+#endif
 }
 
 }  // namespace plf::core::detail

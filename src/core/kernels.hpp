@@ -68,7 +68,7 @@ struct DownArgs {
   /// only repeat-class representative sites; the engine scatters the results
   /// to duplicate sites afterwards. Entries are strictly increasing and
   /// bounded by n_sites (the contract layer verifies both). Backends that
-  /// cannot honor the indirection must refuse it (supports_site_repeats()).
+  /// cannot honor the indirection must refuse it (Capabilities::kSiteRepeats).
   const std::uint32_t* site_index = nullptr;
   std::size_t n_sites = 0;  ///< exclusive bound on site_index entries
 };

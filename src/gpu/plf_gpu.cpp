@@ -5,6 +5,7 @@
 #include <cstring>
 #include <vector>
 
+#include "core/kernel_contracts.hpp"
 #include "obs/names.hpp"
 #include "obs/profile.hpp"
 #include "phylo/dna.hpp"
@@ -25,6 +26,9 @@ void publish_gpu_metrics([[maybe_unused]] const GpuRunStats& s,
   PLF_PROF_GAUGE(obs::kGaugeGpuH2dBytes, static_cast<double>(h2d_bytes));
   PLF_PROF_GAUGE(obs::kGaugeGpuD2hBytes, static_cast<double>(d2h_bytes));
   PLF_PROF_GAUGE(obs::kGaugeTransferSimSeconds, s.pcie_s);
+  PLF_PROF_GAUGE(obs::kGaugeGpuFusedOps, static_cast<double>(s.plan_fused_ops));
+  PLF_PROF_GAUGE(obs::kGaugeGpuPcieBytesSaved,
+                 static_cast<double>(s.pcie_bytes_saved));
 }
 
 /// Inner product of one transition-matrix row with one rate array, in the
@@ -81,7 +85,8 @@ KernelProfile GpuPlf::down_profile() const {
 }
 
 double GpuPlf::down_like(const core::DownArgs& a, std::size_t m,
-                         const core::RootArgs* root) {
+                         const core::RootArgs* root,
+                         const core::ScaleArgs* fused_scale) {
   const std::size_t K = a.K;
   const ThreadScheme scheme = config_.scheme;
   const double t_begin = clock_.now();
@@ -96,8 +101,10 @@ double GpuPlf::down_like(const core::DownArgs& a, std::size_t m,
     return ch.is_tip() ? phylo::kNumMasks * K * 4 * sizeof(float)
                        : K * 16 * sizeof(float);
   };
-  const std::size_t per_pattern = child_pp(a.left) + child_pp(a.right) +
-                                  cl_pp + (root != nullptr ? 1 : 0);
+  const std::size_t per_pattern =
+      child_pp(a.left) + child_pp(a.right) + cl_pp +
+      (root != nullptr ? 1 : 0) +
+      (fused_scale != nullptr ? sizeof(float) : 0);  // device scaler row
   std::size_t static_bytes = child_static(a.left) + child_static(a.right);
   if (root != nullptr) {
     static_bytes += phylo::kNumMasks * K * 4 * sizeof(float);
@@ -192,8 +199,22 @@ double GpuPlf::down_like(const core::DownArgs& a, std::size_t m,
     ++stats_.kernel_launches;
     PLF_PROF_COUNT(obs::kCounterGpuKernelLaunches, 1);
 
+    // ---- Fused scale (plan dispatch): rescale the block while it is still
+    // device-resident, so the per-call H2D+D2H round trip between the
+    // down/root and scale kernels never happens. ----
+    DevPtr dev_sc;
+    if (fused_scale != nullptr) {
+      dev_sc = mem_.malloc(pm_count * sizeof(float));
+      t += scale_on_device(out, mem_.as_floats(dev_sc), pm_count, K);
+    }
+
     // ---- Results back to the host. ----
     t = mem_.d2h(a.out + p0 * K * 4, dev_out, 0, pm_count * cl_pp, t);
+    if (fused_scale != nullptr) {
+      t = mem_.d2h(fused_scale->ln_scaler + p0, dev_sc, 0,
+                   pm_count * sizeof(float), t);
+      mem_.free(dev_sc);
+    }
 
     for (int s = 0; s < 2; ++s) {
       if (dev[s].tip) {
@@ -212,6 +233,12 @@ double GpuPlf::down_like(const core::DownArgs& a, std::size_t m,
   }
 
   stats_.global_partitions += partitions - 1;
+  if (fused_scale != nullptr) {
+    ++stats_.plan_fused_ops;
+    // Per-call dispatch would H2D the whole CLV block into run_scale and D2H
+    // it back out again; fusion eliminates both transfers.
+    stats_.pcie_bytes_saved += 2 * m * cl_pp;
+  }
   ++stats_.plf_invocations;
   stats_.pcie_s += mem_.stats().pcie_busy_s - pcie_before;
   stats_.h2d_bytes = mem_.stats().h2d_bytes;
@@ -225,7 +252,8 @@ void GpuPlf::run_down(const core::KernelSet& /*ks*/, const core::DownArgs& a,
                       std::size_t m) {
   // Dense-only backend: the three-level grid partitioning and the coalesced
   // device layout address contiguous pattern blocks; a site-index indirection
-  // would break both, so the engine must fall back (supports_site_repeats()).
+  // would break both, so the engine must fall back (this backend does not
+  // advertise Capabilities::kSiteRepeats).
   PLF_CHECK(a.site_index == nullptr,
             "GpuPlf is a dense-only backend: site_index rejected");
   down_like(a, m, nullptr);
@@ -251,8 +279,21 @@ void GpuPlf::run_scale(const core::KernelSet& /*ks*/, const core::ScaleArgs& a,
   DevPtr dev_sc = mem_.malloc(m * sizeof(float));
   t = mem_.h2d(dev_cl, 0, a.cl, cl_bytes, t);
 
-  float* cl = mem_.as_floats(dev_cl);
-  float* sc = mem_.as_floats(dev_sc);
+  t += scale_on_device(mem_.as_floats(dev_cl), mem_.as_floats(dev_sc), m, K);
+
+  t = mem_.d2h(a.cl, dev_cl, 0, cl_bytes, t);
+  t = mem_.d2h(a.ln_scaler, dev_sc, 0, m * sizeof(float), t);
+  mem_.free(dev_cl);
+  mem_.free(dev_sc);
+
+  ++stats_.plf_invocations;
+  stats_.pcie_s += mem_.stats().pcie_busy_s - pcie_before;
+  publish_gpu_metrics(stats_, mem_.stats().h2d_bytes, mem_.stats().d2h_bytes);
+  clock_.advance_to(t);
+}
+
+double GpuPlf::scale_on_device(float* cl, float* sc, std::size_t m,
+                               std::size_t K) {
   const std::size_t total_threads = config_.launch.total_threads();
   launcher_.execute(config_.launch, [&](std::size_t b, std::size_t th) {
     for (std::size_t c = b * config_.launch.threads_per_block + th; c < m;
@@ -282,20 +323,30 @@ void GpuPlf::run_scale(const core::KernelSet& /*ks*/, const core::ScaleArgs& a,
     prof.coalescing_ratio = 2.5;
   }
   const double kt = launcher_.kernel_time(config_.launch, m, prof);
-  t += kt;
   stats_.kernel_s += kt;
   ++stats_.kernel_launches;
   PLF_PROF_COUNT(obs::kCounterGpuKernelLaunches, 1);
+  return kt;
+}
 
-  t = mem_.d2h(a.cl, dev_cl, 0, cl_bytes, t);
-  t = mem_.d2h(a.ln_scaler, dev_sc, 0, m * sizeof(float), t);
-  mem_.free(dev_cl);
-  mem_.free(dev_sc);
-
-  ++stats_.plf_invocations;
-  stats_.pcie_s += mem_.stats().pcie_busy_s - pcie_before;
-  publish_gpu_metrics(stats_, mem_.stats().h2d_bytes, mem_.stats().d2h_bytes);
-  clock_.advance_to(t);
+void GpuPlf::run_plan(const core::KernelSet& /*ks*/,
+                      const core::PlfPlan& plan) {
+  core::detail::check_plan(plan);
+  // Level order is all the dependency structure requires; within a level the
+  // batch runs in plan order. Each op goes through the fused staged path —
+  // one H2D of inputs, down/root + scale kernels back to back on the
+  // device-resident block, one D2H of the scaled result and its scaler row.
+  for (std::size_t level = 0; level < plan.n_levels(); ++level) {
+    PLF_PROF_SCOPE(obs::kTimerPlanLevel);
+    for (std::size_t i = plan.level_begin(level); i < plan.level_end(level);
+         ++i) {
+      const core::PlfOp& op = plan.ops()[i];
+      PLF_CHECK(op.repeats == nullptr && op.args.down.site_index == nullptr,
+                "GpuPlf is a dense-only backend: site_index rejected");
+      down_like(op.args.down, op.run_m, op.is_root ? &op.args : nullptr,
+                &op.scale);
+    }
+  }
 }
 
 double GpuPlf::run_root_reduce(const core::KernelSet& /*ks*/,

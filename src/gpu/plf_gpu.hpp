@@ -51,6 +51,11 @@ struct GpuRunStats {
   double pcie_s = 0.0;                  ///< simulated transfer time
   std::uint64_t h2d_bytes = 0;
   std::uint64_t d2h_bytes = 0;
+  // Plan batching (run_plan): ops whose scale stage ran on the CLV block
+  // still device-resident from the down/root kernel, and the PCIe traffic
+  // that saved versus per-call dispatch (one H2D + one D2H of the block).
+  std::uint64_t plan_fused_ops = 0;
+  std::uint64_t pcie_bytes_saved = 0;
 };
 
 class GpuPlf final : public core::ExecutionBackend {
@@ -58,6 +63,14 @@ class GpuPlf final : public core::ExecutionBackend {
   explicit GpuPlf(const GpuPlfConfig& config);
 
   std::string name() const override;
+
+  /// Dense-only (site-index indirection would break the three-level grid
+  /// partitioning and the coalesced layout), but plan-batched: run_plan
+  /// fuses each op's scale onto the device-resident down/root output and
+  /// coalesces the PCIe round trips the per-call path pays between kernels.
+  core::Capabilities capabilities() const override {
+    return core::Capabilities::kFusedPlan | core::Capabilities::kBatchedTransfers;
+  }
 
   void run_down(const core::KernelSet& ks, const core::DownArgs& a,
                 std::size_t m) override;
@@ -67,6 +80,7 @@ class GpuPlf final : public core::ExecutionBackend {
                  std::size_t m) override;
   double run_root_reduce(const core::KernelSet& ks,
                          const core::RootReduceArgs& a, std::size_t m) override;
+  void run_plan(const core::KernelSet& ks, const core::PlfPlan& plan) override;
 
   const GpuPlfConfig& config() const { return config_; }
   const GpuRunStats& stats() const { return stats_; }
@@ -82,8 +96,17 @@ class GpuPlf final : public core::ExecutionBackend {
                                     std::size_t K) const;
 
  private:
+  /// One staged invocation: H2D inputs, down/root kernel, and — when
+  /// `fused_scale` is non-null (plan dispatch) — the scale kernel on the
+  /// still-device-resident output before the single D2H, so the per-call
+  /// H2D+D2H round trip between the two kernels disappears.
   double down_like(const core::DownArgs& a, std::size_t m,
-                   const core::RootArgs* root);
+                   const core::RootArgs* root,
+                   const core::ScaleArgs* fused_scale = nullptr);
+  /// Device-side rescale of `m` patterns in place (shared by run_scale and
+  /// the fused plan path so both orderings are bit-identical). Returns the
+  /// simulated kernel time, already accumulated into the stats.
+  double scale_on_device(float* cl, float* sc, std::size_t m, std::size_t K);
   KernelProfile down_profile() const;
 
   GpuPlfConfig config_;

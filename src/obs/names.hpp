@@ -21,6 +21,20 @@ inline constexpr const char* kTimerScalerSum = "engine.ScalerSum";
 inline constexpr const char* kTimerRepeatIdentify = "engine.RepeatIdentify";
 inline constexpr const char* kTimerRepeatScatter = "engine.RepeatScatter";
 
+// Plan dispatch (batched engine->backend interface, docs/EXECUTION_PLAN.md).
+// plan.build/plan.execute bracket the engine's two phases; plan.level is the
+// wall time of one dependency level's fused batch on a kFusedPlan backend
+// (the report counts it toward the PLF section — when kernels are fused into
+// one region per level, per-kernel attribution is by design unavailable).
+inline constexpr const char* kTimerPlanBuild = "plan.build";
+inline constexpr const char* kTimerPlanExecute = "plan.execute";
+inline constexpr const char* kTimerPlanLevel = "plan.level";
+inline constexpr const char* kCounterPlanLevels = "plan.levels";
+inline constexpr const char* kCounterPlanOps = "plan.ops";
+/// Parallel regions NOT opened relative to per-call dispatch (2 per op minus
+/// 1 per level) — the reclaimed spawn/sync the Fig. 12 breakdown attributes.
+inline constexpr const char* kCounterPlanRegionsSaved = "plan.regions_saved";
+
 // Thread pool (multi-core backend, §3.2).
 inline constexpr const char* kTimerParRegion = "par.region";
 inline constexpr const char* kTimerParWorker = "par.worker";
@@ -69,5 +83,17 @@ inline constexpr const char* kGaugeRepeatCompressionRatio =
     "engine.repeat_compression_ratio";
 inline constexpr const char* kGaugeRepeatRebuildSeconds =
     "engine.repeat_rebuild_s";
+inline constexpr const char* kGaugeEnginePlanBuilds = "engine.plan_builds";
+inline constexpr const char* kGaugeEnginePlanOps = "engine.plan_ops";
+inline constexpr const char* kGaugeEnginePlanLevels = "engine.plan_levels";
+inline constexpr const char* kGaugeEngineScalerResums =
+    "engine.scaler_resums";
+inline constexpr const char* kGaugeEngineScalerDeltaUpdates =
+    "engine.scaler_delta_updates";
+
+// GPU plan batching: PCIe bytes NOT transferred because a fused op kept its
+// CLV block device-resident between the down/root and scale kernels.
+inline constexpr const char* kGaugeGpuFusedOps = "gpu.plan_fused_ops";
+inline constexpr const char* kGaugeGpuPcieBytesSaved = "gpu.pcie_bytes_saved";
 
 }  // namespace plf::obs

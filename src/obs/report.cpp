@@ -33,13 +33,20 @@ Breakdown build_breakdown(const Snapshot& snapshot, double total_s,
       kernel_share(snapshot, kTimerCondLikeRoot, "CondLikeRoot"),
       kernel_share(snapshot, kTimerCondLikeScaler, "CondLikeScaler"),
       kernel_share(snapshot, kTimerRootReduce, "RootReduce"),
+      // Plan dispatch on a fused backend runs down/root + scale inside one
+      // region per dependency level: the kernels are deliberately
+      // indistinguishable there, so the level wall time is its own PLF row
+      // (per-call dispatch and the default per-op plan executor keep filling
+      // the per-kernel rows above instead).
+      kernel_share(snapshot, kTimerPlanLevel, "PlanLevel(fused)"),
   };
   for (const KernelShare& k : b.kernels) b.plf_s += k.seconds;
 
   b.engine_serial_s = snapshot.timer_total_s(kTimerTiProbs) +
                       snapshot.timer_total_s(kTimerScalerSum) +
                       snapshot.timer_total_s(kTimerRepeatIdentify) +
-                      snapshot.timer_total_s(kTimerRepeatScatter);
+                      snapshot.timer_total_s(kTimerRepeatScatter) +
+                      snapshot.timer_total_s(kTimerPlanBuild);
 
   b.transfer_sim_s = snapshot.gauge_value(kGaugeTransferSimSeconds);
 

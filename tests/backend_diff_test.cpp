@@ -1,9 +1,13 @@
-// Cross-backend differential harness for the site-repeat path.
+// Cross-backend differential harness for the site-repeat and plan-dispatch
+// paths.
 //
-// Property under test: site-repeat compaction only skips arithmetic whose
-// result is already known, so for any (data, tree, model) the compacted
+// Properties under test: (a) site-repeat compaction only skips arithmetic
+// whose result is already known, so for any (data, tree, model) the compacted
 // engine must match the dense engine BIT FOR BIT on the same backend and
-// kernel variant — 0 ULP, not "close". Across backends and variants the
+// kernel variant — 0 ULP, not "close"; (b) batched PlfPlan dispatch only
+// regroups and fuses the identical per-site kernel work, so a plan-dispatch
+// engine must match its per-call twin bit for bit on every backend × variant
+// × repeats combination, through proposals and rejects. Across backends and variants the
 // summation order changes, so those comparisons get per-backend tolerances
 // (ULP bounds on CLV entries, relative bounds on lnL against an independent
 // double-precision reference).
@@ -148,9 +152,23 @@ TEST_P(BackendDiffTest, RepeatsOnOffAgreeBitwiseAndMatchReference) {
         BackendHolder h_off = BackendHolder::make(kind);
         BackendHolder h_on = BackendHolder::make(kind);
         PlfEngine dense(d.data, d.params, d.tree, *h_off.backend, variant,
-                        SiteRepeatsMode::kOff);
+                        SiteRepeatsMode::kOff, DispatchMode::kPerCall);
         PlfEngine compact(d.data, d.params, d.tree, *h_on.backend, variant,
-                          SiteRepeatsMode::kOn);
+                          SiteRepeatsMode::kOn, DispatchMode::kPerCall);
+
+        // Plan-dispatch twins: same backend kind, same variant, same repeat
+        // mode — only the dispatch path differs. Every comparison between a
+        // per-call engine and its twin below is exact (EXPECT_EQ, memcmp),
+        // which is the acceptance bar for the PlfPlan refactor: batching and
+        // fusing must not move a single bit on any backend.
+        BackendHolder h_off_plan = BackendHolder::make(kind);
+        BackendHolder h_on_plan = BackendHolder::make(kind);
+        PlfEngine dense_plan(d.data, d.params, d.tree, *h_off_plan.backend,
+                             variant, SiteRepeatsMode::kOff,
+                             DispatchMode::kPlan);
+        PlfEngine compact_plan(d.data, d.params, d.tree, *h_on_plan.backend,
+                               variant, SiteRepeatsMode::kOn,
+                               DispatchMode::kPlan);
 
         const double lnl_dense = dense.log_likelihood();
         const double lnl_compact = compact.log_likelihood();
@@ -162,9 +180,31 @@ TEST_P(BackendDiffTest, RepeatsOnOffAgreeBitwiseAndMatchReference) {
                               m * K * 4 * sizeof(float)),
                   0);
 
+        // Per-call vs plan: bit-identical lnL and root CLVs, repeats on and
+        // off alike, and the plan path must actually have built plans.
+        EXPECT_EQ(lnl_dense, dense_plan.log_likelihood());
+        EXPECT_EQ(lnl_compact, compact_plan.log_likelihood());
+        EXPECT_EQ(std::memcmp(dense.node_cl(dense.tree().root()),
+                              dense_plan.node_cl(dense_plan.tree().root()),
+                              m * K * 4 * sizeof(float)),
+                  0);
+        EXPECT_EQ(std::memcmp(compact.node_cl(compact.tree().root()),
+                              compact_plan.node_cl(compact_plan.tree().root()),
+                              m * K * 4 * sizeof(float)),
+                  0);
+        EXPECT_EQ(dense.stats().plan_builds, 0u);
+        EXPECT_GT(dense_plan.stats().plan_builds, 0u);
+        EXPECT_GT(dense_plan.stats().plan_ops, 0u);
+        // Identical work, batched: the kernel-call accounting must agree.
+        EXPECT_EQ(dense.stats().pattern_iterations,
+                  dense_plan.stats().pattern_iterations);
+        EXPECT_EQ(compact.stats().pattern_iterations,
+                  compact_plan.stats().pattern_iterations);
+
         // The compacted path must actually have run where supported, and
         // must have fallen back (not silently diverged) where not.
-        if (h_on.backend->supports_site_repeats()) {
+        if (has_capability(h_on.backend->capabilities(),
+                           Capabilities::kSiteRepeats)) {
           ASSERT_TRUE(compact.site_repeats_enabled());
           EXPECT_GT(compact.stats().repeat_down_hits, 0u);
           EXPECT_GT(compact.stats().repeat_compression_ratio(), 1.0);
@@ -183,20 +223,30 @@ TEST_P(BackendDiffTest, RepeatsOnOffAgreeBitwiseAndMatchReference) {
         EXPECT_NEAR(lnl_compact, d.ref_lnl, tol);
 
         // Mid-run differential: a branch-length move plus an NNI proposal
-        // exercises class invalidation under this backend; dense and
-        // compacted engines must stay bitwise-locked through it.
-        dense.set_branch_length(dense.tree().leaf_of(1), 1.7);
-        compact.set_branch_length(compact.tree().leaf_of(1), 1.7);
+        // exercises class invalidation (and, for the plan engines, partial
+        // plans plus the incremental scaler-total path) under this backend;
+        // all four engines must stay bitwise-locked through it.
+        for (PlfEngine* e :
+             {&dense, &compact, &dense_plan, &compact_plan}) {
+          e->set_branch_length(e->tree().leaf_of(1), 1.7);
+        }
         const auto edges = dense.tree().internal_edge_nodes();
         ASSERT_FALSE(edges.empty());
-        dense.begin_proposal();
-        compact.begin_proposal();
-        dense.apply_nni(edges.front(), true);
-        compact.apply_nni(edges.front(), true);
+        for (PlfEngine* e :
+             {&dense, &compact, &dense_plan, &compact_plan}) {
+          e->begin_proposal();
+          e->apply_nni(edges.front(), true);
+        }
         EXPECT_EQ(dense.log_likelihood(), compact.log_likelihood());
-        dense.reject();
-        compact.reject();
+        EXPECT_EQ(dense.log_likelihood(), dense_plan.log_likelihood());
+        EXPECT_EQ(compact.log_likelihood(), compact_plan.log_likelihood());
+        for (PlfEngine* e :
+             {&dense, &compact, &dense_plan, &compact_plan}) {
+          e->reject();
+        }
         EXPECT_EQ(dense.log_likelihood(), compact.log_likelihood());
+        EXPECT_EQ(dense.log_likelihood(), dense_plan.log_likelihood());
+        EXPECT_EQ(compact.log_likelihood(), compact_plan.log_likelihood());
       }
     }
   }

@@ -9,7 +9,9 @@
 
 #include <gtest/gtest.h>
 
+#include "core/kernel_contracts.hpp"
 #include "core/kernels.hpp"
+#include "core/plan.hpp"
 #include "util/aligned.hpp"
 #include "util/contracts.hpp"
 
@@ -209,6 +211,87 @@ TEST(KernelContractDeathTest, NonIncreasingRepeatIndexTripsCheckedContract) {
   a.n_sites = DownFixture::kPatterns;
   EXPECT_DEATH(core::kernels(KernelVariant::kScalar).down(a, 0, 4),
                "strictly increasing");
+}
+
+/// Minimal storage for structurally valid PlfOps (check_plan inspects
+/// pointers and counts, never the float contents).
+struct PlanFixture {
+  static constexpr std::size_t kPatterns = 8;
+  aligned_vector<float> out{kPatterns * 4 * 4, 0.0f};
+  aligned_vector<float> scaler{kPatterns, 0.0f};
+
+  core::PlfOp op(int node, int left = phylo::kNoNode,
+                 int right = phylo::kNoNode) {
+    core::PlfOp o;
+    o.node = node;
+    o.left = left;
+    o.right = right;
+    o.args.down.out = out.data();
+    o.args.down.K = 4;
+    o.scale.cl = out.data();
+    o.scale.ln_scaler = scaler.data();
+    o.scale.K = 4;
+    o.run_m = kPatterns;
+    return o;
+  }
+};
+
+// check_plan is header-inline, so this TU's PLF_CONTRACTS_CHECKED=1 gives the
+// death paths regardless of how the library objects were built.
+TEST(PlanContractTest, ValidLeveledPlanPasses) {
+  PlanFixture f;
+  core::PlfPlan plan;
+  plan.reset(8, PlanFixture::kPatterns);
+  plan.add(f.op(1), 0);
+  plan.add(f.op(2), 0);
+  plan.add(f.op(3, 1, 2), 1);
+  plan.finalize();
+  EXPECT_NO_THROW(core::detail::check_plan(plan));
+}
+
+TEST(PlanContractDeathTest, UnfinalizedPlanIsRejected) {
+  testing::FLAGS_gtest_death_test_style = "threadsafe";
+  PlanFixture f;
+  core::PlfPlan plan;
+  plan.reset(8, PlanFixture::kPatterns);
+  plan.add(f.op(1), 0);
+  EXPECT_DEATH(core::detail::check_plan(plan), "must be finalized");
+}
+
+TEST(PlanContractDeathTest, SameLevelChildIsRejected) {
+  testing::FLAGS_gtest_death_test_style = "threadsafe";
+  PlanFixture f;
+  core::PlfPlan plan;
+  plan.reset(8, PlanFixture::kPatterns);
+  plan.add(f.op(1), 0);
+  plan.add(f.op(3, 1, phylo::kNoNode), 0);  // child 1 shares level 0
+  plan.finalize();
+  EXPECT_DEATH(core::detail::check_plan(plan), "strictly earlier level");
+}
+
+TEST(PlanContractDeathTest, UnfusedScaleAliasIsRejected) {
+  testing::FLAGS_gtest_death_test_style = "threadsafe";
+  PlanFixture f;
+  core::PlfPlan plan;
+  plan.reset(8, PlanFixture::kPatterns);
+  core::PlfOp op = f.op(1);
+  op.scale.cl = f.out.data() + 16;  // scales some other node's CLV
+  plan.add(op, 0);
+  plan.finalize();
+  EXPECT_DEATH(core::detail::check_plan(plan),
+               "must alias the op's down output");
+}
+
+TEST(PlanContractDeathTest, OversizedOpIsRejected) {
+  testing::FLAGS_gtest_death_test_style = "threadsafe";
+  PlanFixture f;
+  core::PlfPlan plan;
+  plan.reset(8, PlanFixture::kPatterns);
+  core::PlfOp op = f.op(1);
+  op.run_m = PlanFixture::kPatterns + 1;
+  plan.add(op, 0);
+  plan.finalize();
+  EXPECT_DEATH(core::detail::check_plan(plan), "exceeds pattern count");
 }
 
 }  // namespace

@@ -17,6 +17,7 @@
 #include "core/backend.hpp"
 #include "core/engine.hpp"
 #include "obs/metrics.hpp"
+#include "obs/names.hpp"
 #include "par/spin_barrier.hpp"
 #include "par/thread_pool.hpp"
 #include "phylo/patterns.hpp"
@@ -184,6 +185,72 @@ TEST(ParStressTest, RepeatCompactedEngineUnderOversubscription) {
     EXPECT_EQ(on.log_likelihood(), off.log_likelihood());
   }
   EXPECT_GT(on.stats().repeat_down_hits, 0u);
+}
+
+TEST(ParStressTest, PlanDispatchHammeredWhileMetricsFlusherReads) {
+  // ThreadedBackend::run_plan opens one fused parallel region per dependency
+  // level and records plan.* counters/timers into the GLOBAL registry from
+  // the calling thread, while 8 oversubscribed workers execute the fused
+  // down+scale chunks. A concurrent flusher thread snapshots that registry
+  // the whole time, and the engine publishes its gauge stats between
+  // evaluations — the exact writer mix a live profiling run produces. Under
+  // TSan this checks the region-boundary and registry-shard edges of the
+  // batched path; under plain presets it doubles as a plan-vs-percall
+  // bitwise equivalence check on a shared hot pool.
+  ThreadPool pool(kThreads);
+  core::ThreadedBackend threaded(pool);
+
+  Rng rng(1717);
+  auto tree = seqgen::yule_tree(12, rng, 1.0, 0.05);
+  auto params = seqgen::default_gtr_params();
+  phylo::SubstitutionModel model(params);
+  seqgen::SequenceEvolver ev(tree, model);
+  auto data = phylo::PatternMatrix::compress(ev.evolve(600, rng));
+
+  core::PlfEngine plan(data, params, tree, threaded,
+                       core::KernelVariant::kSimdCol,
+                       core::SiteRepeatsMode::kOn, core::DispatchMode::kPlan);
+  core::PlfEngine percall(data, params, tree, threaded,
+                          core::KernelVariant::kSimdCol,
+                          core::SiteRepeatsMode::kOn,
+                          core::DispatchMode::kPerCall);
+
+  std::atomic<bool> stop{false};
+  std::thread flusher([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      const obs::Snapshot snap = obs::MetricsRegistry::global().snapshot();
+      (void)snap.counter_value(obs::kCounterPlanOps);
+      (void)snap.gauge_value(obs::kGaugeEnginePlanBuilds);
+      (void)snap.timer_total_s(obs::kTimerPlanLevel);
+    }
+  });
+
+  EXPECT_EQ(plan.log_likelihood(), percall.log_likelihood());
+  const auto edges = plan.tree().internal_edge_nodes();
+  ASSERT_FALSE(edges.empty());
+  for (int round = 0; round < 12; ++round) {
+    const int leaf = plan.tree().leaf_of(round % 12);
+    const double len = 0.02 + 0.01 * round;
+    plan.set_branch_length(leaf, len);
+    percall.set_branch_length(leaf, len);
+    if (round % 3 == 0) {
+      const int v = edges[static_cast<std::size_t>(round) % edges.size()];
+      plan.begin_proposal();
+      percall.begin_proposal();
+      plan.apply_nni(v, round % 2 == 0);
+      percall.apply_nni(v, round % 2 == 0);
+      EXPECT_EQ(plan.log_likelihood(), percall.log_likelihood());
+      plan.reject();
+      percall.reject();
+    }
+    EXPECT_EQ(plan.log_likelihood(), percall.log_likelihood());
+    plan.publish_stats(obs::MetricsRegistry::global());
+  }
+  stop.store(true, std::memory_order_release);
+  flusher.join();
+
+  EXPECT_GT(plan.stats().plan_builds, 0u);
+  EXPECT_GT(plan.stats().plan_ops, plan.stats().plan_builds);
 }
 
 TEST(ParStressTest, NestedParallelForIsRejected) {

@@ -1,0 +1,400 @@
+// Property and differential tests for batched plan dispatch (core/plan.hpp).
+//
+// Three layers:
+//   1. compute_levels as a pure function: for random trees and random
+//      recompute sets, the levels must form a valid topological partition
+//      (children strictly earlier; every level populated; exact recurrence).
+//   2. PlfPlan as a container: finalize() groups ops by level, stably, and
+//      the level ranges tile the op array exactly.
+//   3. The engine property the refactor promises: a plan-dispatch engine is
+//      BIT-IDENTICAL to its per-call twin on every backend, repeats on and
+//      off, through a randomized proposal/accept/reject storm that also
+//      exercises the incremental scaler-total path.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "cell/machine.hpp"
+#include "core/backend.hpp"
+#include "core/engine.hpp"
+#include "core/plan.hpp"
+#include "gpu/plf_gpu.hpp"
+#include "phylo/patterns.hpp"
+#include "seqgen/datasets.hpp"
+#include "seqgen/evolve.hpp"
+#include "seqgen/random_tree.hpp"
+#include "test_support.hpp"
+#include "util/error.hpp"
+
+namespace plf::core {
+namespace {
+
+// --- layer 1: compute_levels ------------------------------------------------
+
+/// Exhaustive check of the level recurrence and partition properties for one
+/// (tree, recompute) instance.
+void check_levels(const phylo::Tree& tree, const std::vector<char>& recompute) {
+  const std::vector<int> levels = compute_levels(tree, recompute);
+  ASSERT_EQ(levels.size(), tree.n_nodes());
+
+  int max_level = -1;
+  for (std::size_t id = 0; id < tree.n_nodes(); ++id) {
+    const phylo::TreeNode& nd = tree.node(static_cast<int>(id));
+    if (nd.is_leaf() || !recompute[id]) {
+      EXPECT_EQ(levels[id], -1) << "node " << id;
+      continue;
+    }
+    // Exact recurrence: 1 + max over in-set internal children, floor 0.
+    int expect = 0;
+    for (int child : {nd.left, nd.right}) {
+      if (child == phylo::kNoNode) continue;
+      const auto c = static_cast<std::size_t>(child);
+      if (!tree.node(child).is_leaf() && recompute[c]) {
+        EXPECT_GE(levels[c], 0);
+        expect = std::max(expect, levels[c] + 1);
+        // The scheduling property: children strictly earlier.
+        EXPECT_LT(levels[c], levels[id]) << "node " << id;
+      }
+    }
+    EXPECT_EQ(levels[id], expect) << "node " << id;
+    max_level = std::max(max_level, levels[id]);
+  }
+
+  // Every level in [0, max] is populated (a level-L node forces a level-L-1
+  // child, so the histogram can have no holes).
+  if (max_level >= 0) {
+    std::vector<int> width(static_cast<std::size_t>(max_level) + 1, 0);
+    for (std::size_t id = 0; id < tree.n_nodes(); ++id) {
+      if (levels[id] >= 0) ++width[static_cast<std::size_t>(levels[id])];
+    }
+    for (int l = 0; l <= max_level; ++l) {
+      EXPECT_GT(width[static_cast<std::size_t>(l)], 0) << "empty level " << l;
+    }
+  }
+}
+
+TEST(ComputeLevelsTest, RandomTreesAndDirtySetsFormTopologicalPartition) {
+  Rng rng(2024);
+  for (int trial = 0; trial < 40; ++trial) {
+    const std::size_t n_taxa = 4 + rng.below(17);
+    const phylo::Tree tree = seqgen::yule_tree(n_taxa, rng, 1.0, 0.1);
+    // Sweep set density from sparse to full; sets need not be upward-closed
+    // (the recurrence is defined for any subset of the internals).
+    const double p = rng.uniform(0.1, 1.0);
+    std::vector<char> recompute(tree.n_nodes(), 0);
+    for (std::size_t id = 0; id < tree.n_nodes(); ++id) {
+      if (!tree.node(static_cast<int>(id)).is_leaf() && rng.uniform() < p) {
+        recompute[id] = 1;
+      }
+    }
+    check_levels(tree, recompute);
+  }
+}
+
+TEST(ComputeLevelsTest, EmptyAndFullSets) {
+  Rng rng(7);
+  const phylo::Tree tree = seqgen::yule_tree(12, rng, 1.0, 0.1);
+
+  const std::vector<char> none(tree.n_nodes(), 0);
+  for (int l : compute_levels(tree, none)) EXPECT_EQ(l, -1);
+
+  std::vector<char> all(tree.n_nodes(), 0);
+  for (std::size_t id = 0; id < tree.n_nodes(); ++id) {
+    if (!tree.node(static_cast<int>(id)).is_leaf()) all[id] = 1;
+  }
+  check_levels(tree, all);
+  // With everything dirty, the root is the deepest op and sits alone on the
+  // last level of a postorder-consistent schedule.
+  const std::vector<int> levels = compute_levels(tree, all);
+  const int root_level = levels[static_cast<std::size_t>(tree.root())];
+  EXPECT_EQ(*std::max_element(levels.begin(), levels.end()), root_level);
+}
+
+// --- layer 2: PlfPlan grouping ----------------------------------------------
+
+TEST(PlfPlanTest, FinalizeGroupsByLevelStably) {
+  // Ops inserted in "postorder" (node id order here) with interleaved levels;
+  // finalize must produce contiguous level ranges that tile the op array and
+  // preserve insertion order within each level.
+  PlfPlan plan;
+  plan.reset(32, 100);
+  const std::size_t levels[] = {0, 2, 0, 1, 2, 0, 1};
+  for (int i = 0; i < 7; ++i) {
+    PlfOp op;
+    op.node = i;
+    op.run_m = 100;
+    plan.add(op, levels[static_cast<std::size_t>(i)]);
+  }
+  EXPECT_FALSE(plan.finalized());
+  plan.finalize();
+  ASSERT_TRUE(plan.finalized());
+  EXPECT_EQ(plan.n_ops(), 7u);
+  EXPECT_EQ(plan.n_levels(), 3u);
+  EXPECT_EQ(plan.m(), 100u);
+
+  // Level ranges tile [0, n_ops) in order.
+  EXPECT_EQ(plan.level_begin(0), 0u);
+  for (std::size_t l = 0; l + 1 < plan.n_levels(); ++l) {
+    EXPECT_EQ(plan.level_end(l), plan.level_begin(l + 1));
+  }
+  EXPECT_EQ(plan.level_end(plan.n_levels() - 1), plan.n_ops());
+
+  // Stable within level: node ids appear in insertion order.
+  const std::vector<int> expect_order = {0, 2, 5, 3, 6, 1, 4};
+  for (std::size_t i = 0; i < plan.ops().size(); ++i) {
+    EXPECT_EQ(plan.ops()[i].node, expect_order[i]) << "slot " << i;
+  }
+  for (int i = 0; i < 7; ++i) {
+    EXPECT_EQ(plan.level_of_node(i),
+              static_cast<int>(levels[static_cast<std::size_t>(i)]));
+  }
+  EXPECT_EQ(plan.level_of_node(20), -1);
+}
+
+TEST(PlfPlanTest, DuplicateOpForNodeIsRejected) {
+  PlfPlan plan;
+  plan.reset(8, 10);
+  PlfOp op;
+  op.node = 3;
+  plan.add(op, 0);
+  EXPECT_THROW(plan.add(op, 1), Error);
+}
+
+TEST(DispatchModeTest, StringRoundTrip) {
+  EXPECT_EQ(dispatch_mode_from_string("percall"), DispatchMode::kPerCall);
+  EXPECT_EQ(dispatch_mode_from_string("plan"), DispatchMode::kPlan);
+  EXPECT_EQ(to_string(DispatchMode::kPerCall), "percall");
+  EXPECT_EQ(to_string(DispatchMode::kPlan), "plan");
+  EXPECT_THROW(dispatch_mode_from_string("batched"), Error);
+}
+
+// --- layer 3: engine differential -------------------------------------------
+
+struct Dataset {
+  phylo::Tree tree;
+  phylo::GtrParams params;
+  phylo::PatternMatrix data;
+};
+
+Dataset make_dataset(std::uint64_t seed, std::size_t n_taxa) {
+  Rng rng(seed);
+  Dataset d{seqgen::yule_tree(n_taxa, rng, 1.0, 0.1),
+            seqgen::default_gtr_params(), {}};
+  phylo::SubstitutionModel model(d.params);
+  seqgen::SequenceEvolver ev(d.tree, model);
+  const phylo::Alignment aln = ev.evolve(180, rng);
+  std::vector<std::vector<phylo::StateMask>> cols(aln.n_columns());
+  for (std::size_t c = 0; c < aln.n_columns(); ++c) {
+    cols[c].resize(aln.n_taxa());
+    for (std::size_t t = 0; t < aln.n_taxa(); ++t) cols[c][t] = aln.at(t, c);
+  }
+  d.data = phylo::PatternMatrix::from_patterns(
+      aln.names(), cols, std::vector<std::uint32_t>(cols.size(), 1));
+  return d;
+}
+
+enum class BackendKind { kSerial, kThreaded, kCell, kGpu };
+
+struct BackendHolder {
+  std::unique_ptr<par::ThreadPool> pool;
+  std::unique_ptr<ExecutionBackend> backend;
+
+  static BackendHolder make(BackendKind kind) {
+    BackendHolder h;
+    switch (kind) {
+      case BackendKind::kSerial:
+        h.backend = std::make_unique<SerialBackend>();
+        break;
+      case BackendKind::kThreaded:
+        h.pool = std::make_unique<par::ThreadPool>(4);
+        h.backend = std::make_unique<ThreadedBackend>(*h.pool);
+        break;
+      case BackendKind::kCell: {
+        cell::CellConfig cfg;
+        cfg.n_spes = 4;
+        h.backend = std::make_unique<cell::CellMachine>(cfg);
+        break;
+      }
+      case BackendKind::kGpu:
+        h.backend = std::make_unique<gpu::GpuPlf>(gpu::GpuPlfConfig{});
+        break;
+    }
+    return h;
+  }
+};
+
+/// Drive a per-call engine and a plan engine through the same randomized
+/// move/accept/reject sequence and require bit-identical lnL at every
+/// evaluation. Branch-length moves leave the incremental scaler-total path
+/// live; NNIs and rejects force the full-resum fallback — both engines pass
+/// through the identical sequence of states, so every comparison is exact.
+void lockstep_storm(BackendKind kind, SiteRepeatsMode mode,
+                    std::uint64_t seed) {
+  const Dataset d = make_dataset(seed, 10);
+  BackendHolder h_pc = BackendHolder::make(kind);
+  BackendHolder h_plan = BackendHolder::make(kind);
+  PlfEngine percall(d.data, d.params, d.tree, *h_pc.backend,
+                    KernelVariant::kSimdCol, mode, DispatchMode::kPerCall);
+  PlfEngine plan(d.data, d.params, d.tree, *h_plan.backend,
+                 KernelVariant::kSimdCol, mode, DispatchMode::kPlan);
+  ASSERT_EQ(percall.dispatch_mode(), DispatchMode::kPerCall);
+  ASSERT_EQ(plan.dispatch_mode(), DispatchMode::kPlan);
+
+  EXPECT_EQ(percall.log_likelihood(), plan.log_likelihood());
+
+  Rng rng(seed * 977 + 13);
+  for (int step = 0; step < 30; ++step) {
+    SCOPED_TRACE(::testing::Message() << "step " << step);
+    for (PlfEngine* e : {&percall, &plan}) e->begin_proposal();
+
+    const double u = rng.uniform();
+    if (u < 0.55) {
+      // Branch-length move on a random non-root branch.
+      int node;
+      do {
+        node = static_cast<int>(rng.below(percall.tree().n_nodes()));
+      } while (node == percall.tree().root());
+      const double len = rng.uniform(0.01, 1.2);
+      for (PlfEngine* e : {&percall, &plan}) e->set_branch_length(node, len);
+    } else if (u < 0.85) {
+      const auto edges = percall.tree().internal_edge_nodes();
+      ASSERT_FALSE(edges.empty());
+      const int v = edges[rng.below(edges.size())];
+      const bool swap_left = rng.uniform() < 0.5;
+      for (PlfEngine* e : {&percall, &plan}) e->apply_nni(v, swap_left);
+    } else {
+      // Two evaluated moves in the same proposal on the same branch: the
+      // second recompute must overwrite the ACTIVE buffers (flip-epoch
+      // path), in both dispatch modes identically.
+      const int leaf = percall.tree().leaf_of(
+          static_cast<int>(rng.below(percall.data().n_taxa())));
+      const double len = rng.uniform(0.01, 1.2);
+      for (PlfEngine* e : {&percall, &plan}) e->set_branch_length(leaf, len);
+      EXPECT_EQ(percall.log_likelihood(), plan.log_likelihood());
+      for (PlfEngine* e : {&percall, &plan}) {
+        e->set_branch_length(leaf, len * 0.5);
+      }
+    }
+
+    EXPECT_EQ(percall.log_likelihood(), plan.log_likelihood());
+
+    if (rng.uniform() < 0.5) {
+      for (PlfEngine* e : {&percall, &plan}) e->accept();
+    } else {
+      for (PlfEngine* e : {&percall, &plan}) e->reject();
+    }
+    EXPECT_EQ(percall.log_likelihood(), plan.log_likelihood());
+  }
+
+  // The root CLVs must have stayed locked too, not just the reduction.
+  EXPECT_EQ(std::memcmp(percall.node_cl(percall.tree().root()),
+                        plan.node_cl(plan.tree().root()),
+                        d.data.n_patterns() * 4 * 4 * sizeof(float)),
+            0);
+}
+
+using StormParam = std::tuple<BackendKind, SiteRepeatsMode>;
+
+class PlanLockstepTest : public ::testing::TestWithParam<StormParam> {};
+
+TEST_P(PlanLockstepTest, PerCallAndPlanBitIdenticalThroughProposalStorm) {
+  lockstep_storm(std::get<0>(GetParam()), std::get<1>(GetParam()), 41);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBackends, PlanLockstepTest,
+    ::testing::Combine(
+        ::testing::Values(BackendKind::kSerial, BackendKind::kThreaded,
+                          BackendKind::kCell, BackendKind::kGpu),
+        ::testing::Values(SiteRepeatsMode::kOff, SiteRepeatsMode::kOn)),
+    [](const ::testing::TestParamInfo<StormParam>& info) {
+      const char* b = "";
+      switch (std::get<0>(info.param)) {
+        case BackendKind::kSerial: b = "serial"; break;
+        case BackendKind::kThreaded: b = "threaded"; break;
+        case BackendKind::kCell: b = "cell"; break;
+        case BackendKind::kGpu: b = "gpu"; break;
+      }
+      return std::string(b) + "_repeats_" +
+             (std::get<1>(info.param) == SiteRepeatsMode::kOn ? "on" : "off");
+    });
+
+TEST(PlanEngineTest, PlanShapeMatchesTreeOnFirstEvaluation) {
+  const Dataset d = make_dataset(5, 12);
+  SerialBackend backend;
+  PlfEngine e(d.data, d.params, d.tree, backend, KernelVariant::kSimdCol,
+              SiteRepeatsMode::kOff, DispatchMode::kPlan);
+  e.log_likelihood();
+
+  const std::size_t n_internals = d.tree.postorder_internals().size();
+  EXPECT_EQ(e.stats().plan_builds, 1u);
+  EXPECT_EQ(e.stats().plan_ops, n_internals);  // everything dirty at start
+  EXPECT_GE(e.stats().plan_levels, 1u);
+  EXPECT_LE(e.stats().plan_levels, e.stats().plan_ops);
+  // A leaf-rooted binary tree always has some same-level parallelism unless
+  // it degenerated to a caterpillar; at minimum the level count equals the
+  // longest root path, which is < n_internals for 12 taxa with this seed.
+  EXPECT_LT(e.stats().plan_levels, n_internals);
+}
+
+TEST(IncrementalScalerTest, ResumsOnlyOnTopologyChangesAndRejects) {
+  const Dataset d = make_dataset(17, 9);
+  SerialBackend backend;
+  PlfEngine e(d.data, d.params, d.tree, backend, KernelVariant::kSimdCol,
+              SiteRepeatsMode::kOff, DispatchMode::kPlan);
+
+  e.log_likelihood();  // first evaluation: full resum, no deltas possible
+  EXPECT_EQ(e.stats().scaler_resums, 1u);
+  EXPECT_EQ(e.stats().scaler_delta_updates, 0u);
+
+  // Branch-length move: delta path (subtract stale rows, add fresh rows).
+  e.set_branch_length(e.tree().leaf_of(2), 0.42);
+  e.log_likelihood();
+  EXPECT_EQ(e.stats().scaler_resums, 1u);
+  EXPECT_GT(e.stats().scaler_delta_updates, 0u);
+  const std::uint64_t deltas_after_bl = e.stats().scaler_delta_updates;
+
+  // Accepted proposal with a length move: still the delta path.
+  e.begin_proposal();
+  e.set_branch_length(e.tree().leaf_of(4), 0.13);
+  e.log_likelihood();
+  e.accept();
+  EXPECT_EQ(e.stats().scaler_resums, 1u);
+  EXPECT_GT(e.stats().scaler_delta_updates, deltas_after_bl);
+
+  // Rejected proposal: the wholesale flip-back invalidates the per-node
+  // deltas. The reject itself restores the cached lnL (no evaluation), but
+  // the NEXT dirty evaluation must resum even though only one path is dirty.
+  e.begin_proposal();
+  e.set_branch_length(e.tree().leaf_of(1), 0.9);
+  e.log_likelihood();
+  e.reject();
+  e.log_likelihood();  // cached: reject restored lnL, nothing recomputes
+  EXPECT_EQ(e.stats().scaler_resums, 1u);
+  e.set_branch_length(e.tree().leaf_of(3), 0.21);
+  e.log_likelihood();
+  EXPECT_EQ(e.stats().scaler_resums, 2u);
+
+  // Topology move: ancestry changed, resum again.
+  const auto edges = e.tree().internal_edge_nodes();
+  ASSERT_FALSE(edges.empty());
+  e.apply_nni(edges.front(), true);
+  e.log_likelihood();
+  EXPECT_EQ(e.stats().scaler_resums, 3u);
+
+  // The incremental path must agree with a from-scratch engine over the
+  // final state (double-rounding headroom only: the CLVs are bitwise equal,
+  // scaler_total differs by accumulated subtract/add rounding at most).
+  SerialBackend backend2;
+  PlfEngine fresh(d.data, e.model_params(), e.tree(), backend2,
+                  KernelVariant::kSimdCol, SiteRepeatsMode::kOff,
+                  DispatchMode::kPlan);
+  const double lnl = e.log_likelihood();
+  EXPECT_NEAR(lnl, fresh.log_likelihood(), std::abs(lnl) * 1e-12);
+}
+
+}  // namespace
+}  // namespace plf::core

@@ -40,16 +40,18 @@ stage_plain() { run_preset default; }
 stage_asan()  { run_preset asan-ubsan; }
 stage_tsan()  { run_preset tsan; }
 
-# Checked-contract build running the site-repeat differential suite: every
-# backend x repeats on/off cross-check plus the repeat-class unit tests, with
-# the PLF_DCHECK-level contracts (index monotonicity etc.) armed.
+# Checked-contract build running the site-repeat and plan-dispatch
+# differential suites: every backend x repeats on/off x percall/plan
+# cross-check plus the repeat-class and plan unit tests, with the
+# PLF_DCHECK-level contracts (index monotonicity, plan leveling etc.) armed.
 stage_checked() {
   note "preset 'checked': configure" &&
     cmake --preset checked &&
     note "preset 'checked': build" &&
     cmake --build --preset checked -j "${JOBS}" &&
     note "preset 'checked': differential suite" &&
-    ctest --preset checked -R 'BackendDiff|SiteRepeats|Repeats|Contract|Check'
+    ctest --preset checked \
+      -R 'BackendDiff|SiteRepeats|Repeats|Contract|Check|Plan|ComputeLevels|DispatchMode|IncrementalScaler'
 }
 
 stage_tidy() {
