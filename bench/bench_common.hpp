@@ -8,6 +8,7 @@
 // time on the build host would not describe a 2009 core).
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <cstdlib>
 #include <fstream>
@@ -58,6 +59,14 @@ inline void emit_metrics_json(const std::string& bench) {
   std::cerr << "metrics json: " << path << " (" << bench << ")\n";
 }
 
+/// Scale an integer call count to a different generation budget, rounding to
+/// nearest. Truncation here understated every scaled count by up to one call
+/// per category and biased short-budget workloads low.
+inline std::uint64_t scale_count(std::uint64_t count, double scale) {
+  const double scaled = static_cast<double>(count) * scale;
+  return scaled <= 0.0 ? 0 : static_cast<std::uint64_t>(std::llround(scaled));
+}
+
 /// Measured-by-proxy workload: call counts from a real chain on `taxa`
 /// taxa, scaled to `generations`, with pattern count `m`.
 inline arch::PlfWorkload measured_workload(std::size_t taxa, std::size_t m,
@@ -92,11 +101,11 @@ inline arch::PlfWorkload measured_workload(std::size_t taxa, std::size_t m,
       static_cast<double>(generations) / static_cast<double>(probe_gens);
   w.m = m;
   w.taxa = taxa;
-  w.down_calls = static_cast<std::uint64_t>(w.down_calls * scale);
-  w.root_calls = static_cast<std::uint64_t>(w.root_calls * scale);
-  w.scale_calls = static_cast<std::uint64_t>(w.scale_calls * scale);
-  w.reduce_calls = static_cast<std::uint64_t>(w.reduce_calls * scale);
-  w.tm_builds = static_cast<std::uint64_t>(w.tm_builds * scale);
+  w.down_calls = scale_count(w.down_calls, scale);
+  w.root_calls = scale_count(w.root_calls, scale);
+  w.scale_calls = scale_count(w.scale_calls, scale);
+  w.reduce_calls = scale_count(w.reduce_calls, scale);
+  w.tm_builds = scale_count(w.tm_builds, scale);
   // Serial remainder from the calibrated model (host wall time is not a
   // 2009 baseline core).
   w.serial_cycles =

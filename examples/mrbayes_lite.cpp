@@ -27,6 +27,7 @@
 #include "mcmc/consensus.hpp"
 #include "mcmc/coupled.hpp"
 #include "mcmc/diagnostics.hpp"
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
@@ -230,6 +231,9 @@ int run_main(int argc, char** argv) {
 }
 
 int main(int argc, char** argv) {
+  // Arm the flight recorder's terminate hook first: any later crash or
+  // uncaught error dumps each thread's last spans (docs/OBSERVABILITY.md).
+  plf::obs::install_flight_handlers();
   try {
     return run_main(argc, argv);
   } catch (const std::exception& e) {

@@ -1,0 +1,254 @@
+#include "obs/flight.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+#include <unistd.h>
+
+#include "obs/json_util.hpp"
+#include "util/contracts.hpp"
+
+namespace plf::obs {
+
+namespace {
+
+enum class EventKind : std::uint8_t { kEmpty = 0, kSpan = 1, kCount = 2 };
+
+/// One ring slot. Every field is a relaxed atomic: a writer publishing a slot
+/// and the crash-path reader scanning it never constitute a data race, and a
+/// half-written slot is detected (and skipped) via the seq protocol below
+/// rather than locked out.
+struct Slot {
+  std::atomic<const char*> name{nullptr};
+  std::atomic<std::uint64_t> t_ns{0};
+  std::atomic<std::uint64_t> dur_ns{0};   // spans: duration; counts: delta
+  std::atomic<std::uint64_t> seq{0};      // 0 = never written
+  std::atomic<std::uint8_t> kind{0};
+};
+
+/// Per-thread ring. head counts events ever written; slot i holds the event
+/// with seq == i+1 once complete. The writer stores the payload first, then
+/// seq with release order; the reader checks seq (acquire) before and after
+/// reading the payload and drops the slot if they differ (overwritten
+/// mid-read) or if seq doesn't match the expected value for that position.
+struct Ring {
+  std::atomic<std::uint64_t> head{0};
+  Slot slots[kFlightRingSize];
+  std::uint32_t tid = 0;
+};
+
+/// Registered rings, never deallocated: a crash dump may run during static
+/// destruction or after the owning thread exited, so both the list and the
+/// rings leak by design.
+struct Rings {
+  std::mutex m;
+  std::vector<Ring*> list;
+};
+
+Rings& rings() {
+  static Rings* r = new Rings;  // leaked: see above
+  return *r;
+}
+
+void crash_hook() noexcept;  // forward
+
+Ring& ring_for_this_thread() {
+  thread_local Ring* cached = nullptr;
+  if (cached != nullptr) return *cached;
+  auto* ring = new Ring;  // leaked: dump may outlive the thread
+  Rings& r = rings();
+  {
+    std::lock_guard<std::mutex> lock(r.m);
+    ring->tid = static_cast<std::uint32_t>(r.list.size());
+    r.list.push_back(ring);
+  }
+  // First recording thread arms the contract crash hook, so a PLF_DCHECK
+  // death dumps the rings without any explicit install call.
+  static std::once_flag once;
+  std::call_once(once, [] { plf::detail::set_contract_crash_hook(&crash_hook); });
+  cached = ring;
+  return *ring;
+}
+
+void record(EventKind kind, const char* name, std::uint64_t t_ns,
+            std::uint64_t dur_ns) noexcept {
+  Ring& ring = ring_for_this_thread();
+  const std::uint64_t seq = ring.head.fetch_add(1, std::memory_order_relaxed);
+  Slot& slot = ring.slots[seq % kFlightRingSize];
+  slot.seq.store(0, std::memory_order_release);  // invalidate while rewriting
+  slot.name.store(name, std::memory_order_relaxed);
+  slot.t_ns.store(t_ns, std::memory_order_relaxed);
+  slot.dur_ns.store(dur_ns, std::memory_order_relaxed);
+  slot.kind.store(static_cast<std::uint8_t>(kind), std::memory_order_relaxed);
+  slot.seq.store(seq + 1, std::memory_order_release);
+}
+
+struct SnapshotEvent {
+  const char* name;
+  std::uint64_t t_ns;
+  std::uint64_t dur_ns;
+  std::uint64_t seq;
+  EventKind kind;
+};
+
+/// Read one ring without stopping its writer. Torn slots (seq changed while
+/// the payload was read, or still mid-rewrite) are dropped.
+std::vector<SnapshotEvent> snapshot_ring(const Ring& ring) {
+  std::vector<SnapshotEvent> out;
+  out.reserve(kFlightRingSize);
+  const std::uint64_t head = ring.head.load(std::memory_order_acquire);
+  const std::uint64_t lo = head > kFlightRingSize ? head - kFlightRingSize : 0;
+  for (std::uint64_t s = lo; s < head; ++s) {
+    const Slot& slot = ring.slots[s % kFlightRingSize];
+    const std::uint64_t seq_before = slot.seq.load(std::memory_order_acquire);
+    if (seq_before != s + 1) continue;  // overwritten or incomplete
+    SnapshotEvent ev;
+    ev.name = slot.name.load(std::memory_order_relaxed);
+    ev.t_ns = slot.t_ns.load(std::memory_order_relaxed);
+    ev.dur_ns = slot.dur_ns.load(std::memory_order_relaxed);
+    ev.kind = static_cast<EventKind>(slot.kind.load(std::memory_order_relaxed));
+    ev.seq = seq_before;
+    const std::uint64_t seq_after = slot.seq.load(std::memory_order_acquire);
+    if (seq_after != seq_before) continue;  // torn: rewritten mid-read
+    if (ev.name == nullptr || ev.kind == EventKind::kEmpty) continue;
+    out.push_back(ev);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SnapshotEvent& a, const SnapshotEvent& b) {
+              return a.seq < b.seq;
+            });
+  return out;
+}
+
+std::atomic<bool> g_dumped{false};
+std::terminate_handler g_prev_terminate = nullptr;
+
+void crash_hook() noexcept { dump_flight("contract-violation"); }
+
+[[noreturn]] void terminate_hook() {
+  dump_flight("terminate");
+  if (g_prev_terminate != nullptr) g_prev_terminate();
+  std::abort();
+}
+
+}  // namespace
+
+void flight_record_span(const char* name, std::uint64_t start_ns,
+                        std::uint64_t dur_ns) noexcept {
+  if (name == nullptr) return;
+  record(EventKind::kSpan, name, start_ns, dur_ns);
+}
+
+void flight_record_count(const char* name, std::uint64_t delta) noexcept {
+  if (name == nullptr) return;
+  record(EventKind::kCount, name, 0, delta);
+}
+
+void install_flight_handlers() {
+  plf::detail::set_contract_crash_hook(&crash_hook);
+  static std::once_flag once;
+  std::call_once(once, [] {
+    g_prev_terminate = std::set_terminate(&terminate_hook);
+  });
+}
+
+void write_flight_json(std::ostream& os, const char* reason) {
+  using detail::json_escape;
+  std::vector<Ring*> list;
+  {
+    Rings& r = rings();
+    std::lock_guard<std::mutex> lock(r.m);
+    list = r.list;
+  }
+  os << "{\"schema\":\"plf-flight-v1\",\"reason\":\""
+     << json_escape(reason != nullptr ? reason : "unknown") << "\",\"pid\":"
+     << static_cast<std::uint64_t>(::getpid()) << ",\"threads\":[";
+  bool first_thread = true;
+  for (const Ring* ring : list) {
+    const std::vector<SnapshotEvent> events = snapshot_ring(*ring);
+    if (!first_thread) os << ",";
+    first_thread = false;
+    os << "{\"tid\":" << ring->tid << ",\"events\":[";
+    bool first_ev = true;
+    for (const SnapshotEvent& ev : events) {
+      if (!first_ev) os << ",";
+      first_ev = false;
+      os << "{\"kind\":\""
+         << (ev.kind == EventKind::kSpan ? "span" : "count") << "\",\"name\":\""
+         << json_escape(ev.name) << "\",\"seq\":" << ev.seq;
+      if (ev.kind == EventKind::kSpan) {
+        os << ",\"t_ns\":" << ev.t_ns << ",\"dur_ns\":" << ev.dur_ns;
+      } else {
+        os << ",\"delta\":" << ev.dur_ns;
+      }
+      os << "}";
+    }
+    os << "]}";
+  }
+  os << "]}";
+}
+
+void flight_dump_path(char* buf, std::uint32_t buf_size) noexcept {
+  if (buf == nullptr || buf_size == 0) return;
+  const char* env = std::getenv("PLF_FLIGHT_PATH");
+  if (env != nullptr && env[0] != '\0') {
+    std::snprintf(buf, buf_size, "%s", env);
+  } else {
+    std::snprintf(buf, buf_size, "plf_flight_%llu.json",
+                  static_cast<unsigned long long>(::getpid()));
+  }
+}
+
+void dump_flight(const char* reason) noexcept {
+  // Re-entrancy / double-dump guard: the contract hook and the terminate
+  // hook can both fire on one death (abort after terminate), and a crash
+  // inside the dump itself must not recurse.
+  if (g_dumped.exchange(true, std::memory_order_acq_rel)) return;
+  try {
+    std::ostringstream os;
+    write_flight_json(os, reason);
+    const std::string json = os.str();
+    std::fprintf(stderr, "plf: flight recorder dump (%s):\n%s\n",
+                 reason != nullptr ? reason : "unknown", json.c_str());
+    std::fflush(stderr);
+    char path[512];
+    flight_dump_path(path, sizeof(path));
+    if (std::FILE* f = std::fopen(path, "w"); f != nullptr) {
+      std::fwrite(json.data(), 1, json.size(), f);
+      std::fclose(f);
+      std::fprintf(stderr, "plf: flight recorder written to %s\n", path);
+      std::fflush(stderr);
+    }
+  } catch (...) {
+    // Dying anyway; a failed dump must not mask the original fault.
+  }
+}
+
+void flight_reset_for_tests() {
+  std::vector<Ring*> list;
+  {
+    Rings& r = rings();
+    std::lock_guard<std::mutex> lock(r.m);
+    list = r.list;
+  }
+  for (Ring* ring : list) {
+    for (Slot& slot : ring->slots) {
+      slot.seq.store(0, std::memory_order_relaxed);
+      slot.name.store(nullptr, std::memory_order_relaxed);
+      slot.t_ns.store(0, std::memory_order_relaxed);
+      slot.dur_ns.store(0, std::memory_order_relaxed);
+      slot.kind.store(0, std::memory_order_relaxed);
+    }
+    ring->head.store(0, std::memory_order_release);
+  }
+  g_dumped.store(false, std::memory_order_release);
+}
+
+}  // namespace plf::obs

@@ -1,0 +1,120 @@
+// Log-bucketed latency histogram for the metrics registry's timers.
+//
+// Mean-only timers hide tail stalls: a scatter pass that usually takes 2 us
+// but occasionally blocks for 2 ms contributes almost nothing to the mean,
+// yet dominates p99 — exactly the effect the paper's serial-section analysis
+// (Fig. 12 "Remaining") is sensitive to. This HDR-style histogram keeps a
+// fixed 64-bucket power-of-two layout over nanoseconds, so recording is one
+// bit-width computation plus an increment, merging is element-wise addition
+// (the same shard-merge shape as OnlineStats), and percentiles are
+// deterministic interpolations inside one bucket — good to within a factor
+// of two, tight enough to separate "tail is 2x the median" from "tail is
+// 1000x the median".
+//
+// Bucket layout (half-open, nanoseconds):
+//   bucket 0        {0}
+//   bucket b, 1..62 [2^(b-1), 2^b)
+//   bucket 63       [2^62, +inf)
+//
+// Samples that cannot be bucketed (negative or non-finite seconds) are
+// counted in dropped() instead of being silently discarded; the breakdown
+// report surfaces the total.
+#pragma once
+
+#include <array>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace plf::obs {
+
+class LatencyHistogram {
+ public:
+  static constexpr int kBuckets = 64;
+
+  /// Bucket index for a nanosecond duration (see layout above).
+  static constexpr int bucket_index(std::uint64_t ns) {
+    if (ns == 0) return 0;
+    const int b = std::bit_width(ns);  // in [1, 64]
+    return b > kBuckets - 1 ? kBuckets - 1 : b;
+  }
+
+  /// Inclusive lower bound of bucket b in nanoseconds.
+  static constexpr std::uint64_t bucket_lower_ns(int b) {
+    return b == 0 ? 0 : std::uint64_t{1} << (b - 1);
+  }
+
+  /// Exclusive upper bound of bucket b in nanoseconds (bucket 63, the
+  /// overflow bucket, reports 2^63 so interpolation stays finite).
+  static constexpr std::uint64_t bucket_upper_ns(int b) {
+    if (b == 0) return 1;
+    return std::uint64_t{1} << b;
+  }
+
+  void add_ns(std::uint64_t ns) { ++counts_[bucket_index(ns)]; }
+
+  /// Record a duration in seconds. Negative or non-finite samples cannot be
+  /// assigned a bucket and are counted as dropped.
+  void add_seconds(double seconds) {
+    if (!std::isfinite(seconds) || seconds < 0.0) {
+      ++dropped_;
+      return;
+    }
+    // 2^63 ns is ~292 years; anything at or beyond lands in the overflow
+    // bucket rather than overflowing the uint64 conversion.
+    constexpr double kMaxNs = 9.0e18;
+    const double ns = seconds * 1e9;
+    add_ns(ns >= kMaxNs ? std::numeric_limits<std::uint64_t>::max()
+                        : static_cast<std::uint64_t>(ns));
+  }
+
+  /// Element-wise fold, exact (same shape as OnlineStats::merge).
+  void merge(const LatencyHistogram& other) {
+    for (int b = 0; b < kBuckets; ++b) counts_[b] += other.counts_[b];
+    dropped_ += other.dropped_;
+  }
+
+  std::uint64_t count() const {
+    std::uint64_t n = 0;
+    for (const std::uint64_t c : counts_) n += c;
+    return n;
+  }
+  std::uint64_t dropped() const { return dropped_; }
+  std::uint64_t bucket_count(int b) const {
+    return counts_[static_cast<std::size_t>(b)];
+  }
+
+  /// Quantile q in [0, 1], linearly interpolated inside the containing
+  /// bucket (uniform-within-bucket assumption). Deterministic for a fixed
+  /// sample multiset; NaN when empty.
+  double percentile_ns(double q) const {
+    const std::uint64_t total = count();
+    if (total == 0) return std::numeric_limits<double>::quiet_NaN();
+    if (q < 0.0) q = 0.0;
+    if (q > 1.0) q = 1.0;
+    const double need = q * static_cast<double>(total);
+    double cum = 0.0;
+    for (int b = 0; b < kBuckets; ++b) {
+      if (counts_[b] == 0) continue;
+      const double next = cum + static_cast<double>(counts_[b]);
+      if (next >= need) {
+        const double lo = static_cast<double>(bucket_lower_ns(b));
+        const double hi = static_cast<double>(bucket_upper_ns(b));
+        const double pos = (need - cum) / static_cast<double>(counts_[b]);
+        return lo + (hi - lo) * pos;
+      }
+      cum = next;
+    }
+    // Unreachable for consistent counts; keep the compiler satisfied.
+    return static_cast<double>(bucket_upper_ns(kBuckets - 1));
+  }
+
+  double percentile_s(double q) const { return percentile_ns(q) * 1e-9; }
+
+ private:
+  std::array<std::uint64_t, kBuckets> counts_{};
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace plf::obs

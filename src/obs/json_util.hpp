@@ -1,0 +1,47 @@
+// Tiny JSON-emission helpers shared by the obs writers (trace.cpp,
+// flight.cpp). Emission only — parsing lives in util/json.hpp.
+#pragma once
+
+#include <cmath>
+#include <ostream>
+#include <string>
+#include <string_view>
+
+namespace plf::obs::detail {
+
+/// Escape for a JSON string literal (metric names are plain identifiers,
+/// but a writer must never emit a malformed document).
+inline std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          constexpr char hex[] = "0123456789abcdef";
+          out += "\\u00";
+          out += hex[(static_cast<unsigned char>(c) >> 4) & 0xF];
+          out += hex[static_cast<unsigned char>(c) & 0xF];
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// JSON has no Infinity/NaN literals; map them to null.
+inline void write_json_double(std::ostream& os, double v) {
+  if (std::isfinite(v)) {
+    os << v;
+  } else {
+    os << "null";
+  }
+}
+
+}  // namespace plf::obs::detail

@@ -27,6 +27,7 @@ struct MetricsRegistry::Shard {
   mutable std::mutex m;  // const flush paths lock shards they only read
   std::vector<std::uint64_t> counters;  // indexed by MetricId
   std::vector<OnlineStats> timers;      // indexed by MetricId
+  std::vector<LatencyHistogram> hists;  // indexed by MetricId, with timers
   std::vector<TraceEvent> events;
   std::uint32_t tid = 0;  // shard index, used as the trace thread id
 };
@@ -98,8 +99,12 @@ void MetricsRegistry::add(MetricId id, std::uint64_t delta) {
 void MetricsRegistry::record_seconds(MetricId id, double seconds) {
   Shard& s = shard_for_this_thread();
   std::lock_guard<std::mutex> lock(s.m);
-  if (s.timers.size() <= id) s.timers.resize(id + 1);
+  if (s.timers.size() <= id) {
+    s.timers.resize(id + 1);
+    s.hists.resize(id + 1);
+  }
   s.timers[id].add(seconds);
+  s.hists[id].add_seconds(seconds);
 }
 
 void MetricsRegistry::record_span(MetricId id, std::uint64_t start_ns,
@@ -147,6 +152,7 @@ Snapshot MetricsRegistry::snapshot() const {
 
   std::vector<std::uint64_t> counter_totals(names.size(), 0);
   std::vector<OnlineStats> timer_totals(names.size());
+  std::vector<LatencyHistogram> hist_totals(names.size());
   for (const Shard* s : shards) {
     std::lock_guard<std::mutex> lock(s->m);
     for (std::size_t i = 0; i < s->counters.size() && i < names.size(); ++i) {
@@ -154,6 +160,7 @@ Snapshot MetricsRegistry::snapshot() const {
     }
     for (std::size_t i = 0; i < s->timers.size() && i < names.size(); ++i) {
       timer_totals[i].merge(s->timers[i]);
+      hist_totals[i].merge(s->hists[i]);
     }
   }
 
@@ -168,10 +175,13 @@ Snapshot MetricsRegistry::snapshot() const {
         snap.gauges.push_back(Snapshot::Gauge{names[i].name, gauges[i]});
         break;
       case MetricKind::kTimer:
-        snap.timers.push_back(Snapshot::Timer{names[i].name, timer_totals[i]});
+        snap.timers.push_back(
+            Snapshot::Timer{names[i].name, timer_totals[i], hist_totals[i]});
+        snap.hist_samples_dropped += hist_totals[i].dropped();
         break;
     }
   }
+  snap.trace_events_dropped = trace_dropped_.load(std::memory_order_relaxed);
   auto by_name = [](const auto& a, const auto& b) { return a.name < b.name; };
   std::sort(snap.counters.begin(), snap.counters.end(), by_name);
   std::sort(snap.gauges.begin(), snap.gauges.end(), by_name);
@@ -215,6 +225,7 @@ void MetricsRegistry::reset() {
     std::lock_guard<std::mutex> lock(s->m);
     std::fill(s->counters.begin(), s->counters.end(), 0);
     std::fill(s->timers.begin(), s->timers.end(), OnlineStats{});
+    std::fill(s->hists.begin(), s->hists.end(), LatencyHistogram{});
     s->events.clear();
   }
   trace_count_.store(0, std::memory_order_relaxed);

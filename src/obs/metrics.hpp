@@ -29,6 +29,7 @@
 #include <string_view>
 #include <vector>
 
+#include "obs/histogram.hpp"
 #include "util/stats.hpp"
 
 namespace plf::obs {
@@ -60,12 +61,20 @@ struct Snapshot {
   };
   struct Timer {
     std::string name;
-    OnlineStats stats;  ///< per-sample durations, in seconds
+    OnlineStats stats;       ///< per-sample durations, in seconds
+    LatencyHistogram hist;   ///< log-bucketed sample distribution (p50/p95/p99)
   };
 
   std::vector<Counter> counters;
   std::vector<Gauge> gauges;
   std::vector<Timer> timers;
+
+  /// Trace spans dropped at the buffer cap up to this snapshot (the report
+  /// footer surfaces it so a truncated trace is never silent).
+  std::uint64_t trace_events_dropped = 0;
+  /// Histogram samples that could not be bucketed (negative/non-finite),
+  /// summed over every timer.
+  std::uint64_t hist_samples_dropped = 0;
 
   const Counter* find_counter(std::string_view name) const;
   const Gauge* find_gauge(std::string_view name) const;

@@ -16,6 +16,7 @@
 
 #include <cstdint>
 
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 #include "util/clock.hpp"
 
@@ -24,10 +25,16 @@ namespace plf::obs {
 /// Times one lexical scope into a registry timer (and the trace buffer when
 /// tracing is on). Duration source is plf::now_ns(), so tests with an
 /// injected fake clock get exact durations.
+///
+/// When constructed with a non-null `name` (a string literal — the flight
+/// ring stores the pointer) the completed span is also appended to this
+/// thread's flight-recorder ring, so crash dumps show the last scopes the
+/// thread ran. PLF_PROF_SCOPE always passes its name literal.
 class ScopedTimer {
  public:
-  ScopedTimer(MetricsRegistry& registry, MetricId id)
-      : registry_(&registry), id_(id), start_ns_(now_ns()) {}
+  ScopedTimer(MetricsRegistry& registry, MetricId id,
+              const char* name = nullptr)
+      : registry_(&registry), id_(id), name_(name), start_ns_(now_ns()) {}
 
   ScopedTimer(const ScopedTimer&) = delete;
   ScopedTimer& operator=(const ScopedTimer&) = delete;
@@ -40,11 +47,15 @@ class ScopedTimer {
     if (registry_->tracing_enabled()) {
       registry_->record_span(id_, start_ns_, end_ns);
     }
+    if (name_ != nullptr) {
+      flight_record_span(name_, start_ns_, end_ns - start_ns_);
+    }
   }
 
  private:
   MetricsRegistry* registry_;
   MetricId id_;
+  const char* name_;
   std::uint64_t start_ns_;
 };
 
@@ -62,7 +73,7 @@ class ScopedTimer {
       ::plf::obs::MetricsRegistry::global().timer(name);                      \
   const ::plf::obs::ScopedTimer PLF_PROF_CONCAT(plf_prof_scope_, __LINE__)(   \
       ::plf::obs::MetricsRegistry::global(),                                  \
-      PLF_PROF_CONCAT(plf_prof_id_, __LINE__))
+      PLF_PROF_CONCAT(plf_prof_id_, __LINE__), name)
 
 /// Add `delta` to the counter `name` in the global registry.
 #define PLF_PROF_COUNT(name, delta)                                           \
@@ -71,6 +82,8 @@ class ScopedTimer {
         ::plf::obs::MetricsRegistry::global().counter(name);                  \
     ::plf::obs::MetricsRegistry::global().add(                                \
         plf_prof_count_id, static_cast<std::uint64_t>(delta));                \
+    ::plf::obs::flight_record_count(name,                                     \
+                                    static_cast<std::uint64_t>(delta));       \
   } while (false)
 
 /// Publish `value` to the gauge `name` in the global registry (cold paths).

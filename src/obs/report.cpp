@@ -71,6 +71,21 @@ Breakdown build_breakdown(const Snapshot& snapshot, double total_s,
   }
   b.plf_pct_of_engine = engine_s > 0.0 ? 100.0 * b.plf_s / engine_s : 0.0;
 
+  // Histogram-derived per-call percentiles, one row per non-empty timer
+  // (snapshot timers are already name-sorted).
+  for (const Snapshot::Timer& t : snapshot.timers) {
+    if (t.hist.count() == 0) continue;
+    LatencyRow row;
+    row.name = t.name;
+    row.count = t.hist.count();
+    row.p50_us = t.hist.percentile_ns(0.50) * 1e-3;
+    row.p95_us = t.hist.percentile_ns(0.95) * 1e-3;
+    row.p99_us = t.hist.percentile_ns(0.99) * 1e-3;
+    b.latencies.push_back(std::move(row));
+  }
+  b.trace_events_dropped = snapshot.trace_events_dropped;
+  b.hist_samples_dropped = snapshot.hist_samples_dropped;
+
   return b;
 }
 
@@ -104,6 +119,23 @@ std::string format_breakdown(const Breakdown& b) {
   if (b.transfer_sim_s > 0.0) {
     os << "simulated transfer (PCIe/DMA, virtual clock — not wall time): "
        << Table::num(b.transfer_sim_s, 4) << " s\n";
+  }
+  if (!b.latencies.empty()) {
+    Table lat("per-call latency percentiles (log-bucketed histograms)");
+    lat.header({"timer", "samples", "p50 us", "p95 us", "p99 us"});
+    for (const LatencyRow& r : b.latencies) {
+      lat.row({r.name, std::to_string(r.count), Table::num(r.p50_us, 2),
+               Table::num(r.p95_us, 2), Table::num(r.p99_us, 2)});
+    }
+    os << "\n" << lat;
+  }
+  if (b.trace_events_dropped > 0) {
+    os << "warning: trace buffer full — " << b.trace_events_dropped
+       << " spans dropped (trace output is truncated)\n";
+  }
+  if (b.hist_samples_dropped > 0) {
+    os << "warning: " << b.hist_samples_dropped
+       << " histogram samples dropped (negative or non-finite durations)\n";
   }
   return os.str();
 }

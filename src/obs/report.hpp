@@ -23,6 +23,15 @@ struct KernelShare {
   double pct_of_engine = 0.0;  ///< share of measured engine time
 };
 
+/// One timer row of the latency-percentile table (histogram-derived).
+struct LatencyRow {
+  std::string name;        ///< timer name, e.g. "plf.CondLikeDown"
+  std::uint64_t count = 0; ///< histogram sample count
+  double p50_us = 0.0;
+  double p95_us = 0.0;
+  double p99_us = 0.0;
+};
+
 /// Fig. 12-shaped decomposition of one run.
 struct Breakdown {
   std::string backend;     ///< label printed in the header
@@ -44,6 +53,15 @@ struct Breakdown {
   /// inside the three PLF kernels + reduction — the gprof-profile number the
   /// paper leads with.
   double plf_pct_of_engine = 0.0;
+
+  /// Per-call latency percentiles for every non-empty timer (kernels,
+  /// plan.*, engine serial phases), from the log-bucketed histograms.
+  std::vector<LatencyRow> latencies;
+
+  // Observability self-diagnostics, surfaced in the report footer so a
+  // truncated trace or unbucketable samples are never silent.
+  std::uint64_t trace_events_dropped = 0;
+  std::uint64_t hist_samples_dropped = 0;
 };
 
 /// Assemble the breakdown from a snapshot. `total_s` is the run's wall time

@@ -9,46 +9,12 @@
 #include <string_view>
 #include <unordered_map>
 
+#include "obs/json_util.hpp"
+
 namespace plf::obs {
 
-namespace {
-
-/// Escape for a JSON string literal (metric names are plain identifiers,
-/// but the writer must never emit a malformed document).
-std::string json_escape(std::string_view s) {
-  std::string out;
-  out.reserve(s.size());
-  for (const char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      case '\r': out += "\\r"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          constexpr char hex[] = "0123456789abcdef";
-          out += "\\u00";
-          out += hex[(static_cast<unsigned char>(c) >> 4) & 0xF];
-          out += hex[static_cast<unsigned char>(c) & 0xF];
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
-
-/// JSON has no Infinity/NaN literals; map them to null.
-void write_double(std::ostream& os, double v) {
-  if (std::isfinite(v)) {
-    os << v;
-  } else {
-    os << "null";
-  }
-}
-
-}  // namespace
+using detail::json_escape;
+using detail::write_json_double;
 
 void write_chrome_trace(std::ostream& os, const MetricsRegistry& registry) {
   const std::vector<TraceEvent> events = registry.trace_events();
@@ -104,7 +70,7 @@ void write_metrics_json(std::ostream& os, const Snapshot& snapshot) {
     if (!first) os << ",";
     first = false;
     os << "\"" << json_escape(g.name) << "\":";
-    write_double(os, g.value);
+    write_json_double(os, g.value);
   }
   os << "},\"timers\":{";
   first = true;
@@ -113,18 +79,25 @@ void write_metrics_json(std::ostream& os, const Snapshot& snapshot) {
     first = false;
     os << "\"" << json_escape(t.name) << "\":{\"count\":" << t.stats.count()
        << ",\"total_s\":";
-    write_double(os, t.stats.total());
+    write_json_double(os, t.stats.total());
     os << ",\"mean_s\":";
-    write_double(os, t.stats.count() == 0 ? 0.0 : t.stats.mean());
+    write_json_double(os, t.stats.count() == 0 ? 0.0 : t.stats.mean());
     os << ",\"min_s\":";
-    write_double(os, t.stats.min());  // NaN when empty -> null
+    write_json_double(os, t.stats.min());  // NaN when empty -> null
     os << ",\"max_s\":";
-    write_double(os, t.stats.max());
+    write_json_double(os, t.stats.max());
     os << ",\"stddev_s\":";
-    write_double(os, t.stats.stddev());
+    write_json_double(os, t.stats.stddev());
+    os << ",\"p50_s\":";
+    write_json_double(os, t.hist.percentile_s(0.50));  // NaN when empty -> null
+    os << ",\"p95_s\":";
+    write_json_double(os, t.hist.percentile_s(0.95));
+    os << ",\"p99_s\":";
+    write_json_double(os, t.hist.percentile_s(0.99));
     os << "}";
   }
-  os << "}}";
+  os << "},\"meta\":{\"trace_events_dropped\":" << snapshot.trace_events_dropped
+     << ",\"hist_samples_dropped\":" << snapshot.hist_samples_dropped << "}}";
   os.precision(old_precision);
 }
 

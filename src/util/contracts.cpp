@@ -1,5 +1,6 @@
 #include "util/contracts.hpp"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <sstream>
@@ -11,6 +12,21 @@ bool contracts_active() noexcept { return PLF_CONTRACTS_LEVEL != 0; }
 }  // namespace plf
 
 namespace plf::detail {
+
+namespace {
+std::atomic<CrashHookFn> g_crash_hook{nullptr};
+}  // namespace
+
+CrashHookFn set_contract_crash_hook(CrashHookFn fn) noexcept {
+  return g_crash_hook.exchange(fn, std::memory_order_acq_rel);
+}
+
+void invoke_contract_crash_hook() noexcept {
+  if (const CrashHookFn fn = g_crash_hook.load(std::memory_order_acquire);
+      fn != nullptr) {
+    fn();
+  }
+}
 
 void throw_hw_check_failure(const char* expr, const char* file, int line,
                             const std::string& msg) {
@@ -33,6 +49,7 @@ void contract_abort(const char* kind, const char* expr, const char* file,
   std::fprintf(stderr, "plf: contract violation: %s [%s `%s` failed at %s:%d]\n",
                msg, kind, expr, file, line);
   std::fflush(stderr);
+  invoke_contract_crash_hook();
   std::abort();
 }
 
@@ -44,6 +61,7 @@ void contract_abort_aligned(const void* ptr, std::size_t align,
                "aligned [at %s:%d]\n",
                expr, ptr, align, file, line);
   std::fflush(stderr);
+  invoke_contract_crash_hook();
   std::abort();
 }
 

@@ -55,6 +55,20 @@ bool contracts_active() noexcept;
 
 namespace plf::detail {
 
+/// Hook invoked (at most one is installed) just before a fatal contract
+/// violation aborts the process. The observability layer registers the
+/// flight-recorder dump here (obs/flight.hpp), so a PLF_DCHECK death in a
+/// sanitizer CI job leaves the failing thread's last spans behind instead of
+/// a bare abort. Must be async-signal-tolerant in spirit: no throwing, no
+/// re-entering the contract layer.
+using CrashHookFn = void (*)() noexcept;
+
+/// Install `fn` (nullptr to clear); returns the previously installed hook.
+CrashHookFn set_contract_crash_hook(CrashHookFn fn) noexcept;
+
+/// Run the installed hook, if any. Called by contract_abort* before abort().
+void invoke_contract_crash_hook() noexcept;
+
 /// Throws HardwareViolation (always-on hardware-rule checks).
 [[noreturn]] void throw_hw_check_failure(const char* expr, const char* file,
                                          int line, const std::string& msg);

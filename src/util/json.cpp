@@ -1,0 +1,343 @@
+#include "util/json.hpp"
+
+#include <cerrno>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace plf::json {
+
+Value Value::make_bool(bool b) {
+  Value v;
+  v.type_ = Type::kBool;
+  v.bool_ = b;
+  return v;
+}
+
+Value Value::make_number(double d) {
+  Value v;
+  v.type_ = Type::kNumber;
+  v.num_ = d;
+  return v;
+}
+
+Value Value::make_string(std::string s) {
+  Value v;
+  v.type_ = Type::kString;
+  v.str_ = std::move(s);
+  return v;
+}
+
+Value Value::make_array(Array a) {
+  Value v;
+  v.type_ = Type::kArray;
+  v.arr_ = std::make_shared<const Array>(std::move(a));
+  return v;
+}
+
+Value Value::make_object(Object o) {
+  Value v;
+  v.type_ = Type::kObject;
+  v.obj_ = std::make_shared<const Object>(std::move(o));
+  return v;
+}
+
+namespace {
+[[noreturn]] void type_error(const char* want, Value::Type got) {
+  static const char* const kNames[] = {"null",   "bool",  "number",
+                                       "string", "array", "object"};
+  throw Error(std::string("json: expected ") + want + ", value holds " +
+              kNames[static_cast<unsigned char>(got)]);
+}
+}  // namespace
+
+bool Value::as_bool() const {
+  if (type_ != Type::kBool) type_error("bool", type_);
+  return bool_;
+}
+
+double Value::as_number() const {
+  if (type_ != Type::kNumber) type_error("number", type_);
+  return num_;
+}
+
+const std::string& Value::as_string() const {
+  if (type_ != Type::kString) type_error("string", type_);
+  return str_;
+}
+
+const Value::Array& Value::as_array() const {
+  if (type_ != Type::kArray) type_error("array", type_);
+  return *arr_;
+}
+
+const Value::Object& Value::as_object() const {
+  if (type_ != Type::kObject) type_error("object", type_);
+  return *obj_;
+}
+
+const Value* Value::find(std::string_view key) const {
+  if (type_ != Type::kObject) return nullptr;
+  for (const Member& m : *obj_) {
+    if (m.first == key) return &m.second;
+  }
+  return nullptr;
+}
+
+const Value& Value::at(std::string_view key) const {
+  const Value* v = find(key);
+  if (v == nullptr) {
+    throw Error("json: missing key '" + std::string(key) + "'");
+  }
+  return *v;
+}
+
+double Value::number_or(std::string_view key, double fallback) const {
+  const Value* v = find(key);
+  return (v != nullptr && v->is_number()) ? v->as_number() : fallback;
+}
+
+namespace {
+
+/// Recursive-descent parser over a string_view. Depth-capped so hostile
+/// nesting cannot blow the stack.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Value parse_document() {
+    skip_ws();
+    Value v = parse_value(0);
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing content after document");
+    return v;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 128;
+
+  [[noreturn]] void fail(const std::string& what) const {
+    std::size_t line = 1;
+    std::size_t col = 1;
+    for (std::size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+      if (text_[i] == '\n') {
+        ++line;
+        col = 1;
+      } else {
+        ++col;
+      }
+    }
+    std::ostringstream os;
+    os << "json: " << what << " at " << line << ":" << col;
+    throw ParseError(os.str());
+  }
+
+  bool eof() const { return pos_ >= text_.size(); }
+  char peek() const { return text_[pos_]; }
+
+  char next() {
+    if (eof()) fail("unexpected end of input");
+    return text_[pos_++];
+  }
+
+  void skip_ws() {
+    while (!eof()) {
+      const char c = peek();
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  void expect_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) {
+      fail("invalid literal");
+    }
+    pos_ += lit.size();
+  }
+
+  Value parse_value(int depth) {
+    if (depth > kMaxDepth) fail("nesting too deep");
+    if (eof()) fail("unexpected end of input");
+    switch (peek()) {
+      case '{': return parse_object(depth);
+      case '[': return parse_array(depth);
+      case '"': return Value::make_string(parse_string());
+      case 't': expect_literal("true"); return Value::make_bool(true);
+      case 'f': expect_literal("false"); return Value::make_bool(false);
+      case 'n': expect_literal("null"); return Value::make_null();
+      default: return parse_number();
+    }
+  }
+
+  Value parse_object(int depth) {
+    next();  // '{'
+    Value::Object members;
+    skip_ws();
+    if (!eof() && peek() == '}') {
+      ++pos_;
+      return Value::make_object(std::move(members));
+    }
+    while (true) {
+      skip_ws();
+      if (eof() || peek() != '"') fail("expected object key string");
+      std::string key = parse_string();
+      skip_ws();
+      if (next() != ':') fail("expected ':' after object key");
+      skip_ws();
+      members.emplace_back(std::move(key), parse_value(depth + 1));
+      skip_ws();
+      const char c = next();
+      if (c == '}') break;
+      if (c != ',') fail("expected ',' or '}' in object");
+    }
+    return Value::make_object(std::move(members));
+  }
+
+  Value parse_array(int depth) {
+    next();  // '['
+    Value::Array items;
+    skip_ws();
+    if (!eof() && peek() == ']') {
+      ++pos_;
+      return Value::make_array(std::move(items));
+    }
+    while (true) {
+      skip_ws();
+      items.push_back(parse_value(depth + 1));
+      skip_ws();
+      const char c = next();
+      if (c == ']') break;
+      if (c != ',') fail("expected ',' or ']' in array");
+    }
+    return Value::make_array(std::move(items));
+  }
+
+  std::string parse_string() {
+    next();  // '"'
+    std::string out;
+    while (true) {
+      const char c = next();
+      if (c == '"') break;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        fail("unescaped control character in string");
+      }
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      const char esc = next();
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': out += parse_unicode_escape(); break;
+        default: fail("invalid escape sequence");
+      }
+    }
+    return out;
+  }
+
+  std::string parse_unicode_escape() {
+    unsigned cp = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = next();
+      cp <<= 4;
+      if (c >= '0' && c <= '9') {
+        cp |= static_cast<unsigned>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        cp |= static_cast<unsigned>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        cp |= static_cast<unsigned>(c - 'A' + 10);
+      } else {
+        fail("invalid \\u escape");
+      }
+    }
+    // Minimal UTF-8 encode of the BMP code point. Surrogate pairs are not
+    // combined (our emitters never produce them); each half encodes
+    // independently, which is lossy but non-throwing.
+    std::string out;
+    if (cp < 0x80) {
+      out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      out += static_cast<char>(0xC0 | (cp >> 6));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      out += static_cast<char>(0xE0 | (cp >> 12));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    }
+    return out;
+  }
+
+  Value parse_number() {
+    const std::size_t start = pos_;
+    if (!eof() && peek() == '-') ++pos_;
+    auto digits = [this] {
+      bool any = false;
+      while (!eof() && peek() >= '0' && peek() <= '9') {
+        ++pos_;
+        any = true;
+      }
+      return any;
+    };
+    if (!digits()) fail("invalid number");
+    if (!eof() && peek() == '.') {
+      ++pos_;
+      if (!digits()) fail("invalid number: missing fraction digits");
+    }
+    if (!eof() && (peek() == 'e' || peek() == 'E')) {
+      ++pos_;
+      if (!eof() && (peek() == '+' || peek() == '-')) ++pos_;
+      if (!digits()) fail("invalid number: missing exponent digits");
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    errno = 0;
+    char* end = nullptr;
+    const double v = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) fail("invalid number");
+    // Overflow to +/-inf is accepted (errno == ERANGE); callers treating
+    // seconds/counters never hit it in practice.
+    return Value::make_number(v);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Value parse(std::string_view text) { return Parser(text).parse_document(); }
+
+Value parse_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw Error("json: cannot open file '" + path + "'");
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (in.bad()) {
+    throw Error("json: read failure on '" + path + "'");
+  }
+  try {
+    return parse(buf.str());
+  } catch (const ParseError& e) {
+    // Re-throw with the file name appended, dropping the prefix the
+    // ParseError constructor will re-add.
+    std::string what = e.what();
+    constexpr std::string_view kPrefix = "parse error: ";
+    if (what.rfind(kPrefix, 0) == 0) what.erase(0, kPrefix.size());
+    throw ParseError(what + " [file " + path + "]");
+  }
+}
+
+}  // namespace plf::json

@@ -1,0 +1,86 @@
+// Minimal JSON reader for the tools that consume our own emitted documents
+// (bench reports, metrics dumps, flight recordings).
+//
+// Scope is deliberately tight: parse a complete UTF-8 text into an immutable
+// Value tree, throw plf::ParseError with position info on malformed input.
+// No streaming, no comments, no writer (emission lives next to each producer
+// — obs/json_util.hpp). Numbers are stored as double, which is exact for the
+// counts and seconds our schemas carry.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace plf::json {
+
+/// One JSON value. Object member order is preserved (useful for stable
+/// round-trip tests); lookup by key is linear, fine for our small documents.
+class Value {
+ public:
+  enum class Type : unsigned char {
+    kNull,
+    kBool,
+    kNumber,
+    kString,
+    kArray,
+    kObject,
+  };
+
+  using Array = std::vector<Value>;
+  using Member = std::pair<std::string, Value>;
+  using Object = std::vector<Member>;
+
+  Value() = default;
+  static Value make_null() { return Value(); }
+  static Value make_bool(bool b);
+  static Value make_number(double d);
+  static Value make_string(std::string s);
+  static Value make_array(Array a);
+  static Value make_object(Object o);
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  // Typed accessors; throw plf::Error when the value holds another type.
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+  const Array& as_array() const;
+  const Object& as_object() const;
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const Value* find(std::string_view key) const;
+  /// find() that throws plf::Error when the key is missing.
+  const Value& at(std::string_view key) const;
+
+  /// Convenience: number at `key`, or `fallback` when absent/not a number.
+  double number_or(std::string_view key, double fallback) const;
+
+ private:
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  // Indirect so Value stays movable with an incomplete element type.
+  std::shared_ptr<const Array> arr_;
+  std::shared_ptr<const Object> obj_;
+};
+
+/// Parse a complete JSON document. Trailing whitespace is permitted, any
+/// other trailing content is an error. Throws plf::ParseError with a
+/// line:column position on malformed input.
+Value parse(std::string_view text);
+
+/// Read and parse a whole file; throws plf::Error when unreadable.
+Value parse_file(const std::string& path);
+
+}  // namespace plf::json

@@ -1,0 +1,133 @@
+// Tests for the bench_compare regression gate (tools/bench_compare_lib).
+// Synthetic documents cover the four verdict paths — regression, improvement,
+// new case, missing case — plus per-case threshold overrides and schema
+// validation, all without spawning processes or timing anything.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "bench_compare_lib.hpp"
+#include "util/error.hpp"
+#include "util/json.hpp"
+
+namespace plf::tools {
+namespace {
+
+json::Value doc(const std::string& cases) {
+  return json::parse(R"({"schema": "plf-bench-v1", "cases": {)" + cases + "}}");
+}
+
+std::string one_case(const std::string& name, double min_s,
+                     const std::string& extra = "") {
+  return "\"" + name + "\": {\"unit\": \"s/call\", \"min\": " +
+         std::to_string(min_s) + extra + "}";
+}
+
+const CaseResult* find_case(const CompareReport& r, const std::string& name) {
+  for (const CaseResult& c : r.cases) {
+    if (c.name == name) return &c;
+  }
+  return nullptr;
+}
+
+TEST(BenchCompare, WithinThresholdIsOk) {
+  const auto base = doc(one_case("kernel.down", 1.0e-4));
+  const auto cur = doc(one_case("kernel.down", 1.10e-4));  // +10% < 15%
+  const CompareReport r = compare_benches(base, cur, CompareOptions{});
+  EXPECT_FALSE(r.failed());
+  EXPECT_EQ(r.ok, 1);
+  ASSERT_NE(find_case(r, "kernel.down"), nullptr);
+  EXPECT_EQ(find_case(r, "kernel.down")->status, CaseStatus::kOk);
+  EXPECT_NEAR(find_case(r, "kernel.down")->ratio, 1.10, 1e-9);
+}
+
+TEST(BenchCompare, SlowdownPastThresholdRegresses) {
+  const auto base = doc(one_case("kernel.down", 1.0e-4));
+  const auto cur = doc(one_case("kernel.down", 1.2e-4));  // +20% > 15%
+  const CompareReport r = compare_benches(base, cur, CompareOptions{});
+  EXPECT_TRUE(r.failed());
+  EXPECT_EQ(r.regressed, 1);
+  EXPECT_EQ(find_case(r, "kernel.down")->status, CaseStatus::kRegressed);
+}
+
+TEST(BenchCompare, SpeedupPastThresholdIsImprovedNotFailure) {
+  const auto base = doc(one_case("kernel.down", 1.0e-4));
+  const auto cur = doc(one_case("kernel.down", 0.5e-4));
+  const CompareReport r = compare_benches(base, cur, CompareOptions{});
+  EXPECT_FALSE(r.failed());
+  EXPECT_EQ(r.improved, 1);
+  EXPECT_EQ(find_case(r, "kernel.down")->status, CaseStatus::kImproved);
+}
+
+TEST(BenchCompare, NewCaseIsInformational) {
+  const auto base = doc(one_case("kernel.down", 1.0e-4));
+  const auto cur = doc(one_case("kernel.down", 1.0e-4) + "," +
+                       one_case("kernel.shiny", 2.0e-4));
+  const CompareReport r = compare_benches(base, cur, CompareOptions{});
+  EXPECT_FALSE(r.failed());
+  EXPECT_EQ(r.new_cases, 1);
+  EXPECT_EQ(find_case(r, "kernel.shiny")->status, CaseStatus::kNew);
+}
+
+TEST(BenchCompare, MissingCaseFailsTheGate) {
+  // A case silently vanishing from the suite must fail: otherwise deleting
+  // a slow bench "fixes" a regression.
+  const auto base = doc(one_case("kernel.down", 1.0e-4) + "," +
+                        one_case("kernel.gone", 1.0e-4));
+  const auto cur = doc(one_case("kernel.down", 1.0e-4));
+  const CompareReport r = compare_benches(base, cur, CompareOptions{});
+  EXPECT_TRUE(r.failed());
+  EXPECT_EQ(r.missing, 1);
+  EXPECT_EQ(find_case(r, "kernel.gone")->status, CaseStatus::kMissing);
+}
+
+TEST(BenchCompare, PerCaseThresholdOverridesDefault) {
+  // +20% regresses under the 0.15 default but passes a 0.40 per-case
+  // threshold (the noisy threaded-engine cases carry one).
+  const auto base = doc(one_case("engine.noisy", 1.0e-3,
+                                 ", \"threshold\": 0.40"));
+  const auto cur = doc(one_case("engine.noisy", 1.2e-3));
+  const CompareReport r = compare_benches(base, cur, CompareOptions{});
+  EXPECT_FALSE(r.failed());
+  EXPECT_DOUBLE_EQ(find_case(r, "engine.noisy")->threshold, 0.40);
+}
+
+TEST(BenchCompare, DefaultThresholdIsConfigurable) {
+  const auto base = doc(one_case("kernel.down", 1.0e-4));
+  const auto cur = doc(one_case("kernel.down", 1.2e-4));
+  CompareOptions opts;
+  opts.default_threshold = 0.30;  // +20% now tolerated
+  EXPECT_FALSE(compare_benches(base, cur, opts).failed());
+  opts.default_threshold = 0.10;
+  EXPECT_TRUE(compare_benches(base, cur, opts).failed());
+}
+
+TEST(BenchCompare, RejectsWrongSchema) {
+  const auto bad = json::parse(R"({"schema": "other-v9", "cases": {}})");
+  const auto good = doc("");
+  EXPECT_THROW(compare_benches(bad, good, CompareOptions{}), Error);
+  EXPECT_THROW(compare_benches(good, bad, CompareOptions{}), Error);
+  const auto no_cases = json::parse(R"({"schema": "plf-bench-v1"})");
+  EXPECT_THROW(compare_benches(no_cases, good, CompareOptions{}), Error);
+}
+
+TEST(BenchCompare, FormatReportListsVerdicts) {
+  const auto base = doc(one_case("a.regressed", 1.0) + "," +
+                        one_case("b.missing", 1.0));
+  const auto cur = doc(one_case("a.regressed", 2.0) + "," +
+                       one_case("c.new", 1.0));
+  const CompareReport r = compare_benches(base, cur, CompareOptions{});
+  const std::string out = format_report(r);
+  EXPECT_NE(out.find("REGRESSED"), std::string::npos);
+  EXPECT_NE(out.find("MISSING"), std::string::npos);
+  EXPECT_NE(out.find("new"), std::string::npos);
+  EXPECT_NE(out.find("verdict: FAIL"), std::string::npos);
+  EXPECT_NE(out.find("1 regressed"), std::string::npos);
+  EXPECT_NE(out.find("1 missing"), std::string::npos);
+
+  const auto clean = compare_benches(base, base, CompareOptions{});
+  EXPECT_NE(format_report(clean).find("verdict: PASS"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace plf::tools

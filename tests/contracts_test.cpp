@@ -6,12 +6,18 @@
 // contract level the build selected; the kernel-entry integration tests query
 // plf::contracts_active() and skip when the library was built unchecked.
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
 
 #include <gtest/gtest.h>
 
 #include "core/kernel_contracts.hpp"
 #include "core/kernels.hpp"
 #include "core/plan.hpp"
+#include "obs/flight.hpp"
 #include "util/aligned.hpp"
 #include "util/contracts.hpp"
 
@@ -86,6 +92,75 @@ TEST(AssumeDeathTest, FalseAssumptionAbortsInCheckedBuilds) {
 }
 
 TEST(AssumeDeathTest, TrueAssumptionIsSilent) { PLF_ASSUME(1 == 1); }
+
+// --- flight recorder on the death paths -----------------------------------
+//
+// The dying child writes the flight JSON to stderr (matched by EXPECT_DEATH)
+// and to PLF_FLIGHT_PATH; the parent then parses the file and checks the
+// failing thread's last spans survived the crash.
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+TEST(FlightDeathTest, ContractAbortDumpsLastSpans) {
+  testing::FLAGS_gtest_death_test_style = "threadsafe";
+  const std::string path =
+      testing::TempDir() + "plf_flight_contract_death.json";
+  std::remove(path.c_str());
+  ::setenv("PLF_FLIGHT_PATH", path.c_str(), 1);
+
+  EXPECT_DEATH(
+      {
+        obs::flight_record_span("flight.before.crash", 111, 22);
+        obs::flight_record_count("flight.crash.count", 7);
+        PLF_DCHECK(false, "flight dump trigger");
+      },
+      // The contract hook runs before abort and prints the ring to stderr
+      // (gtest matches POSIX ERE per line, so anchor on the JSON line).
+      "\"name\":\"flight\\.before\\.crash\"");
+
+  const std::string json = read_file(path);
+  ::unsetenv("PLF_FLIGHT_PATH");
+  ASSERT_FALSE(json.empty()) << "death child did not write " << path;
+  EXPECT_NE(json.find("\"schema\":\"plf-flight-v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"reason\":\"contract-violation\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"kind\":\"span\",\"name\":\"flight.before.crash\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"t_ns\":111,\"dur_ns\":22"), std::string::npos);
+  EXPECT_NE(json.find("\"kind\":\"count\",\"name\":\"flight.crash.count\""),
+            std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(FlightDeathTest, UncaughtCheckThrowDumpsViaTerminateHook) {
+  testing::FLAGS_gtest_death_test_style = "threadsafe";
+  const std::string path =
+      testing::TempDir() + "plf_flight_terminate_death.json";
+  std::remove(path.c_str());
+  ::setenv("PLF_FLIGHT_PATH", path.c_str(), 1);
+
+  EXPECT_DEATH(
+      {
+        obs::install_flight_handlers();
+        obs::flight_record_span("flight.terminate.span", 5, 9);
+        // noexcept boundary: the PLF_CHECK throw cannot escape, so the
+        // process reaches std::terminate and the installed hook dumps.
+        []() noexcept { PLF_CHECK(false, "uncaught escapes to terminate"); }();
+      },
+      "\"name\":\"flight\\.terminate\\.span\"");
+
+  const std::string json = read_file(path);
+  ::unsetenv("PLF_FLIGHT_PATH");
+  ASSERT_FALSE(json.empty()) << "death child did not write " << path;
+  EXPECT_NE(json.find("\"reason\":\"terminate\""), std::string::npos);
+  EXPECT_NE(json.find("flight.terminate.span"), std::string::npos);
+  std::remove(path.c_str());
+}
 
 /// Minimal valid cond_like_down argument pack over aligned storage.
 struct DownFixture {

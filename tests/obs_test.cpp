@@ -8,11 +8,14 @@
 #include <atomic>
 #include <cmath>
 #include <cstdint>
+#include <limits>
 #include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "obs/flight.hpp"
+#include "obs/histogram.hpp"
 #include "obs/metrics.hpp"
 #include "obs/names.hpp"
 #include "obs/profile.hpp"
@@ -356,6 +359,249 @@ TEST(Breakdown, FormatContainsPaperSections) {
   EXPECT_NE(out.find("100.0"), std::string::npos);  // total row sums to 100%
   EXPECT_NE(out.find("simulated transfer"), std::string::npos);
   EXPECT_NE(out.find("85-95%"), std::string::npos);  // the paper anchor
+}
+
+// --- latency histograms ---------------------------------------------------
+
+TEST(LatencyHistogram, BucketBoundariesArePowersOfTwo) {
+  // Layout: bucket 0 = {0}; bucket b in 1..62 = [2^(b-1), 2^b); 63 overflow.
+  EXPECT_EQ(LatencyHistogram::bucket_index(0), 0);
+  EXPECT_EQ(LatencyHistogram::bucket_index(1), 1);
+  EXPECT_EQ(LatencyHistogram::bucket_index(2), 2);
+  EXPECT_EQ(LatencyHistogram::bucket_index(3), 2);
+  EXPECT_EQ(LatencyHistogram::bucket_index(4), 3);
+  EXPECT_EQ(LatencyHistogram::bucket_index(1023), 10);
+  EXPECT_EQ(LatencyHistogram::bucket_index(1024), 11);
+  EXPECT_EQ(LatencyHistogram::bucket_index(std::uint64_t{1} << 61), 62);
+  EXPECT_EQ(LatencyHistogram::bucket_index(std::uint64_t{1} << 62), 63);
+  EXPECT_EQ(LatencyHistogram::bucket_index(
+                std::numeric_limits<std::uint64_t>::max()),
+            63);
+  for (int b = 1; b < LatencyHistogram::kBuckets - 1; ++b) {
+    // Each bucket's bounds are consistent with bucket_index at the edges.
+    EXPECT_EQ(LatencyHistogram::bucket_index(
+                  LatencyHistogram::bucket_lower_ns(b)),
+              b);
+    EXPECT_EQ(LatencyHistogram::bucket_index(
+                  LatencyHistogram::bucket_upper_ns(b) - 1),
+              b);
+  }
+}
+
+TEST(LatencyHistogram, MergeIsExactElementWiseAddition) {
+  LatencyHistogram a;
+  LatencyHistogram b;
+  for (int i = 0; i < 10; ++i) a.add_ns(1000);
+  for (int i = 0; i < 7; ++i) b.add_ns(1000);
+  b.add_ns(0);
+  b.add_ns(std::numeric_limits<std::uint64_t>::max());
+  b.add_seconds(-1.0);  // dropped
+  a.merge(b);
+  EXPECT_EQ(a.count(), 19u);
+  EXPECT_EQ(a.bucket_count(10), 17u);  // 1000 ns -> [512, 1024)
+  EXPECT_EQ(a.bucket_count(0), 1u);
+  EXPECT_EQ(a.bucket_count(63), 1u);
+  EXPECT_EQ(a.dropped(), 1u);
+}
+
+TEST(LatencyHistogram, PercentileGoldenSingleBucket) {
+  // 100 identical 1000 ns samples live in bucket 10 = [512, 1024).
+  // Linear interpolation inside the bucket gives exact, deterministic
+  // quantiles: p50 -> 512 + 0.50*512 = 768, p99 -> 512 + 0.99*512 = 1018.88.
+  LatencyHistogram h;
+  for (int i = 0; i < 100; ++i) h.add_ns(1000);
+  EXPECT_DOUBLE_EQ(h.percentile_ns(0.50), 768.0);
+  EXPECT_DOUBLE_EQ(h.percentile_ns(0.95), 998.4);
+  EXPECT_DOUBLE_EQ(h.percentile_ns(0.99), 1018.88);
+  EXPECT_DOUBLE_EQ(h.percentile_s(0.50), 768.0e-9);
+}
+
+TEST(LatencyHistogram, PercentileSeparatesTailFromBody) {
+  // 99 fast samples (~1 us) and 1 slow (~2 ms): the mean moves ~3%, but p99
+  // must land in the slow bucket — the tail-visibility property the
+  // histogram exists for.
+  LatencyHistogram h;
+  for (int i = 0; i < 99; ++i) h.add_ns(1000);
+  h.add_ns(2'000'000);
+  EXPECT_LT(h.percentile_ns(0.50), 1024.0);
+  EXPECT_GE(h.percentile_ns(0.995), 1'048'576.0);  // slow bucket lower bound
+}
+
+TEST(LatencyHistogram, EmptyPercentileIsNaNAndDroppedCounts) {
+  LatencyHistogram h;
+  EXPECT_TRUE(std::isnan(h.percentile_ns(0.5)));
+  h.add_seconds(std::numeric_limits<double>::quiet_NaN());
+  h.add_seconds(std::numeric_limits<double>::infinity());
+  h.add_seconds(-0.001);
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.dropped(), 3u);
+  h.add_seconds(1e-6);
+  EXPECT_EQ(h.count(), 1u);
+}
+
+TEST(MetricsRegistry, TimerHistogramMatchesRecordedSamplesExactly) {
+  FakeClockGuard clock(0);
+  MetricsRegistry reg;
+  const MetricId t = reg.timer("hist.timer");
+  // 100 spans of exactly 1000 ns through the real ScopedTimer path.
+  for (int i = 0; i < 100; ++i) {
+    ScopedTimer timer(reg, t);
+    clock.advance_ns(1'000);
+  }
+  const Snapshot snap = reg.snapshot();
+  const Snapshot::Timer* timer = snap.find_timer("hist.timer");
+  ASSERT_NE(timer, nullptr);
+  EXPECT_EQ(timer->hist.count(), 100u);
+  EXPECT_EQ(timer->hist.bucket_count(10), 100u);
+  EXPECT_DOUBLE_EQ(timer->hist.percentile_ns(0.50), 768.0);
+  EXPECT_EQ(snap.hist_samples_dropped, 0u);
+
+  reg.reset();
+  const Snapshot after_reset = reg.snapshot();
+  const Snapshot::Timer* cleared = after_reset.find_timer("hist.timer");
+  ASSERT_NE(cleared, nullptr);
+  EXPECT_EQ(cleared->hist.count(), 0u);
+}
+
+TEST(MetricsRegistry, HistogramMergesAcrossThreadShards) {
+  FakeClockGuard clock(0);
+  MetricsRegistry reg;
+  const MetricId t = reg.timer("hist.mt");
+  constexpr int kThreads = 4;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&reg, t] {
+      for (int j = 0; j < 50; ++j) reg.record_seconds(t, 1e-6);  // 1000 ns
+    });
+  }
+  for (auto& th : threads) th.join();
+  const Snapshot snap = reg.snapshot();
+  const Snapshot::Timer* timer = snap.find_timer("hist.mt");
+  ASSERT_NE(timer, nullptr);
+  EXPECT_EQ(timer->hist.count(), 200u);
+  EXPECT_EQ(timer->hist.bucket_count(10), 200u);
+}
+
+TEST(MetricsWriter, EmitsPercentileKeysAndMetaSection) {
+  FakeClockGuard clock(0);
+  MetricsRegistry reg;
+  const MetricId t = reg.timer("json.p50");
+  for (int i = 0; i < 10; ++i) {
+    ScopedTimer timer(reg, t);
+    clock.advance_ns(1'000);
+  }
+  reg.timer("json.empty");  // interned, never sampled -> null percentiles
+  std::ostringstream os;
+  write_metrics_json(os, reg.snapshot());
+  const std::string out = os.str();
+  EXPECT_NE(out.find("\"p50_s\":7.68"), std::string::npos);  // 768 ns
+  EXPECT_NE(out.find("\"p95_s\":"), std::string::npos);
+  EXPECT_NE(out.find("\"p99_s\":"), std::string::npos);
+  EXPECT_NE(out.find("\"p50_s\":null"), std::string::npos);  // empty timer
+  EXPECT_NE(out.find("\"meta\":{\"trace_events_dropped\":0,"
+                     "\"hist_samples_dropped\":0}"),
+            std::string::npos);
+  EXPECT_EQ(out.find("nan"), std::string::npos);
+}
+
+// --- report: latency table + drop-count footer ----------------------------
+
+TEST(Breakdown, CarriesLatencyRowsAndDropCounts) {
+  FakeClockGuard clock(0);
+  MetricsRegistry reg;
+  load_kernel_profile(reg);
+  const MetricId t = reg.timer(kTimerPlanExecute);
+  for (int i = 0; i < 8; ++i) {
+    ScopedTimer timer(reg, t);
+    clock.advance_ns(1'000);
+  }
+  const Breakdown b = build_breakdown(reg.snapshot(), 10.0, "lat");
+  ASSERT_FALSE(b.latencies.empty());
+  const LatencyRow* plan_row = nullptr;
+  for (const LatencyRow& r : b.latencies) {
+    if (r.name == kTimerPlanExecute) plan_row = &r;
+  }
+  ASSERT_NE(plan_row, nullptr);
+  EXPECT_EQ(plan_row->count, 8u);
+  EXPECT_DOUBLE_EQ(plan_row->p50_us, 0.768);
+
+  const std::string out = format_breakdown(b);
+  EXPECT_NE(out.find("per-call latency percentiles"), std::string::npos);
+  EXPECT_NE(out.find("p99 us"), std::string::npos);
+  EXPECT_NE(out.find(kTimerPlanExecute), std::string::npos);
+  // No drops -> no warnings in the footer.
+  EXPECT_EQ(out.find("warning:"), std::string::npos);
+}
+
+TEST(Breakdown, FooterSurfacesTraceAndHistogramDrops) {
+  MetricsRegistry reg;
+  const MetricId t = reg.timer("drop.timer");
+  reg.record_seconds(t, -1.0);  // unbucketable -> hist drop
+  reg.enable_tracing(true);
+  constexpr std::uint64_t kCap = 1u << 18;
+  for (std::uint64_t i = 0; i < kCap + 3; ++i) reg.record_span(t, i, i + 1);
+
+  const Snapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.trace_events_dropped, 3u);
+  EXPECT_EQ(snap.hist_samples_dropped, 1u);
+
+  const Breakdown b = build_breakdown(snap, 1.0, "drops");
+  const std::string out = format_breakdown(b);
+  EXPECT_NE(out.find("trace buffer full — 3 spans dropped"),
+            std::string::npos);
+  EXPECT_NE(out.find("1 histogram samples dropped"), std::string::npos);
+}
+
+// --- flight recorder (in-process paths; death paths live in
+// contracts_test.cpp) --------------------------------------------------------
+
+TEST(FlightRecorder, RecordsSpansAndCountsIntoJson) {
+  flight_reset_for_tests();
+  flight_record_span("flight.test.span", 100, 50);
+  flight_record_count("flight.test.count", 3);
+  std::ostringstream os;
+  write_flight_json(os, "unit-test");
+  const std::string out = os.str();
+  EXPECT_NE(out.find("\"schema\":\"plf-flight-v1\""), std::string::npos);
+  EXPECT_NE(out.find("\"reason\":\"unit-test\""), std::string::npos);
+  EXPECT_NE(out.find("\"kind\":\"span\",\"name\":\"flight.test.span\""),
+            std::string::npos);
+  EXPECT_NE(out.find("\"t_ns\":100,\"dur_ns\":50"), std::string::npos);
+  EXPECT_NE(out.find("\"kind\":\"count\",\"name\":\"flight.test.count\""),
+            std::string::npos);
+  EXPECT_NE(out.find("\"delta\":3"), std::string::npos);
+}
+
+TEST(FlightRecorder, RingKeepsOnlyTheLastEvents) {
+  flight_reset_for_tests();
+  for (std::uint64_t i = 0; i < kFlightRingSize + 10; ++i) {
+    flight_record_span(i % 2 == 0 ? "flight.even" : "flight.odd", i, 1);
+  }
+  std::ostringstream os;
+  write_flight_json(os, "wrap");
+  const std::string out = os.str();
+  // The first 10 events were overwritten: t_ns 0..9 must be gone, the most
+  // recent event must be present.
+  EXPECT_EQ(out.find("\"t_ns\":3,"), std::string::npos);
+  EXPECT_NE(out.find("\"t_ns\":" + std::to_string(kFlightRingSize + 9)),
+            std::string::npos);
+}
+
+TEST(FlightRecorder, ScopedTimerFeedsTheRing) {
+  FakeClockGuard clock(5'000);
+  flight_reset_for_tests();
+  MetricsRegistry reg;
+  const MetricId t = reg.timer("flight.scoped");
+  {
+    ScopedTimer timer(reg, t, "flight.scoped");
+    clock.advance_ns(2'000);
+  }
+  std::ostringstream os;
+  write_flight_json(os, "scoped");
+  const std::string out = os.str();
+  EXPECT_NE(out.find("\"name\":\"flight.scoped\""), std::string::npos);
+  EXPECT_NE(out.find("\"t_ns\":5000,\"dur_ns\":2000"), std::string::npos);
 }
 
 }  // namespace

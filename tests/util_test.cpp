@@ -7,6 +7,7 @@
 #include "util/aligned.hpp"
 #include "util/clock.hpp"
 #include "util/error.hpp"
+#include "util/json.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -266,6 +267,93 @@ TEST(ErrorTest, CheckMacroThrowsWithContext) {
     EXPECT_NE(std::string(e.what()).find("math is broken"), std::string::npos);
     EXPECT_NE(std::string(e.what()).find("1 == 2"), std::string::npos);
   }
+}
+
+
+// --- minimal JSON parser --------------------------------------------------
+
+TEST(Json, ParsesScalarsAndContainers) {
+  const json::Value v = json::parse(
+      R"({"n": 1.5, "neg": -2e3, "b": true, "f": false, "z": null,
+          "s": "hi\nthere", "a": [1, 2, 3], "o": {"k": "v"}})");
+  ASSERT_TRUE(v.is_object());
+  EXPECT_DOUBLE_EQ(v.at("n").as_number(), 1.5);
+  EXPECT_DOUBLE_EQ(v.at("neg").as_number(), -2000.0);
+  EXPECT_TRUE(v.at("b").as_bool());
+  EXPECT_FALSE(v.at("f").as_bool());
+  EXPECT_TRUE(v.at("z").is_null());
+  EXPECT_EQ(v.at("s").as_string(), "hi\nthere");
+  ASSERT_EQ(v.at("a").as_array().size(), 3u);
+  EXPECT_DOUBLE_EQ(v.at("a").as_array()[2].as_number(), 3.0);
+  EXPECT_EQ(v.at("o").at("k").as_string(), "v");
+}
+
+TEST(Json, PreservesObjectMemberOrder) {
+  const json::Value v = json::parse(R"({"zz": 1, "aa": 2, "mm": 3})");
+  const auto& o = v.as_object();
+  ASSERT_EQ(o.size(), 3u);
+  EXPECT_EQ(o[0].first, "zz");
+  EXPECT_EQ(o[1].first, "aa");
+  EXPECT_EQ(o[2].first, "mm");
+}
+
+TEST(Json, FindAndHelpers) {
+  const json::Value v = json::parse(R"({"t": 0.25})");
+  EXPECT_NE(v.find("t"), nullptr);
+  EXPECT_EQ(v.find("absent"), nullptr);
+  EXPECT_DOUBLE_EQ(v.number_or("t", 9.0), 0.25);
+  EXPECT_DOUBLE_EQ(v.number_or("absent", 9.0), 9.0);
+  EXPECT_THROW(v.at("absent"), Error);
+  EXPECT_THROW(v.at("t").as_string(), Error);  // type mismatch
+}
+
+TEST(Json, StringEscapes) {
+  const json::Value v =
+      json::parse(R"(["\"", "\\", "\u0041", "\t", "tab\there"])");
+  const auto& a = v.as_array();
+  EXPECT_EQ(a[0].as_string(), "\"");
+  EXPECT_EQ(a[1].as_string(), "\\");
+  EXPECT_EQ(a[2].as_string(), "A");
+  EXPECT_EQ(a[3].as_string(), "\t");
+  EXPECT_EQ(a[4].as_string(), "tab\there");
+}
+
+TEST(Json, RejectsMalformedInput) {
+  EXPECT_THROW(json::parse(""), ParseError);
+  EXPECT_THROW(json::parse("{"), ParseError);
+  EXPECT_THROW(json::parse("[1,]"), ParseError);
+  EXPECT_THROW(json::parse("{\"a\" 1}"), ParseError);
+  EXPECT_THROW(json::parse("{\"a\": 1} trailing"), ParseError);
+  EXPECT_THROW(json::parse("01x"), ParseError);
+  EXPECT_THROW(json::parse("truthy"), ParseError);
+  EXPECT_THROW(json::parse("\"unterminated"), ParseError);
+  EXPECT_THROW(json::parse("1."), ParseError);
+  EXPECT_THROW(json::parse("-"), ParseError);
+}
+
+TEST(Json, ErrorsCarryPosition) {
+  try {
+    json::parse("{\"a\": 1,\n  \"b\": }");
+    FAIL() << "should have thrown";
+  } catch (const ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("2:"), std::string::npos);
+  }
+}
+
+TEST(Json, DepthCapStopsHostileNesting) {
+  std::string deep(500, '[');
+  deep += std::string(500, ']');
+  EXPECT_THROW(json::parse(deep), ParseError);
+}
+
+TEST(Json, RoundTripsOurMetricsShape) {
+  // The exact shape write_metrics_json emits, incl. null for empty extremes.
+  const json::Value v = json::parse(
+      R"({"counters":{"c":5},"gauges":{"g":0.5},
+          "timers":{"t":{"count":0,"min_s":null,"p50_s":null}},
+          "meta":{"trace_events_dropped":0,"hist_samples_dropped":0}})");
+  EXPECT_TRUE(v.at("timers").at("t").at("min_s").is_null());
+  EXPECT_DOUBLE_EQ(v.at("meta").at("trace_events_dropped").as_number(), 0.0);
 }
 
 }  // namespace

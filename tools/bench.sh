@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Run the unified bench suite and write BENCH_<UTC-date>.json at the repo
+# root. See docs/BENCHMARKING.md for the schema and baseline-refresh policy.
+#
+#   tools/bench.sh [--quick] [--out FILE] [--reps N] [--build-dir DIR]
+#
+#   --quick      fewer iterations/reps (CI smoke; compare warn-only)
+#   --out FILE   output path (default: BENCH_<UTC-date>.json in repo root)
+#   --reps N     repetitions per case (default: suite's default)
+#   --build-dir  existing CMake build directory (default: build)
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="$repo_root/build"
+out=""
+quick=""
+reps=""
+
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --quick) quick="--quick" ;;
+    --out) out="$2"; shift ;;
+    --reps) reps="$2"; shift ;;
+    --build-dir) build_dir="$2"; shift ;;
+    *) echo "usage: $0 [--quick] [--out FILE] [--reps N] [--build-dir DIR]" >&2
+       exit 2 ;;
+  esac
+  shift
+done
+
+if [ -z "$out" ]; then
+  out="$repo_root/BENCH_$(date -u +%Y-%m-%d).json"
+fi
+
+if [ ! -d "$build_dir" ]; then
+  cmake -B "$build_dir" -S "$repo_root"
+fi
+cmake --build "$build_dir" --target bench_suite bench_compare -j"$(nproc)"
+
+git_sha="$(git -C "$repo_root" rev-parse --short=12 HEAD 2>/dev/null || echo unknown)"
+
+"$build_dir/bench/bench_suite" \
+  --out "$out" \
+  --git-sha "$git_sha" \
+  ${quick:+$quick} \
+  ${reps:+--reps "$reps"}
+
+echo "bench.sh: wrote $out"
+echo "bench.sh: compare against the committed baseline with:"
+echo "  $build_dir/tools/bench_compare $repo_root/bench/baseline.json $out"

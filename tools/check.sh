@@ -7,6 +7,7 @@
 #   tools/check.sh asan         # ASan+UBSan preset + ctest
 #   tools/check.sh tsan         # TSan preset + ctest
 #   tools/check.sh tidy         # clang-tidy over src/ (skipped if absent)
+#   tools/check.sh bench        # quick bench suite + warn-only compare
 #
 # Stages that need a tool the host lacks (clang-tidy) are skipped with a
 # warning rather than failed, so the script is usable both on dev machines
@@ -54,6 +55,20 @@ stage_checked() {
       -R 'BackendDiff|SiteRepeats|Repeats|Contract|Check|Plan|ComputeLevels|DispatchMode|IncrementalScaler'
 }
 
+# Quick bench-suite smoke: produces a schema-valid BENCH json and runs the
+# regression compare warn-only (quick numbers are too noisy to gate on; the
+# full-run gate is a manual/nightly step — see docs/BENCHMARKING.md).
+stage_bench() {
+  local out
+  out="$(mktemp /tmp/plf_bench_smoke.XXXXXX.json)" &&
+    note "bench: quick suite" &&
+    tools/bench.sh --quick --out "${out}" &&
+    note "bench: schema check + warn-only compare" &&
+    python3 -m json.tool "${out}" >/dev/null &&
+    build/tools/bench_compare bench/baseline.json "${out}" --warn-only &&
+    rm -f "${out}"
+}
+
 stage_tidy() {
   if ! command -v clang-tidy >/dev/null 2>&1; then
     warn "clang-tidy not found on PATH; skipping the lint stage"
@@ -77,13 +92,13 @@ run_stage() {
 
 STAGES=("$@")
 if [[ ${#STAGES[@]} -eq 0 ]]; then
-  STAGES=(plain checked asan tsan tidy)
+  STAGES=(plain checked asan tsan tidy bench)
 fi
 
 for s in "${STAGES[@]}"; do
   case "$s" in
-    plain|checked|asan|tsan|tidy) run_stage "$s" ;;
-    *) echo "unknown stage '$s' (expected plain|checked|asan|tsan|tidy)" >&2
+    plain|checked|asan|tsan|tidy|bench) run_stage "$s" ;;
+    *) echo "unknown stage '$s' (expected plain|checked|asan|tsan|tidy|bench)" >&2
        exit 2 ;;
   esac
 done
