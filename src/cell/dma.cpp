@@ -36,6 +36,7 @@ double DmaEngine::account(std::size_t bytes, std::size_t ls_offset,
 
 double DmaEngine::get(LocalStore& ls, const LsRegion& dst, const void* src,
                       std::size_t bytes, double issue_time) {
+  checker_.check();
   PLF_CHECK_HW(bytes <= dst.bytes, "DMA get overflows the LS region");
   const double done = account(bytes, dst.offset, src, issue_time);
   std::memcpy(ls.at(LsRegion{dst.offset, bytes}), src, bytes);
@@ -44,6 +45,7 @@ double DmaEngine::get(LocalStore& ls, const LsRegion& dst, const void* src,
 
 double DmaEngine::put(const LocalStore& ls, const LsRegion& src, void* dst,
                       std::size_t bytes, double issue_time) {
+  checker_.check();
   PLF_CHECK_HW(bytes <= src.bytes, "DMA put overruns the LS region");
   const double done = account(bytes, src.offset, dst, issue_time);
   std::memcpy(dst,

@@ -17,6 +17,8 @@
 
 #include "cell/local_store.hpp"
 #include "util/clock.hpp"
+#include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace plf::cell {
 
@@ -40,6 +42,10 @@ struct DmaStats {
 
 /// One SPE's DMA engine. Owns a timeline: transfers complete at
 /// `completion_time`, and the owning SPU "waits" by advancing its clock.
+///
+/// Thread confinement: one DmaEngine belongs to one simulated SPE, driven by
+/// a single simulation thread; `checker_` turns that rule into a TSA
+/// capability (see util/sync.hpp) with a checked-build runtime tripwire.
 class DmaEngine {
  public:
   explicit DmaEngine(const DmaTimings& t = DmaTimings{}) : timings_(t) {}
@@ -59,18 +65,26 @@ class DmaEngine {
   double put(const LocalStore& ls, const LsRegion& src, void* dst,
              std::size_t bytes, double issue_time);
 
-  const DmaStats& stats() const { return stats_; }
-  void reset_stats() { stats_ = DmaStats{}; }
+  const DmaStats& stats() const {
+    checker_.check();
+    return stats_;
+  }
+  void reset_stats() {
+    checker_.check();
+    stats_ = DmaStats{};
+  }
   const DmaTimings& timings() const { return timings_; }
 
  private:
   /// Validate alignment/size rules and charge the cost model.
   double account(std::size_t bytes, std::size_t ls_offset, const void* ea,
-                 double issue_time);
+                 double issue_time) PLF_REQUIRES(checker_);
 
   DmaTimings timings_;
-  DmaStats stats_;
-  double engine_free_at_ = 0.0;  ///< MFC queue: transfers serialize per SPE
+  util::ThreadChecker checker_;
+  DmaStats stats_ PLF_GUARDED_BY(checker_);
+  /// MFC queue: transfers serialize per SPE.
+  double engine_free_at_ PLF_GUARDED_BY(checker_) = 0.0;
 };
 
 }  // namespace plf::cell

@@ -7,6 +7,7 @@
 namespace plf::cell {
 
 double Mailbox::write(std::uint32_t value, double time) {
+  checker_.check();
   PLF_CHECK_HW(fifo_.size() < depth_,
                "mailbox overflow: writer would stall (depth " +
                    std::to_string(depth_) + ")");
@@ -17,6 +18,7 @@ double Mailbox::write(std::uint32_t value, double time) {
 }
 
 Mailbox::ReadResult Mailbox::read(double reader_time) {
+  checker_.check();
   PLF_CHECK(!fifo_.empty(), "mailbox read with no pending message");
   const Entry e = fifo_.front();
   fifo_.pop_front();

@@ -12,6 +12,8 @@
 #include <deque>
 
 #include "util/error.hpp"
+#include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace plf::cell {
 
@@ -37,6 +39,11 @@ struct MailboxTimings {
 /// our protocol never legitimately fills it.
 inline constexpr std::size_t kInboundMailboxDepth = 4;
 
+/// Thread confinement: the whole Cell simulator — mailboxes, local stores,
+/// the SPU FSM — is single-threaded event-driven simulation; nothing here is
+/// safe to share across threads. `checker_` makes that rule a TSA capability
+/// (state is GUARDED_BY it, every entry point asserts it) plus a checked-build
+/// runtime tripwire, instead of an unstated assumption.
 class Mailbox {
  public:
   explicit Mailbox(std::size_t depth = kInboundMailboxDepth,
@@ -46,8 +53,14 @@ class Mailbox {
   /// Write from the producer at `time`; returns when the write retires.
   double write(std::uint32_t value, double time);
 
-  bool has_message() const { return !fifo_.empty(); }
-  std::size_t size() const { return fifo_.size(); }
+  bool has_message() const {
+    checker_.check();
+    return !fifo_.empty();
+  }
+  std::size_t size() const {
+    checker_.check();
+    return fifo_.size();
+  }
 
   /// Blocking read by the consumer: returns {value, time-of-availability}.
   struct ReadResult {
@@ -56,7 +69,10 @@ class Mailbox {
   };
   ReadResult read(double reader_time);
 
-  std::uint64_t messages() const { return messages_; }
+  std::uint64_t messages() const {
+    checker_.check();
+    return messages_;
+  }
 
  private:
   std::size_t depth_;
@@ -65,8 +81,9 @@ class Mailbox {
     std::uint32_t value;
     double available_at;
   };
-  std::deque<Entry> fifo_;
-  std::uint64_t messages_ = 0;
+  util::ThreadChecker checker_;
+  std::deque<Entry> fifo_ PLF_GUARDED_BY(checker_);
+  std::uint64_t messages_ PLF_GUARDED_BY(checker_) = 0;
 };
 
 }  // namespace plf::cell

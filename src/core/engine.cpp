@@ -604,6 +604,7 @@ void PlfEngine::evaluate() {
 }
 
 void PlfEngine::publish_stats(obs::MetricsRegistry& registry) const {
+  checker_.check();
   const auto set = [&registry](const char* name, double value) {
     registry.set_gauge(registry.gauge(name), value);
   };
@@ -629,6 +630,7 @@ void PlfEngine::publish_stats(obs::MetricsRegistry& registry) const {
 }
 
 double PlfEngine::log_likelihood() {
+  checker_.check();
   if (!lik_valid_) evaluate();
   return ln_lik_;
 }

@@ -29,6 +29,8 @@
 #include "phylo/patterns.hpp"
 #include "phylo/tree.hpp"
 #include "util/aligned.hpp"
+#include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace plf::core {
 
@@ -125,8 +127,14 @@ class PlfEngine {
   ExecutionBackend& backend() { return *backend_; }
   KernelVariant variant() const { return kernels_->variant; }
 
-  const EngineStats& stats() const { return stats_; }
-  void reset_stats() { stats_ = EngineStats{}; }
+  const EngineStats& stats() const {
+    checker_.check();
+    return stats_;
+  }
+  void reset_stats() {
+    checker_.check();
+    stats_ = EngineStats{};
+  }
 
   /// Fold the current EngineStats into `registry` as "engine.*" gauges
   /// (call counts, pattern iterations, site-repeat hit rates and realized
@@ -176,22 +184,22 @@ class PlfEngine {
   void mark_node_dirty(int node);
   void mark_path_dirty(int from_node);
   void mark_branch_dirty(int node);
-  void rebuild_branch(int node);
+  void rebuild_branch(int node) PLF_REQUIRES(checker_);
   ChildArgs make_child(int node) const;
   /// make_child, except a child this evaluation also recomputes resolves to
   /// its TARGET buffer: plan dispatch defers all flips to post-processing,
   /// so the active index still names the pre-evaluation state while the
   /// plan's ops must read what earlier levels will have written.
   ChildArgs make_plan_child(int node) const;
-  void evaluate();
+  void evaluate() PLF_REQUIRES(checker_);
   /// The evaluation phases evaluate() composes (docs/EXECUTION_PLAN.md):
   /// collect the dirty postorder with each node's write target, then either
   /// replay the per-call loop or build-plan / execute-plan / post-process.
-  void collect_recompute_targets();
-  void build_plan();
-  void execute_percall();
+  void collect_recompute_targets() PLF_REQUIRES(checker_);
+  void build_plan() PLF_REQUIRES(checker_);
+  void execute_percall() PLF_REQUIRES(checker_);
   /// Deferred flips + dirty clearing after a plan executes.
-  void post_process_plan();
+  void post_process_plan() PLF_REQUIRES(checker_);
   /// Repeat classes to compact node `id` with, or nullptr for the dense path
   /// (mode/backend/compression gate). Identification must be fresh.
   const NodeRepeats* repeats_for(int id) const;
@@ -257,7 +265,14 @@ class PlfEngine {
   std::vector<phylo::Tree::SprUndo> spr_log_;
   std::optional<phylo::GtrParams> old_params_;
 
-  EngineStats stats_;
+  /// Thread confinement: one engine serves one MCMC chain on one thread
+  /// (parallelism lives INSIDE the backend's kernel dispatch, never across
+  /// engine entry points). The checker turns that rule into a TSA capability:
+  /// stats_ accumulation — the state most tempting to read from a monitoring
+  /// thread — is GUARDED_BY it, the evaluation phases REQUIRE it, and public
+  /// entry points assert it (checked builds also get a runtime tripwire).
+  util::ThreadChecker checker_;
+  EngineStats stats_ PLF_GUARDED_BY(checker_);
 };
 
 }  // namespace plf::core

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "numerics/ulp.hpp"
 #include "util/error.hpp"
 
 namespace plf::core {
@@ -104,12 +105,15 @@ OptimizeResult optimize_branch(PlfEngine& engine, int node,
       } else {
         b = u;
       }
-      if (fu >= fw || w == x) {
+      // Brent's bookkeeping compares bit-identical copies (w/v start as x and
+      // are only ever assigned from it), so exact equality is the intent.
+      if (fu >= fw || num::exactly_equal(w, x)) {
         v = w;
         fv = fw;
         w = u;
         fw = fu;
-      } else if (fu >= fv || v == x || v == w) {
+      } else if (fu >= fv || num::exactly_equal(v, x) ||
+                 num::exactly_equal(v, w)) {
         v = u;
         fv = fu;
       }

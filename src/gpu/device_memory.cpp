@@ -8,6 +8,7 @@
 namespace plf::gpu {
 
 DevPtr DeviceMemory::malloc(std::size_t bytes) {
+  checker_.check();
   PLF_CHECK(bytes > 0, "cudaMalloc of zero bytes");
   if (bytes > capacity_ - used_) {
     throw HardwareViolation("device out of memory: " + std::to_string(bytes) +
@@ -21,6 +22,7 @@ DevPtr DeviceMemory::malloc(std::size_t bytes) {
 }
 
 void DeviceMemory::free(DevPtr p) {
+  checker_.check();
   const auto it = allocs_.find(p.id);
   PLF_CHECK(it != allocs_.end(), "cudaFree of invalid device pointer");
   used_ -= it->second.size();
@@ -38,6 +40,7 @@ double DeviceMemory::transfer(std::size_t bytes, double issue_time) {
 
 double DeviceMemory::h2d(DevPtr dst, std::size_t offset, const void* src,
                          std::size_t bytes, double issue_time) {
+  checker_.check();
   auto it = allocs_.find(dst.id);
   PLF_CHECK(it != allocs_.end(), "h2d to invalid device pointer");
   PLF_CHECK_HW(offset <= it->second.size() &&
@@ -52,6 +55,7 @@ double DeviceMemory::h2d(DevPtr dst, std::size_t offset, const void* src,
 
 double DeviceMemory::d2h(void* dst, DevPtr src, std::size_t offset,
                          std::size_t bytes, double issue_time) {
+  checker_.check();
   auto it = allocs_.find(src.id);
   PLF_CHECK(it != allocs_.end(), "d2h from invalid device pointer");
   PLF_CHECK_HW(offset <= it->second.size() &&
@@ -65,18 +69,21 @@ double DeviceMemory::d2h(void* dst, DevPtr src, std::size_t offset,
 }
 
 float* DeviceMemory::as_floats(DevPtr p) {
+  checker_.check();
   auto it = allocs_.find(p.id);
   PLF_CHECK(it != allocs_.end(), "device access through invalid pointer");
   return reinterpret_cast<float*>(it->second.data());
 }
 
 const std::uint8_t* DeviceMemory::bytes(DevPtr p) const {
+  checker_.check();
   const auto it = allocs_.find(p.id);
   PLF_CHECK(it != allocs_.end(), "device access through invalid pointer");
   return it->second.data();
 }
 
 std::uint8_t* DeviceMemory::bytes(DevPtr p) {
+  checker_.check();
   auto it = allocs_.find(p.id);
   PLF_CHECK(it != allocs_.end(), "device access through invalid pointer");
   return it->second.data();

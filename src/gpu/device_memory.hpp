@@ -16,6 +16,8 @@
 
 #include "gpu/device.hpp"
 #include "util/aligned.hpp"
+#include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace plf::gpu {
 
@@ -33,6 +35,11 @@ struct TransferStats {
   double pcie_busy_s = 0.0;
 };
 
+/// Thread confinement: one DeviceMemory models one card driven from one host
+/// thread (as with a CUDA context bound to a thread); `checker_` turns that
+/// rule into a TSA capability (see util/sync.hpp) — allocation tables and
+/// transfer stats are GUARDED_BY it and every entry point asserts it, with a
+/// checked-build runtime tripwire on cross-thread use.
 class DeviceMemory {
  public:
   DeviceMemory(std::size_t capacity, const PcieSpec& pcie)
@@ -44,7 +51,10 @@ class DeviceMemory {
   void free(DevPtr p);
 
   std::size_t capacity() const { return capacity_; }
-  std::size_t used() const { return used_; }
+  std::size_t used() const {
+    checker_.check();
+    return used_;
+  }
 
   /// cudaMemcpy host->device. Returns the transfer's completion time given
   /// `issue_time` (transfers serialize on the single PCIe link).
@@ -59,19 +69,28 @@ class DeviceMemory {
   const std::uint8_t* bytes(DevPtr p) const;
   std::uint8_t* bytes(DevPtr p);
 
-  const TransferStats& stats() const { return stats_; }
-  void reset_stats() { stats_ = TransferStats{}; }
+  const TransferStats& stats() const {
+    checker_.check();
+    return stats_;
+  }
+  void reset_stats() {
+    checker_.check();
+    stats_ = TransferStats{};
+  }
 
  private:
-  double transfer(std::size_t bytes, double issue_time);
+  double transfer(std::size_t bytes, double issue_time) PLF_REQUIRES(checker_);
 
   std::size_t capacity_;
   PcieSpec pcie_;
-  std::size_t used_ = 0;
-  std::uint64_t next_id_ = 1;
-  std::unordered_map<std::uint64_t, aligned_vector<std::uint8_t>> allocs_;
-  TransferStats stats_;
-  double link_free_at_ = 0.0;
+  util::ThreadChecker checker_;
+  std::size_t used_ PLF_GUARDED_BY(checker_) = 0;
+  std::uint64_t next_id_ PLF_GUARDED_BY(checker_) = 1;
+  std::unordered_map<std::uint64_t, aligned_vector<std::uint8_t>> allocs_
+      PLF_GUARDED_BY(checker_);
+  TransferStats stats_ PLF_GUARDED_BY(checker_);
+  /// Transfers serialize on the single PCIe link.
+  double link_free_at_ PLF_GUARDED_BY(checker_) = 0.0;
 };
 
 }  // namespace plf::gpu

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <limits>
 
+#include "numerics/ulp.hpp"
 #include "util/error.hpp"
 
 namespace plf::num {
@@ -60,7 +61,7 @@ double gamma_q_contfrac(double a, double x) {
 double incomplete_gamma_p(double a, double x) {
   PLF_CHECK(a > 0.0, "incomplete_gamma_p: a must be positive");
   PLF_CHECK(x >= 0.0, "incomplete_gamma_p: x must be nonnegative");
-  if (x == 0.0) return 0.0;
+  if (is_exactly_zero(x)) return 0.0;  // exact limit: P(a, 0) = 0
   if (x < a + 1.0) return gamma_p_series(a, x);
   return 1.0 - gamma_q_contfrac(a, x);
 }

@@ -1,0 +1,65 @@
+// ULP-aware floating-point comparison helpers.
+//
+// Raw ==/!= on float/double is banned in src/core/ and src/numerics/ by
+// plf_lint rule float-equality (docs/STATIC_ANALYSIS.md): most uses are
+// accidental tolerance bugs. The legitimate exceptions — comparing against
+// an exact sentinel value, or asking whether two variables hold bit-identical
+// copies of the same computation — must go through this header, which both
+// names the intent at the call site and is the one file the rule exempts.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <type_traits>
+
+namespace plf::num {
+
+/// Intentional exact comparison. Use when a value is an exact sentinel
+/// (0.0 short-circuits, a default never written to) or a bit-identical copy
+/// (Brent's bookkeeping points, double-buffered results). Compiles to the
+/// plain comparison; exists so grep and plf_lint can tell intent from
+/// accident.
+template <typename T>
+constexpr bool exactly_equal(T a, T b) {
+  static_assert(std::is_floating_point_v<T>,
+                "exactly_equal is for floating-point; use == directly");
+  return a == b;
+}
+
+/// True when `x` is exactly zero (either sign). The most common legitimate
+/// exact test: short-circuiting a function with an exact limit at 0.
+template <typename T>
+constexpr bool is_exactly_zero(T x) {
+  return exactly_equal(x, T(0));
+}
+
+/// Distance in units-in-the-last-place between two finite doubles of the
+/// same sign regime. Adjacent representable values are 1 apart; equal values
+/// are 0. NaN/infinity yield the maximum distance.
+inline std::uint64_t ulp_distance(double a, double b) {
+  if (std::isnan(a) || std::isnan(b)) {
+    return std::numeric_limits<std::uint64_t>::max();
+  }
+  // Map the double ordering onto the integer ordering (sign-magnitude to
+  // two's-complement-style bias), so distance is a simple subtraction.
+  const auto to_ordered = [](double x) {
+    std::int64_t bits;
+    std::memcpy(&bits, &x, sizeof(bits));
+    return bits < 0 ? std::numeric_limits<std::int64_t>::min() - bits : bits;
+  };
+  const std::int64_t ia = to_ordered(a);
+  const std::int64_t ib = to_ordered(b);
+  return ia > ib ? static_cast<std::uint64_t>(ia) - static_cast<std::uint64_t>(ib)
+                 : static_cast<std::uint64_t>(ib) - static_cast<std::uint64_t>(ia);
+}
+
+/// True when a and b are within `max_ulps` representable values of each
+/// other. The 0-ULP diff-testing gates use ulp_distance directly; this form
+/// reads better in scalar code.
+inline bool nearly_equal(double a, double b, std::uint64_t max_ulps = 4) {
+  return ulp_distance(a, b) <= max_ulps;
+}
+
+}  // namespace plf::num

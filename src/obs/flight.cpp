@@ -14,6 +14,8 @@
 
 #include "obs/json_util.hpp"
 #include "util/contracts.hpp"
+#include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace plf::obs {
 
@@ -25,6 +27,15 @@ enum class EventKind : std::uint8_t { kEmpty = 0, kSpan = 1, kCount = 2 };
 /// and the crash-path reader scanning it never constitute a data race, and a
 /// half-written slot is detected (and skipped) via the seq protocol below
 /// rather than locked out.
+///
+/// TSA exemption (docs/STATIC_ANALYSIS.md): Slot and Ring implement a seqlock
+/// — no capability is ever held, so there is nothing for Clang's thread
+/// safety analysis to track. Correctness rests on the release store of `seq`
+/// publishing the payload and the reader's acquire/re-read tear check in
+/// snapshot_ring(); the recording path is exercised concurrently by
+/// par_stress_test under the tsan preset, which is the right tool for
+/// lock-free protocols TSA cannot model. Only the registration list below
+/// (Rings) uses a lock, and that one IS annotated.
 struct Slot {
   std::atomic<const char*> name{nullptr};
   std::atomic<std::uint64_t> t_ns{0};
@@ -48,8 +59,11 @@ struct Ring {
 /// destruction or after the owning thread exited, so both the list and the
 /// rings leak by design.
 struct Rings {
-  std::mutex m;
-  std::vector<Ring*> list;
+  util::Mutex m;
+  /// Registration order == tid order. Entries are append-only and never
+  /// removed, so the dump paths may copy the list under m and then read the
+  /// (immortal, lock-free) rings without holding it.
+  std::vector<Ring*> list PLF_GUARDED_BY(m);
 };
 
 Rings& rings() {
@@ -65,7 +79,7 @@ Ring& ring_for_this_thread() {
   auto* ring = new Ring;  // leaked: dump may outlive the thread
   Rings& r = rings();
   {
-    std::lock_guard<std::mutex> lock(r.m);
+    util::MutexLock lock(r.m);
     ring->tid = static_cast<std::uint32_t>(r.list.size());
     r.list.push_back(ring);
   }
@@ -161,10 +175,15 @@ void install_flight_handlers() {
 
 void write_flight_json(std::ostream& os, const char* reason) {
   using detail::json_escape;
+  // Copying the list under m (instead of holding m across the dump) is
+  // deliberate here, unlike the metrics flush: entries are append-only and
+  // rings are immortal, so a stale copy only misses threads whose FIRST
+  // event post-dates the crash — and the dump path must touch as few locks
+  // as possible while the process is dying.
   std::vector<Ring*> list;
   {
     Rings& r = rings();
-    std::lock_guard<std::mutex> lock(r.m);
+    util::MutexLock lock(r.m);
     list = r.list;
   }
   os << "{\"schema\":\"plf-flight-v1\",\"reason\":\""
@@ -197,7 +216,9 @@ void write_flight_json(std::ostream& os, const char* reason) {
 
 void flight_dump_path(char* buf, std::uint32_t buf_size) noexcept {
   if (buf == nullptr || buf_size == 0) return;
-  const char* env = std::getenv("PLF_FLIGHT_PATH");
+  // getenv is not thread-safe against setenv, but nothing in this process
+  // mutates the environment after startup and this runs on the death path.
+  const char* env = std::getenv("PLF_FLIGHT_PATH");  // NOLINT(concurrency-mt-unsafe)
   if (env != nullptr && env[0] != '\0') {
     std::snprintf(buf, buf_size, "%s", env);
   } else {
@@ -235,7 +256,7 @@ void flight_reset_for_tests() {
   std::vector<Ring*> list;
   {
     Rings& r = rings();
-    std::lock_guard<std::mutex> lock(r.m);
+    util::MutexLock lock(r.m);
     list = r.list;
   }
   for (Ring* ring : list) {

@@ -22,14 +22,16 @@ std::uint64_t next_registry_serial() {
 
 /// Per-thread slot arrays. Written only by the owning thread; the mutex is
 /// contended only when snapshot()/reset() visits, so hot-path locking is
-/// uncontended (fast-path CAS) in the steady state.
+/// uncontended (fast-path CAS) in the steady state. Lock order: a Shard::m
+/// is only ever taken alone (recording) or under the registry's mutex_
+/// (flush paths); never the reverse.
 struct MetricsRegistry::Shard {
-  mutable std::mutex m;  // const flush paths lock shards they only read
-  std::vector<std::uint64_t> counters;  // indexed by MetricId
-  std::vector<OnlineStats> timers;      // indexed by MetricId
-  std::vector<LatencyHistogram> hists;  // indexed by MetricId, with timers
-  std::vector<TraceEvent> events;
-  std::uint32_t tid = 0;  // shard index, used as the trace thread id
+  mutable util::Mutex m;  // const flush paths lock shards they only read
+  std::vector<std::uint64_t> counters PLF_GUARDED_BY(m);  // indexed by MetricId
+  std::vector<OnlineStats> timers PLF_GUARDED_BY(m);      // indexed by MetricId
+  std::vector<LatencyHistogram> hists PLF_GUARDED_BY(m);  // with timers
+  std::vector<TraceEvent> events PLF_GUARDED_BY(m);
+  std::uint32_t tid = 0;  // shard index (immutable once registered)
 };
 
 MetricsRegistry::MetricsRegistry() : serial_(next_registry_serial()) {}
@@ -37,8 +39,7 @@ MetricsRegistry::MetricsRegistry() : serial_(next_registry_serial()) {}
 MetricsRegistry::~MetricsRegistry() = default;
 
 MetricsRegistry::Shard& MetricsRegistry::make_shard() {
-  // Caller holds no locks.
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   shards_.push_back(std::make_unique<Shard>());
   shards_.back()->tid = static_cast<std::uint32_t>(shards_.size() - 1);
   return *shards_.back();
@@ -63,7 +64,7 @@ MetricsRegistry::Shard& MetricsRegistry::shard_for_this_thread() {
 }
 
 MetricId MetricsRegistry::intern(std::string_view name, MetricKind kind) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   for (std::size_t i = 0; i < names_.size(); ++i) {
     if (names_[i].name == name) {
       PLF_CHECK(names_[i].kind == kind,
@@ -91,14 +92,14 @@ MetricId MetricsRegistry::timer(std::string_view name) {
 
 void MetricsRegistry::add(MetricId id, std::uint64_t delta) {
   Shard& s = shard_for_this_thread();
-  std::lock_guard<std::mutex> lock(s.m);
+  util::MutexLock lock(s.m);
   if (s.counters.size() <= id) s.counters.resize(id + 1, 0);
   s.counters[id] += delta;
 }
 
 void MetricsRegistry::record_seconds(MetricId id, double seconds) {
   Shard& s = shard_for_this_thread();
-  std::lock_guard<std::mutex> lock(s.m);
+  util::MutexLock lock(s.m);
   if (s.timers.size() <= id) {
     s.timers.resize(id + 1);
     s.hists.resize(id + 1);
@@ -115,13 +116,13 @@ void MetricsRegistry::record_span(MetricId id, std::uint64_t start_ns,
     return;
   }
   Shard& s = shard_for_this_thread();
-  std::lock_guard<std::mutex> lock(s.m);
+  util::MutexLock lock(s.m);
   s.events.push_back(TraceEvent{
       id, start_ns, end_ns >= start_ns ? end_ns - start_ns : 0, s.tid});
 }
 
 void MetricsRegistry::set_gauge(MetricId id, double value) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   PLF_CHECK(id < gauge_values_.size() && names_[id].kind == MetricKind::kGauge,
             "set_gauge: id is not a gauge");
   gauge_values_[id] = value;
@@ -136,25 +137,23 @@ std::uint64_t MetricsRegistry::trace_events_dropped() const {
 }
 
 Snapshot MetricsRegistry::snapshot() const {
-  // Copy the name table and gauge values, then merge each shard under its
-  // own lock. Writers racing with the flush land in either the current or
-  // the next snapshot — both are coherent.
-  std::vector<NameEntry> names;
-  std::vector<double> gauges;
-  std::vector<const Shard*> shards;
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    names = names_;
-    gauges = gauge_values_;
-    shards.reserve(shards_.size());
-    for (const auto& s : shards_) shards.push_back(s.get());
-  }
+  // TSA finding (docs/STATIC_ANALYSIS.md): this used to copy the shard
+  // pointer list under mutex_, release it, then lock each shard — so a
+  // thread whose FIRST record raced the flush could register its shard after
+  // the list copy and have pre-snapshot samples silently excluded. Holding
+  // mutex_ across the whole merge closes that window (make_shard blocks
+  // until the flush finishes) and fixes the lock order as: registry mutex_,
+  // then Shard::m. Steady-state recording only takes its own shard lock, so
+  // the hot path is unaffected.
+  util::MutexLock registry_lock(mutex_);
+  const std::vector<NameEntry>& names = names_;
 
   std::vector<std::uint64_t> counter_totals(names.size(), 0);
   std::vector<OnlineStats> timer_totals(names.size());
   std::vector<LatencyHistogram> hist_totals(names.size());
-  for (const Shard* s : shards) {
-    std::lock_guard<std::mutex> lock(s->m);
+  for (const auto& sp : shards_) {
+    const Shard* s = sp.get();
+    util::MutexLock lock(s->m);
     for (std::size_t i = 0; i < s->counters.size() && i < names.size(); ++i) {
       counter_totals[i] += s->counters[i];
     }
@@ -163,6 +162,7 @@ Snapshot MetricsRegistry::snapshot() const {
       hist_totals[i].merge(s->hists[i]);
     }
   }
+  const std::vector<double>& gauges = gauge_values_;
 
   Snapshot snap;
   for (std::size_t i = 0; i < names.size(); ++i) {
@@ -190,15 +190,13 @@ Snapshot MetricsRegistry::snapshot() const {
 }
 
 std::vector<TraceEvent> MetricsRegistry::trace_events() const {
-  std::vector<const Shard*> shards;
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    shards.reserve(shards_.size());
-    for (const auto& s : shards_) shards.push_back(s.get());
-  }
+  // Same flush discipline as snapshot(): hold mutex_ across the merge so a
+  // shard registered before the flush cannot be missed.
+  util::MutexLock registry_lock(mutex_);
   std::vector<TraceEvent> out;
-  for (const Shard* s : shards) {
-    std::lock_guard<std::mutex> lock(s->m);
+  for (const auto& sp : shards_) {
+    const Shard* s = sp.get();
+    util::MutexLock lock(s->m);
     out.insert(out.end(), s->events.begin(), s->events.end());
   }
   std::sort(out.begin(), out.end(), [](const TraceEvent& a, const TraceEvent& b) {
@@ -208,21 +206,19 @@ std::vector<TraceEvent> MetricsRegistry::trace_events() const {
 }
 
 std::string MetricsRegistry::metric_name(MetricId id) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   PLF_CHECK(id < names_.size(), "metric_name: unknown id");
   return names_[id].name;
 }
 
 void MetricsRegistry::reset() {
-  std::vector<Shard*> shards;
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    std::fill(gauge_values_.begin(), gauge_values_.end(), 0.0);
-    shards.reserve(shards_.size());
-    for (const auto& s : shards_) shards.push_back(s.get());
-  }
-  for (Shard* s : shards) {
-    std::lock_guard<std::mutex> lock(s->m);
+  // Hold mutex_ across the per-shard clears (flush lock order: mutex_ before
+  // Shard::m) so no shard can register mid-reset and be half-cleared.
+  util::MutexLock registry_lock(mutex_);
+  std::fill(gauge_values_.begin(), gauge_values_.end(), 0.0);
+  for (const auto& sp : shards_) {
+    Shard* s = sp.get();
+    util::MutexLock lock(s->m);
     std::fill(s->counters.begin(), s->counters.end(), 0);
     std::fill(s->timers.begin(), s->timers.end(), OnlineStats{});
     std::fill(s->hists.begin(), s->hists.end(), LatencyHistogram{});

@@ -13,8 +13,11 @@
 // writers. A shard carries one mutex that is taken per record; it is
 // uncontended except while a reader flushes, which makes the design
 // race-free under TSan without atomics on the OnlineStats state. Gauges are
-// registry-level (set on cold paths only). snapshot() locks each shard in
-// turn and merges.
+// registry-level (set on cold paths only). snapshot() holds the registry
+// lock while merging each shard (registry mutex_ before Shard::m, never the
+// reverse), so every shard registered before the flush is included — a
+// first-record racing the flush either lands fully in this snapshot or
+// fully in the next, never half-in.
 //
 // Metric names are interned once into small integer ids; hot paths hold ids
 // (see PLF_PROF_SCOPE in obs/profile.hpp, which caches the id in a
@@ -24,13 +27,14 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "obs/histogram.hpp"
 #include "util/stats.hpp"
+#include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace plf::obs {
 
@@ -112,7 +116,7 @@ class MetricsRegistry {
   void record_span(MetricId id, std::uint64_t start_ns, std::uint64_t end_ns);
 
   // --- gauges (cold paths: publish simulator/engine stats) ---
-  void set_gauge(MetricId id, double value);
+  void set_gauge(MetricId id, double value) PLF_EXCLUDES(mutex_);
 
   // --- tracing control ---
   void enable_tracing(bool on);
@@ -124,13 +128,13 @@ class MetricsRegistry {
   std::uint64_t trace_events_dropped() const;
 
   // --- flush ---
-  Snapshot snapshot() const;
+  Snapshot snapshot() const PLF_EXCLUDES(mutex_);
   /// All recorded trace events, merged across shards, sorted by start time.
-  std::vector<TraceEvent> trace_events() const;
-  std::string metric_name(MetricId id) const;
+  std::vector<TraceEvent> trace_events() const PLF_EXCLUDES(mutex_);
+  std::string metric_name(MetricId id) const PLF_EXCLUDES(mutex_);
   /// Zero every counter/gauge/timer and drop trace events. Interned names
   /// and ids survive (handles held by callers stay valid).
-  void reset();
+  void reset() PLF_EXCLUDES(mutex_);
 
   /// Process-wide registry the PLF_PROF_* macros record into.
   static MetricsRegistry& global();
@@ -138,22 +142,28 @@ class MetricsRegistry {
  private:
   struct Shard;
 
-  MetricId intern(std::string_view name, MetricKind kind);
-  Shard& shard_for_this_thread();
-  Shard& make_shard();
+  MetricId intern(std::string_view name, MetricKind kind) PLF_EXCLUDES(mutex_);
+  Shard& shard_for_this_thread() PLF_EXCLUDES(mutex_);
+  Shard& make_shard() PLF_EXCLUDES(mutex_);
 
   /// Serial number distinguishing registries that reuse an address (the
   /// thread-local shard cache is keyed on it).
   const std::uint64_t serial_;
 
-  mutable std::mutex mutex_;  // names, gauges, shard list
+  /// Registry lock: names, gauges, and the shard list. Lock order: mutex_
+  /// is always taken BEFORE any Shard::m (snapshot/trace_events/reset hold
+  /// it across the per-shard merges so no shard can register mid-flush);
+  /// recording paths take only their own shard's lock, so the reverse order
+  /// never occurs.
+  mutable util::Mutex mutex_;
   struct NameEntry {
     std::string name;
     MetricKind kind;
   };
-  std::vector<NameEntry> names_;
-  std::vector<double> gauge_values_;  // indexed by id (0 for non-gauges)
-  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<NameEntry> names_ PLF_GUARDED_BY(mutex_);
+  /// Indexed by id (0.0 for non-gauges).
+  std::vector<double> gauge_values_ PLF_GUARDED_BY(mutex_);
+  std::vector<std::unique_ptr<Shard>> shards_ PLF_GUARDED_BY(mutex_);
 
   std::atomic<bool> tracing_{false};
   mutable std::atomic<std::uint64_t> trace_count_{0};

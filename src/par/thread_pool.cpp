@@ -18,8 +18,17 @@ struct ThreadPool::Region {
   std::size_t threads = 1;
   const std::function<void(Range, std::size_t)>* body = nullptr;
   std::atomic<std::size_t> next{0};  // dynamic-schedule cursor
-  std::mutex error_m;
-  std::exception_ptr error;  // first exception thrown by any participant
+  util::Mutex error_m;
+  /// First exception thrown by any participant.
+  std::exception_ptr error PLF_GUARDED_BY(error_m);
+  /// Lock-discipline helper for the caller's post-join rethrow: reads the
+  /// slot under error_m (workers' final decrement happens-before the caller
+  /// leaving cv_done_, but TSA proves the simple rule "error is only touched
+  /// under error_m" instead of the wait-edge argument).
+  std::exception_ptr take_error() PLF_EXCLUDES(error_m) {
+    util::MutexLock lock(error_m);
+    return error;
+  }
 };
 
 ThreadPool::ThreadPool(std::size_t threads) {
@@ -36,7 +45,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(m_);
+    util::MutexLock lock(m_);
     shutting_down_ = true;
   }
   cv_start_.notify_all();
@@ -48,8 +57,10 @@ void ThreadPool::worker_loop(std::size_t worker_index) {
   for (;;) {
     Region* region = nullptr;
     {
-      std::unique_lock<std::mutex> lock(m_);
-      cv_start_.wait(lock, [&] {
+      util::MutexLock lock(m_);
+      // Predicate runs with m_ held by the wait loop itself; TSA analyzes
+      // the lambda without that context, hence the exemption.
+      cv_start_.wait(m_, [&]() PLF_NO_TSA {
         return shutting_down_ || (active_ != nullptr && epoch_ != seen_epoch);
       });
       if (shutting_down_) return;
@@ -59,11 +70,11 @@ void ThreadPool::worker_loop(std::size_t worker_index) {
     try {
       run_share(*region, worker_index);
     } catch (...) {
-      std::lock_guard<std::mutex> lock(region->error_m);
+      util::MutexLock lock(region->error_m);
       if (!region->error) region->error = std::current_exception();
     }
     {
-      std::lock_guard<std::mutex> lock(m_);
+      util::MutexLock lock(m_);
       if (--remaining_ == 0) cv_done_.notify_one();
     }
   }
@@ -143,7 +154,7 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
     run_share(region, 0);
   } else {
     {
-      std::lock_guard<std::mutex> lock(m_);
+      util::MutexLock lock(m_);
       active_ = &region;
       remaining_ = workers_.size();
       ++epoch_;
@@ -152,19 +163,25 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
     try {
       run_share(region, 0);
     } catch (...) {
-      std::lock_guard<std::mutex> lock(region.error_m);
+      util::MutexLock lock(region.error_m);
       if (!region.error) region.error = std::current_exception();
     }
     {
-      std::unique_lock<std::mutex> lock(m_);
-      cv_done_.wait(lock, [&] { return remaining_ == 0; });
+      util::MutexLock lock(m_);
+      // Predicate runs with m_ held by the wait loop itself (see worker_loop).
+      cv_done_.wait(m_, [&]() PLF_NO_TSA { return remaining_ == 0; });
       active_ = nullptr;
     }
-    if (region.error) std::rethrow_exception(region.error);
+    // TSA finding (docs/STATIC_ANALYSIS.md): this read used to access
+    // region.error bare — safe only via the cv_done_ wait edge, invisible to
+    // the analysis and fragile under refactoring. Read it under error_m.
+    if (std::exception_ptr error = region.take_error()) {
+      std::rethrow_exception(error);
+    }
   }
 
   {
-    std::lock_guard<std::mutex> lock(stats_m_);
+    util::MutexLock lock(stats_m_);
     ++stats_.regions;
     // The body time is included here; callers interested purely in overhead
     // should time empty regions (see the calibration bench).
@@ -180,12 +197,12 @@ void ThreadPool::parallel_for_each(std::size_t begin, std::size_t end,
 }
 
 PoolStats ThreadPool::stats() const {
-  std::lock_guard<std::mutex> lock(stats_m_);
+  util::MutexLock lock(stats_m_);
   return stats_;
 }
 
 void ThreadPool::reset_stats() {
-  std::lock_guard<std::mutex> lock(stats_m_);
+  util::MutexLock lock(stats_m_);
   stats_ = PoolStats{};
 }
 

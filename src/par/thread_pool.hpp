@@ -9,12 +9,13 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace plf::par {
 
@@ -63,27 +64,35 @@ class ThreadPool {
   void parallel_for_each(std::size_t begin, std::size_t end,
                          const std::function<void(std::size_t)>& body);
 
-  PoolStats stats() const;
-  void reset_stats();
+  PoolStats stats() const PLF_EXCLUDES(stats_m_);
+  void reset_stats() PLF_EXCLUDES(stats_m_);
 
  private:
   struct Region;
   void worker_loop(std::size_t worker_index);
   void run_share(Region& region, std::size_t thread_index);
 
-  std::vector<std::thread> workers_;
+  std::vector<std::thread> workers_;  // immutable after construction
 
-  std::mutex m_;
-  std::condition_variable cv_start_;
-  std::condition_variable cv_done_;
-  Region* active_ = nullptr;     // currently broadcast region (guarded by m_)
-  std::uint64_t epoch_ = 0;      // bumped per region so workers wake exactly once
-  std::size_t remaining_ = 0;    // workers still inside the active region
-  bool shutting_down_ = false;
-  std::atomic<bool> in_region_{false};  // rejects nested parallel_for calls
+  // Region broadcast protocol: m_ guards the handshake state below; workers
+  // sleep on cv_start_, the caller sleeps on cv_done_. The Region object
+  // itself is stack-owned by parallel_for and immutable while broadcast
+  // (except Region::error, guarded by its own mutex — see the .cpp).
+  util::Mutex m_;
+  util::CondVar cv_start_;
+  util::CondVar cv_done_;
+  Region* active_ PLF_GUARDED_BY(m_) = nullptr;  // currently broadcast region
+  /// Bumped per region so workers wake exactly once.
+  std::uint64_t epoch_ PLF_GUARDED_BY(m_) = 0;
+  /// Workers still inside the active region.
+  std::size_t remaining_ PLF_GUARDED_BY(m_) = 0;
+  bool shutting_down_ PLF_GUARDED_BY(m_) = false;
+  /// Rejects nested/concurrent parallel_for calls. An atomic, not m_-guarded
+  /// state: the CAS must fail fast without blocking on a busy region.
+  std::atomic<bool> in_region_{false};
 
-  mutable std::mutex stats_m_;
-  PoolStats stats_;
+  mutable util::Mutex stats_m_;
+  PoolStats stats_ PLF_GUARDED_BY(stats_m_);
 };
 
 /// Pool shared by library components that do not manage their own

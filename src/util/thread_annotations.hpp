@@ -1,0 +1,86 @@
+// Clang Thread Safety Analysis macros (compile-time lock-discipline proofs).
+//
+// These wrap the attributes documented at
+// https://clang.llvm.org/docs/ThreadSafetyAnalysis.html so the concurrency
+// surface (par/thread_pool, obs/metrics, obs/flight, the thread-confined
+// cell/gpu simulators) can state its locking protocol in the type system:
+// which mutex guards which member, which functions require/acquire/release
+// which capability. Under the `tsa` CMake preset (clang,
+// -Wthread-safety -Wthread-safety-beta, warnings as errors) every violation
+// of a stated protocol is a build break; everywhere else — gcc, or clang
+// without the flag — the macros compile to nothing and cost nothing.
+//
+// Conventions in this codebase:
+//   - every mutex-protected member carries PLF_GUARDED_BY(<mutex>);
+//   - private helpers that assume a held lock carry PLF_REQUIRES(<mutex>)
+//     instead of re-locking;
+//   - lock-free protocols TSA cannot model (the flight-recorder seqlock
+//     rings, the spin barrier's sense-reversal) are NOT annotated: each
+//     carries a comment explaining the protocol and why it is exempt, and
+//     any function that would trip the analysis anyway uses PLF_NO_TSA;
+//   - thread-confined (single-owner, unsynchronized) classes use
+//     util::ThreadChecker from util/sync.hpp as a capability, so confinement
+//     violations are caught by TSA at compile time and by PLF_DCHECK at run
+//     time. See docs/STATIC_ANALYSIS.md.
+#pragma once
+
+#if defined(__clang__)
+#define PLF_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define PLF_THREAD_ANNOTATION(x)  // no-op off Clang (gcc ignores TSA)
+#endif
+
+/// Class attribute: instances are capabilities (lockable things / roles).
+#define PLF_CAPABILITY(name) PLF_THREAD_ANNOTATION(capability(name))
+
+/// Class attribute: RAII type whose ctor acquires and dtor releases.
+#define PLF_SCOPED_CAPABILITY PLF_THREAD_ANNOTATION(scoped_lockable)
+
+/// Data member is only read/written while holding the given capability.
+#define PLF_GUARDED_BY(x) PLF_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer member: the pointed-to data is protected by the capability
+/// (the pointer itself may be read freely).
+#define PLF_PT_GUARDED_BY(x) PLF_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Lock-ordering declarations (checked under -Wthread-safety-beta).
+#define PLF_ACQUIRED_BEFORE(...) \
+  PLF_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define PLF_ACQUIRED_AFTER(...) \
+  PLF_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+/// Function requires the capability held on entry (and does not release it).
+#define PLF_REQUIRES(...) \
+  PLF_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define PLF_REQUIRES_SHARED(...) \
+  PLF_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires the capability (caller must not already hold it).
+#define PLF_ACQUIRE(...) PLF_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define PLF_ACQUIRE_SHARED(...) \
+  PLF_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+
+/// Function releases the capability (caller must hold it).
+#define PLF_RELEASE(...) PLF_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define PLF_RELEASE_SHARED(...) \
+  PLF_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+
+/// Function acquires the capability iff it returns `b`.
+#define PLF_TRY_ACQUIRE(b, ...) \
+  PLF_THREAD_ANNOTATION(try_acquire_capability(b, __VA_ARGS__))
+
+/// Function must be called WITHOUT the capability held (non-reentrant locks).
+#define PLF_EXCLUDES(...) PLF_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Function asserts (at run time) that the capability is held, teaching the
+/// analysis it holds from this call onward. Used by ThreadChecker::check().
+#define PLF_ASSERT_CAPABILITY(x) \
+  PLF_THREAD_ANNOTATION(assert_capability(x))
+
+/// Function returns a reference to the given capability (lock accessors).
+#define PLF_RETURN_CAPABILITY(x) PLF_THREAD_ANNOTATION(lock_returned(x))
+
+/// Opt a function out of the analysis entirely. Every use carries a comment
+/// with the rationale (typically: a lock-free protocol, or a condition-wait
+/// predicate that runs with the lock held by the wait loop itself).
+#define PLF_NO_TSA PLF_THREAD_ANNOTATION(no_thread_safety_analysis)

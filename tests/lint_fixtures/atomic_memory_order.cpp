@@ -1,0 +1,10 @@
+// Known-bad fixture for plf_lint rule atomic-memory-order: an RMW on a
+// std::atomic relying on the implicit seq_cst default. Linted as if under
+// src/; never compiled.
+#include <atomic>
+
+std::atomic<int> g_counter{0};
+
+int bump() {
+  return g_counter.fetch_add(1);
+}

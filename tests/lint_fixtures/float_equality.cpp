@@ -1,0 +1,5 @@
+// Known-bad fixture for plf_lint rule float-equality: raw == on doubles in
+// numeric code. Linted as if at src/numerics/conv_bad.cpp; never compiled.
+bool converged(double previous, double current) {
+  return previous == current;
+}

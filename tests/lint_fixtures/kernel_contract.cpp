@@ -1,0 +1,14 @@
+// Known-bad fixture for plf_lint rule kernel-contract: a kernel entry taking
+// DownArgs that never calls detail::check_down / check_down_aligned.
+// Linted as if at src/core/kernels_bad.cpp; never compiled.
+#include "core/kernels.hpp"
+
+namespace plf::core {
+
+void down_bad(const DownArgs& a, std::size_t begin, std::size_t end) {
+  for (std::size_t i = begin; i < end; ++i) {
+    a.cl_out[i] = 0;
+  }
+}
+
+}  // namespace plf::core

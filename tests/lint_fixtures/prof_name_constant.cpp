@@ -1,0 +1,8 @@
+// Known-bad fixture for plf_lint rule prof-name-constant: a PLF_PROF_SCOPE
+// name given as an ad-hoc string literal instead of an interned obs::k*
+// constant. Linted as if under src/; never compiled.
+#include "obs/profile.hpp"
+
+void hot_path() {
+  PLF_PROF_SCOPE("adhoc.span.name");
+}

@@ -1,0 +1,8 @@
+// Known-bad fixture for plf_lint rule raw-thread: spawning std::thread
+// outside src/par/. Linted as if at src/mcmc/spawn_bad.cpp; never compiled.
+#include <thread>
+
+void spawn_unpooled() {
+  std::thread worker([] {});
+  worker.join();
+}

@@ -385,5 +385,89 @@ TEST(ParStressTest, HistogramAndFlightHammeredWhileFlusherReads) {
   EXPECT_NE(os.str().find("\"name\":\"stress.flight\""), std::string::npos);
 }
 
+TEST(ParStressTest, RegionExceptionRethrownWhileStatsReadersRace) {
+  // Regression for the TSA lock-discipline finding in parallel_for
+  // (docs/STATIC_ANALYSIS.md): the caller used to read Region::error bare
+  // after the cv_done_ wait — safe only via the wait's happens-before edge,
+  // invisible to the analysis and fragile under refactoring. It now goes
+  // through Region::take_error() under error_m. This hammers that path with
+  // throwing bodies from every worker while a dedicated thread polls
+  // stats() (the stats_m_ discipline) the whole time; TSan checks both
+  // locks, the plain presets check no exception is ever lost or doubled.
+  ThreadPool pool(kThreads);
+  std::atomic<bool> stop{false};
+  std::thread stats_reader([&] {
+    std::uint64_t last = 0;
+    while (!stop.load(std::memory_order_acquire)) {
+      const PoolStats s = pool.stats();
+      EXPECT_GE(s.regions, last);  // counters only grow
+      last = s.regions;
+    }
+  });
+
+  constexpr int kRounds = 200;
+  for (int round = 0; round < kRounds; ++round) {
+    int caught = 0;
+    try {
+      pool.parallel_for(0, kThreads * 8, [&](Range r, std::size_t) {
+        for (std::size_t i = r.begin; i < r.end; ++i) {
+          if (i % 8 == 3) throw Error("stress: region body failure");
+        }
+      });
+    } catch (const Error& e) {
+      caught = 1;
+      EXPECT_NE(std::string(e.what()).find("region body failure"),
+                std::string::npos);
+    }
+    EXPECT_EQ(caught, 1) << "region exception swallowed in round " << round;
+  }
+
+  // The pool survives every failed region.
+  std::atomic<int> n{0};
+  pool.parallel_for(0, 128, [&](Range r, std::size_t) {
+    n.fetch_add(static_cast<int>(r.size()), std::memory_order_relaxed);
+  });
+  EXPECT_EQ(n.load(std::memory_order_relaxed), 128);
+
+  stop.store(true, std::memory_order_release);
+  stats_reader.join();
+}
+
+TEST(ParStressTest, FreshThreadFirstRecordRacesSnapshotLoop) {
+  // Regression for the metrics flush-ordering finding
+  // (docs/STATIC_ANALYSIS.md): snapshot() used to copy the shard-pointer
+  // list under the registry lock, release it, then merge each shard — so a
+  // fresh thread's first record could register its shard mid-flush and the
+  // "snapshot" was not a consistent cut. snapshot() now holds the registry
+  // lock across the whole merge. The invariant checked here: a sample fully
+  // recorded (thread joined) before a snapshot starts can never be missing
+  // from it. Each recording thread is brand new, so every add() exercises
+  // the make_shard registration path against the flush loop.
+  obs::MetricsRegistry reg;
+  const obs::MetricId counter = reg.counter("stress.fresh");
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> committed{0};
+  std::thread flusher([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      const std::uint64_t floor = committed.load(std::memory_order_acquire);
+      const obs::Snapshot snap = reg.snapshot();
+      EXPECT_GE(snap.counter_value("stress.fresh"), floor);
+    }
+  });
+
+  constexpr int kFreshThreads = 64;
+  for (int i = 0; i < kFreshThreads; ++i) {
+    std::thread recorder([&] { reg.add(counter); });
+    recorder.join();
+    committed.fetch_add(1, std::memory_order_release);
+  }
+
+  stop.store(true, std::memory_order_release);
+  flusher.join();
+  EXPECT_EQ(reg.snapshot().counter_value("stress.fresh"),
+            static_cast<std::uint64_t>(kFreshThreads));
+}
+
 }  // namespace
 }  // namespace plf::par

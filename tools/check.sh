@@ -7,11 +7,14 @@
 #   tools/check.sh asan         # ASan+UBSan preset + ctest
 #   tools/check.sh tsan         # TSan preset + ctest
 #   tools/check.sh tidy         # clang-tidy over src/ (skipped if absent)
+#   tools/check.sh lint         # plf_lint project invariants over src/
+#   tools/check.sh tsa          # Clang Thread Safety build (skipped if no clang)
 #   tools/check.sh bench        # quick bench suite + warn-only compare
 #
-# Stages that need a tool the host lacks (clang-tidy) are skipped with a
-# warning rather than failed, so the script is usable both on dev machines
-# and as the single entry point for CI (which installs everything).
+# Stages that need a tool the host lacks (clang-tidy, clang++ for tsa) are
+# skipped with a warning rather than failed, so the script is usable both on
+# dev machines and as the single entry point for CI (which installs
+# everything).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -80,6 +83,34 @@ stage_tidy() {
     cmake --build --preset tidy -j "${JOBS}"
 }
 
+# Project-invariant linter (docs/STATIC_ANALYSIS.md): builds plf_lint in the
+# default tree and runs it over the compile database. Exit 1 = unsuppressed
+# findings; the suppression file is the only sanctioned escape hatch.
+stage_lint() {
+  note "lint: configure + build plf_lint" &&
+    cmake --preset default &&
+    cmake --build --preset default -j "${JOBS}" --target plf_lint &&
+    note "lint: plf_lint over src/" &&
+    build-default/tools/plf_lint \
+      --compile-commands build-default/compile_commands.json \
+      --root . \
+      --suppressions tools/plf_lint/suppressions.json
+}
+
+# Compile-time concurrency proofs: build the whole tree under Clang with
+# -Wthread-safety (and the beta/precise groups) as errors. Needs clang++ —
+# gcc parses the annotations to nothing, so there is nothing to check there.
+stage_tsa() {
+  if ! command -v clang++ >/dev/null 2>&1; then
+    warn "clang++ not found on PATH; skipping the tsa stage"
+    SKIPPED+=(tsa)
+    return 0
+  fi
+  note "preset 'tsa': configure + build (-Werror=thread-safety)" &&
+    cmake --preset tsa &&
+    cmake --build --preset tsa -j "${JOBS}"
+}
+
 run_stage() {
   local name="$1"
   if "stage_${name}"; then
@@ -92,13 +123,13 @@ run_stage() {
 
 STAGES=("$@")
 if [[ ${#STAGES[@]} -eq 0 ]]; then
-  STAGES=(plain checked asan tsan tidy bench)
+  STAGES=(plain checked asan tsan tidy lint tsa bench)
 fi
 
 for s in "${STAGES[@]}"; do
   case "$s" in
-    plain|checked|asan|tsan|tidy|bench) run_stage "$s" ;;
-    *) echo "unknown stage '$s' (expected plain|checked|asan|tsan|tidy|bench)" >&2
+    plain|checked|asan|tsan|tidy|lint|tsa|bench) run_stage "$s" ;;
+    *) echo "unknown stage '$s' (expected plain|checked|asan|tsan|tidy|lint|tsa|bench)" >&2
        exit 2 ;;
   esac
 done

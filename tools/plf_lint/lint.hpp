@@ -1,0 +1,93 @@
+// plf_lint: project-invariant linter (docs/STATIC_ANALYSIS.md).
+//
+// Token/structure-level checks for rules the compiler cannot express and
+// clang-tidy has no checker for — they are *project* conventions:
+//
+//   kernel-contract      every kernel entry in src/core/kernels_*.cpp calls
+//                        its kernel_contracts.hpp check before touching data
+//   prof-name-constant   PLF_PROF_SCOPE/COUNT/GAUGE names must be the interned
+//                        constants from obs/names.hpp, never ad-hoc string
+//                        literals (ad-hoc names fragment the Fig. 12 report)
+//   raw-thread           no std::thread/std::async outside src/par/ — all
+//                        parallelism goes through the pool so region
+//                        accounting stays complete
+//   float-equality       no ==/!= on floating-point in src/core/ and
+//                        src/numerics/ outside numerics/ulp.hpp — exact
+//                        comparisons must name their intent via the ULP
+//                        helpers
+//   atomic-memory-order  std::atomic load/store/RMW must pass an explicit
+//                        std::memory_order — the default seq_cst either hides
+//                        a cost or hides an unconsidered ordering decision
+//
+// The analysis is a real tokenizer (comments/strings/numbers handled) plus
+// shallow structure (brace depth, balanced parens) — deliberately not a full
+// parser. Findings carry file:line:rule and are matched against a checked-in
+// suppression file; the driver exits nonzero on unsuppressed findings.
+#pragma once
+
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace plf::lint {
+
+/// One C++ token with its 1-based source line.
+struct Token {
+  enum class Kind : unsigned char { kIdent, kNumber, kString, kChar, kPunct };
+  Kind kind;
+  std::string text;
+  int line = 0;
+};
+
+/// Strip comments, fold string/char literals into single tokens, keep
+/// everything else as identifier/number/punctuation tokens.
+std::vector<Token> tokenize(std::string_view src);
+
+struct Finding {
+  std::string file;   ///< repo-relative path (forward slashes)
+  int line = 0;
+  std::string rule;
+  std::string message;
+  bool suppressed = false;
+};
+
+/// Cross-file knowledge a single-file pass cannot gather: names declared as
+/// std::atomic anywhere in the linted set (members declared in headers are
+/// used in .cpp files that never re-declare them).
+struct Context {
+  std::set<std::string> atomic_names;
+};
+
+/// Names of all rules, in reporting order.
+const std::vector<std::string>& rule_names();
+
+/// Collect Context contributions from one file.
+void scan_context(std::string_view text, Context& ctx);
+
+/// Lint one file's text. `relpath` (repo-relative, forward slashes) scopes
+/// the rules; `ctx` may be null (single-file mode: context is built from the
+/// file itself).
+std::vector<Finding> lint_source(std::string_view relpath, std::string_view text,
+                                 const Context* ctx = nullptr);
+
+struct Suppression {
+  std::string rule;
+  std::string file;    ///< repo-relative path, matched exactly or by suffix
+  int line = -1;       ///< -1 matches any line
+  std::string reason;  ///< required: a suppression without a why is a bug
+};
+
+/// Parse a suppression file: {"suppressions":[{"rule","file","line"?,"reason"}]}.
+/// Throws plf::Error on malformed entries (missing rule/file/reason).
+std::vector<Suppression> load_suppressions(const std::string& path);
+
+/// Mark findings matched by a suppression entry (rule + file [+ line]).
+void apply_suppressions(std::vector<Finding>& findings,
+                        const std::vector<Suppression>& sups);
+
+/// Machine-readable report: {"schema":"plf-lint-v1","findings":[...],
+/// "counts":{"total":N,"suppressed":M}}.
+std::string findings_to_json(const std::vector<Finding>& findings);
+
+}  // namespace plf::lint

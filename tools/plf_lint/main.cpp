@@ -1,0 +1,181 @@
+// plf_lint driver (docs/STATIC_ANALYSIS.md).
+//
+// Usage:
+//   plf_lint --compile-commands build/compile_commands.json
+//            [--root .] [--suppressions tools/plf_lint/suppressions.json]
+//            [--json out.json] [files...]
+//
+// Files come from the compile database (filtered to the repo's src/ tree,
+// headers discovered by a directory walk — the database only lists .cpp) or
+// from explicit positional arguments. Exit code: 0 when every finding is
+// suppressed, 1 on unsuppressed findings, 2 on usage/IO errors.
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "plf_lint/lint.hpp"
+#include "util/error.hpp"
+#include "util/json.hpp"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+struct Args {
+  std::string compile_commands;
+  std::string root = ".";
+  std::string suppressions;
+  std::string json_out;
+  std::vector<std::string> files;
+  bool list_rules = false;
+};
+
+int usage(std::ostream& os) {
+  os << "usage: plf_lint [--compile-commands FILE] [--root DIR]\n"
+        "                [--suppressions FILE] [--json FILE] [--list-rules]\n"
+        "                [files...]\n";
+  return 2;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw plf::Error("cannot read " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+/// Repo-relative forward-slash path, or empty when `p` is outside `root`.
+std::string relativize(const fs::path& p, const fs::path& root) {
+  std::error_code ec;
+  const fs::path canon = fs::weakly_canonical(p, ec);
+  const fs::path rel = canon.lexically_relative(root);
+  if (rel.empty() || rel.native().rfind("..", 0) == 0) return {};
+  return rel.generic_string();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    const auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << "plf_lint: " << a << " needs a value\n";
+        std::exit(usage(std::cerr));
+      }
+      return argv[++i];
+    };
+    if (a == "--compile-commands") {
+      args.compile_commands = next();
+    } else if (a == "--root") {
+      args.root = next();
+    } else if (a == "--suppressions") {
+      args.suppressions = next();
+    } else if (a == "--json") {
+      args.json_out = next();
+    } else if (a == "--list-rules") {
+      args.list_rules = true;
+    } else if (a == "--help" || a == "-h") {
+      return usage(std::cout), 0;
+    } else if (!a.empty() && a[0] == '-') {
+      std::cerr << "plf_lint: unknown option " << a << "\n";
+      return usage(std::cerr);
+    } else {
+      args.files.push_back(a);
+    }
+  }
+
+  if (args.list_rules) {
+    for (const std::string& r : plf::lint::rule_names()) std::cout << r << "\n";
+    return 0;
+  }
+
+  try {
+    const fs::path root = fs::weakly_canonical(args.root);
+
+    // Gather (relpath, abspath) pairs, deduplicated.
+    std::set<std::pair<std::string, std::string>> files;
+    for (const std::string& f : args.files) {
+      const std::string rel = relativize(f, root);
+      files.insert({rel.empty() ? f : rel, f});
+    }
+    if (!args.compile_commands.empty()) {
+      const plf::json::Value db = plf::json::parse_file(args.compile_commands);
+      for (const plf::json::Value& entry : db.as_array()) {
+        fs::path file = entry.at("file").as_string();
+        if (file.is_relative()) {
+          file = fs::path(entry.at("directory").as_string()) / file;
+        }
+        const std::string rel = relativize(file, root);
+        // The database covers the whole build (tests, bench, third-party);
+        // the project rules apply to the library tree.
+        if (rel.rfind("src/", 0) != 0) continue;
+        files.insert({rel, file.string()});
+      }
+      // The database only lists translation units; the rules also bind
+      // headers (annotated members, inline hot paths).
+      const fs::path src = root / "src";
+      if (fs::is_directory(src)) {
+        for (const auto& e : fs::recursive_directory_iterator(src)) {
+          if (!e.is_regular_file()) continue;
+          if (e.path().extension() != ".hpp") continue;
+          files.insert({relativize(e.path(), root), e.path().string()});
+        }
+      }
+    }
+    if (files.empty()) {
+      std::cerr << "plf_lint: no input files (pass --compile-commands or "
+                   "explicit files)\n";
+      return usage(std::cerr);
+    }
+
+    // Pass 1: cross-file context (atomics declared in headers, used in cpps).
+    plf::lint::Context ctx;
+    std::vector<std::pair<std::string, std::string>> texts;
+    for (const auto& [rel, abs] : files) {
+      texts.emplace_back(rel, read_file(abs));
+      plf::lint::scan_context(texts.back().second, ctx);
+    }
+
+    // Pass 2: lint.
+    std::vector<plf::lint::Finding> findings;
+    for (const auto& [rel, text] : texts) {
+      std::vector<plf::lint::Finding> f = plf::lint::lint_source(rel, text, &ctx);
+      findings.insert(findings.end(), f.begin(), f.end());
+    }
+
+    if (!args.suppressions.empty()) {
+      const std::vector<plf::lint::Suppression> sups =
+          plf::lint::load_suppressions(args.suppressions);
+      plf::lint::apply_suppressions(findings, sups);
+    }
+
+    std::size_t unsuppressed = 0;
+    for (const plf::lint::Finding& f : findings) {
+      if (f.suppressed) continue;
+      ++unsuppressed;
+      std::cerr << f.file << ":" << f.line << ": " << f.rule << ": "
+                << f.message << "\n";
+    }
+
+    if (!args.json_out.empty()) {
+      std::ofstream out(args.json_out, std::ios::binary);
+      if (!out) throw plf::Error("cannot write " + args.json_out);
+      out << plf::lint::findings_to_json(findings) << "\n";
+    }
+
+    std::cerr << "plf_lint: " << texts.size() << " files, " << findings.size()
+              << " findings (" << findings.size() - unsuppressed
+              << " suppressed)\n";
+    return unsuppressed == 0 ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::cerr << "plf_lint: " << e.what() << "\n";
+    return 2;
+  }
+}
