@@ -37,6 +37,7 @@
 #include "core/backend.hpp"
 #include "core/engine.hpp"
 #include "core/kernels.hpp"
+#include "core/tip_partial.hpp"
 #include "obs/json_util.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -95,6 +96,9 @@ struct Operands {
   aligned_vector<float> ln_scaler;
   aligned_vector<double> scaler_total;
   aligned_vector<std::uint32_t> weights;
+  std::vector<phylo::StateMask> mask_l, mask_r;
+  core::TipPartial tp_l, tp_r;
+  core::TipPairTable pair;
 
   explicit Operands(std::size_t m_, std::size_t K_ = 4) : m(m_), K(K_) {
     phylo::GtrParams p = seqgen::default_gtr_params();
@@ -111,6 +115,21 @@ struct Operands {
     ln_scaler.assign(m, 0.0f);
     scaler_total.assign(m, -0.5);
     weights.assign(m, 1);
+    // Tip operands: realistic mask mix (mostly resolved bases, ~10%
+    // ambiguity codes) and the per-branch / per-pair lookup tables the
+    // engine would have staged for a cherry.
+    mask_l.resize(m);
+    mask_r.resize(m);
+    for (auto* masks : {&mask_l, &mask_r}) {
+      for (auto& x : *masks) {
+        x = rng.uniform() < 0.1
+                ? static_cast<phylo::StateMask>(1 + rng.below(15))
+                : phylo::state_to_mask(rng.below(4));
+      }
+    }
+    tp_l = core::TipPartial(tm_l);
+    tp_r = core::TipPartial(tm_r);
+    pair = core::TipPairTable(tp_l, tp_r);
   }
 
   core::DownArgs down() {
@@ -123,6 +142,27 @@ struct Operands {
     a.right.p = tm_r.row_major();
     a.right.pt = tm_r.col_major();
     a.out = out.data();
+    return a;
+  }
+
+  core::DownArgs down_tip_inner() {
+    core::DownArgs a = down();
+    a.left.cl = nullptr;
+    a.left.mask = mask_l.data();
+    a.left.tp = tp_l.data();
+    return a;
+  }
+
+  core::TipTipArgs down_tip_tip() {
+    core::TipTipArgs a;
+    a.left_mask = mask_l.data();
+    a.right_mask = mask_r.data();
+    a.pair = pair.raw();
+    a.pair_scaled = pair.scaled();
+    a.pair_ln = pair.ln_factors();
+    a.out = out.data();
+    a.K = K;
+    a.table_categories = pair.n_categories();
     return a;
   }
 };
@@ -174,6 +214,46 @@ CaseStat kernel_case(const std::string& op_name,
     cs.values.push_back((t1 - t0) / static_cast<double>(iters));
   }
   g_bench_sink = sink;  // keep the timed work observable
+  return cs;
+}
+
+/// Tip-specialized and fused kernel cases (docs/KERNELS.md), all on the
+/// production simd-col entries where a variant matters; the tip×tip gather is
+/// variant-independent. Case names:
+///   kernel.down.tip-inner    tip-partial row instead of the left matvec
+///   kernel.down.tip-tip      per-pair table gather (cherry nodes)
+///   kernel.down_scale.fused  single-pass down + rescale over one CLV sweep
+CaseStat tip_kernel_case(const std::string& case_name, std::uint64_t iters,
+                         int reps) {
+  Operands op(kPatterns);
+  const auto& ks = core::kernels(core::KernelVariant::kSimdCol);
+  const auto ti_args = op.down_tip_inner();
+  const auto tt_args = op.down_tip_tip();
+  const auto fused_down = op.down();
+  core::ScaleArgs fused_scale{op.out.data(), op.ln_scaler.data(), op.K};
+
+  CaseStat cs;
+  cs.name = "kernel." + case_name;
+  cs.unit = "s/call";
+  cs.iters = iters;
+  cs.threshold = 0.15;
+  double sink = 0.0;
+  for (int rep = 0; rep < reps; ++rep) {
+    const double t0 = now_s();
+    for (std::uint64_t i = 0; i < iters; ++i) {
+      if (case_name == "down.tip-tip") {
+        ks.down_tt(tt_args, 0, op.m);
+      } else if (case_name == "down.tip-inner") {
+        ks.down_ti(ti_args, 0, op.m);
+      } else {
+        ks.down_scale(fused_down, fused_scale, 0, op.m);
+      }
+      sink += static_cast<double>(op.out[0]);
+    }
+    const double t1 = now_s();
+    cs.values.push_back((t1 - t0) / static_cast<double>(iters));
+  }
+  g_bench_sink = sink;
   return cs;
 }
 
@@ -341,6 +421,12 @@ int main(int argc, char** argv) {
                 << cases.back().min() * 1e6 << " us/call (min of " << reps
                 << ")\n";
     }
+  }
+
+  for (const char* c : {"down.tip-tip", "down.tip-inner", "down_scale.fused"}) {
+    cases.push_back(tip_kernel_case(c, kernel_iters, reps));
+    std::cerr << cases.back().name << ": " << cases.back().min() * 1e6
+              << " us/call (min of " << reps << ")\n";
   }
 
   Rng rng(2025);

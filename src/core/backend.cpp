@@ -9,6 +9,34 @@
 
 namespace plf::core {
 
+namespace {
+
+/// One plan op's fused down/root + rescale over [begin, end), dispatched by
+/// the op's specialization kind. Every path is a per-site composition of the
+/// unfused kernels (or an exact-precomputation gather), so regrouping
+/// (op, chunk) work through this helper stays bit-identical to the per-call
+/// loop — the invariant the backend_diff twins pin down.
+inline void run_op_fused(const KernelSet& ks, const PlfOp& op,
+                         std::size_t begin, std::size_t end) {
+  if (op.is_root) {
+    ks.root_scale(op.args, op.scale, begin, end);
+    return;
+  }
+  switch (op.kind) {
+    case PlfOpKind::kTipTip:
+      ks.down_tt_scale(op.tt, op.scale, begin, end);
+      break;
+    case PlfOpKind::kTipInner:
+      ks.down_ti_scale(op.args.down, op.scale, begin, end);
+      break;
+    case PlfOpKind::kGeneric:
+      ks.down_scale(op.args.down, op.scale, begin, end);
+      break;
+  }
+}
+
+}  // namespace
+
 void ExecutionBackend::run_plan(const KernelSet& ks, const PlfPlan& plan) {
   detail::check_plan(plan);
   // Reference executor: ops in plan (level) order through the per-call
@@ -50,6 +78,27 @@ void SerialBackend::run_scale(const KernelSet& ks, const ScaleArgs& a,
 double SerialBackend::run_root_reduce(const KernelSet& ks,
                                       const RootReduceArgs& a, std::size_t m) {
   return ks.root_reduce(a, 0, m);
+}
+
+void SerialBackend::run_plan(const KernelSet& ks, const PlfPlan& plan) {
+  detail::check_plan(plan);
+  // Plan order through the fused entries: one CLV sweep per op (down/root +
+  // rescale in the same pass) and the tip-specialized gathers where the
+  // engine marked them. The rescale time lands in the down/root timer —
+  // that is the point of fusion; there is no separate scaler pass left.
+  for (const PlfOp& op : plan.ops()) {
+    if (op.is_root) {
+      PLF_PROF_SCOPE(obs::kTimerCondLikeRoot);
+      run_op_fused(ks, op, 0, op.run_m);
+    } else {
+      PLF_PROF_SCOPE(obs::kTimerCondLikeDown);
+      run_op_fused(ks, op, 0, op.run_m);
+    }
+    if (op.repeats != nullptr) {
+      PLF_PROF_SCOPE(obs::kTimerRepeatScatter);
+      scatter_op(op);
+    }
+  }
 }
 
 std::string ThreadedBackend::name() const {
@@ -146,13 +195,7 @@ void ThreadedBackend::run_plan(const KernelSet& ks, const PlfPlan& plan) {
         PLF_PROF_SCOPE(obs::kTimerPlanLevel);
         pool_.parallel_for(0, plan.m(), [&](par::Range r, std::size_t) {
           for (std::size_t i = ob; i < oe; ++i) {
-            const PlfOp& op = ops[i];
-            if (op.is_root) {
-              ks.root(op.args, r.begin, r.end);
-            } else {
-              ks.down(op.args.down, r.begin, r.end);
-            }
-            ks.scale(op.scale, r.begin, r.end);
+            run_op_fused(ks, ops[i], r.begin, r.end);
           }
         });
       }
@@ -188,12 +231,7 @@ void ThreadedBackend::run_plan(const KernelSet& ks, const PlfPlan& plan) {
           const std::size_t seg_end = std::min(r.end, offs[i + 1]);
           const std::size_t b = pos - offs[i];
           const std::size_t e = seg_end - offs[i];
-          if (op.is_root) {
-            ks.root(op.args, b, e);
-          } else {
-            ks.down(op.args.down, b, e);
-          }
-          ks.scale(op.scale, b, e);
+          run_op_fused(ks, op, b, e);
           pos = seg_end;
         }
       });

@@ -46,6 +46,12 @@ enum class Capabilities : std::uint32_t {
   /// run_plan coalesces host<->device transfers across a batch instead of
   /// paying a full round trip per kernel invocation.
   kBatchedTransfers = 1u << 2,
+  /// run_plan dispatches tip-specialized ops (PlfOpKind::kTipTip/kTipInner)
+  /// to the lookup-table kernels instead of the generic entries. The engine
+  /// only builds pair tables and sets op kinds for backends advertising this
+  /// (docs/KERNELS.md); everyone else executes the always-valid generic
+  /// argument block, bit-identically.
+  kTipKernels = 1u << 3,
 };
 
 constexpr Capabilities operator|(Capabilities a, Capabilities b) {
@@ -94,13 +100,17 @@ class SerialBackend final : public ExecutionBackend {
  public:
   std::string name() const override { return "serial"; }
   Capabilities capabilities() const override {
-    return Capabilities::kSiteRepeats;
+    return Capabilities::kSiteRepeats | Capabilities::kFusedPlan |
+           Capabilities::kTipKernels;
   }
   void run_down(const KernelSet& ks, const DownArgs& a, std::size_t m) override;
   void run_root(const KernelSet& ks, const RootArgs& a, std::size_t m) override;
   void run_scale(const KernelSet& ks, const ScaleArgs& a, std::size_t m) override;
   double run_root_reduce(const KernelSet& ks, const RootReduceArgs& a,
                          std::size_t m) override;
+  /// Ops in plan order through the fused + tip-specialized kernel entries
+  /// (one CLV sweep per op instead of two).
+  void run_plan(const KernelSet& ks, const PlfPlan& plan) override;
 };
 
 /// OpenMP-style parallel-for over the outermost pattern loop (§3.2): one
@@ -116,7 +126,8 @@ class ThreadedBackend final : public ExecutionBackend {
 
   std::string name() const override;
   Capabilities capabilities() const override {
-    return Capabilities::kSiteRepeats | Capabilities::kFusedPlan;
+    return Capabilities::kSiteRepeats | Capabilities::kFusedPlan |
+           Capabilities::kTipKernels;
   }
   void run_down(const KernelSet& ks, const DownArgs& a, std::size_t m) override;
   void run_root(const KernelSet& ks, const RootArgs& a, std::size_t m) override;

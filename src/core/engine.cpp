@@ -1,6 +1,7 @@
 #include "core/engine.hpp"
 
 #include <cstring>
+#include <utility>
 
 #include "obs/names.hpp"
 #include "obs/profile.hpp"
@@ -62,6 +63,12 @@ PlfEngine::PlfEngine(phylo::PatternMatrix data, const phylo::GtrParams& params,
   if (repeats_enabled_) {
     repeats_ = SiteRepeats(data_, tree_);
   }
+
+  // Tip-specialized kernels ride plan dispatch only: the per-call path stays
+  // fully generic so --dispatch=percall remains the exact A/B baseline.
+  tip_kernels_enabled_ =
+      dispatch_ == DispatchMode::kPlan &&
+      has_capability(backend_->capabilities(), Capabilities::kTipKernels);
 }
 
 void PlfEngine::mark_node_dirty(int node) {
@@ -227,6 +234,7 @@ void PlfEngine::rebuild_branch(int node) {
   if (tree_.node(node).is_leaf()) {
     st.tp[static_cast<std::size_t>(target)] =
         TipPartial(st.tm[static_cast<std::size_t>(target)]);
+    st.tp_stamp[static_cast<std::size_t>(target)] = ++tp_builds_;
   }
   if (target != st.active) {
     st.active = target;
@@ -347,6 +355,50 @@ void PlfEngine::build_plan() {
     op.scale.K = k_;
     op.scale.site_index = op.args.down.site_index;
     op.scale.n_sites = m_;
+
+    // Tip specialization (docs/KERNELS.md): a cherry op becomes a pair-table
+    // gather, a one-tip op the branch-free tip×inner kernel. The tip child is
+    // canonicalized to the left slot — the two child factors multiply
+    // elementwise and IEEE multiplication commutes, so the swap is exact.
+    // Root ops keep the generic three-way kernel (one per evaluation).
+    if (tip_kernels_enabled_ && !op.is_root) {
+      const bool l_tip = tree_.node(n.left).is_leaf();
+      const bool r_tip = tree_.node(n.right).is_leaf();
+      if (l_tip && r_tip) {
+        const BranchState& lb = branches_[static_cast<std::size_t>(n.left)];
+        const BranchState& rb = branches_[static_cast<std::size_t>(n.right)];
+        const std::uint64_t sl =
+            lb.tp_stamp[static_cast<std::size_t>(lb.active)];
+        const std::uint64_t sr =
+            rb.tp_stamp[static_cast<std::size_t>(rb.active)];
+        if (st.pair_stamp_l != sl || st.pair_stamp_r != sr) {
+          st.pair = TipPairTable(lb.tp[static_cast<std::size_t>(lb.active)],
+                                 rb.tp[static_cast<std::size_t>(rb.active)]);
+          st.pair_stamp_l = sl;
+          st.pair_stamp_r = sr;
+          ++stats_.tip_tables_built;
+        }
+        op.kind = PlfOpKind::kTipTip;
+        op.tt.left_mask = op.args.down.left.mask;
+        op.tt.right_mask = op.args.down.right.mask;
+        op.tt.pair = st.pair.raw();
+        op.tt.pair_scaled = st.pair.scaled();
+        op.tt.pair_ln = st.pair.ln_factors();
+        op.tt.out = out;
+        op.tt.K = k_;
+        op.tt.table_categories = st.pair.n_categories();
+        op.tt.site_index = op.args.down.site_index;
+        op.tt.n_sites = m_;
+        ++stats_.tip_tt_ops;
+      } else if (l_tip != r_tip) {
+        if (!l_tip) {
+          std::swap(op.args.down.left, op.args.down.right);
+          std::swap(op.left, op.right);
+        }
+        op.kind = PlfOpKind::kTipInner;
+        ++stats_.tip_ti_ops;
+      }
+    }
     plan_.add(op, static_cast<std::size_t>(
                       levels[static_cast<std::size_t>(id)]));
 
@@ -627,6 +679,10 @@ void PlfEngine::publish_stats(obs::MetricsRegistry& registry) const {
       static_cast<double>(stats_.scaler_resums));
   set(obs::kGaugeEngineScalerDeltaUpdates,
       static_cast<double>(stats_.scaler_delta_updates));
+  set(obs::kGaugeEngineTipTtOps, static_cast<double>(stats_.tip_tt_ops));
+  set(obs::kGaugeEngineTipTiOps, static_cast<double>(stats_.tip_ti_ops));
+  set(obs::kGaugeEngineTipTablesBuilt,
+      static_cast<double>(stats_.tip_tables_built));
 }
 
 double PlfEngine::log_likelihood() {

@@ -87,6 +87,59 @@ inline void check_down_aligned(const DownArgs& a) {
   check_child_aligned(a.right);
 }
 
+/// Tip×inner specialization: the caller promises left is a tip and right is
+/// internal (the engine canonicalizes by swapping — multiplication of the two
+/// child factors commutes bit-exactly), so the kernel may skip the per-site
+/// child-kind branch.
+inline void check_down_ti(const DownArgs& a, std::size_t begin, std::size_t end,
+                          bool needs_transpose) {
+  check_down(a, begin, end, needs_transpose);
+  PLF_DCHECK(a.left.mask != nullptr,
+             "tip-inner down: left child must be a tip");
+  PLF_DCHECK(a.right.cl != nullptr,
+             "tip-inner down: right child must be internal");
+}
+
+/// Tip×tip specialization: both children are tips and the output row is a
+/// pure gather from the per-pair table. The category count the table was
+/// built for must match K — a mismatch would stride the gather wrong, so it
+/// is rejected always (O(1)). Checked builds additionally validate every
+/// 4-bit tip-state code in the range: the gather indexes the table with
+/// mask * kNumMasks + mask, so an out-of-range code reads foreign memory.
+inline void check_down_tt(const TipTipArgs& a, std::size_t begin,
+                          std::size_t end) {
+  PLF_DCHECK(begin <= end, "tip-tip down: reversed pattern range");
+  PLF_DCHECK(a.K >= 1, "tip-tip down: needs at least one rate category");
+  PLF_DCHECK(a.out != nullptr, "tip-tip down: null output array");
+  PLF_DCHECK(a.left_mask != nullptr && a.right_mask != nullptr,
+             "tip-tip down: both children must provide tip masks");
+  PLF_DCHECK(a.pair != nullptr, "tip-tip down: null pair table");
+  PLF_CHECK(a.table_categories == a.K,
+            "tip-tip down: pair table/CLV rate-category mismatch");
+  check_site_index(a.site_index, begin, end, a.n_sites);
+#if PLF_CONTRACTS_LEVEL
+  for (std::size_t idx = begin; idx < end; ++idx) {
+    const std::size_t c = a.site_index != nullptr ? a.site_index[idx] : idx;
+    PLF_DCHECK(a.left_mask[c] < phylo::kNumMasks &&
+                   a.right_mask[c] < phylo::kNumMasks,
+               "tip-tip down: tip-state code out of range");
+  }
+#endif
+}
+
+/// Fused down/root + scale trust boundary: the scale block must alias the
+/// down output and describe the same iteration space, otherwise the single
+/// pass would rescale rows the down stage never wrote.
+inline void check_fused_scale(const ScaleArgs& s, const float* down_out,
+                              std::size_t K, const std::uint32_t* site_index) {
+  PLF_DCHECK(s.cl == down_out,
+             "fused scale: scale block must alias the down output");
+  PLF_DCHECK(s.K == K, "fused scale: rate-category mismatch");
+  PLF_DCHECK(s.site_index == site_index,
+             "fused scale: site-index mismatch with the down stage");
+  PLF_DCHECK(s.ln_scaler != nullptr, "fused scale: null scaler row");
+}
+
 inline void check_root(const RootArgs& a, std::size_t begin, std::size_t end,
                        bool needs_transpose) {
   check_down(a.down, begin, end, needs_transpose);
@@ -156,6 +209,22 @@ inline void check_plan(const PlfPlan& plan) {
       PLF_DCHECK(op.scale.ln_scaler != nullptr,
                  "run_plan: fused scale needs a scaler row");
       PLF_DCHECK(op.run_m <= plan.m(), "run_plan: op exceeds pattern count");
+      if (op.kind != PlfOpKind::kGeneric) {
+        PLF_DCHECK(!op.is_root,
+                   "run_plan: root ops must use the generic three-way kernel");
+      }
+      if (op.kind == PlfOpKind::kTipTip) {
+        PLF_DCHECK(op.tt.out == op.args.down.out,
+                   "run_plan: tip-tip op must write the op's down output");
+        PLF_DCHECK(op.tt.table_categories == op.args.down.K,
+                   "run_plan: tip-tip pair table built for a different K");
+        PLF_DCHECK(op.tt.site_index == op.args.down.site_index,
+                   "run_plan: tip-tip op must share the op's site index");
+      } else if (op.kind == PlfOpKind::kTipInner) {
+        PLF_DCHECK(op.args.down.left.mask != nullptr &&
+                       op.args.down.right.cl != nullptr,
+                   "run_plan: tip-inner op must be canonicalized tip-left");
+      }
       if (op.repeats != nullptr) {
         PLF_DCHECK(op.run_m == op.repeats->n_classes,
                    "run_plan: compacted op must iterate its class count");

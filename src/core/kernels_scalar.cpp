@@ -1,5 +1,10 @@
 // Scalar reference implementation of the PLF kernels — the ground truth all
 // SIMD/backend variants are validated against.
+//
+// Each kernel body lives in a per-site helper; the public entries map the
+// iteration index through the optional site-repeat indirection and invoke the
+// helper. The fused down+scale entries compose the SAME helpers per site, so
+// fusion is bit-identical to the two-pass form by construction.
 #include <cmath>
 
 #include "core/kernel_contracts.hpp"
@@ -28,36 +33,89 @@ inline void child_values(const ChildArgs& ch, std::size_t c, std::size_t k,
   }
 }
 
+inline void down_site(std::size_t c, const DownArgs& a) {
+  float* out = a.out + c * a.K * 4;
+  for (std::size_t k = 0; k < a.K; ++k) {
+    float l[4], r[4];
+    child_values(a.left, c, k, a.K, l);
+    child_values(a.right, c, k, a.K, r);
+    for (std::size_t i = 0; i < 4; ++i) out[k * 4 + i] = l[i] * r[i];
+  }
+}
+
+/// down_site with the child kinds known statically: left tip (table row),
+/// right internal (matrix-vector product). Same float ops as down_site on
+/// the same operands, minus the per-site branch.
+inline void down_ti_site(std::size_t c, const DownArgs& a) {
+  float* out = a.out + c * a.K * 4;
+  const float* ltp =
+      a.left.tp + static_cast<std::size_t>(a.left.mask[c]) * a.K * 4;
+  const float* rcl = a.right.cl + c * a.K * 4;
+  for (std::size_t k = 0; k < a.K; ++k) {
+    const float* l = ltp + k * 4;
+    const float* cl = rcl + k * 4;
+    const float* p = a.right.p + k * 16;
+    for (std::size_t i = 0; i < 4; ++i) {
+      const float r = p[i * 4 + 0] * cl[0] + p[i * 4 + 1] * cl[1] +
+                      p[i * 4 + 2] * cl[2] + p[i * 4 + 3] * cl[3];
+      out[k * 4 + i] = l[i] * r;
+    }
+  }
+}
+
+inline void root_site(std::size_t c, const RootArgs& a) {
+  const DownArgs& d = a.down;
+  float* out = d.out + c * d.K * 4;
+  const float* tp = a.out_tp + static_cast<std::size_t>(a.out_mask[c]) * d.K * 4;
+  for (std::size_t k = 0; k < d.K; ++k) {
+    float l[4], r[4];
+    child_values(d.left, c, k, d.K, l);
+    child_values(d.right, c, k, d.K, r);
+    for (std::size_t i = 0; i < 4; ++i) {
+      out[k * 4 + i] = l[i] * r[i] * tp[k * 4 + i];
+    }
+  }
+}
+
+inline void scale_site(std::size_t c, const ScaleArgs& a) {
+  float* cl = a.cl + c * a.K * 4;
+  float m = cl[0];
+  for (std::size_t v = 1; v < a.K * 4; ++v) {
+    if (cl[v] > m) m = cl[v];
+  }
+  if (m > 0.0f) {
+    const float inv = 1.0f / m;
+    for (std::size_t v = 0; v < a.K * 4; ++v) cl[v] *= inv;
+    a.ln_scaler[c] = std::log(m);
+  } else {
+    // Fully underflowed site: leave values, record no scaling. The root
+    // reduction will produce -inf for this site, which is the honest answer.
+    a.ln_scaler[c] = 0.0f;
+  }
+}
+
 void down_scalar(const DownArgs& a, std::size_t begin, std::size_t end) {
   detail::check_down(a, begin, end, /*needs_transpose=*/false);
   for (std::size_t idx = begin; idx < end; ++idx) {
     const std::size_t c = a.site_index != nullptr ? a.site_index[idx] : idx;
-    float* out = a.out + c * a.K * 4;
-    for (std::size_t k = 0; k < a.K; ++k) {
-      float l[4], r[4];
-      child_values(a.left, c, k, a.K, l);
-      child_values(a.right, c, k, a.K, r);
-      for (std::size_t i = 0; i < 4; ++i) out[k * 4 + i] = l[i] * r[i];
-    }
+    down_site(c, a);
+  }
+}
+
+void down_ti_scalar(const DownArgs& a, std::size_t begin, std::size_t end) {
+  detail::check_down_ti(a, begin, end, /*needs_transpose=*/false);
+  for (std::size_t idx = begin; idx < end; ++idx) {
+    const std::size_t c = a.site_index != nullptr ? a.site_index[idx] : idx;
+    down_ti_site(c, a);
   }
 }
 
 void root_scalar(const RootArgs& a, std::size_t begin, std::size_t end) {
   detail::check_root(a, begin, end, /*needs_transpose=*/false);
-  const DownArgs& d = a.down;
   for (std::size_t idx = begin; idx < end; ++idx) {
-    const std::size_t c = d.site_index != nullptr ? d.site_index[idx] : idx;
-    float* out = d.out + c * d.K * 4;
-    const float* tp =
-        a.out_tp + static_cast<std::size_t>(a.out_mask[c]) * d.K * 4;
-    for (std::size_t k = 0; k < d.K; ++k) {
-      float l[4], r[4];
-      child_values(d.left, c, k, d.K, l);
-      child_values(d.right, c, k, d.K, r);
-      for (std::size_t i = 0; i < 4; ++i) {
-        out[k * 4 + i] = l[i] * r[i] * tp[k * 4 + i];
-      }
-    }
+    const std::size_t c =
+        a.down.site_index != nullptr ? a.down.site_index[idx] : idx;
+    root_site(c, a);
   }
 }
 
@@ -65,20 +123,41 @@ void scale_scalar(const ScaleArgs& a, std::size_t begin, std::size_t end) {
   detail::check_scale(a, begin, end);
   for (std::size_t idx = begin; idx < end; ++idx) {
     const std::size_t c = a.site_index != nullptr ? a.site_index[idx] : idx;
-    float* cl = a.cl + c * a.K * 4;
-    float m = cl[0];
-    for (std::size_t v = 1; v < a.K * 4; ++v) {
-      if (cl[v] > m) m = cl[v];
-    }
-    if (m > 0.0f) {
-      const float inv = 1.0f / m;
-      for (std::size_t v = 0; v < a.K * 4; ++v) cl[v] *= inv;
-      a.ln_scaler[c] = std::log(m);
-    } else {
-      // Fully underflowed site: leave values, record no scaling. The root
-      // reduction will produce -inf for this site, which is the honest answer.
-      a.ln_scaler[c] = 0.0f;
-    }
+    scale_site(c, a);
+  }
+}
+
+void down_scale_scalar(const DownArgs& a, const ScaleArgs& s, std::size_t begin,
+                       std::size_t end) {
+  detail::check_down(a, begin, end, /*needs_transpose=*/false);
+  detail::check_fused_scale(s, a.out, a.K, a.site_index);
+  for (std::size_t idx = begin; idx < end; ++idx) {
+    const std::size_t c = a.site_index != nullptr ? a.site_index[idx] : idx;
+    down_site(c, a);
+    scale_site(c, s);
+  }
+}
+
+void down_ti_scale_scalar(const DownArgs& a, const ScaleArgs& s,
+                          std::size_t begin, std::size_t end) {
+  detail::check_down_ti(a, begin, end, /*needs_transpose=*/false);
+  detail::check_fused_scale(s, a.out, a.K, a.site_index);
+  for (std::size_t idx = begin; idx < end; ++idx) {
+    const std::size_t c = a.site_index != nullptr ? a.site_index[idx] : idx;
+    down_ti_site(c, a);
+    scale_site(c, s);
+  }
+}
+
+void root_scale_scalar(const RootArgs& a, const ScaleArgs& s,
+                       std::size_t begin, std::size_t end) {
+  detail::check_root(a, begin, end, /*needs_transpose=*/false);
+  detail::check_fused_scale(s, a.down.out, a.down.K, a.down.site_index);
+  for (std::size_t idx = begin; idx < end; ++idx) {
+    const std::size_t c =
+        a.down.site_index != nullptr ? a.down.site_index[idx] : idx;
+    root_site(c, a);
+    scale_site(c, s);
   }
 }
 
@@ -106,8 +185,17 @@ double root_reduce_scalar(const RootReduceArgs& a, std::size_t begin,
 
 namespace detail {
 extern const KernelSet kScalarKernels;
-const KernelSet kScalarKernels{KernelVariant::kScalar, down_scalar, root_scalar,
-                               scale_scalar, root_reduce_scalar};
+const KernelSet kScalarKernels{KernelVariant::kScalar,
+                               down_scalar,
+                               root_scalar,
+                               scale_scalar,
+                               root_reduce_scalar,
+                               down_ti_scalar,
+                               down_tip_tip,
+                               down_scale_scalar,
+                               down_ti_scale_scalar,
+                               down_tip_tip_scale,
+                               root_scale_scalar};
 }  // namespace detail
 
 }  // namespace plf::core

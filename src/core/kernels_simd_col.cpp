@@ -9,6 +9,8 @@
 //
 // kSimdCol8 widens the same scheme to 8 lanes (two rate categories per
 // register), a modern-host extension the 2009 hardware did not have.
+#include <cmath>
+
 #include "core/kernel_contracts.hpp"
 #include "core/kernels.hpp"
 #include "simd/vec4f.hpp"
@@ -26,15 +28,9 @@ namespace {
 using simd::Vec4f;
 using simd::Vec8f;
 
-/// One child's factor for (c, k): column-wise accumulation over j.
-inline Vec4f child_values(const ChildArgs& ch, std::size_t c, std::size_t k,
-                          std::size_t K) {
-  if (ch.is_tip()) {
-    return Vec4f::load(ch.tp + static_cast<std::size_t>(ch.mask[c]) * K * 4 +
-                       k * 4);
-  }
-  const float* cl = ch.cl + c * K * 4 + k * 4;
-  const float* pt = ch.pt + k * 16;
+/// Column-wise matrix-vector multiply: broadcast cl[j], FMA with transposed
+/// row j.
+inline Vec4f matvec_cols(const float* pt, const float* cl) {
   Vec4f acc = Vec4f(cl[0]) * Vec4f::load(pt + 0);
   acc = Vec4f::fma(Vec4f(cl[1]), Vec4f::load(pt + 4), acc);
   acc = Vec4f::fma(Vec4f(cl[2]), Vec4f::load(pt + 8), acc);
@@ -42,35 +38,133 @@ inline Vec4f child_values(const ChildArgs& ch, std::size_t c, std::size_t k,
   return acc;
 }
 
+/// One child's factor for (c, k): column-wise accumulation over j.
+inline Vec4f child_values(const ChildArgs& ch, std::size_t c, std::size_t k,
+                          std::size_t K) {
+  if (ch.is_tip()) {
+    return Vec4f::load(ch.tp + static_cast<std::size_t>(ch.mask[c]) * K * 4 +
+                       k * 4);
+  }
+  return matvec_cols(ch.pt + k * 16, ch.cl + c * K * 4 + k * 4);
+}
+
+/// Per-site SIMD rescale body. Same float ops as the shared scale kernel in
+/// kernels_simd_row.cpp (max is order-invariant; identical 1/max multiply),
+/// duplicated here so the fused entries can inline it.
+inline void scale_site(std::size_t c, const ScaleArgs& a) {
+  float* cl = a.cl + c * a.K * 4;
+  Vec4f m = Vec4f::load(cl);
+  for (std::size_t k = 1; k < a.K; ++k) {
+    m = Vec4f::max(m, Vec4f::load(cl + k * 4));
+  }
+  const float mx = m.hmax();
+  if (mx > 0.0f) {
+    const Vec4f inv(1.0f / mx);
+    for (std::size_t k = 0; k < a.K; ++k) {
+      (Vec4f::load(cl + k * 4) * inv).store(cl + k * 4);
+    }
+    a.ln_scaler[c] = std::log(mx);
+  } else {
+    a.ln_scaler[c] = 0.0f;
+  }
+}
+
+inline void down_site(std::size_t c, const DownArgs& a) {
+  float* out = a.out + c * a.K * 4;
+  for (std::size_t k = 0; k < a.K; ++k) {
+    const Vec4f l = child_values(a.left, c, k, a.K);
+    const Vec4f r = child_values(a.right, c, k, a.K);
+    (l * r).store(out + k * 4);
+  }
+}
+
+/// down_site with the child kinds known statically (left tip, right inner).
+inline void down_ti_site(std::size_t c, const DownArgs& a) {
+  float* out = a.out + c * a.K * 4;
+  const float* ltp =
+      a.left.tp + static_cast<std::size_t>(a.left.mask[c]) * a.K * 4;
+  const float* rcl = a.right.cl + c * a.K * 4;
+  for (std::size_t k = 0; k < a.K; ++k) {
+    const Vec4f l = Vec4f::load(ltp + k * 4);
+    const Vec4f r = matvec_cols(a.right.pt + k * 16, rcl + k * 4);
+    (l * r).store(out + k * 4);
+  }
+}
+
+inline void root_site(std::size_t c, const RootArgs& a) {
+  const DownArgs& d = a.down;
+  float* out = d.out + c * d.K * 4;
+  const float* tp = a.out_tp + static_cast<std::size_t>(a.out_mask[c]) * d.K * 4;
+  for (std::size_t k = 0; k < d.K; ++k) {
+    const Vec4f l = child_values(d.left, c, k, d.K);
+    const Vec4f r = child_values(d.right, c, k, d.K);
+    const Vec4f o = Vec4f::load(tp + k * 4);
+    (l * r * o).store(out + k * 4);
+  }
+}
+
 void down_col(const DownArgs& a, std::size_t begin, std::size_t end) {
   detail::check_down(a, begin, end, /*needs_transpose=*/true);
   detail::check_down_aligned(a);
   for (std::size_t idx = begin; idx < end; ++idx) {
     const std::size_t c = a.site_index != nullptr ? a.site_index[idx] : idx;
-    float* out = a.out + c * a.K * 4;
-    for (std::size_t k = 0; k < a.K; ++k) {
-      const Vec4f l = child_values(a.left, c, k, a.K);
-      const Vec4f r = child_values(a.right, c, k, a.K);
-      (l * r).store(out + k * 4);
-    }
+    down_site(c, a);
+  }
+}
+
+void down_ti_col(const DownArgs& a, std::size_t begin, std::size_t end) {
+  detail::check_down_ti(a, begin, end, /*needs_transpose=*/true);
+  detail::check_down_aligned(a);
+  for (std::size_t idx = begin; idx < end; ++idx) {
+    const std::size_t c = a.site_index != nullptr ? a.site_index[idx] : idx;
+    down_ti_site(c, a);
   }
 }
 
 void root_col(const RootArgs& a, std::size_t begin, std::size_t end) {
   detail::check_root(a, begin, end, /*needs_transpose=*/true);
   detail::check_root_aligned(a);
-  const DownArgs& d = a.down;
   for (std::size_t idx = begin; idx < end; ++idx) {
-    const std::size_t c = d.site_index != nullptr ? d.site_index[idx] : idx;
-    float* out = d.out + c * d.K * 4;
-    const float* tp =
-        a.out_tp + static_cast<std::size_t>(a.out_mask[c]) * d.K * 4;
-    for (std::size_t k = 0; k < d.K; ++k) {
-      const Vec4f l = child_values(d.left, c, k, d.K);
-      const Vec4f r = child_values(d.right, c, k, d.K);
-      const Vec4f o = Vec4f::load(tp + k * 4);
-      (l * r * o).store(out + k * 4);
-    }
+    const std::size_t c =
+        a.down.site_index != nullptr ? a.down.site_index[idx] : idx;
+    root_site(c, a);
+  }
+}
+
+void down_scale_col(const DownArgs& a, const ScaleArgs& s, std::size_t begin,
+                    std::size_t end) {
+  detail::check_down(a, begin, end, /*needs_transpose=*/true);
+  detail::check_down_aligned(a);
+  detail::check_fused_scale(s, a.out, a.K, a.site_index);
+  for (std::size_t idx = begin; idx < end; ++idx) {
+    const std::size_t c = a.site_index != nullptr ? a.site_index[idx] : idx;
+    down_site(c, a);
+    scale_site(c, s);
+  }
+}
+
+void down_ti_scale_col(const DownArgs& a, const ScaleArgs& s,
+                       std::size_t begin, std::size_t end) {
+  detail::check_down_ti(a, begin, end, /*needs_transpose=*/true);
+  detail::check_down_aligned(a);
+  detail::check_fused_scale(s, a.out, a.K, a.site_index);
+  for (std::size_t idx = begin; idx < end; ++idx) {
+    const std::size_t c = a.site_index != nullptr ? a.site_index[idx] : idx;
+    down_ti_site(c, a);
+    scale_site(c, s);
+  }
+}
+
+void root_scale_col(const RootArgs& a, const ScaleArgs& s, std::size_t begin,
+                    std::size_t end) {
+  detail::check_root(a, begin, end, /*needs_transpose=*/true);
+  detail::check_root_aligned(a);
+  detail::check_fused_scale(s, a.down.out, a.down.K, a.down.site_index);
+  for (std::size_t idx = begin; idx < end; ++idx) {
+    const std::size_t c =
+        a.down.site_index != nullptr ? a.down.site_index[idx] : idx;
+    root_site(c, a);
+    scale_site(c, s);
   }
 }
 
@@ -98,50 +192,145 @@ inline Vec8f child_values8(const ChildArgs& ch, std::size_t c, std::size_t k,
   return acc;
 }
 
+/// child_values8 with the tip table row known present (left tip child).
+inline Vec8f tip_values8(const float* tp, std::size_t mask, std::size_t k,
+                         std::size_t K) {
+  return Vec8f::loadu(tp + mask * K * 4 + k * 4);
+}
+
+inline void down_site8(std::size_t c, const DownArgs& a, std::size_t k_pairs) {
+  float* out = a.out + c * a.K * 4;
+  std::size_t k = 0;
+  for (; k < k_pairs; k += 2) {
+    const Vec8f l = child_values8(a.left, c, k, a.K);
+    const Vec8f r = child_values8(a.right, c, k, a.K);
+    (l * r).storeu(out + k * 4);
+  }
+  for (; k < a.K; ++k) {
+    const Vec4f l = child_values(a.left, c, k, a.K);
+    const Vec4f r = child_values(a.right, c, k, a.K);
+    (l * r).store(out + k * 4);
+  }
+}
+
+inline void down_ti_site8(std::size_t c, const DownArgs& a,
+                          std::size_t k_pairs) {
+  float* out = a.out + c * a.K * 4;
+  const std::size_t lm = static_cast<std::size_t>(a.left.mask[c]);
+  const float* rcl = a.right.cl + c * a.K * 4;
+  std::size_t k = 0;
+  for (; k < k_pairs; k += 2) {
+    const Vec8f l = tip_values8(a.left.tp, lm, k, a.K);
+    const float* pt0 = a.right.pt + k * 16;
+    const float* pt1 = a.right.pt + (k + 1) * 16;
+    const float* cl = rcl + k * 4;
+    Vec8f r = Vec8f::combine(Vec4f(cl[0]), Vec4f(cl[4])) *
+              Vec8f::combine(Vec4f::load(pt0 + 0), Vec4f::load(pt1 + 0));
+    r = Vec8f::fma(Vec8f::combine(Vec4f(cl[1]), Vec4f(cl[5])),
+                   Vec8f::combine(Vec4f::load(pt0 + 4), Vec4f::load(pt1 + 4)),
+                   r);
+    r = Vec8f::fma(Vec8f::combine(Vec4f(cl[2]), Vec4f(cl[6])),
+                   Vec8f::combine(Vec4f::load(pt0 + 8), Vec4f::load(pt1 + 8)),
+                   r);
+    r = Vec8f::fma(Vec8f::combine(Vec4f(cl[3]), Vec4f(cl[7])),
+                   Vec8f::combine(Vec4f::load(pt0 + 12), Vec4f::load(pt1 + 12)),
+                   r);
+    (l * r).storeu(out + k * 4);
+  }
+  for (; k < a.K; ++k) {
+    const Vec4f l = Vec4f::load(a.left.tp + lm * a.K * 4 + k * 4);
+    const Vec4f r = matvec_cols(a.right.pt + k * 16, rcl + k * 4);
+    (l * r).store(out + k * 4);
+  }
+}
+
+inline void root_site8(std::size_t c, const RootArgs& a, std::size_t k_pairs) {
+  const DownArgs& d = a.down;
+  float* out = d.out + c * d.K * 4;
+  const float* tp = a.out_tp + static_cast<std::size_t>(a.out_mask[c]) * d.K * 4;
+  std::size_t k = 0;
+  for (; k < k_pairs; k += 2) {
+    const Vec8f l = child_values8(d.left, c, k, d.K);
+    const Vec8f r = child_values8(d.right, c, k, d.K);
+    const Vec8f o = Vec8f::loadu(tp + k * 4);
+    (l * r * o).storeu(out + k * 4);
+  }
+  for (; k < d.K; ++k) {
+    const Vec4f l = child_values(d.left, c, k, d.K);
+    const Vec4f r = child_values(d.right, c, k, d.K);
+    const Vec4f o = Vec4f::load(tp + k * 4);
+    (l * r * o).store(out + k * 4);
+  }
+}
+
 void down_col8(const DownArgs& a, std::size_t begin, std::size_t end) {
   detail::check_down(a, begin, end, /*needs_transpose=*/true);
   detail::check_down_aligned(a);
   const std::size_t k_pairs = a.K / 2 * 2;
   for (std::size_t idx = begin; idx < end; ++idx) {
     const std::size_t c = a.site_index != nullptr ? a.site_index[idx] : idx;
-    float* out = a.out + c * a.K * 4;
-    std::size_t k = 0;
-    for (; k < k_pairs; k += 2) {
-      const Vec8f l = child_values8(a.left, c, k, a.K);
-      const Vec8f r = child_values8(a.right, c, k, a.K);
-      (l * r).storeu(out + k * 4);
-    }
-    for (; k < a.K; ++k) {
-      const Vec4f l = child_values(a.left, c, k, a.K);
-      const Vec4f r = child_values(a.right, c, k, a.K);
-      (l * r).store(out + k * 4);
-    }
+    down_site8(c, a, k_pairs);
+  }
+}
+
+void down_ti_col8(const DownArgs& a, std::size_t begin, std::size_t end) {
+  detail::check_down_ti(a, begin, end, /*needs_transpose=*/true);
+  detail::check_down_aligned(a);
+  const std::size_t k_pairs = a.K / 2 * 2;
+  for (std::size_t idx = begin; idx < end; ++idx) {
+    const std::size_t c = a.site_index != nullptr ? a.site_index[idx] : idx;
+    down_ti_site8(c, a, k_pairs);
   }
 }
 
 void root_col8(const RootArgs& a, std::size_t begin, std::size_t end) {
   detail::check_root(a, begin, end, /*needs_transpose=*/true);
   detail::check_root_aligned(a);
-  const DownArgs& d = a.down;
-  const std::size_t k_pairs = d.K / 2 * 2;
+  const std::size_t k_pairs = a.down.K / 2 * 2;
   for (std::size_t idx = begin; idx < end; ++idx) {
-    const std::size_t c = d.site_index != nullptr ? d.site_index[idx] : idx;
-    float* out = d.out + c * d.K * 4;
-    const float* tp =
-        a.out_tp + static_cast<std::size_t>(a.out_mask[c]) * d.K * 4;
-    std::size_t k = 0;
-    for (; k < k_pairs; k += 2) {
-      const Vec8f l = child_values8(d.left, c, k, d.K);
-      const Vec8f r = child_values8(d.right, c, k, d.K);
-      const Vec8f o = Vec8f::loadu(tp + k * 4);
-      (l * r * o).storeu(out + k * 4);
-    }
-    for (; k < d.K; ++k) {
-      const Vec4f l = child_values(d.left, c, k, d.K);
-      const Vec4f r = child_values(d.right, c, k, d.K);
-      const Vec4f o = Vec4f::load(tp + k * 4);
-      (l * r * o).store(out + k * 4);
-    }
+    const std::size_t c =
+        a.down.site_index != nullptr ? a.down.site_index[idx] : idx;
+    root_site8(c, a, k_pairs);
+  }
+}
+
+void down_scale_col8(const DownArgs& a, const ScaleArgs& s, std::size_t begin,
+                     std::size_t end) {
+  detail::check_down(a, begin, end, /*needs_transpose=*/true);
+  detail::check_down_aligned(a);
+  detail::check_fused_scale(s, a.out, a.K, a.site_index);
+  const std::size_t k_pairs = a.K / 2 * 2;
+  for (std::size_t idx = begin; idx < end; ++idx) {
+    const std::size_t c = a.site_index != nullptr ? a.site_index[idx] : idx;
+    down_site8(c, a, k_pairs);
+    scale_site(c, s);
+  }
+}
+
+void down_ti_scale_col8(const DownArgs& a, const ScaleArgs& s,
+                        std::size_t begin, std::size_t end) {
+  detail::check_down_ti(a, begin, end, /*needs_transpose=*/true);
+  detail::check_down_aligned(a);
+  detail::check_fused_scale(s, a.out, a.K, a.site_index);
+  const std::size_t k_pairs = a.K / 2 * 2;
+  for (std::size_t idx = begin; idx < end; ++idx) {
+    const std::size_t c = a.site_index != nullptr ? a.site_index[idx] : idx;
+    down_ti_site8(c, a, k_pairs);
+    scale_site(c, s);
+  }
+}
+
+void root_scale_col8(const RootArgs& a, const ScaleArgs& s, std::size_t begin,
+                     std::size_t end) {
+  detail::check_root(a, begin, end, /*needs_transpose=*/true);
+  detail::check_root_aligned(a);
+  detail::check_fused_scale(s, a.down.out, a.down.K, a.down.site_index);
+  const std::size_t k_pairs = a.down.K / 2 * 2;
+  for (std::size_t idx = begin; idx < end; ++idx) {
+    const std::size_t c =
+        a.down.site_index != nullptr ? a.down.site_index[idx] : idx;
+    root_site8(c, a, k_pairs);
+    scale_site(c, s);
   }
 }
 
@@ -149,11 +338,29 @@ void root_col8(const RootArgs& a, std::size_t begin, std::size_t end) {
 
 namespace detail {
 extern const KernelSet kSimdColKernels;
-const KernelSet kSimdColKernels{KernelVariant::kSimdCol, down_col, root_col,
-                                kSharedSimdScale, kSharedSimdRootReduce};
+const KernelSet kSimdColKernels{KernelVariant::kSimdCol,
+                                down_col,
+                                root_col,
+                                kSharedSimdScale,
+                                kSharedSimdRootReduce,
+                                down_ti_col,
+                                down_tip_tip,
+                                down_scale_col,
+                                down_ti_scale_col,
+                                down_tip_tip_scale,
+                                root_scale_col};
 extern const KernelSet kSimdCol8Kernels;
-const KernelSet kSimdCol8Kernels{KernelVariant::kSimdCol8, down_col8, root_col8,
-                                 kSharedSimdScale, kSharedSimdRootReduce};
+const KernelSet kSimdCol8Kernels{KernelVariant::kSimdCol8,
+                                 down_col8,
+                                 root_col8,
+                                 kSharedSimdScale,
+                                 kSharedSimdRootReduce,
+                                 down_ti_col8,
+                                 down_tip_tip,
+                                 down_scale_col8,
+                                 down_ti_scale_col8,
+                                 down_tip_tip_scale,
+                                 root_scale_col8};
 }  // namespace detail
 
 }  // namespace plf::core

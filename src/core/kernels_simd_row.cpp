@@ -1,10 +1,16 @@
 // SIMD "approach (i)" from the paper (§3.3, §3.4): vectorize each inner
-// product individually. Each of the four per-category inner products loads a
-// row of the transition matrix, multiplies element-wise with the child's
-// 4-float rate array and reduces horizontally. The horizontal reduction after
-// every inner product is exactly the inefficiency that made the paper prefer
-// approach (ii); we keep it as the ablation baseline
-// (bench_ablation_cell_simd / bench_ablation_gpu_threads).
+// product individually with row-wise matrix access. The original formulation
+// ended every inner product in its own horizontal sum (4 shuffle+add chains
+// per matrix-vector product) and then rebuilt a vector from the four scalar
+// results — that scalar round trip is what made this variant slower than the
+// plain scalar kernel (see docs/KERNELS.md for the before/after microbench).
+// The reduction now computes all four inner products together: multiply the
+// four matrix rows by the child vector, transpose the 4×4 block of partial
+// products, and add the columns pairwise. The (a0+a1)+(a2+a3) association is
+// exactly the association Vec4f::hsum used, so results are bit-identical to
+// the old formulation — only the shuffle count changes (one 4×4 transpose vs
+// four hsum chains plus a setr). Approach (i) remains the ablation baseline
+// against approach (ii) (bench_ablation_cell_simd / bench_ablation_gpu_threads).
 #include <cmath>
 
 #include "core/kernel_contracts.hpp"
@@ -17,7 +23,19 @@ namespace {
 
 using simd::Vec4f;
 
-/// One child's factor for (c, k) with per-inner-product reduction.
+/// Four row-wise inner products of one matrix-vector multiply, reduced
+/// together via transpose. Bit-identical to four hsum() calls (same sum
+/// association), without the per-product scalar extraction.
+inline Vec4f matvec_rows(const float* p, const Vec4f& clv) {
+  Vec4f r0 = Vec4f::load(p + 0) * clv;
+  Vec4f r1 = Vec4f::load(p + 4) * clv;
+  Vec4f r2 = Vec4f::load(p + 8) * clv;
+  Vec4f r3 = Vec4f::load(p + 12) * clv;
+  simd::transpose4(r0, r1, r2, r3);
+  return (r0 + r1) + (r2 + r3);
+}
+
+/// One child's factor for (c, k) with row-wise matrix access.
 inline Vec4f child_values(const ChildArgs& ch, std::size_t c, std::size_t k,
                           std::size_t K) {
   if (ch.is_tip()) {
@@ -25,14 +43,59 @@ inline Vec4f child_values(const ChildArgs& ch, std::size_t c, std::size_t k,
                        k * 4);
   }
   const float* cl = ch.cl + c * K * 4 + k * 4;
-  const float* p = ch.p + k * 16;
-  const Vec4f clv = Vec4f::load(cl);
-  // Four row-wise inner products, each ending in a horizontal sum.
-  const float s0 = (Vec4f::load(p + 0) * clv).hsum();
-  const float s1 = (Vec4f::load(p + 4) * clv).hsum();
-  const float s2 = (Vec4f::load(p + 8) * clv).hsum();
-  const float s3 = (Vec4f::load(p + 12) * clv).hsum();
-  return Vec4f(s0, s1, s2, s3);
+  return matvec_rows(ch.p + k * 16, Vec4f::load(cl));
+}
+
+inline void down_site(std::size_t c, const DownArgs& a) {
+  float* out = a.out + c * a.K * 4;
+  for (std::size_t k = 0; k < a.K; ++k) {
+    const Vec4f l = child_values(a.left, c, k, a.K);
+    const Vec4f r = child_values(a.right, c, k, a.K);
+    (l * r).store(out + k * 4);
+  }
+}
+
+/// down_site with the child kinds known statically (left tip, right inner).
+inline void down_ti_site(std::size_t c, const DownArgs& a) {
+  float* out = a.out + c * a.K * 4;
+  const float* ltp =
+      a.left.tp + static_cast<std::size_t>(a.left.mask[c]) * a.K * 4;
+  const float* rcl = a.right.cl + c * a.K * 4;
+  for (std::size_t k = 0; k < a.K; ++k) {
+    const Vec4f l = Vec4f::load(ltp + k * 4);
+    const Vec4f r = matvec_rows(a.right.p + k * 16, Vec4f::load(rcl + k * 4));
+    (l * r).store(out + k * 4);
+  }
+}
+
+inline void root_site(std::size_t c, const RootArgs& a) {
+  const DownArgs& d = a.down;
+  float* out = d.out + c * d.K * 4;
+  const float* tp = a.out_tp + static_cast<std::size_t>(a.out_mask[c]) * d.K * 4;
+  for (std::size_t k = 0; k < d.K; ++k) {
+    const Vec4f l = child_values(d.left, c, k, d.K);
+    const Vec4f r = child_values(d.right, c, k, d.K);
+    const Vec4f o = Vec4f::load(tp + k * 4);
+    (l * r * o).store(out + k * 4);
+  }
+}
+
+inline void scale_site(std::size_t c, const ScaleArgs& a) {
+  float* cl = a.cl + c * a.K * 4;
+  Vec4f m = Vec4f::load(cl);
+  for (std::size_t k = 1; k < a.K; ++k) {
+    m = Vec4f::max(m, Vec4f::load(cl + k * 4));
+  }
+  const float mx = m.hmax();
+  if (mx > 0.0f) {
+    const Vec4f inv(1.0f / mx);
+    for (std::size_t k = 0; k < a.K; ++k) {
+      (Vec4f::load(cl + k * 4) * inv).store(cl + k * 4);
+    }
+    a.ln_scaler[c] = std::log(mx);
+  } else {
+    a.ln_scaler[c] = 0.0f;
+  }
 }
 
 void down_row(const DownArgs& a, std::size_t begin, std::size_t end) {
@@ -40,30 +103,26 @@ void down_row(const DownArgs& a, std::size_t begin, std::size_t end) {
   detail::check_down_aligned(a);
   for (std::size_t idx = begin; idx < end; ++idx) {
     const std::size_t c = a.site_index != nullptr ? a.site_index[idx] : idx;
-    float* out = a.out + c * a.K * 4;
-    for (std::size_t k = 0; k < a.K; ++k) {
-      const Vec4f l = child_values(a.left, c, k, a.K);
-      const Vec4f r = child_values(a.right, c, k, a.K);
-      (l * r).store(out + k * 4);
-    }
+    down_site(c, a);
+  }
+}
+
+void down_ti_row(const DownArgs& a, std::size_t begin, std::size_t end) {
+  detail::check_down_ti(a, begin, end, /*needs_transpose=*/false);
+  detail::check_down_aligned(a);
+  for (std::size_t idx = begin; idx < end; ++idx) {
+    const std::size_t c = a.site_index != nullptr ? a.site_index[idx] : idx;
+    down_ti_site(c, a);
   }
 }
 
 void root_row(const RootArgs& a, std::size_t begin, std::size_t end) {
   detail::check_root(a, begin, end, /*needs_transpose=*/false);
   detail::check_root_aligned(a);
-  const DownArgs& d = a.down;
   for (std::size_t idx = begin; idx < end; ++idx) {
-    const std::size_t c = d.site_index != nullptr ? d.site_index[idx] : idx;
-    float* out = d.out + c * d.K * 4;
-    const float* tp =
-        a.out_tp + static_cast<std::size_t>(a.out_mask[c]) * d.K * 4;
-    for (std::size_t k = 0; k < d.K; ++k) {
-      const Vec4f l = child_values(d.left, c, k, d.K);
-      const Vec4f r = child_values(d.right, c, k, d.K);
-      const Vec4f o = Vec4f::load(tp + k * 4);
-      (l * r * o).store(out + k * 4);
-    }
+    const std::size_t c =
+        a.down.site_index != nullptr ? a.down.site_index[idx] : idx;
+    root_site(c, a);
   }
 }
 
@@ -72,21 +131,44 @@ void scale_simd(const ScaleArgs& a, std::size_t begin, std::size_t end) {
   PLF_DCHECK_ALIGNED(a.cl, detail::kKernelAlignBytes);
   for (std::size_t idx = begin; idx < end; ++idx) {
     const std::size_t c = a.site_index != nullptr ? a.site_index[idx] : idx;
-    float* cl = a.cl + c * a.K * 4;
-    Vec4f m = Vec4f::load(cl);
-    for (std::size_t k = 1; k < a.K; ++k) {
-      m = Vec4f::max(m, Vec4f::load(cl + k * 4));
-    }
-    const float mx = m.hmax();
-    if (mx > 0.0f) {
-      const Vec4f inv(1.0f / mx);
-      for (std::size_t k = 0; k < a.K; ++k) {
-        (Vec4f::load(cl + k * 4) * inv).store(cl + k * 4);
-      }
-      a.ln_scaler[c] = std::log(mx);
-    } else {
-      a.ln_scaler[c] = 0.0f;
-    }
+    scale_site(c, a);
+  }
+}
+
+void down_scale_row(const DownArgs& a, const ScaleArgs& s, std::size_t begin,
+                    std::size_t end) {
+  detail::check_down(a, begin, end, /*needs_transpose=*/false);
+  detail::check_down_aligned(a);
+  detail::check_fused_scale(s, a.out, a.K, a.site_index);
+  for (std::size_t idx = begin; idx < end; ++idx) {
+    const std::size_t c = a.site_index != nullptr ? a.site_index[idx] : idx;
+    down_site(c, a);
+    scale_site(c, s);
+  }
+}
+
+void down_ti_scale_row(const DownArgs& a, const ScaleArgs& s,
+                       std::size_t begin, std::size_t end) {
+  detail::check_down_ti(a, begin, end, /*needs_transpose=*/false);
+  detail::check_down_aligned(a);
+  detail::check_fused_scale(s, a.out, a.K, a.site_index);
+  for (std::size_t idx = begin; idx < end; ++idx) {
+    const std::size_t c = a.site_index != nullptr ? a.site_index[idx] : idx;
+    down_ti_site(c, a);
+    scale_site(c, s);
+  }
+}
+
+void root_scale_row(const RootArgs& a, const ScaleArgs& s, std::size_t begin,
+                    std::size_t end) {
+  detail::check_root(a, begin, end, /*needs_transpose=*/false);
+  detail::check_root_aligned(a);
+  detail::check_fused_scale(s, a.down.out, a.down.K, a.down.site_index);
+  for (std::size_t idx = begin; idx < end; ++idx) {
+    const std::size_t c =
+        a.down.site_index != nullptr ? a.down.site_index[idx] : idx;
+    root_site(c, a);
+    scale_site(c, s);
   }
 }
 
@@ -114,8 +196,17 @@ double root_reduce_simd(const RootReduceArgs& a, std::size_t begin,
 
 namespace detail {
 extern const KernelSet kSimdRowKernels;
-const KernelSet kSimdRowKernels{KernelVariant::kSimdRow, down_row, root_row,
-                                scale_simd, root_reduce_simd};
+const KernelSet kSimdRowKernels{KernelVariant::kSimdRow,
+                                down_row,
+                                root_row,
+                                scale_simd,
+                                root_reduce_simd,
+                                down_ti_row,
+                                down_tip_tip,
+                                down_scale_row,
+                                down_ti_scale_row,
+                                down_tip_tip_scale,
+                                root_scale_row};
 // Shared by the column-wise variants (the scale/reduce kernels do not differ
 // between row- and column-wise matrix access).
 extern const ScaleFn kSharedSimdScale;

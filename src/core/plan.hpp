@@ -44,6 +44,17 @@ std::string to_string(DispatchMode m);
 /// Parse a percall|plan flag value; throws plf::Error on anything else.
 DispatchMode dispatch_mode_from_string(const std::string& s);
 
+/// Which kernel entry recomputes an op fastest. The generic argument block
+/// (PlfOp::args) is ALWAYS fully populated regardless of kind, so executors
+/// without tip-specialized paths (the base per-call loop, Cell, GPU) simply
+/// ignore the hint and stay bit-identical; specialization itself is exact
+/// (docs/KERNELS.md).
+enum class PlfOpKind : std::uint8_t {
+  kGeneric,   ///< down/root with per-site child-kind dispatch
+  kTipInner,  ///< left child tip, right internal (engine canonicalizes)
+  kTipTip,    ///< cherry: both children tips, pair-table gather (PlfOp::tt)
+};
+
 /// One node recomputation: the fused down/root + scale invocation. The
 /// argument blocks are fully resolved at plan-build time (child CLV pointers
 /// already refer to the buffer the child's own op will write), so executing
@@ -56,6 +67,10 @@ struct PlfOp {
   /// args.down is always the kernel input; the outgroup members are set only
   /// when is_root.
   RootArgs args;
+  /// Tip specialization hint; `tt` is populated (and contract-checked
+  /// against args.down) only when kind == kTipTip.
+  PlfOpKind kind = PlfOpKind::kGeneric;
+  TipTipArgs tt;
   /// Fused rescale of the op's own output: scale.cl aliases args.down.out
   /// (contract-checked), so a backend may run it per site chunk immediately
   /// after the down/root kernel — rescaling is per-site.

@@ -90,6 +90,12 @@ inline constexpr const char* kGaugeEngineScalerResums =
     "engine.scaler_resums";
 inline constexpr const char* kGaugeEngineScalerDeltaUpdates =
     "engine.scaler_delta_updates";
+// Tip-specialized plan ops (docs/KERNELS.md): cherry pair-table gathers,
+// tip×inner matvec-free ops, and pair-table (re)builds this engine performed.
+inline constexpr const char* kGaugeEngineTipTtOps = "engine.tip_tt_ops";
+inline constexpr const char* kGaugeEngineTipTiOps = "engine.tip_ti_ops";
+inline constexpr const char* kGaugeEngineTipTablesBuilt =
+    "engine.tip_tables_built";
 
 // GPU plan batching: PCIe bytes NOT transferred because a fused op kept its
 // CLV block device-resident between the down/root and scale kernels.

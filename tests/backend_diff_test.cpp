@@ -201,6 +201,24 @@ TEST_P(BackendDiffTest, RepeatsOnOffAgreeBitwiseAndMatchReference) {
         EXPECT_EQ(compact.stats().pattern_iterations,
                   compact_plan.stats().pattern_iterations);
 
+        // Tip specialization: on tip-capable backends the plan engine must
+        // have routed cherries through the pair-table gather (every binary
+        // tree with more than one internal node has a cherry below the
+        // root), while the per-call engine stays fully generic — it is the
+        // exact A/B baseline the bitwise comparisons above rely on.
+        EXPECT_EQ(dense.stats().tip_tt_ops, 0u);
+        EXPECT_EQ(dense.stats().tip_ti_ops, 0u);
+        EXPECT_EQ(dense.stats().tip_tables_built, 0u);
+        if (has_capability(h_off_plan.backend->capabilities(),
+                           Capabilities::kTipKernels)) {
+          EXPECT_GT(dense_plan.stats().tip_tt_ops, 0u);
+          EXPECT_GT(dense_plan.stats().tip_tables_built, 0u);
+          EXPECT_GT(compact_plan.stats().tip_tt_ops, 0u);
+        } else {
+          EXPECT_EQ(dense_plan.stats().tip_tt_ops, 0u);
+          EXPECT_EQ(dense_plan.stats().tip_tables_built, 0u);
+        }
+
         // The compacted path must actually have run where supported, and
         // must have fallen back (not silently diverged) where not.
         if (has_capability(h_on.backend->capabilities(),

@@ -11,4 +11,18 @@ void down_ok(const DownArgs& a, std::size_t begin, std::size_t end) {
   }
 }
 
+void down_ti_ok(const DownArgs& a, std::size_t begin, std::size_t end) {
+  detail::check_down_ti(a, begin, end, false);
+  for (std::size_t i = begin; i < end; ++i) {
+    a.cl_out[i] = 0;
+  }
+}
+
+void down_tt_ok(const TipTipArgs& a, std::size_t begin, std::size_t end) {
+  detail::check_down_tt(a, begin, end);
+  for (std::size_t i = begin; i < end; ++i) {
+    a.out[i] = 0;
+  }
+}
+
 }  // namespace plf::core

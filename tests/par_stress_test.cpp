@@ -255,6 +255,78 @@ TEST(ParStressTest, PlanDispatchHammeredWhileMetricsFlusherReads) {
   EXPECT_GT(plan.stats().plan_ops, plan.stats().plan_builds);
 }
 
+TEST(ParStressTest, TipFusedKernelsHammeredWhileMetricsFlusherReads) {
+  // The tip-specialized plan path adds two new cross-thread shapes: every
+  // worker gathers from the SAME read-only pair tables (NodeState::pair,
+  // rebuilt by the caller thread between evaluations when a tip branch
+  // moves) while writing disjoint CLV/scaler chunks through the fused
+  // down+scale entries. Hammer exactly that — tip-branch moves force table
+  // rebuilds between regions, NNIs re-pair cherries — with a concurrent
+  // flusher snapshotting the global registry and the engine publishing its
+  // tip gauges each round. Under TSan this checks the rebuild/consume edge
+  // across the region boundary; under plain presets it doubles as a
+  // plan-vs-percall bitwise equivalence check of the tip kernels on a hot
+  // oversubscribed pool.
+  ThreadPool pool(kThreads);
+  core::ThreadedBackend threaded(pool);
+
+  Rng rng(2929);
+  auto tree = seqgen::yule_tree(12, rng, 1.0, 0.05);
+  auto params = seqgen::default_gtr_params();
+  phylo::SubstitutionModel model(params);
+  seqgen::SequenceEvolver ev(tree, model);
+  auto data = phylo::PatternMatrix::compress(ev.evolve(600, rng));
+
+  core::PlfEngine plan(data, params, tree, threaded,
+                       core::KernelVariant::kSimdCol,
+                       core::SiteRepeatsMode::kOff, core::DispatchMode::kPlan);
+  core::PlfEngine percall(data, params, tree, threaded,
+                          core::KernelVariant::kSimdCol,
+                          core::SiteRepeatsMode::kOff,
+                          core::DispatchMode::kPerCall);
+  ASSERT_TRUE(plan.tip_kernels_enabled());
+
+  std::atomic<bool> stop{false};
+  std::thread flusher([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      const obs::Snapshot snap = obs::MetricsRegistry::global().snapshot();
+      (void)snap.gauge_value(obs::kGaugeEngineTipTtOps);
+      (void)snap.gauge_value(obs::kGaugeEngineTipTiOps);
+      (void)snap.gauge_value(obs::kGaugeEngineTipTablesBuilt);
+    }
+  });
+
+  EXPECT_EQ(plan.log_likelihood(), percall.log_likelihood());
+  const auto edges = plan.tree().internal_edge_nodes();
+  ASSERT_FALSE(edges.empty());
+  for (int round = 0; round < 12; ++round) {
+    // Leaf-branch moves: each one invalidates a tip-partial buffer and, for
+    // cherry parents, forces a pair-table rebuild before the next region.
+    const int leaf = plan.tree().leaf_of(round % 12);
+    const double len = 0.02 + 0.01 * round;
+    plan.set_branch_length(leaf, len);
+    percall.set_branch_length(leaf, len);
+    if (round % 3 == 0) {
+      const int v = edges[static_cast<std::size_t>(round) % edges.size()];
+      plan.begin_proposal();
+      percall.begin_proposal();
+      plan.apply_nni(v, round % 2 == 0);
+      percall.apply_nni(v, round % 2 == 0);
+      EXPECT_EQ(plan.log_likelihood(), percall.log_likelihood());
+      plan.reject();
+      percall.reject();
+    }
+    EXPECT_EQ(plan.log_likelihood(), percall.log_likelihood());
+    plan.publish_stats(obs::MetricsRegistry::global());
+  }
+  stop.store(true, std::memory_order_release);
+  flusher.join();
+
+  EXPECT_GT(plan.stats().tip_tt_ops, 0u);
+  EXPECT_GT(plan.stats().tip_tables_built, 0u);
+  EXPECT_EQ(percall.stats().tip_tt_ops, 0u);
+}
+
 TEST(ParStressTest, NestedParallelForIsRejected) {
   ThreadPool pool(2);
   EXPECT_THROW(pool.parallel_for(0, 4,

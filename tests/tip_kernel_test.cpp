@@ -1,0 +1,425 @@
+// Conformance suite for the tip-specialized and fused PLF kernels
+// (docs/KERNELS.md): the pair-table gather (down_tt), the tip×inner entry
+// (down_ti), and every fused down/root+scale twin must reproduce the generic
+// unfused path to the last ULP — across all kernel variants, all 15×15 valid
+// ambiguity-mask pairs, K ∈ {1, 4}, with and without site-repeat compaction,
+// and at branch-length extremes. Comparisons are memcmp (0 ULP), because the
+// backends substitute these entries freely and the engine's A/B guarantees
+// (per-call vs plan dispatch) demand bit identity, not tolerance.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cmath>
+#include <cstring>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "core/kernels.hpp"
+#include "core/tip_partial.hpp"
+#include "phylo/dna.hpp"
+#include "phylo/model.hpp"
+#include "test_support.hpp"
+#include "util/aligned.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace plf::core {
+namespace {
+
+using phylo::GtrParams;
+using phylo::StateMask;
+using phylo::SubstitutionModel;
+using phylo::TransitionMatrices;
+
+// All valid (nonzero) mask pairs, exhaustively: site c carries the pair
+// (1 + c / 15, 1 + c % 15). Mask 0 never occurs in data (patterns always
+// intersect at least one state), so 15×15 = 225 sites cover every reachable
+// table entry.
+constexpr std::size_t kValidMasks = phylo::kNumMasks - 1;
+constexpr std::size_t kPairSites = kValidMasks * kValidMasks;
+
+struct TipFixture {
+  std::size_t m = kPairSites;
+  std::size_t K;
+  Rng rng{777};
+
+  TransitionMatrices tm_l, tm_r, tm_o;
+  TipPartial tp_l, tp_r, tp_o;
+  TipPairTable pair;
+  std::vector<StateMask> mask_l, mask_r, mask_o;
+  aligned_vector<float> cl_r;          // internal right child (tip×inner)
+  std::vector<std::uint32_t> repeats;  // strictly increasing site subset
+
+  TipFixture(std::size_t K_, double branch_scale) : K(K_) {
+    GtrParams p = test::random_gtr(rng, K);
+    SubstitutionModel model(p);
+    tm_l = model.transition_matrices(0.12 * branch_scale);
+    tm_r = model.transition_matrices(0.31 * branch_scale);
+    tm_o = model.transition_matrices(0.07 * branch_scale);
+    tp_l = TipPartial(tm_l);
+    tp_r = TipPartial(tm_r);
+    tp_o = TipPartial(tm_o);
+    pair = TipPairTable(tp_l, tp_r);
+    mask_l.resize(m);
+    mask_r.resize(m);
+    for (std::size_t c = 0; c < m; ++c) {
+      mask_l[c] = static_cast<StateMask>(1 + c / kValidMasks);
+      mask_r[c] = static_cast<StateMask>(1 + c % kValidMasks);
+    }
+    mask_o = test::random_masks(m, rng);
+    cl_r = test::random_cl(m, K, rng);
+    for (std::uint32_t c = 0; c < m; c += 3) repeats.push_back(c);
+  }
+
+  ChildArgs tip_left() const {
+    ChildArgs ch;
+    ch.mask = mask_l.data();
+    ch.tp = tp_l.data();
+    ch.p = tm_l.row_major();
+    ch.pt = tm_l.col_major();
+    return ch;
+  }
+  ChildArgs tip_right() const {
+    ChildArgs ch;
+    ch.mask = mask_r.data();
+    ch.tp = tp_r.data();
+    ch.p = tm_r.row_major();
+    ch.pt = tm_r.col_major();
+    return ch;
+  }
+  ChildArgs inner_right() const {
+    ChildArgs ch;
+    ch.cl = cl_r.data();
+    ch.p = tm_r.row_major();
+    ch.pt = tm_r.col_major();
+    return ch;
+  }
+
+  TipTipArgs tt_args(float* out, bool use_repeats) const {
+    TipTipArgs a;
+    a.left_mask = mask_l.data();
+    a.right_mask = mask_r.data();
+    a.pair = pair.raw();
+    a.pair_scaled = pair.scaled();
+    a.pair_ln = pair.ln_factors();
+    a.out = out;
+    a.K = K;
+    a.table_categories = pair.n_categories();
+    a.site_index = use_repeats ? repeats.data() : nullptr;
+    a.n_sites = m;
+    return a;
+  }
+
+  std::size_t run_m(bool use_repeats) const {
+    return use_repeats ? repeats.size() : m;
+  }
+};
+
+void expect_bitwise_equal(const aligned_vector<float>& got,
+                          const aligned_vector<float>& want) {
+  ASSERT_EQ(got.size(), want.size());
+  EXPECT_EQ(std::memcmp(got.data(), want.data(), got.size() * sizeof(float)),
+            0);
+}
+
+// ---------------------------------------------------------------------------
+// TipPairTable construction conformance.
+
+TEST(TipPairTableTest, RawRowsAreExactTipPartialProducts) {
+  TipFixture fx(4, 1.0);
+  for (std::size_t lm = 0; lm < phylo::kNumMasks; ++lm) {
+    for (std::size_t rm = 0; rm < phylo::kNumMasks; ++rm) {
+      const std::size_t pair = lm * phylo::kNumMasks + rm;
+      for (std::size_t v = 0; v < fx.K * 4; ++v) {
+        const float want =
+            fx.tp_l.data()[lm * fx.K * 4 + v] *
+            fx.tp_r.data()[rm * fx.K * 4 + v];
+        EXPECT_EQ(fx.pair.raw()[pair * fx.K * 4 + v], want)
+            << "pair (" << lm << ", " << rm << ") entry " << v;
+      }
+    }
+  }
+}
+
+TEST(TipPairTableTest, ScaledRowsMatchScaleKernelAppliedToRaw) {
+  // The prescale must be the scale-kernel body verbatim: running the real
+  // scale kernel over a copy of each raw row must reproduce scaled() and
+  // ln_factors() bit for bit. This is what makes the fused tip×tip gather
+  // exact.
+  TipFixture fx(4, 1.0);
+  const std::size_t row = fx.K * 4;
+  aligned_vector<float> buf(row);
+  aligned_vector<float> ln(1);
+  for (std::size_t pair = 0; pair < phylo::kNumMasks * phylo::kNumMasks;
+       ++pair) {
+    std::memcpy(buf.data(), fx.pair.raw() + pair * row, row * sizeof(float));
+    ln[0] = -1.0f;
+    ScaleArgs s;
+    s.cl = buf.data();
+    s.ln_scaler = ln.data();
+    s.K = fx.K;
+    kernels(KernelVariant::kScalar).scale(s, 0, 1);
+    EXPECT_EQ(std::memcmp(buf.data(), fx.pair.scaled() + pair * row,
+                          row * sizeof(float)),
+              0)
+        << "pair " << pair;
+    EXPECT_EQ(ln[0], fx.pair.ln_factors()[pair]) << "pair " << pair;
+  }
+}
+
+TEST(TipPairTableTest, CategoryCountMismatchThrows) {
+  Rng rng(5);
+  SubstitutionModel m1(test::random_gtr(rng, 1));
+  SubstitutionModel m4(test::random_gtr(rng, 4));
+  const TipPartial a(m1.transition_matrices(0.1));
+  const TipPartial b(m4.transition_matrices(0.1));
+  EXPECT_THROW(TipPairTable(a, b), plf::Error);
+}
+
+// ---------------------------------------------------------------------------
+// Kernel conformance, parameterized over
+// (variant, K, branch-length scale, site repeats on/off).
+
+using TipParam =
+    std::tuple<KernelVariant, std::size_t /*K*/, double /*branch scale*/,
+               bool /*site repeats*/>;
+
+class TipKernelConformanceTest : public ::testing::TestWithParam<TipParam> {
+ protected:
+  // Both outputs seeded identically so untouched (non-representative) sites
+  // compare equal under memcmp too.
+  static aligned_vector<float> zeros(std::size_t n) {
+    return aligned_vector<float>(n, 0.0f);
+  }
+};
+
+TEST_P(TipKernelConformanceTest, TipTipGatherMatchesGenericDown) {
+  const auto [variant, K, scale, use_repeats] = GetParam();
+  TipFixture fx(K, scale);
+  const KernelSet& ks = kernels(variant);
+
+  DownArgs generic;
+  generic.left = fx.tip_left();
+  generic.right = fx.tip_right();
+  generic.K = K;
+  generic.site_index = use_repeats ? fx.repeats.data() : nullptr;
+  generic.n_sites = fx.m;
+
+  aligned_vector<float> out_gen = zeros(fx.m * K * 4);
+  aligned_vector<float> out_tt = zeros(fx.m * K * 4);
+  generic.out = out_gen.data();
+  ks.down(generic, 0, fx.run_m(use_repeats));
+  TipTipArgs tt = fx.tt_args(out_tt.data(), use_repeats);
+  ks.down_tt(tt, 0, fx.run_m(use_repeats));
+  expect_bitwise_equal(out_tt, out_gen);
+}
+
+TEST_P(TipKernelConformanceTest, TipInnerMatchesGenericDown) {
+  const auto [variant, K, scale, use_repeats] = GetParam();
+  TipFixture fx(K, scale);
+  const KernelSet& ks = kernels(variant);
+
+  DownArgs args;
+  args.left = fx.tip_left();
+  args.right = fx.inner_right();
+  args.K = K;
+  args.site_index = use_repeats ? fx.repeats.data() : nullptr;
+  args.n_sites = fx.m;
+
+  aligned_vector<float> out_gen = zeros(fx.m * K * 4);
+  aligned_vector<float> out_ti = zeros(fx.m * K * 4);
+  args.out = out_gen.data();
+  ks.down(args, 0, fx.run_m(use_repeats));
+  args.out = out_ti.data();
+  ks.down_ti(args, 0, fx.run_m(use_repeats));
+  expect_bitwise_equal(out_ti, out_gen);
+}
+
+TEST_P(TipKernelConformanceTest, FusedDownScaleMatchesUnfusedPair) {
+  const auto [variant, K, scale, use_repeats] = GetParam();
+  TipFixture fx(K, scale);
+  const KernelSet& ks = kernels(variant);
+  // Generic inner×inner op (second random CLV as the left child).
+  aligned_vector<float> cl_l = test::random_cl(fx.m, K, fx.rng);
+
+  DownArgs args;
+  args.left.cl = cl_l.data();
+  args.left.p = fx.tm_l.row_major();
+  args.left.pt = fx.tm_l.col_major();
+  args.right = fx.inner_right();
+  args.K = K;
+  args.site_index = use_repeats ? fx.repeats.data() : nullptr;
+  args.n_sites = fx.m;
+
+  aligned_vector<float> out_a = zeros(fx.m * K * 4);
+  aligned_vector<float> out_b = zeros(fx.m * K * 4);
+  aligned_vector<float> ln_a = zeros(fx.m);
+  aligned_vector<float> ln_b = zeros(fx.m);
+
+  args.out = out_a.data();
+  ScaleArgs sa;
+  sa.cl = out_a.data();
+  sa.ln_scaler = ln_a.data();
+  sa.K = K;
+  sa.site_index = args.site_index;
+  sa.n_sites = fx.m;
+  ks.down(args, 0, fx.run_m(use_repeats));
+  ks.scale(sa, 0, fx.run_m(use_repeats));
+
+  args.out = out_b.data();
+  ScaleArgs sb = sa;
+  sb.cl = out_b.data();
+  sb.ln_scaler = ln_b.data();
+  ks.down_scale(args, sb, 0, fx.run_m(use_repeats));
+
+  expect_bitwise_equal(out_b, out_a);
+  expect_bitwise_equal(ln_b, ln_a);
+}
+
+TEST_P(TipKernelConformanceTest, FusedTipInnerScaleMatchesUnfusedPair) {
+  const auto [variant, K, scale, use_repeats] = GetParam();
+  TipFixture fx(K, scale);
+  const KernelSet& ks = kernels(variant);
+
+  DownArgs args;
+  args.left = fx.tip_left();
+  args.right = fx.inner_right();
+  args.K = K;
+  args.site_index = use_repeats ? fx.repeats.data() : nullptr;
+  args.n_sites = fx.m;
+
+  aligned_vector<float> out_a = zeros(fx.m * K * 4);
+  aligned_vector<float> out_b = zeros(fx.m * K * 4);
+  aligned_vector<float> ln_a = zeros(fx.m);
+  aligned_vector<float> ln_b = zeros(fx.m);
+
+  args.out = out_a.data();
+  ScaleArgs sa;
+  sa.cl = out_a.data();
+  sa.ln_scaler = ln_a.data();
+  sa.K = K;
+  sa.site_index = args.site_index;
+  sa.n_sites = fx.m;
+  ks.down_ti(args, 0, fx.run_m(use_repeats));
+  ks.scale(sa, 0, fx.run_m(use_repeats));
+
+  args.out = out_b.data();
+  ScaleArgs sb = sa;
+  sb.cl = out_b.data();
+  sb.ln_scaler = ln_b.data();
+  ks.down_ti_scale(args, sb, 0, fx.run_m(use_repeats));
+
+  expect_bitwise_equal(out_b, out_a);
+  expect_bitwise_equal(ln_b, ln_a);
+}
+
+TEST_P(TipKernelConformanceTest, FusedTipTipScaleMatchesUnfusedPair) {
+  const auto [variant, K, scale, use_repeats] = GetParam();
+  TipFixture fx(K, scale);
+  const KernelSet& ks = kernels(variant);
+
+  aligned_vector<float> out_a = zeros(fx.m * K * 4);
+  aligned_vector<float> out_b = zeros(fx.m * K * 4);
+  aligned_vector<float> ln_a = zeros(fx.m);
+  aligned_vector<float> ln_b = zeros(fx.m);
+
+  TipTipArgs ta = fx.tt_args(out_a.data(), use_repeats);
+  ScaleArgs sa;
+  sa.cl = out_a.data();
+  sa.ln_scaler = ln_a.data();
+  sa.K = K;
+  sa.site_index = ta.site_index;
+  sa.n_sites = fx.m;
+  ks.down_tt(ta, 0, fx.run_m(use_repeats));
+  ks.scale(sa, 0, fx.run_m(use_repeats));
+
+  TipTipArgs tb = fx.tt_args(out_b.data(), use_repeats);
+  ScaleArgs sb = sa;
+  sb.cl = out_b.data();
+  sb.ln_scaler = ln_b.data();
+  ks.down_tt_scale(tb, sb, 0, fx.run_m(use_repeats));
+
+  expect_bitwise_equal(out_b, out_a);
+  expect_bitwise_equal(ln_b, ln_a);
+}
+
+TEST_P(TipKernelConformanceTest, FusedRootScaleMatchesUnfusedPair) {
+  const auto [variant, K, scale, use_repeats] = GetParam();
+  TipFixture fx(K, scale);
+  const KernelSet& ks = kernels(variant);
+
+  RootArgs args;
+  args.down.left = fx.tip_left();
+  args.down.right = fx.inner_right();
+  args.down.K = K;
+  args.down.site_index = use_repeats ? fx.repeats.data() : nullptr;
+  args.down.n_sites = fx.m;
+  args.out_mask = fx.mask_o.data();
+  args.out_tp = fx.tp_o.data();
+
+  aligned_vector<float> out_a = zeros(fx.m * K * 4);
+  aligned_vector<float> out_b = zeros(fx.m * K * 4);
+  aligned_vector<float> ln_a = zeros(fx.m);
+  aligned_vector<float> ln_b = zeros(fx.m);
+
+  args.down.out = out_a.data();
+  ScaleArgs sa;
+  sa.cl = out_a.data();
+  sa.ln_scaler = ln_a.data();
+  sa.K = K;
+  sa.site_index = args.down.site_index;
+  sa.n_sites = fx.m;
+  ks.root(args, 0, fx.run_m(use_repeats));
+  ks.scale(sa, 0, fx.run_m(use_repeats));
+
+  args.down.out = out_b.data();
+  ScaleArgs sb = sa;
+  sb.cl = out_b.data();
+  sb.ln_scaler = ln_b.data();
+  ks.root_scale(args, sb, 0, fx.run_m(use_repeats));
+
+  expect_bitwise_equal(out_b, out_a);
+  expect_bitwise_equal(ln_b, ln_a);
+}
+
+TEST_P(TipKernelConformanceTest, TipTipRangeSplitEqualsWholeRange) {
+  const auto [variant, K, scale, use_repeats] = GetParam();
+  TipFixture fx(K, scale);
+  const KernelSet& ks = kernels(variant);
+  const std::size_t n = fx.run_m(use_repeats);
+
+  aligned_vector<float> whole = zeros(fx.m * K * 4);
+  aligned_vector<float> split = zeros(fx.m * K * 4);
+  TipTipArgs tw = fx.tt_args(whole.data(), use_repeats);
+  ks.down_tt(tw, 0, n);
+  TipTipArgs ts = fx.tt_args(split.data(), use_repeats);
+  ks.down_tt(ts, 0, n / 3);
+  ks.down_tt(ts, n / 3, n / 2 + 1);
+  ks.down_tt(ts, n / 2 + 1, n);
+  expect_bitwise_equal(split, whole);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllVariants, TipKernelConformanceTest,
+    ::testing::Combine(
+        ::testing::Values(KernelVariant::kScalar, KernelVariant::kSimdRow,
+                          KernelVariant::kSimdCol, KernelVariant::kSimdCol8),
+        ::testing::Values(1u, 4u),
+        // Branch-length scale factors: near-zero branches (transition matrix
+        // ~identity, tip rows hit the 0/1 extremes), typical, and
+        // near-saturation (rows flatten toward the stationary distribution).
+        ::testing::Values(1e-5, 1.0, 250.0), ::testing::Bool()),
+    [](const ::testing::TestParamInfo<TipParam>& info) {
+      std::string name = to_string(std::get<0>(info.param));
+      for (auto& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      const double s = std::get<2>(info.param);
+      const char* stag = s < 1e-3 ? "tiny" : (s > 10.0 ? "huge" : "mid");
+      return name + "_K" + std::to_string(std::get<1>(info.param)) + "_" +
+             stag + (std::get<3>(info.param) ? "_rep" : "_dense");
+    });
+
+}  // namespace
+}  // namespace plf::core

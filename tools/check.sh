@@ -44,10 +44,11 @@ stage_plain() { run_preset default; }
 stage_asan()  { run_preset asan-ubsan; }
 stage_tsan()  { run_preset tsan; }
 
-# Checked-contract build running the site-repeat and plan-dispatch
-# differential suites: every backend x repeats on/off x percall/plan
-# cross-check plus the repeat-class and plan unit tests, with the
-# PLF_DCHECK-level contracts (index monotonicity, plan leveling etc.) armed.
+# Checked-contract build running the site-repeat, plan-dispatch, and
+# tip-kernel differential suites: every backend x repeats on/off x
+# percall/plan cross-check plus the repeat-class, plan, and tip-kernel
+# conformance tests, with the PLF_DCHECK-level contracts (index monotonicity,
+# plan leveling, tip-state range etc.) armed.
 stage_checked() {
   note "preset 'checked': configure" &&
     cmake --preset checked &&
@@ -55,7 +56,7 @@ stage_checked() {
     cmake --build --preset checked -j "${JOBS}" &&
     note "preset 'checked': differential suite" &&
     ctest --preset checked \
-      -R 'BackendDiff|SiteRepeats|Repeats|Contract|Check|Plan|ComputeLevels|DispatchMode|IncrementalScaler'
+      -R 'BackendDiff|SiteRepeats|Repeats|Contract|Check|Plan|ComputeLevels|DispatchMode|IncrementalScaler|TipKernel|TipPairTable|FusedScale'
 }
 
 # Quick bench-suite smoke: produces a schema-valid BENCH json and runs the

@@ -260,10 +260,11 @@ struct KernelRule {
 
 const std::vector<KernelRule>& kernel_rules() {
   static const std::vector<KernelRule> rules = {
-      {"DownArgs", {"check_down", "check_down_aligned"}},
+      {"DownArgs", {"check_down", "check_down_aligned", "check_down_ti"}},
       {"RootArgs", {"check_root", "check_root_aligned"}},
       {"ScaleArgs", {"check_scale"}},
       {"RootReduceArgs", {"check_root_reduce"}},
+      {"TipTipArgs", {"check_down_tt"}},
       {"PlfPlan", {"check_plan"}},
   };
   return rules;
