@@ -279,12 +279,14 @@ CaseStat engine_case(const phylo::PatternMatrix& data,
                      core::ExecutionBackend& backend,
                      const char* backend_label, core::DispatchMode dispatch,
                      core::SiteRepeatsMode repeats, std::uint64_t evals,
-                     int reps) {
+                     int reps, core::ClvBudget budget = core::ClvBudget{},
+                     const char* name_suffix = "") {
   CaseStat cs;
   cs.name = std::string("engine.") + backend_label + "." +
             (dispatch == core::DispatchMode::kPlan ? "plan" : "percall") +
             "." +
-            (repeats == core::SiteRepeatsMode::kOn ? "sr-on" : "sr-off");
+            (repeats == core::SiteRepeatsMode::kOn ? "sr-on" : "sr-off") +
+            name_suffix;
   cs.unit = "s/eval";
   cs.iters = evals;
   // Engine paths cross parallel regions and allocators; they are noisier
@@ -292,7 +294,8 @@ CaseStat engine_case(const phylo::PatternMatrix& data,
   cs.threshold = std::string(backend_label) == "threaded" ? 0.40 : 0.25;
 
   core::PlfEngine engine(data, params, tree, backend,
-                         core::KernelVariant::kSimdCol, repeats, dispatch);
+                         core::KernelVariant::kSimdCol, repeats, dispatch,
+                         budget);
   engine.log_likelihood();  // warm-up: buffers, matrices, plan cache
   const int n_leaves = static_cast<int>(data.n_taxa());
   for (int rep = 0; rep < reps; ++rep) {
@@ -456,6 +459,30 @@ int main(int argc, char** argv) {
                   << ")\n";
       }
     }
+  }
+
+  // CLV-budget sweep: the recompute-vs-memory tradeoff of the budgeted
+  // arena, serial plan dispatch (the least noisy engine path). 1.00 holds
+  // every buffer (eager unlimited twin of the row above); shrinking budgets
+  // trade resident bytes for rematerialization kernel work. 0.25 requests
+  // below the feasibility floor and clamps up to 0.50 — kept in the sweep so
+  // the gate notices if the clamp ever stops holding that cost constant.
+  struct BudgetRow {
+    const char* spec;
+    const char* suffix;
+  };
+  const BudgetRow budgets[] = {{"1.0", ".budget-1.00"},
+                               {"0.75", ".budget-0.75"},
+                               {"0.5", ".budget-0.50"},
+                               {"0.25", ".budget-0.25"}};
+  for (const BudgetRow& b : budgets) {
+    cases.push_back(engine_case(data, tree, params, serial, "serial",
+                                core::DispatchMode::kPlan,
+                                core::SiteRepeatsMode::kOff, engine_evals,
+                                reps, core::clv_budget_from_string(b.spec),
+                                b.suffix));
+    std::cerr << cases.back().name << ": " << cases.back().min() * 1e3
+              << " ms/eval (min of " << reps << ")\n";
   }
 
   std::ofstream out(out_path);

@@ -3,9 +3,13 @@
 // PLF on the threaded backend, and reports the posterior: trace diagnostics
 // (ESS), split frequencies, and a majority-rule consensus tree with support
 // values. With no input file it demonstrates itself on simulated data.
+// --clv-budget caps per-engine CLV memory (e.g. 64M, 1048576, or a fraction
+// like 0.5 of the unbudgeted footprint); evicted vectors are recomputed on
+// demand, bit-identically.
 //
 // Usage: mrbayes_lite [--site-repeats=on|off|auto] [--dispatch=percall|plan]
-//                     [--profile[=FILE]] [--metrics-json[=FILE]]
+//                     [--clv-budget=BYTES|FRACTION] [--profile[=FILE]]
+//                     [--metrics-json[=FILE]]
 //                     [alignment-file] [generations] [chains] [seed]
 //
 // --profile enables span tracing, prints the paper-style (Fig. 12) time
@@ -73,6 +77,7 @@ int run_main(int argc, char** argv) {
 
   core::SiteRepeatsMode repeats = core::SiteRepeatsMode::kAuto;
   core::DispatchMode dispatch = core::DispatchMode::kPlan;
+  core::ClvBudget clv_budget;  // default: unlimited
   std::string profile_path;   // empty: profiling report/trace off
   std::string metrics_path;   // empty: metrics JSON off
   std::vector<const char*> pos;
@@ -85,6 +90,9 @@ int run_main(int argc, char** argv) {
     } else if (arg.rfind("--dispatch=", 0) == 0) {
       dispatch = core::dispatch_mode_from_string(
           arg.substr(std::strlen("--dispatch=")));
+    } else if (arg.rfind("--clv-budget=", 0) == 0) {
+      clv_budget = core::clv_budget_from_string(
+          arg.substr(std::strlen("--clv-budget=")));
     } else if (arg == "--profile") {
       profile_path = "plf_trace.json";
     } else if (arg.rfind("--profile=", 0) == 0) {
@@ -117,7 +125,8 @@ int run_main(int argc, char** argv) {
             << " coupled chains (1 cold + " << (n_chains - 1)
             << " heated), GTR+I+G, seed " << seed << ", site repeats "
             << core::to_string(repeats) << ", dispatch "
-            << core::to_string(dispatch) << "\n\n";
+            << core::to_string(dispatch) << ", clv budget "
+            << core::to_string(clv_budget) << "\n\n";
 
   // Starting state: a random tree, default model with +I enabled.
   Rng rng(seed ^ 0xABCDEF);
@@ -136,7 +145,7 @@ int run_main(int argc, char** argv) {
     start = phylo::Tree::from_newick(start.to_newick(), aln.names());
     engines.push_back(std::make_unique<core::PlfEngine>(
         data, start_params, start, backend, core::KernelVariant::kSimdCol,
-        repeats, dispatch));
+        repeats, dispatch, clv_budget));
     ptrs.push_back(engines.back().get());
   }
 

@@ -1,0 +1,329 @@
+#include "core/clv_arena.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/kernel_contracts.hpp"
+#include "util/contracts.hpp"
+#include "util/error.hpp"
+
+namespace plf::core {
+
+std::size_t ClvBudget::resolve(std::size_t full_bytes,
+                               std::size_t min_bytes) const {
+  PLF_CHECK(min_bytes <= full_bytes,
+            "clv budget: minimum working set exceeds the full CLV pool");
+  std::size_t bytes_wanted = full_bytes;
+  switch (kind) {
+    case Kind::kUnlimited:
+      bytes_wanted = full_bytes;
+      break;
+    case Kind::kBytes:
+      bytes_wanted = bytes;
+      break;
+    case Kind::kFraction:
+      bytes_wanted = static_cast<std::size_t>(
+          std::ceil(fraction * static_cast<double>(full_bytes)));
+      break;
+  }
+  // Clamp UP to the minimum feasible budget: one buffer per internal node,
+  // the worst-case pinned working set of a single evaluation. A sweep down
+  // to "0.25" therefore runs (at the floor) instead of failing.
+  return bytes_wanted < min_bytes ? min_bytes : bytes_wanted;
+}
+
+ClvBudget clv_budget_from_string(const std::string& s) {
+  PLF_CHECK(!s.empty(), "clv budget: empty value");
+  if (s == "unlimited" || s == "none") return ClvBudget{};
+
+  std::string num = s;
+  std::size_t multiplier = 1;
+  const char suffix =
+      static_cast<char>(std::tolower(static_cast<unsigned char>(s.back())));
+  if (suffix == 'k' || suffix == 'm' || suffix == 'g') {
+    multiplier = suffix == 'k' ? (std::size_t{1} << 10)
+                               : (suffix == 'm' ? (std::size_t{1} << 20)
+                                                : (std::size_t{1} << 30));
+    num = s.substr(0, s.size() - 1);
+    PLF_CHECK(!num.empty(), "clv budget: bare size suffix '" + s + "'");
+  }
+
+  char* end = nullptr;
+  const double value = std::strtod(num.c_str(), &end);
+  PLF_CHECK(end != nullptr && *end == '\0' && end != num.c_str(),
+            "clv budget: cannot parse '" + s + "'");
+  PLF_CHECK(value > 0.0, "clv budget: value must be positive, got '" + s + "'");
+
+  ClvBudget budget;
+  const bool has_dot = num.find('.') != std::string::npos;
+  if (multiplier == 1 && (value <= 1.0 || has_dot)) {
+    // "0.5", "1.0", "1" — a fraction of the full CLV pool.
+    PLF_CHECK(value <= 1.0,
+              "clv budget: fraction must be in (0, 1], got '" + s + "'");
+    budget.kind = ClvBudget::Kind::kFraction;
+    budget.fraction = value;
+    return budget;
+  }
+  budget.kind = ClvBudget::Kind::kBytes;
+  budget.bytes = static_cast<std::size_t>(value * static_cast<double>(multiplier));
+  return budget;
+}
+
+std::string to_string(const ClvBudget& budget) {
+  switch (budget.kind) {
+    case ClvBudget::Kind::kUnlimited:
+      return "unlimited";
+    case ClvBudget::Kind::kBytes:
+      return std::to_string(budget.bytes) + "B";
+    case ClvBudget::Kind::kFraction: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.4g", budget.fraction);
+      return std::string("frac:") + buf;
+    }
+  }
+  return "?";
+}
+
+void ClvArena::init(std::size_t n_slots, std::size_t slot_floats,
+                    std::size_t budget_bytes) {
+  checker_.check();
+  PLF_CHECK(slots_.empty(), "clv arena: init() called twice");
+  PLF_CHECK(n_slots > 0, "clv arena: no slots");
+  slot_floats_ = slot_floats;
+  slot_bytes_ = slot_floats * sizeof(float);
+  budget_bytes_ = budget_bytes;
+  capacity_slots_ = slot_bytes_ == 0 ? n_slots : budget_bytes_ / slot_bytes_;
+  PLF_CHECK(capacity_slots_ >= 1,
+            "clv arena: budget smaller than a single CLV buffer - raise "
+            "--clv-budget");
+  slots_.resize(n_slots);
+  detail::check_arena(*this);
+}
+
+float* ClvArena::acquire(int slot) {
+  checker_.check();
+  PLF_CHECK(slot >= 0 && static_cast<std::size_t>(slot) < slots_.size(),
+            "clv arena: slot id out of range");
+  Slot& s = slots_[static_cast<std::size_t>(slot)];
+  if (s.resident) {
+    // O(1) touch: unlink and re-append at the MRU end of the intrusive list.
+    lru_unlink(slot);
+    lru_push_mru(slot);
+    {
+      util::MutexLock lock(stats_m_);
+      ++counters_.hits;
+    }
+    detail::check_arena(*this);
+    return s.cl.data();
+  }
+  // Evict *before* allocating so the resident total never exceeds the budget,
+  // even transiently.
+  while (resident_count_ >= capacity_slots_) evict_one();
+  s.cl.assign(slot_floats_, 0.0f);
+  s.resident = true;
+  lru_push_mru(slot);
+  ++resident_count_;
+  {
+    util::MutexLock lock(stats_m_);
+    ++counters_.misses;
+    counters_.resident_bytes += slot_bytes_;
+  }
+  detail::check_arena(*this);
+  return s.cl.data();
+}
+
+void ClvArena::pin(int slot) {
+  checker_.check();
+  PLF_CHECK(resident(slot), "clv arena: pin() on a non-resident slot");
+  ++slots_[static_cast<std::size_t>(slot)].pin_count;
+  detail::check_arena(*this);
+}
+
+void ClvArena::unpin(int slot) {
+  checker_.check();
+  PLF_CHECK(slot >= 0 && static_cast<std::size_t>(slot) < slots_.size(),
+            "clv arena: slot id out of range");
+  Slot& s = slots_[static_cast<std::size_t>(slot)];
+  PLF_CHECK(s.pin_count > 0, "clv arena: unpin() without a matching pin()");
+  --s.pin_count;
+  detail::check_arena(*this);
+}
+
+void ClvArena::release_eval_pins() {
+  checker_.check();
+  for (Slot& s : slots_) s.pin_count = 0;
+  detail::check_arena(*this);
+}
+
+bool ClvArena::resident(int slot) const {
+  checker_.check();
+  PLF_CHECK(slot >= 0 && static_cast<std::size_t>(slot) < slots_.size(),
+            "clv arena: slot id out of range");
+  return slots_[static_cast<std::size_t>(slot)].resident;
+}
+
+bool ClvArena::pinned(int slot) const {
+  checker_.check();
+  PLF_CHECK(slot >= 0 && static_cast<std::size_t>(slot) < slots_.size(),
+            "clv arena: slot id out of range");
+  return slots_[static_cast<std::size_t>(slot)].pin_count > 0;
+}
+
+float* ClvArena::data(int slot) {
+  checker_.check();
+  PLF_CHECK(resident(slot),
+            "clv arena: CLV slot was evicted; the engine must rematerialize "
+            "it before use (raise --clv-budget if this recurs)");
+  return slots_[static_cast<std::size_t>(slot)].cl.data();
+}
+
+const float* ClvArena::data(int slot) const {
+  checker_.check();
+  PLF_CHECK(resident(slot),
+            "clv arena: CLV slot was evicted; the engine must rematerialize "
+            "it before use (raise --clv-budget if this recurs)");
+  return slots_[static_cast<std::size_t>(slot)].cl.data();
+}
+
+bool ClvArena::owns_resident(const float* p) const {
+  checker_.check();
+  if (p == nullptr) return false;
+  for (const Slot& s : slots_) {
+    if (s.resident && s.cl.data() == p) return true;
+  }
+  return false;
+}
+
+void ClvArena::note_recompute(std::uint64_t n) {
+  util::MutexLock lock(stats_m_);
+  counters_.recompute_ops += n;
+}
+
+ArenaCounters ClvArena::counters() const {
+  util::MutexLock lock(stats_m_);
+  return counters_;
+}
+
+std::size_t ClvArena::resident_bytes() const {
+  util::MutexLock lock(stats_m_);
+  return counters_.resident_bytes;
+}
+
+std::vector<int> ClvArena::lru_order_for_test() const {
+  checker_.check();
+  std::vector<int> order;
+  for (int id = lru_head_; id != -1; id = slots_[static_cast<std::size_t>(id)].next) {
+    order.push_back(id);
+  }
+  return order;
+}
+
+void ClvArena::evict_slot_for_test(int slot) {
+  checker_.check();
+  PLF_CHECK(resident(slot), "clv arena: evicting a non-resident slot");
+  Slot& s = slots_[static_cast<std::size_t>(slot)];
+  PLF_DCHECK(s.pin_count == 0,
+             "clv arena: eviction of a pinned slot; eviction order must "
+             "respect pin state");
+  lru_unlink(slot);
+  s.cl = aligned_vector<float>();
+  s.resident = false;
+  --resident_count_;
+  {
+    util::MutexLock lock(stats_m_);
+    ++counters_.evictions;
+    counters_.resident_bytes -= slot_bytes_;
+  }
+  detail::check_arena(*this);
+}
+
+void ClvArena::validate() const {
+  checker_.check();
+  // Walk the LRU list forward: every listed slot resident, links symmetric.
+  std::size_t listed = 0;
+  int prev = -1;
+  for (int id = lru_head_; id != -1;
+       id = slots_[static_cast<std::size_t>(id)].next) {
+    const Slot& s = slots_[static_cast<std::size_t>(id)];
+    PLF_DCHECK(s.resident, "clv arena: LRU list contains an evicted slot");
+    PLF_DCHECK(s.prev == prev, "clv arena: LRU back-link mismatch");
+    PLF_DCHECK(!s.cl.empty() || slot_floats_ == 0,
+               "clv arena: resident slot without storage");
+    prev = id;
+    ++listed;
+    PLF_DCHECK(listed <= slots_.size(), "clv arena: LRU list cycle");
+  }
+  PLF_DCHECK(lru_tail_ == prev, "clv arena: LRU tail mismatch");
+  PLF_DCHECK(listed == resident_count_,
+             "clv arena: LRU list does not cover the resident set");
+  std::size_t resident_seen = 0;
+  for (const Slot& s : slots_) {
+    if (s.resident) {
+      ++resident_seen;
+    } else {
+      PLF_DCHECK(s.pin_count == 0, "clv arena: pinned slot was evicted");
+      PLF_DCHECK(s.cl.empty(), "clv arena: evicted slot still holds storage");
+    }
+  }
+  PLF_DCHECK(resident_seen == resident_count_,
+             "clv arena: resident count drifted from slot flags");
+  PLF_DCHECK(resident_count_ <= capacity_slots_,
+             "clv arena: resident slots exceed the budgeted capacity");
+}
+
+void ClvArena::lru_unlink(int slot) {
+  Slot& s = slots_[static_cast<std::size_t>(slot)];
+  if (s.prev != -1) {
+    slots_[static_cast<std::size_t>(s.prev)].next = s.next;
+  } else {
+    lru_head_ = s.next;
+  }
+  if (s.next != -1) {
+    slots_[static_cast<std::size_t>(s.next)].prev = s.prev;
+  } else {
+    lru_tail_ = s.prev;
+  }
+  s.prev = -1;
+  s.next = -1;
+}
+
+void ClvArena::lru_push_mru(int slot) {
+  Slot& s = slots_[static_cast<std::size_t>(slot)];
+  s.prev = lru_tail_;
+  s.next = -1;
+  if (lru_tail_ != -1) {
+    slots_[static_cast<std::size_t>(lru_tail_)].next = slot;
+  } else {
+    lru_head_ = slot;
+  }
+  lru_tail_ = slot;
+}
+
+void ClvArena::evict_one() {
+  // The victim is the least recently used slot whose pin count is zero:
+  // eviction order respects pin state by construction, and the contract
+  // below keeps it honest.
+  int victim = lru_head_;
+  while (victim != -1 &&
+         slots_[static_cast<std::size_t>(victim)].pin_count > 0) {
+    victim = slots_[static_cast<std::size_t>(victim)].next;
+  }
+  PLF_CHECK(victim != -1,
+            "clv arena exhausted: every resident CLV slot is pinned by the "
+            "current evaluation and nothing is evictable - raise --clv-budget");
+  Slot& s = slots_[static_cast<std::size_t>(victim)];
+  PLF_DCHECK(s.pin_count == 0, "clv arena: eviction picked a pinned slot");
+  lru_unlink(victim);
+  s.cl = aligned_vector<float>();
+  s.resident = false;
+  --resident_count_;
+  {
+    util::MutexLock lock(stats_m_);
+    ++counters_.evictions;
+    counters_.resident_bytes -= slot_bytes_;
+  }
+}
+
+}  // namespace plf::core

@@ -1,0 +1,197 @@
+// Budgeted CLV arena: a slot allocator for conditional-likelihood vectors
+// with a hard byte budget and LRU eviction.
+//
+// The PLF memory footprint — per-node CLVs of patterns x 4 x K floats, two
+// buffers per internal node for the touch/flip proposal scheme — is the real
+// scale ceiling of the method (§2 of the paper puts the working set, not the
+// arithmetic, at the top of the cost model once patterns reach ~50K). BEAGLE
+// treats CLV buffers as an explicitly managed, instance-scoped resource pool;
+// this arena does the same for PlfEngine and adds recompute-instead-of-store:
+// any evicted inner-node CLV is rebuildable from its children, and the
+// engine's dependency-leveled plan machinery already knows how to schedule
+// that rebuild (see docs/MEMORY.md for the cost model).
+//
+// Division of labour:
+//   ClvArena   owns the float storage for every internal node's two CLV
+//              buffers, keyed by a dense slot id. It decides *residency*
+//              (allocate / evict / pin) and nothing else.
+//   PlfEngine  decides *contents*: which slots to rebuild each evaluation
+//              (collect_recompute_targets grows the dirty set with evicted
+//              ancestors) and pins every slot an evaluation reads or writes
+//              before any kernel runs, so no kernel ever sees an evicted
+//              pointer (enforced by detail::check_arena in
+//              kernel_contracts.hpp).
+//
+// Tip buffers (state masks and tip partials) and scaler rows are engine-owned
+// and always resident — tips are inherently pinned outside the arena, and the
+// full scaler re-summation must be able to read every internal node's active
+// scaler row without triggering recompute.
+//
+// Threading: structural state (slots, LRU list, pins) is confined to the
+// owning engine thread via ThreadChecker, exactly like PlfEngine itself.
+// The usage counters are guarded by a util::Mutex so a metrics flusher on
+// another thread can read counters() while the engine evaluates.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/aligned.hpp"
+#include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace plf::core {
+
+/// CLV memory budget, as parsed from `--clv-budget=<bytes|frac>`.
+///
+/// The default (kUnlimited) preserves the historical behaviour: both buffers
+/// of every internal node are preallocated eagerly and nothing is ever
+/// evicted. A fraction is relative to that full pool; a byte count is
+/// absolute. Either form is clamped UP to the minimum feasible budget — one
+/// buffer per internal node — which is the worst-case pinned working set of a
+/// single evaluation (every recompute target plus every external read is a
+/// distinct internal node, so at most n_internal slots are pinned at once).
+struct ClvBudget {
+  enum class Kind : std::uint8_t { kUnlimited, kBytes, kFraction };
+
+  Kind kind = Kind::kUnlimited;
+  std::size_t bytes = 0;    ///< for kBytes
+  double fraction = 1.0;    ///< for kFraction; in (0, 1]
+
+  bool unlimited() const { return kind == Kind::kUnlimited; }
+
+  /// Effective byte budget for a pool of `full_bytes` of CLV storage,
+  /// clamped up to `min_bytes` (the minimum feasible working set).
+  std::size_t resolve(std::size_t full_bytes, std::size_t min_bytes) const;
+};
+
+/// Parse "--clv-budget" values. Accepts a fraction of the full CLV pool
+/// ("0.5", "1.0" — any value <= 1 or containing '.') or an absolute byte
+/// count, optionally suffixed k/m/g ("1073741824", "512m", "2g").
+/// Throws plf::Error on malformed or non-positive input.
+ClvBudget clv_budget_from_string(const std::string& s);
+
+std::string to_string(const ClvBudget& budget);
+
+/// Usage counters; readable from any thread via ClvArena::counters().
+struct ArenaCounters {
+  std::uint64_t evictions = 0;       ///< slots whose storage was reclaimed
+  std::uint64_t hits = 0;            ///< acquire() on an already-resident slot
+  std::uint64_t misses = 0;          ///< acquire() that had to allocate
+  std::uint64_t recompute_ops = 0;   ///< plan ops added only to rematerialize
+  std::size_t resident_bytes = 0;    ///< currently allocated CLV bytes
+
+  double hit_rate() const {
+    const std::uint64_t total = hits + misses;
+    return total == 0 ? 1.0 : static_cast<double>(hits) / static_cast<double>(total);
+  }
+};
+
+/// Fixed-capacity pool of CLV slots with LRU eviction and pin support.
+///
+/// A slot is `slot_floats` floats of aligned storage; PlfEngine maps
+/// (internal node, buffer index) -> slot id. At most
+/// `budget_bytes / slot_bytes` slots are resident at any instant: acquire()
+/// evicts from the LRU end (skipping pinned slots) *before* allocating, so
+/// resident_bytes never exceeds the budget even transiently.
+///
+/// The LRU list is intrusive (prev/next indices inside the slot records), so
+/// the touch performed by every acquire() — one per plan op read or write —
+/// is O(1).
+class ClvArena {
+ public:
+  ClvArena() = default;
+  ClvArena(const ClvArena&) = delete;
+  ClvArena& operator=(const ClvArena&) = delete;
+
+  /// Set up `n_slots` slots of `slot_floats` floats under `budget_bytes`.
+  /// Callable once, before any other structural call.
+  void init(std::size_t n_slots, std::size_t slot_floats,
+            std::size_t budget_bytes);
+
+  /// Make `slot` resident and move it to the MRU end, evicting LRU unpinned
+  /// slots first if allocation would exceed the budget. Newly allocated
+  /// storage is zero-filled. Returns the slot's storage. Throws plf::Error
+  /// if nothing is evictable (every resident slot pinned at full budget).
+  float* acquire(int slot);
+
+  /// Pin `slot` (must be resident): it cannot be evicted until unpinned.
+  /// Pins nest; the engine drops all of them with release_eval_pins() at the
+  /// end of each evaluation.
+  void pin(int slot);
+  void unpin(int slot);
+  void release_eval_pins();
+
+  bool resident(int slot) const;
+  bool pinned(int slot) const;
+
+  /// Storage of a resident slot. PLF_CHECKs residency: an evicted slot has
+  /// no storage and the caller must go through acquire()/the engine's
+  /// recompute path instead.
+  float* data(int slot);
+  const float* data(int slot) const;
+
+  /// True when `p` is the storage pointer of a currently resident slot.
+  /// O(n_slots); used by the checked-build plan scan in check_arena.
+  bool owns_resident(const float* p) const;
+
+  /// Count plan ops that exist only to rematerialize evicted CLVs.
+  void note_recompute(std::uint64_t n) PLF_EXCLUDES(stats_m_);
+
+  std::size_t n_slots() const { return slots_.size(); }
+  std::size_t slot_bytes() const { return slot_bytes_; }
+  std::size_t budget_bytes() const { return budget_bytes_; }
+  std::size_t capacity_slots() const { return capacity_slots_; }
+
+  /// Thread-safe counter snapshot (for gauge publication / flusher threads).
+  ArenaCounters counters() const PLF_EXCLUDES(stats_m_);
+  std::size_t resident_bytes() const PLF_EXCLUDES(stats_m_);
+
+  /// Deep structural check (LRU list doubly linked and complete, pin/resident
+  /// flags consistent, resident accounting exact). O(n_slots); called from
+  /// check_arena in checked builds. Aborts via PLF_DCHECK on violation.
+  void validate() const;
+
+  // --- test hooks -------------------------------------------------------
+  /// Resident slots from LRU to MRU, for comparison against a reference
+  /// eviction-state model.
+  std::vector<int> lru_order_for_test() const;
+  /// Force-evict a specific slot. PLF_DCHECKs that the slot is not pinned —
+  /// eviction order must respect pin state even when forced.
+  void evict_slot_for_test(int slot);
+
+ private:
+  struct Slot {
+    aligned_vector<float> cl;
+    int prev = -1;            ///< intrusive LRU links; valid while resident
+    int next = -1;
+    bool resident = false;
+    int pin_count = 0;
+  };
+
+  void lru_unlink(int slot) PLF_REQUIRES(checker_);
+  void lru_push_mru(int slot) PLF_REQUIRES(checker_);
+  /// Reclaim the least recently used unpinned slot. Throws plf::Error with a
+  /// "raise --clv-budget" message when every resident slot is pinned.
+  void evict_one() PLF_REQUIRES(checker_);
+
+  std::size_t slot_floats_ = 0;
+  std::size_t slot_bytes_ = 0;
+  std::size_t budget_bytes_ = 0;
+  std::size_t capacity_slots_ = 0;
+
+  std::vector<Slot> slots_ PLF_GUARDED_BY(checker_);
+  int lru_head_ PLF_GUARDED_BY(checker_) = -1;  ///< least recently used
+  int lru_tail_ PLF_GUARDED_BY(checker_) = -1;  ///< most recently used
+  std::size_t resident_count_ PLF_GUARDED_BY(checker_) = 0;
+
+  /// Single-owner confinement for the structural state, like PlfEngine.
+  util::ThreadChecker checker_;
+
+  mutable util::Mutex stats_m_;
+  ArenaCounters counters_ PLF_GUARDED_BY(stats_m_);
+};
+
+}  // namespace plf::core

@@ -3,6 +3,7 @@
 #include <cstring>
 #include <utility>
 
+#include "core/kernel_contracts.hpp"
 #include "obs/names.hpp"
 #include "obs/profile.hpp"
 #include "util/clock.hpp"
@@ -14,7 +15,7 @@ namespace plf::core {
 PlfEngine::PlfEngine(phylo::PatternMatrix data, const phylo::GtrParams& params,
                      phylo::Tree tree, ExecutionBackend& backend,
                      KernelVariant variant, SiteRepeatsMode site_repeats,
-                     DispatchMode dispatch)
+                     DispatchMode dispatch, ClvBudget clv_budget)
     : data_(std::move(data)),
       model_(params),
       tree_(std::move(tree)),
@@ -29,17 +30,41 @@ PlfEngine::PlfEngine(phylo::PatternMatrix data, const phylo::GtrParams& params,
 
   nodes_.resize(tree_.n_nodes());
   branches_.resize(tree_.n_nodes());
+  std::size_t n_internal = 0;
   for (std::size_t id = 0; id < tree_.n_nodes(); ++id) {
     const phylo::TreeNode& n = tree_.node(static_cast<int>(id));
     if (!n.is_leaf()) {
+      // Scaler rows stay engine-owned (the full resum must read every
+      // internal node's active row); the CLV storage itself lives in the
+      // budgeted arena below.
       for (int b = 0; b < 2; ++b) {
-        nodes_[id].cl[static_cast<std::size_t>(b)].assign(m_ * k_ * 4, 0.0f);
         nodes_[id].scaler[static_cast<std::size_t>(b)].assign(m_, 0.0f);
       }
       nodes_[id].dirty = true;
+      ++n_internal;
     }
     if (n.parent != phylo::kNoNode) {
       branches_[id].dirty = true;
+    }
+  }
+
+  // Budgeted CLV arena (docs/MEMORY.md): two buffers of m*K*4 floats per
+  // internal node; the budget is clamped up to one buffer per internal node,
+  // the worst-case pinned working set of a single evaluation.
+  const std::size_t slot_floats = m_ * k_ * 4;
+  const std::size_t slot_bytes = slot_floats * sizeof(float);
+  arena_.init(2 * tree_.n_nodes(), slot_floats,
+              clv_budget.resolve(2 * n_internal * slot_bytes,
+                                 n_internal * slot_bytes));
+  if (clv_budget.unlimited()) {
+    // Historical behaviour: preallocate both buffers of every internal node
+    // eagerly, so nothing is ever evicted and node_cl() is valid (zeroed)
+    // before the first evaluation.
+    for (std::size_t id = 0; id < tree_.n_nodes(); ++id) {
+      if (tree_.node(static_cast<int>(id)).is_leaf()) continue;
+      for (int b = 0; b < 2; ++b) {
+        arena_.acquire(clv_slot(static_cast<int>(id), b));
+      }
     }
   }
   scaler_total_.assign(m_, 0.0);
@@ -69,6 +94,10 @@ PlfEngine::PlfEngine(phylo::PatternMatrix data, const phylo::GtrParams& params,
   tip_kernels_enabled_ =
       dispatch_ == DispatchMode::kPlan &&
       has_capability(backend_->capabilities(), Capabilities::kTipKernels);
+
+  // Publish the CLV footprint gauges immediately: a --metrics-json snapshot
+  // taken before the first evaluation must already see engine.clv_bytes.
+  publish_arena_gauges(obs::MetricsRegistry::global());
 }
 
 void PlfEngine::mark_node_dirty(int node) {
@@ -256,7 +285,9 @@ ChildArgs PlfEngine::make_child(int node) const {
     ch.tp = b.tp[static_cast<std::size_t>(b.active)].data();
   } else {
     const NodeState& st = nodes_[static_cast<std::size_t>(node)];
-    ch.cl = st.cl[static_cast<std::size_t>(st.active)].data();
+    // stage_arena() pinned this buffer for the whole evaluation, so the
+    // residency check cannot fire on a kernel-bound pointer.
+    ch.cl = arena_.data(clv_slot(node, st.active));
   }
   ch.p = tm.row_major();
   ch.pt = tm.col_major();
@@ -264,18 +295,23 @@ ChildArgs PlfEngine::make_child(int node) const {
 }
 
 ChildArgs PlfEngine::make_plan_child(int node) const {
-  ChildArgs ch = make_child(node);
   if (!tree_.node(node).is_leaf()) {
     const int target = plan_target_[static_cast<std::size_t>(node)];
     if (target >= 0) {
       // The child is recomputed by this same plan (an earlier level): read
       // the buffer its op writes, which becomes active at post-processing.
-      ch.cl = nodes_[static_cast<std::size_t>(node)]
-                  .cl[static_cast<std::size_t>(target)]
-                  .data();
+      // Resolved directly — the child's PRE-evaluation active buffer may be
+      // evicted (only the target is staged), so make_child must not touch it.
+      const BranchState& b = branches_[static_cast<std::size_t>(node)];
+      const auto& tm = b.tm[static_cast<std::size_t>(b.active)];
+      ChildArgs ch;
+      ch.cl = arena_.data(clv_slot(node, target));
+      ch.p = tm.row_major();
+      ch.pt = tm.col_major();
+      return ch;
     }
   }
-  return ch;
+  return make_child(node);
 }
 
 const NodeRepeats* PlfEngine::repeats_for(int id) const {
@@ -297,36 +333,109 @@ void PlfEngine::scatter_repeats(const NodeRepeats& nr, float* cl,
 
 void PlfEngine::collect_recompute_targets() {
   recompute_targets_.clear();
+  recompute_.assign(tree_.n_nodes(), 0);
+
+  // Seed with the dirty flags; the propagation in mark_path_dirty guarantees
+  // flags are set on the whole root path, so the flag alone is sufficient.
+  std::vector<int> work;
   for (int id : tree_.postorder_internals()) {
-    const NodeState& st = nodes_[static_cast<std::size_t>(id)];
-    // A node is stale if flagged; the dirty propagation in mark_path_dirty
-    // guarantees flags are set on the whole root path, so the flag alone is
-    // sufficient here.
-    if (!st.dirty) continue;
-    // First recomputation in a proposal flips; later ones overwrite the
-    // proposal's own buffer (see NodeState::flip_epoch).
-    int target = st.active ^ 1;
-    if (in_proposal_ && st.flip_epoch == proposal_epoch_) {
-      target = st.active;
+    if (nodes_[static_cast<std::size_t>(id)].dirty) {
+      recompute_[static_cast<std::size_t>(id)] = 1;
+      work.push_back(id);
     }
-    recompute_targets_.emplace_back(id, target);
   }
+
+  // Grow the set with evicted ancestors: every internal child an in-set node
+  // reads must be resident, and a non-resident one joins the set as a
+  // rematerialization — recursively, since its own children may be evicted
+  // too. The existing leveling/dispatch machinery then rebuilds them in the
+  // same fused plan, children before parents.
+  while (!work.empty()) {
+    const int id = work.back();
+    work.pop_back();
+    const phylo::TreeNode& n = tree_.node(id);
+    for (int child : {n.left, n.right}) {
+      if (child == phylo::kNoNode || tree_.node(child).is_leaf()) continue;
+      if (recompute_[static_cast<std::size_t>(child)] != 0) continue;
+      const NodeState& cst = nodes_[static_cast<std::size_t>(child)];
+      if (!arena_.resident(clv_slot(child, cst.active))) {
+        recompute_[static_cast<std::size_t>(child)] = 1;
+        work.push_back(child);
+      }
+    }
+  }
+
+  // Emit the recompute postorder. The dirty subset keeps exactly the order
+  // the unbudgeted engine would produce, and rematerializations resolve to
+  // the ACTIVE buffer: a clean node has only clean descendants (dirtiness is
+  // upward-closed), so deterministic kernels reproduce the evicted bits
+  // exactly and neither a flip nor an undo-log entry is warranted.
+  std::uint64_t remat_ops = 0;
+  for (int id : tree_.postorder_internals()) {
+    if (recompute_[static_cast<std::size_t>(id)] == 0) continue;
+    const NodeState& st = nodes_[static_cast<std::size_t>(id)];
+    const bool remat = !st.dirty;
+    int target;
+    if (remat) {
+      target = st.active;
+      ++remat_ops;
+    } else {
+      // First recomputation in a proposal flips; later ones overwrite the
+      // proposal's own buffer (see NodeState::flip_epoch).
+      target = st.active ^ 1;
+      if (in_proposal_ && st.flip_epoch == proposal_epoch_) {
+        target = st.active;
+      }
+    }
+    recompute_targets_.push_back({id, target, remat});
+  }
+  if (remat_ops > 0) arena_.note_recompute(remat_ops);
+}
+
+void PlfEngine::stage_arena() {
+  // Reads first: pin the active CLV of every out-of-set internal child, so a
+  // later target allocation can never evict a buffer the closure above found
+  // resident. Then the write targets, children before parents. This
+  // traversal — external reads in recompute postorder (left child before
+  // right), then targets in recompute postorder — is the documented LRU
+  // touch protocol; the reference model in tests/clv_arena_test.cpp mirrors
+  // it verbatim. Pins hold through the root reduction and are dropped at the
+  // end of evaluate().
+  for (const RecomputeEntry& e : recompute_targets_) {
+    const phylo::TreeNode& n = tree_.node(e.node);
+    for (int child : {n.left, n.right}) {
+      if (child == phylo::kNoNode || tree_.node(child).is_leaf()) continue;
+      if (recompute_[static_cast<std::size_t>(child)] != 0) continue;
+      const NodeState& cst = nodes_[static_cast<std::size_t>(child)];
+      const int slot = clv_slot(child, cst.active);
+      arena_.acquire(slot);
+      arena_.pin(slot);
+    }
+  }
+  for (const RecomputeEntry& e : recompute_targets_) {
+    const int slot = clv_slot(e.node, e.target);
+    arena_.acquire(slot);
+    arena_.pin(slot);
+  }
+  detail::check_arena(arena_);
 }
 
 void PlfEngine::build_plan() {
-  recompute_.assign(tree_.n_nodes(), 0);
+  // recompute_ already marks the set (collect_recompute_targets owns it, so
+  // the eviction closure and the leveling agree); resolve the targets here.
   plan_target_.assign(tree_.n_nodes(), -1);
-  for (const auto& [id, target] : recompute_targets_) {
-    recompute_[static_cast<std::size_t>(id)] = 1;
-    plan_target_[static_cast<std::size_t>(id)] = target;
+  for (const RecomputeEntry& e : recompute_targets_) {
+    plan_target_[static_cast<std::size_t>(e.node)] = e.target;
   }
   const std::vector<int> levels = compute_levels(tree_, recompute_);
 
   plan_.reset(tree_.n_nodes(), m_);
-  for (const auto& [id, target] : recompute_targets_) {
+  for (const RecomputeEntry& e : recompute_targets_) {
+    const int id = e.node;
+    const int target = e.target;
     const phylo::TreeNode& n = tree_.node(id);
     NodeState& st = nodes_[static_cast<std::size_t>(id)];
-    float* out = st.cl[static_cast<std::size_t>(target)].data();
+    float* out = arena_.data(clv_slot(id, target));
     float* ln_scaler = st.scaler[static_cast<std::size_t>(target)].data();
     const NodeRepeats* nr = repeats_for(id);
 
@@ -421,18 +530,21 @@ void PlfEngine::build_plan() {
   plan_.finalize();
   PLF_DCHECK(plan_.n_ops() == recompute_targets_.size(),
              "plan must cover the dirty set exactly");
+  // No kernel may ever receive an evicted/unmapped CLV pointer: verify the
+  // arena x plan handoff before any backend touches an op.
+  detail::check_arena(arena_, plan_);
   ++stats_.plan_builds;
   stats_.plan_ops += plan_.n_ops();
   stats_.plan_levels += plan_.n_levels();
 }
 
 void PlfEngine::post_process_plan() {
-  for (const auto& [id, target] : recompute_targets_) {
-    NodeState& st = nodes_[static_cast<std::size_t>(id)];
-    if (target != st.active) {
-      st.active = target;
+  for (const RecomputeEntry& e : recompute_targets_) {
+    NodeState& st = nodes_[static_cast<std::size_t>(e.node)];
+    if (e.target != st.active) {
+      st.active = e.target;
       if (in_proposal_) {
-        flipped_nodes_.push_back(id);
+        flipped_nodes_.push_back(e.node);
         st.flip_epoch = proposal_epoch_;
       }
     }
@@ -441,10 +553,12 @@ void PlfEngine::post_process_plan() {
 }
 
 void PlfEngine::execute_percall() {
-  for (const auto& [id, target] : recompute_targets_) {
+  for (const RecomputeEntry& e : recompute_targets_) {
+    const int id = e.node;
+    const int target = e.target;
     NodeState& st = nodes_[static_cast<std::size_t>(id)];
     const phylo::TreeNode& n = tree_.node(id);
-    float* out = st.cl[static_cast<std::size_t>(target)].data();
+    float* out = arena_.data(clv_slot(id, target));
     float* ln_scaler = st.scaler[static_cast<std::size_t>(target)].data();
 
     // Site-repeat compaction: compute only the class representatives, then
@@ -551,15 +665,24 @@ void PlfEngine::evaluate() {
   // dispatch it per-call or as one dependency-leveled plan.
   collect_recompute_targets();
 
+  // 2a'. Pin every CLV buffer this evaluation reads or writes (acquiring
+  // target storage, evicting LRU unpinned slots under a finite budget)
+  // before any kernel or scaler pass runs.
+  stage_arena();
+
   // 2a. Retire the recomputed nodes' old scaler-total contributions while
   // their pre-evaluation buffers are still active. Shared by both dispatch
   // modes and walked in the same order as the post-kernel addition pass, so
   // scaler_total_ stays bit-identical between --dispatch=percall and plan.
+  // Rematerializations are skipped: their recomputed scaler row is bit-
+  // identical to the one already absorbed, and (t - x) + x != t in floating
+  // point — touching the total would break budgeted/unbudgeted bit-identity.
   if (!scaler_resum_) {
     serial_sw.reset();
     PLF_PROF_SCOPE(obs::kTimerScalerSum);
-    for (const auto& [id, target] : recompute_targets_) {
-      const NodeState& st = nodes_[static_cast<std::size_t>(id)];
+    for (const RecomputeEntry& e : recompute_targets_) {
+      if (e.remat) continue;
+      const NodeState& st = nodes_[static_cast<std::size_t>(e.node)];
       const float* sc = st.scaler[static_cast<std::size_t>(st.active)].data();
       for (std::size_t c = 0; c < m_; ++c) {
         scaler_total_[c] -= static_cast<double>(sc[c]);
@@ -611,9 +734,10 @@ void PlfEngine::evaluate() {
       scaler_resum_ = false;
       ++stats_.scaler_resums;
     } else {
-      for (const auto& [id, target] : recompute_targets_) {
-        const NodeState& st = nodes_[static_cast<std::size_t>(id)];
-        const float* sc = st.scaler[static_cast<std::size_t>(target)].data();
+      for (const RecomputeEntry& e : recompute_targets_) {
+        if (e.remat) continue;  // same skip as the 2a subtraction pass
+        const NodeState& st = nodes_[static_cast<std::size_t>(e.node)];
+        const float* sc = st.scaler[static_cast<std::size_t>(e.target)].data();
         for (std::size_t c = 0; c < m_; ++c) {
           scaler_total_[c] += static_cast<double>(sc[c]);
         }
@@ -627,7 +751,7 @@ void PlfEngine::evaluate() {
   Stopwatch reduce_sw;
   RootReduceArgs rr;
   const NodeState& root = nodes_[static_cast<std::size_t>(tree_.root())];
-  rr.cl = root.cl[static_cast<std::size_t>(root.active)].data();
+  rr.cl = arena_.data(clv_slot(tree_.root(), root.active));
   rr.ln_scaler_total = scaler_total_.data();
   rr.weights = data_.weights().data();
   const auto& pi = model_.pi();
@@ -651,6 +775,11 @@ void PlfEngine::evaluate() {
   ++stats_.reduce_calls;
   stats_.pattern_iterations += m_;
   stats_.plf_seconds += reduce_sw.seconds();
+
+  // The evaluation's working set survives until here (the root reduction
+  // reads the root CLV); from the next evaluation on, everything is fair
+  // game for LRU eviction again.
+  arena_.release_eval_pins();
 
   lik_valid_ = true;
 }
@@ -683,6 +812,19 @@ void PlfEngine::publish_stats(obs::MetricsRegistry& registry) const {
   set(obs::kGaugeEngineTipTiOps, static_cast<double>(stats_.tip_ti_ops));
   set(obs::kGaugeEngineTipTablesBuilt,
       static_cast<double>(stats_.tip_tables_built));
+  publish_arena_gauges(registry);
+}
+
+void PlfEngine::publish_arena_gauges(obs::MetricsRegistry& registry) const {
+  const ArenaCounters ac = arena_.counters();
+  const auto set = [&registry](const char* name, double value) {
+    registry.set_gauge(registry.gauge(name), value);
+  };
+  set(obs::kGaugeEngineClvBytes, static_cast<double>(ac.resident_bytes));
+  set(obs::kGaugeArenaBudgetBytes, static_cast<double>(arena_.budget_bytes()));
+  set(obs::kGaugeArenaEvictions, static_cast<double>(ac.evictions));
+  set(obs::kGaugeArenaRecomputeOps, static_cast<double>(ac.recompute_ops));
+  set(obs::kGaugeArenaHitRate, ac.hit_rate());
 }
 
 double PlfEngine::log_likelihood() {
@@ -694,7 +836,21 @@ double PlfEngine::log_likelihood() {
 const float* PlfEngine::node_cl(int node) const {
   const NodeState& st = nodes_[static_cast<std::size_t>(node)];
   PLF_CHECK(!tree_.node(node).is_leaf(), "node_cl: leaf nodes carry no cl");
-  return st.cl[static_cast<std::size_t>(st.active)].data();
+  return arena_.data(clv_slot(node, st.active));
+}
+
+bool PlfEngine::node_resident(int node) const {
+  PLF_CHECK(!tree_.node(node).is_leaf(),
+            "node_resident: leaf nodes carry no cl");
+  const NodeState& st = nodes_[static_cast<std::size_t>(node)];
+  return arena_.resident(clv_slot(node, st.active));
+}
+
+void PlfEngine::evict_node_for_test(int node) {
+  PLF_CHECK(!tree_.node(node).is_leaf(),
+            "evict_node_for_test: leaf nodes carry no cl");
+  const NodeState& st = nodes_[static_cast<std::size_t>(node)];
+  arena_.evict_slot_for_test(clv_slot(node, st.active));
 }
 
 }  // namespace plf::core

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "core/backend.hpp"
+#include "core/clv_arena.hpp"
 #include "core/kernels.hpp"
 #include "core/plan.hpp"
 #include "obs/metrics.hpp"
@@ -108,7 +109,8 @@ class PlfEngine {
             phylo::Tree tree, ExecutionBackend& backend,
             KernelVariant variant = KernelVariant::kSimdCol,
             SiteRepeatsMode site_repeats = SiteRepeatsMode::kAuto,
-            DispatchMode dispatch = DispatchMode::kPlan);
+            DispatchMode dispatch = DispatchMode::kPlan,
+            ClvBudget clv_budget = ClvBudget{});
 
   /// Evaluate the log likelihood, recomputing whatever is dirty.
   double log_likelihood();
@@ -171,12 +173,24 @@ class PlfEngine {
   }
 
   /// Read-only view of an internal node's active conditional likelihoods
-  /// (tests/diagnostics).
+  /// (tests/diagnostics). PLF_CHECKs that the buffer is arena-resident — an
+  /// evicted CLV has no storage until an evaluation rematerializes it.
   const float* node_cl(int node) const;
+
+  // --- budgeted CLV arena (docs/MEMORY.md) ---
+  /// The arena that owns every internal node's CLV storage.
+  const ClvArena& arena() const { return arena_; }
+  /// True when `node`'s ACTIVE CLV buffer is currently resident.
+  bool node_resident(int node) const;
+  /// Force-evict `node`'s active CLV buffer so the next evaluation must grow
+  /// its recompute set with this ancestor (test hook for the remat path).
+  void evict_node_for_test(int node);
+  /// The most recently built execution plan (tests: leveling of evicted
+  /// ancestors). Meaningful after a plan-dispatch evaluation.
+  const PlfPlan& last_plan() const { return plan_; }
 
  private:
   struct NodeState {
-    std::array<aligned_vector<float>, 2> cl;
     std::array<aligned_vector<float>, 2> scaler;
     int active = 0;
     bool dirty = true;
@@ -206,6 +220,20 @@ class PlfEngine {
     std::array<std::uint64_t, 2> tp_stamp{};
   };
 
+  /// One entry of the recompute postorder. `remat` marks an eviction-driven
+  /// rebuild of a CLEAN node: its target is the ACTIVE buffer (no flip, no
+  /// undo-log entry) and the kernels reproduce the evicted bits exactly, so
+  /// the incremental scaler passes skip it — subtracting and re-adding an
+  /// identical row is not a no-op in floating point.
+  struct RecomputeEntry {
+    int node;
+    int target;
+    bool remat;
+  };
+
+  /// Arena slot of an internal node's CLV buffer `buf` (0/1).
+  int clv_slot(int node, int buf) const { return 2 * node + buf; }
+
   void mark_node_dirty(int node);
   void mark_path_dirty(int from_node);
   void mark_branch_dirty(int node);
@@ -221,6 +249,11 @@ class PlfEngine {
   /// collect the dirty postorder with each node's write target, then either
   /// replay the per-call loop or build-plan / execute-plan / post-process.
   void collect_recompute_targets() PLF_REQUIRES(checker_);
+  /// Pin every CLV buffer this evaluation reads or writes, in the documented
+  /// LRU touch order (external reads in recompute postorder, then write
+  /// targets in recompute postorder), acquiring storage for the targets.
+  /// Runs before any kernel, so no kernel ever sees an evicted pointer.
+  void stage_arena() PLF_REQUIRES(checker_);
   void build_plan() PLF_REQUIRES(checker_);
   void execute_percall() PLF_REQUIRES(checker_);
   /// Deferred flips + dirty clearing after a plan executes.
@@ -231,6 +264,10 @@ class PlfEngine {
   /// Copy each repeat class's representative CLV block and scaler entry to
   /// the class's duplicate sites (representatives precede duplicates).
   void scatter_repeats(const NodeRepeats& nr, float* cl, float* ln_scaler) const;
+  /// Arena footprint gauges (engine.clv_bytes + arena.*). Called from the
+  /// constructor against the global registry — before the first snapshot any
+  /// --metrics-json run takes — and from publish_stats.
+  void publish_arena_gauges(obs::MetricsRegistry& registry) const;
 
   phylo::PatternMatrix data_;
   phylo::SubstitutionModel model_;
@@ -262,9 +299,16 @@ class PlfEngine {
   // walk it in identical order for cross-mode bit-identity.
   DispatchMode dispatch_ = DispatchMode::kPlan;
   PlfPlan plan_;
-  std::vector<std::pair<int, int>> recompute_targets_;  ///< (node, target)
+  std::vector<RecomputeEntry> recompute_targets_;
   std::vector<char> recompute_;    ///< node id -> in recompute set (scratch)
   std::vector<int> plan_target_;   ///< node id -> target buffer, -1 outside
+
+  /// Budgeted storage for every internal node's two CLV buffers; slot ids
+  /// come from clv_slot(). Unlimited budgets preallocate eagerly (historical
+  /// behaviour); finite budgets allocate lazily and evict LRU during
+  /// stage_arena(). Tip masks/partials and scaler rows are engine-owned and
+  /// never evicted.
+  ClvArena arena_;
 
   aligned_vector<double> scaler_total_; ///< per-pattern summed log scalers
   /// When set, the next evaluation re-sums scaler_total_ from every internal

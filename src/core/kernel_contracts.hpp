@@ -20,9 +20,11 @@
 // millions of times per MCMC run).
 #pragma once
 
+#include "core/clv_arena.hpp"
 #include "core/kernels.hpp"
 #include "core/plan.hpp"
 #include "util/contracts.hpp"
+#include "util/error.hpp"
 
 namespace plf::core::detail {
 
@@ -235,6 +237,42 @@ inline void check_plan(const PlfPlan& plan) {
   }
   PLF_DCHECK(tiled == plan.n_ops(),
              "run_plan: levels must partition the op list exactly");
+#endif
+}
+
+/// Trust boundary of the budgeted CLV arena: every mutating arena entry
+/// point calls this (enforced by plf_lint's arena-contract rule). Always-on
+/// O(1) body keeps the hard budget hard — the resident total may never
+/// exceed it, not even transiently mid-eviction; the checked-build body runs
+/// the full structural validation (LRU list integrity, pin/resident flag
+/// consistency, exact byte accounting).
+inline void check_arena(const ClvArena& arena) {
+  PLF_CHECK(arena.resident_bytes() <= arena.budget_bytes(),
+            "clv arena: resident CLV bytes exceed the hard budget");
+#if PLF_CONTRACTS_LEVEL
+  arena.validate();
+#endif
+}
+
+/// Arena x plan handoff: no kernel may ever receive an evicted or unmapped
+/// CLV pointer. The engine calls this after build_plan and before run_plan;
+/// checked builds scan every op and require each internal-child CLV input
+/// and each op output to be the storage of a currently *resident* arena
+/// slot (tip children use masks, not CLVs, and are engine-owned). An evicted
+/// slot frees its storage, so a stale pointer cannot match any resident
+/// slot and the scan aborts before a kernel dereferences it.
+inline void check_arena(const ClvArena& arena, const PlfPlan& plan) {
+  check_arena(arena);
+#if PLF_CONTRACTS_LEVEL
+  for (const PlfOp& op : plan.ops()) {
+    PLF_DCHECK(arena.owns_resident(op.args.down.out),
+               "clv arena: plan op writes a non-resident CLV slot");
+    for (const ChildArgs* ch : {&op.args.down.left, &op.args.down.right}) {
+      if (ch->cl == nullptr) continue;  // tip child: mask, engine-owned
+      PLF_DCHECK(arena.owns_resident(ch->cl),
+                 "clv arena: kernel would read an evicted CLV pointer");
+    }
+  }
 #endif
 }
 

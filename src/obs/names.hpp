@@ -102,4 +102,13 @@ inline constexpr const char* kGaugeEngineTipTablesBuilt =
 inline constexpr const char* kGaugeGpuFusedOps = "gpu.plan_fused_ops";
 inline constexpr const char* kGaugeGpuPcieBytesSaved = "gpu.pcie_bytes_saved";
 
+// Budgeted CLV arena (docs/MEMORY.md). engine.clv_bytes is published at
+// engine construction — before the first evaluation — so a --metrics-json
+// snapshot taken at any point of a run sees it.
+inline constexpr const char* kGaugeEngineClvBytes = "engine.clv_bytes";
+inline constexpr const char* kGaugeArenaBudgetBytes = "arena.budget_bytes";
+inline constexpr const char* kGaugeArenaEvictions = "arena.evictions";
+inline constexpr const char* kGaugeArenaRecomputeOps = "arena.recompute_ops";
+inline constexpr const char* kGaugeArenaHitRate = "arena.hit_rate";
+
 }  // namespace plf::obs

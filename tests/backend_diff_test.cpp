@@ -321,6 +321,93 @@ TEST(BackendDiffCrossBackendTest, SerialVsThreadedBitIdentical) {
   }
 }
 
+// --- budgeted CLV arena differential ----------------------------------------
+//
+// A budgeted engine rematerializes evicted CLVs through the same kernels the
+// unbudgeted twin used to compute them, so eviction must not move a single
+// bit on ANY backend, in EITHER dispatch mode, repeats on or off. The twins'
+// kernel-call accounting legitimately differs (rematerialization is extra
+// work), so only lnL and CLV bits are compared — never stats.
+
+using BudgetParam = std::tuple<BackendKind, DispatchMode, SiteRepeatsMode>;
+
+class BudgetedDiffTest : public ::testing::TestWithParam<BudgetParam> {};
+
+TEST_P(BudgetedDiffTest, HalfBudgetBitIdenticalToUnbudgetedTwin) {
+  const auto [kind, dispatch, mode] = GetParam();
+  const Dataset d = make_dataset(59, 4, 0.1);
+  const std::size_t m = d.data.n_patterns();
+
+  BackendHolder h_budget = BackendHolder::make(kind);
+  BackendHolder h_full = BackendHolder::make(kind);
+  ClvBudget half;
+  half.kind = ClvBudget::Kind::kFraction;
+  half.fraction = 0.5;  // the minimum feasible working set
+  PlfEngine budgeted(d.data, d.params, d.tree, *h_budget.backend,
+                     KernelVariant::kSimdCol, mode, dispatch, half);
+  PlfEngine full(d.data, d.params, d.tree, *h_full.backend,
+                 KernelVariant::kSimdCol, mode, dispatch);
+
+  EXPECT_EQ(budgeted.log_likelihood(), full.log_likelihood());
+
+  // Branch moves, an NNI proposal with reject, and a double-move proposal:
+  // enough churn that the half-size arena must recycle buffers.
+  Rng rng(59);
+  for (int step = 0; step < 12; ++step) {
+    SCOPED_TRACE(::testing::Message() << "step " << step);
+    for (PlfEngine* e : {&budgeted, &full}) e->begin_proposal();
+    if (step % 3 == 0) {
+      const auto edges = budgeted.tree().internal_edge_nodes();
+      ASSERT_FALSE(edges.empty());
+      const int v = edges[rng.below(edges.size())];
+      for (PlfEngine* e : {&budgeted, &full}) e->apply_nni(v, true);
+    } else {
+      int node;
+      do {
+        node = static_cast<int>(rng.below(budgeted.tree().n_nodes()));
+      } while (node == budgeted.tree().root());
+      const double len = rng.uniform(0.01, 1.2);
+      for (PlfEngine* e : {&budgeted, &full}) e->set_branch_length(node, len);
+    }
+    EXPECT_EQ(budgeted.log_likelihood(), full.log_likelihood());
+    EXPECT_LE(budgeted.arena().resident_bytes(),
+              budgeted.arena().budget_bytes());
+    if (step % 2 == 0) {
+      for (PlfEngine* e : {&budgeted, &full}) e->accept();
+    } else {
+      for (PlfEngine* e : {&budgeted, &full}) e->reject();
+    }
+    EXPECT_EQ(budgeted.log_likelihood(), full.log_likelihood());
+  }
+
+  // A final accepted evaluation guarantees the root CLV is resident before
+  // reading it raw: a reject may legitimately restore an evicted buffer
+  // (node_cl on it PLF_CHECKs; the next dirty evaluation rematerializes).
+  for (PlfEngine* e : {&budgeted, &full}) {
+    e->set_branch_length(e->tree().leaf_of(0), 0.42);
+  }
+  EXPECT_EQ(budgeted.log_likelihood(), full.log_likelihood());
+  EXPECT_EQ(std::memcmp(budgeted.node_cl(budgeted.tree().root()),
+                        full.node_cl(full.tree().root()),
+                        m * 4 * 4 * sizeof(float)),
+            0);
+  EXPECT_GT(budgeted.arena().counters().evictions, 0u);
+  EXPECT_EQ(full.arena().counters().evictions, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBackends, BudgetedDiffTest,
+    ::testing::Combine(
+        ::testing::Values(BackendKind::kSerial, BackendKind::kThreaded,
+                          BackendKind::kCell, BackendKind::kGpu),
+        ::testing::Values(DispatchMode::kPerCall, DispatchMode::kPlan),
+        ::testing::Values(SiteRepeatsMode::kOff, SiteRepeatsMode::kOn)),
+    [](const ::testing::TestParamInfo<BudgetParam>& info) {
+      return std::string(name_of(std::get<0>(info.param))) + "_" +
+             to_string(std::get<1>(info.param)) + "_repeats_" +
+             (std::get<2>(info.param) == SiteRepeatsMode::kOn ? "on" : "off");
+    });
+
 INSTANTIATE_TEST_SUITE_P(
     AllBackends, BackendDiffTest,
     ::testing::Combine(

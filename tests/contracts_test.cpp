@@ -519,5 +519,130 @@ TEST(PlanContractDeathTest, SpecializedRootOpIsRejected) {
   EXPECT_DEATH(core::detail::check_plan(plan), "generic three-way kernel");
 }
 
+// --- budgeted CLV arena contracts ------------------------------------------
+//
+// check_arena(arena) and check_arena(arena, plan) are header-inline, so this
+// TU's PLF_CONTRACTS_CHECKED=1 arms their death paths regardless of how the
+// library objects were built; the eviction-order DCHECK inside
+// ClvArena::evict_slot_for_test lives in library code and is gated on
+// contracts_active(). Each death additionally dumps the flight-recorder JSON
+// — a crashed memory-constrained run must leave a parseable trace behind.
+
+TEST(ArenaContractDeathTest, EvictedClvReachingAKernelAborts) {
+  testing::FLAGS_gtest_death_test_style = "threadsafe";
+  const std::string path = testing::TempDir() + "plf_flight_arena_read.json";
+  std::remove(path.c_str());
+  ::setenv("PLF_FLIGHT_PATH", path.c_str(), 1);
+
+  EXPECT_DEATH(
+      {
+        obs::flight_record_span("arena.read.crash", 42, 7);
+        core::ClvArena arena;
+        constexpr std::size_t kFloats = 16;
+        arena.init(4, kFloats, 2 * kFloats * sizeof(float));  // capacity: 2
+        float* child = arena.acquire(0);
+        float* out = arena.acquire(1);
+        core::PlfPlan plan;
+        plan.reset(4, 4);
+        core::PlfOp op;
+        op.node = 1;
+        op.args.down.out = out;
+        op.args.down.left.cl = child;
+        op.run_m = 4;
+        plan.add(op, 0);
+        arena.acquire(2);  // evicts slot 0: op.left.cl now dangles
+        core::detail::check_arena(arena, plan);
+      },
+      "kernel would read an evicted CLV pointer");
+
+  const std::string json = read_file(path);
+  ::unsetenv("PLF_FLIGHT_PATH");
+  ASSERT_FALSE(json.empty()) << "death child did not write " << path;
+  EXPECT_NE(json.find("\"schema\":\"plf-flight-v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"reason\":\"contract-violation\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"arena.read.crash\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(ArenaContractDeathTest, EvictingAPinnedSlotAborts) {
+  if (!contracts_active()) {
+    GTEST_SKIP() << "library built without checked contracts";
+  }
+  testing::FLAGS_gtest_death_test_style = "threadsafe";
+  const std::string path = testing::TempDir() + "plf_flight_arena_pin.json";
+  std::remove(path.c_str());
+  ::setenv("PLF_FLIGHT_PATH", path.c_str(), 1);
+
+  EXPECT_DEATH(
+      {
+        obs::flight_record_span("arena.pin.crash", 13, 3);
+        core::ClvArena arena;
+        constexpr std::size_t kFloats = 16;
+        arena.init(4, kFloats, 2 * kFloats * sizeof(float));
+        arena.acquire(0);
+        arena.pin(0);  // pinned: the current evaluation still reads it
+        arena.evict_slot_for_test(0);
+      },
+      "eviction order must respect pin state");
+
+  const std::string json = read_file(path);
+  ::unsetenv("PLF_FLIGHT_PATH");
+  ASSERT_FALSE(json.empty()) << "death child did not write " << path;
+  EXPECT_NE(json.find("\"reason\":\"contract-violation\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"arena.pin.crash\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(ArenaContractTest, ExhaustionThrowsWithActionableMessage) {
+  // All-pinned exhaustion is a PLF_CHECK (always on, throwing): it crosses
+  // the user-configuration trust boundary in every build mode, and the
+  // message must tell the operator what to do about it.
+  core::ClvArena arena;
+  constexpr std::size_t kFloats = 16;
+  arena.init(4, kFloats, 1 * kFloats * sizeof(float));  // capacity: 1
+  arena.acquire(0);
+  arena.pin(0);
+  try {
+    arena.acquire(1);
+    FAIL() << "acquire past an all-pinned budget did not throw";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("clv arena exhausted"), std::string::npos) << what;
+    EXPECT_NE(what.find("raise --clv-budget"), std::string::npos) << what;
+  }
+}
+
+TEST(ArenaContractDeathTest, UncaughtExhaustionDumpsViaTerminateHook) {
+  testing::FLAGS_gtest_death_test_style = "threadsafe";
+  const std::string path =
+      testing::TempDir() + "plf_flight_arena_exhausted.json";
+  std::remove(path.c_str());
+  ::setenv("PLF_FLIGHT_PATH", path.c_str(), 1);
+
+  EXPECT_DEATH(
+      {
+        obs::install_flight_handlers();
+        obs::flight_record_span("arena.exhausted.crash", 99, 1);
+        core::ClvArena arena;
+        constexpr std::size_t kFloats = 16;
+        arena.init(4, kFloats, 1 * kFloats * sizeof(float));
+        arena.acquire(0);
+        arena.pin(0);
+        // noexcept boundary (a backend worker, say): the exhaustion throw
+        // cannot escape, so the process terminates and the hook dumps.
+        [&arena]() noexcept { arena.acquire(1); }();
+      },
+      "\"name\":\"arena\\.exhausted\\.crash\"");
+
+  const std::string json = read_file(path);
+  ::unsetenv("PLF_FLIGHT_PATH");
+  ASSERT_FALSE(json.empty()) << "death child did not write " << path;
+  EXPECT_NE(json.find("\"schema\":\"plf-flight-v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"reason\":\"terminate\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"arena.exhausted.crash\""),
+            std::string::npos);
+  std::remove(path.c_str());
+}
+
 }  // namespace
 }  // namespace plf

@@ -1,0 +1,28 @@
+// Known-bad fixture for the arena-contract rule: a mutating ClvArena entry
+// point that returns without re-validating the budget/LRU invariants.
+#include "core/clv_arena.hpp"
+
+namespace plf::core {
+
+float* ClvArena::acquire(int slot) {
+  checker_.check();
+  Slot& s = slots_[static_cast<std::size_t>(slot)];
+  if (s.resident) {
+    lru_unlink(slot);
+    lru_push_mru(slot);
+    return s.cl.data();  // BAD: exits without check_arena(*this)
+  }
+  while (resident_count_ >= capacity_slots_) evict_one();
+  s.cl.assign(slot_floats_, 0.0f);
+  s.resident = true;
+  lru_push_mru(slot);
+  ++resident_count_;
+  return s.cl.data();  // BAD: miss path also skips the invariant check
+}
+
+// Non-mutating accessors are exempt: the rule targets eviction-state writers.
+bool ClvArena::resident(int slot) const {
+  return slots_[static_cast<std::size_t>(slot)].resident;
+}
+
+}  // namespace plf::core

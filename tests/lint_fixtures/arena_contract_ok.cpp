@@ -1,0 +1,35 @@
+// Known-good companion for the arena-contract rule: every mutating entry
+// point re-validates the arena invariants before returning.
+#include "core/clv_arena.hpp"
+
+#include "core/kernel_contracts.hpp"
+
+namespace plf::core {
+
+float* ClvArena::acquire(int slot) {
+  checker_.check();
+  Slot& s = slots_[static_cast<std::size_t>(slot)];
+  if (!s.resident) {
+    while (resident_count_ >= capacity_slots_) evict_one();
+    s.cl.assign(slot_floats_, 0.0f);
+    s.resident = true;
+    ++resident_count_;
+  } else {
+    lru_unlink(slot);
+  }
+  lru_push_mru(slot);
+  detail::check_arena(*this);
+  return s.cl.data();
+}
+
+void ClvArena::pin(int slot) {
+  checker_.check();
+  ++slots_[static_cast<std::size_t>(slot)].pin_count;
+  detail::check_arena(*this);
+}
+
+bool ClvArena::resident(int slot) const {
+  return slots_[static_cast<std::size_t>(slot)].resident;
+}
+
+}  // namespace plf::core

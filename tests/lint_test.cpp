@@ -50,6 +50,7 @@ const GoldenCase kGolden[] = {
     {"float_equality.cpp", "src/numerics/conv_bad.cpp", "float-equality"},
     {"atomic_memory_order.cpp", "src/obs/atomic_bad.cpp",
      "atomic-memory-order"},
+    {"arena_contract.cpp", "src/core/clv_arena.cpp", "arena-contract"},
 };
 
 TEST(LintGolden, EachRuleFiresExactlyOnce) {
@@ -92,6 +93,12 @@ TEST(LintGolden, KnownGoodKernelEntryIsClean) {
   EXPECT_TRUE(findings.empty());
 }
 
+TEST(LintGolden, KnownGoodArenaEntryIsClean) {
+  const std::vector<Finding> findings = lint_source(
+      "src/core/clv_arena.cpp", read_fixture("arena_contract_ok.cpp"));
+  EXPECT_TRUE(findings.empty());
+}
+
 TEST(LintGolden, OutOfScopePathsAreExempt) {
   // The same bad text outside the rule's scope must not fire: rules encode
   // project layout, not universal style.
@@ -109,6 +116,10 @@ TEST(LintGolden, OutOfScopePathsAreExempt) {
   // kernels.cpp (dispatch table) is not a kernels_*.cpp kernel file.
   EXPECT_TRUE(
       lint_source("src/core/kernels.cpp", read_fixture("kernel_contract.cpp"))
+          .empty());
+  // The arena rule binds to the one file that defines ClvArena's methods.
+  EXPECT_TRUE(
+      lint_source("src/core/engine.cpp", read_fixture("arena_contract.cpp"))
           .empty());
 }
 

@@ -255,6 +255,82 @@ TEST(ParStressTest, PlanDispatchHammeredWhileMetricsFlusherReads) {
   EXPECT_GT(plan.stats().plan_ops, plan.stats().plan_builds);
 }
 
+TEST(ParStressTest, BudgetedArenaHammeredWhileMetricsFlusherReads) {
+  // The budgeted CLV arena adds one more cross-thread shape to the plan
+  // path: the engine thread mutates arena structural state (acquire/evict/
+  // pin) between and during fused regions, its stats mutex publishes the
+  // arena.* counters, and a concurrent flusher reads those gauges from the
+  // global registry the whole time — the exact mix a live profiling run of
+  // a memory-constrained chain produces. Under TSan this checks the
+  // stats-mutex edge between the evaluation thread and the flusher; under
+  // plain presets it doubles as a budgeted-vs-unbudgeted bitwise
+  // equivalence check on a hot oversubscribed pool.
+  ThreadPool pool(kThreads);
+  core::ThreadedBackend threaded(pool);
+
+  Rng rng(3131);
+  auto tree = seqgen::yule_tree(12, rng, 1.0, 0.05);
+  auto params = seqgen::default_gtr_params();
+  phylo::SubstitutionModel model(params);
+  seqgen::SequenceEvolver ev(tree, model);
+  auto data = phylo::PatternMatrix::compress(ev.evolve(600, rng));
+
+  core::PlfEngine budgeted(data, params, tree, threaded,
+                           core::KernelVariant::kSimdCol,
+                           core::SiteRepeatsMode::kOn,
+                           core::DispatchMode::kPlan,
+                           core::clv_budget_from_string("0.5"));
+  core::PlfEngine full(data, params, tree, threaded,
+                       core::KernelVariant::kSimdCol,
+                       core::SiteRepeatsMode::kOn, core::DispatchMode::kPlan);
+
+  std::atomic<bool> stop{false};
+  std::thread flusher([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      const obs::Snapshot snap = obs::MetricsRegistry::global().snapshot();
+      // engine.clv_bytes is published at construction, so it is visible
+      // from the very first snapshot; the budget gauge never moves.
+      (void)snap.gauge_value(obs::kGaugeEngineClvBytes);
+      (void)snap.gauge_value(obs::kGaugeArenaBudgetBytes);
+      (void)snap.gauge_value(obs::kGaugeArenaEvictions);
+      (void)snap.gauge_value(obs::kGaugeArenaRecomputeOps);
+      (void)snap.gauge_value(obs::kGaugeArenaHitRate);
+    }
+  });
+
+  EXPECT_EQ(budgeted.log_likelihood(), full.log_likelihood());
+  const auto edges = budgeted.tree().internal_edge_nodes();
+  ASSERT_FALSE(edges.empty());
+  for (int round = 0; round < 12; ++round) {
+    const int leaf = budgeted.tree().leaf_of(round % 12);
+    const double len = 0.02 + 0.01 * round;
+    budgeted.set_branch_length(leaf, len);
+    full.set_branch_length(leaf, len);
+    if (round % 3 == 0) {
+      const int v = edges[static_cast<std::size_t>(round) % edges.size()];
+      budgeted.begin_proposal();
+      full.begin_proposal();
+      budgeted.apply_nni(v, round % 2 == 0);
+      full.apply_nni(v, round % 2 == 0);
+      EXPECT_EQ(budgeted.log_likelihood(), full.log_likelihood());
+      budgeted.reject();
+      full.reject();
+    }
+    EXPECT_EQ(budgeted.log_likelihood(), full.log_likelihood());
+    // Thread-safe reads of the arena counters race the evaluation thread's
+    // updates by design; the gauges they feed are flushed every round.
+    EXPECT_LE(budgeted.arena().resident_bytes(),
+              budgeted.arena().budget_bytes());
+    budgeted.publish_stats(obs::MetricsRegistry::global());
+  }
+  stop.store(true, std::memory_order_release);
+  flusher.join();
+
+  EXPECT_GT(budgeted.arena().counters().evictions, 0u);
+  EXPECT_EQ(full.arena().counters().evictions, 0u);
+  EXPECT_GT(budgeted.arena().counters().hit_rate(), 0.0);
+}
+
 TEST(ParStressTest, TipFusedKernelsHammeredWhileMetricsFlusherReads) {
   // The tip-specialized plan path adds two new cross-thread shapes: every
   // worker gathers from the SAME read-only pair tables (NodeState::pair,

@@ -477,5 +477,98 @@ TEST(IncrementalScalerTest, ResumsOnlyOnTopologyChangesAndRejects) {
   EXPECT_NEAR(lnl, fresh.log_likelihood(), std::abs(lnl) * 1e-12);
 }
 
+// --- budgeted arena x plan: eviction-driven recompute scheduling ------------
+
+/// Find an internal node OFF the leaf->root dirty path whose parent is ON it:
+/// evicting that node forces the next plan to grow its recompute set with an
+/// ancestor the dirty path depends on.
+int off_path_internal_child(const phylo::Tree& tree, int leaf) {
+  std::vector<char> on_path(tree.n_nodes(), 0);
+  for (int id = tree.node(leaf).parent; id != phylo::kNoNode;
+       id = tree.node(id).parent) {
+    on_path[static_cast<std::size_t>(id)] = 1;
+  }
+  for (std::size_t id = 0; id < tree.n_nodes(); ++id) {
+    const phylo::TreeNode& n = tree.node(static_cast<int>(id));
+    if (n.is_leaf() || on_path[id] != 0) continue;
+    const int parent = n.parent;
+    if (parent != phylo::kNoNode &&
+        on_path[static_cast<std::size_t>(parent)] != 0) {
+      return static_cast<int>(id);
+    }
+  }
+  return phylo::kNoNode;
+}
+
+TEST(PlanArenaTest, EvictedAncestorIsLeveledBeforeItsDependents) {
+  const Dataset d = make_dataset(83, 10);
+  SerialBackend backend;
+  ClvBudget half;
+  half.kind = ClvBudget::Kind::kFraction;
+  half.fraction = 0.5;
+  PlfEngine e(d.data, d.params, d.tree, backend, KernelVariant::kSimdCol,
+              SiteRepeatsMode::kOff, DispatchMode::kPlan, half);
+  e.log_likelihood();
+
+  const int leaf = e.tree().leaf_of(0);
+  const int evicted = off_path_internal_child(e.tree(), leaf);
+  ASSERT_NE(evicted, phylo::kNoNode) << "degenerate tree for this test";
+  const int dependent = e.tree().node(evicted).parent;
+
+  if (e.node_resident(evicted)) e.evict_node_for_test(evicted);
+  ASSERT_FALSE(e.node_resident(evicted));
+  const std::uint64_t remats_before = e.arena().counters().recompute_ops;
+  const std::uint64_t builds_before = e.stats().plan_builds;
+
+  // Dirty only the leaf->root path. The plan must still schedule the evicted
+  // off-path ancestor — and STRICTLY before the path node that reads it, so
+  // a level-parallel backend never races a rematerialization against its
+  // consumer.
+  e.set_branch_length(leaf, 0.37);
+  e.log_likelihood();
+
+  const PlfPlan& plan = e.last_plan();
+  ASSERT_TRUE(plan.finalized());
+  ASSERT_GE(plan.level_of_node(evicted), 0)
+      << "evicted ancestor missing from the recompute plan";
+  ASSERT_GE(plan.level_of_node(dependent), 0);
+  EXPECT_LT(plan.level_of_node(evicted), plan.level_of_node(dependent));
+
+  // One fused plan build covered dirty work and rematerialization alike.
+  EXPECT_EQ(e.stats().plan_builds, builds_before + 1);
+  EXPECT_GT(e.arena().counters().recompute_ops, remats_before);
+  EXPECT_TRUE(e.node_resident(evicted));
+}
+
+TEST(PlanArenaTest, RematerializationRidesTheDirtyPlanNotASecondPass) {
+  const Dataset d = make_dataset(89, 10);
+  SerialBackend backend;
+  PlfEngine e(d.data, d.params, d.tree, backend, KernelVariant::kSimdCol,
+              SiteRepeatsMode::kOff, DispatchMode::kPlan,
+              clv_budget_from_string("0.5"));
+  e.log_likelihood();
+  const std::uint64_t ops_baseline = e.stats().plan_ops;
+
+  // Twin move WITHOUT eviction first, to measure the dirty-path op count.
+  e.set_branch_length(e.tree().leaf_of(1), 0.21);
+  e.log_likelihood();
+  const std::uint64_t path_ops = e.stats().plan_ops - ops_baseline;
+  ASSERT_GT(path_ops, 0u);
+
+  // Same move shape again, now with an off-path ancestor evicted: the single
+  // plan build must carry MORE ops (path + rematerializations), and the
+  // evaluation still completes without a second build.
+  const int leaf = e.tree().leaf_of(1);
+  const int evicted = off_path_internal_child(e.tree(), leaf);
+  ASSERT_NE(evicted, phylo::kNoNode);
+  if (e.node_resident(evicted)) e.evict_node_for_test(evicted);
+  const std::uint64_t builds_before = e.stats().plan_builds;
+  const std::uint64_t ops_before = e.stats().plan_ops;
+  e.set_branch_length(leaf, 0.52);
+  e.log_likelihood();
+  EXPECT_EQ(e.stats().plan_builds, builds_before + 1);
+  EXPECT_GT(e.stats().plan_ops - ops_before, path_ops);
+}
+
 }  // namespace
 }  // namespace plf::core

@@ -144,7 +144,7 @@ std::vector<Token> tokenize(std::string_view src) {
 const std::vector<std::string>& rule_names() {
   static const std::vector<std::string> names = {
       "kernel-contract", "prof-name-constant", "raw-thread", "float-equality",
-      "atomic-memory-order"};
+      "atomic-memory-order", "arena-contract"};
   return names;
 }
 
@@ -343,6 +343,63 @@ void rule_kernel_contract(std::string_view relpath, const std::vector<Token>& t,
   }
 }
 
+// --- rule: arena-contract ----------------------------------------------------
+
+/// ClvArena methods that mutate eviction state. Every one must re-validate
+/// the arena invariants (budget ceiling, LRU-list/flag consistency) before
+/// returning, by calling check_arena — the same closed check set the engine
+/// and the kernels rely on (src/core/kernel_contracts.hpp).
+const std::set<std::string>& arena_entry_points() {
+  static const std::set<std::string> names = {
+      "init", "acquire",           "pin",
+      "unpin", "release_eval_pins", "evict_slot_for_test"};
+  return names;
+}
+
+void rule_arena_contract(std::string_view relpath, const std::vector<Token>& t,
+                         std::vector<Finding>& out) {
+  for (std::size_t i = 0; i + 3 < t.size(); ++i) {
+    // Candidate method definition: ClvArena '::' <name> '(' ... ')'
+    // [const|noexcept] '{'.
+    if (t[i].kind != Token::Kind::kIdent || t[i].text != "ClvArena") continue;
+    if (t[i + 1].kind != Token::Kind::kPunct || t[i + 1].text != "::") continue;
+    if (t[i + 2].kind != Token::Kind::kIdent) continue;
+    const std::string& name = t[i + 2].text;
+    if (t[i + 3].kind != Token::Kind::kPunct || t[i + 3].text != "(") continue;
+    if (arena_entry_points().count(name) == 0) continue;
+    const std::size_t close = match_forward(t, i + 3, "(", ")");
+    if (close >= t.size()) continue;
+    std::size_t body = close + 1;
+    while (body < t.size() && t[body].kind == Token::Kind::kIdent &&
+           (t[body].text == "const" || t[body].text == "noexcept")) {
+      ++body;
+    }
+    if (body >= t.size() || t[body].kind != Token::Kind::kPunct ||
+        t[body].text != "{") {
+      continue;  // declaration or out-of-line signature only
+    }
+    const std::size_t body_end = match_forward(t, body, "{", "}");
+    bool checked = false;
+    for (std::size_t p = body + 1; p < body_end; ++p) {
+      if (t[p].kind == Token::Kind::kIdent && t[p].text == "check_arena" &&
+          p + 1 < t.size() && t[p + 1].kind == Token::Kind::kPunct &&
+          t[p + 1].text == "(") {
+        checked = true;
+        break;
+      }
+    }
+    if (!checked) {
+      out.push_back(Finding{
+          std::string(relpath), t[i + 2].line, "arena-contract",
+          "arena entry point 'ClvArena::" + name + "' mutates eviction "
+          "state but never calls check_arena; every mutating entry must "
+          "re-validate the budget/LRU invariants before returning (see "
+          "src/core/kernel_contracts.hpp)"});
+    }
+    i = body;
+  }
+}
+
 // --- rule: prof-name-constant ----------------------------------------------
 
 void rule_prof_name(std::string_view relpath, const std::vector<Token>& t,
@@ -475,7 +532,10 @@ std::vector<Finding> lint_source(std::string_view relpath, std::string_view text
                               starts_with(relpath, "src/numerics/")) &&
                              relpath != "src/numerics/ulp.hpp";
 
+  const bool arena_file = relpath == "src/core/clv_arena.cpp";
+
   if (kernels_file) rule_kernel_contract(relpath, t, out);
+  if (arena_file) rule_arena_contract(relpath, t, out);
   if (in_src) rule_prof_name(relpath, t, out);
   if (in_src && !in_par) rule_raw_thread(relpath, t, out);
   if (numeric_scope) rule_float_equality(relpath, t, out);
