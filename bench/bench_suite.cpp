@@ -38,13 +38,19 @@
 #include "core/engine.hpp"
 #include "core/kernels.hpp"
 #include "core/tip_partial.hpp"
+#include "exec/partitioned.hpp"
+#include "exec/scheduler.hpp"
+#include "mcmc/coupled.hpp"
 #include "obs/json_util.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "par/thread_pool.hpp"
+#include "phylo/alignment.hpp"
 #include "phylo/model.hpp"
+#include "phylo/partition.hpp"
 #include "phylo/patterns.hpp"
 #include "seqgen/datasets.hpp"
+#include "seqgen/evolve.hpp"
 #include "seqgen/random_tree.hpp"
 #include "util/aligned.hpp"
 #include "util/rng.hpp"
@@ -314,6 +320,91 @@ CaseStat engine_case(const phylo::PatternMatrix& data,
 }
 
 // ---------------------------------------------------------------------------
+// multi-instance runtime cases (exec/scheduler.hpp, docs/SHARDING.md)
+
+/// 4-chain MC3 stepping cost. per-pool: each chain's engine submits to its
+/// own 2-worker pool and the chains step sequentially (the pre-runtime
+/// shape). shared-pool: all four engines share ONE 2-worker pool and step
+/// concurrently through the InstanceScheduler. On a single hardware thread
+/// both are honest serializations; the pair of cases exists so the gate
+/// tracks the scheduler's overhead against the sequential baseline.
+CaseStat coupled_case(const phylo::PatternMatrix& data,
+                      const phylo::Tree& tree,
+                      const phylo::GtrParams& params, bool shared_pool,
+                      std::uint64_t gens, int reps) {
+  CaseStat cs;
+  cs.name = shared_pool ? "coupled.4chain.shared-pool"
+                        : "coupled.4chain.per-pool";
+  cs.unit = "s/gen";
+  cs.iters = gens;
+  cs.threshold = 0.40;
+
+  constexpr std::size_t kChains = 4;
+  std::vector<std::unique_ptr<par::ThreadPool>> pools;
+  std::vector<std::unique_ptr<core::ThreadedBackend>> backends;
+  const std::size_t n_pools = shared_pool ? 1 : kChains;
+  for (std::size_t i = 0; i < n_pools; ++i) {
+    pools.push_back(std::make_unique<par::ThreadPool>(kPoolWorkers));
+    backends.push_back(std::make_unique<core::ThreadedBackend>(*pools[i]));
+  }
+  std::vector<std::unique_ptr<core::PlfEngine>> engines;
+  for (std::size_t i = 0; i < kChains; ++i) {
+    engines.push_back(std::make_unique<core::PlfEngine>(
+        data, params, tree, *backends[shared_pool ? 0 : i]));
+  }
+  mcmc::CoupledOptions opts;
+  opts.chain.seed = 4242;
+  std::unique_ptr<exec::InstanceScheduler> sched;
+  if (shared_pool) sched = std::make_unique<exec::InstanceScheduler>(kChains);
+  mcmc::CoupledChains mc3(std::move(engines), opts, sched.get());
+
+  std::uint64_t target = 5;  // warm-up: plans, pair tables, driver rebind
+  mc3.run(target);
+  for (int rep = 0; rep < reps; ++rep) {
+    const double t0 = now_s();
+    target += gens;
+    mc3.run(target);
+    const double t1 = now_s();
+    cs.values.push_back((t1 - t0) / static_cast<double>(gens));
+  }
+  return cs;
+}
+
+/// Partitioned model: 4 uniform partitions of one alignment, each with its
+/// own engine, summed per-evaluation through the shared-pool scheduler.
+CaseStat partitioned_case(const phylo::Alignment& aln,
+                          const phylo::Tree& tree,
+                          const phylo::GtrParams& params, std::uint64_t evals,
+                          int reps) {
+  CaseStat cs;
+  cs.name = "partitioned.4part";
+  cs.unit = "s/eval";
+  cs.iters = evals;
+  cs.threshold = 0.40;
+
+  par::ThreadPool pool(kPoolWorkers);
+  core::ThreadedBackend backend(pool);
+  exec::InstanceScheduler sched(4);
+  const auto spec = phylo::PartitionSpec::uniform(aln.n_columns(), 4);
+  exec::PartitionedEngine pe(aln, spec, {params}, tree, backend,
+                             exec::PartitionedConfig{}, &sched);
+  pe.log_likelihood();  // warm-up
+  const int n_leaves = static_cast<int>(aln.n_taxa());
+  for (int rep = 0; rep < reps; ++rep) {
+    const double t0 = now_s();
+    for (std::uint64_t i = 0; i < evals; ++i) {
+      pe.set_branch_length(
+          pe.tree().leaf_of(static_cast<int>(i) % n_leaves),
+          0.05 + 0.001 * static_cast<double>(i % 7));
+      pe.log_likelihood();
+    }
+    const double t1 = now_s();
+    cs.values.push_back((t1 - t0) / static_cast<double>(evals));
+  }
+  return cs;
+}
+
+// ---------------------------------------------------------------------------
 // output
 
 std::string utc_timestamp() {
@@ -481,6 +572,26 @@ int main(int argc, char** argv) {
                                 core::SiteRepeatsMode::kOff, engine_evals,
                                 reps, core::clv_budget_from_string(b.spec),
                                 b.suffix));
+    std::cerr << cases.back().name << ": " << cases.back().min() * 1e3
+              << " ms/eval (min of " << reps << ")\n";
+  }
+
+  // Multi-instance runtime cases (docs/SHARDING.md): 4-chain MC3 stepping
+  // cost sequential-per-pool vs shared-pool-scheduled, and a 4-partition
+  // model batched through the scheduler.
+  const std::uint64_t coupled_gens = quick ? 3 : 10;
+  for (const bool shared : {false, true}) {
+    cases.push_back(
+        coupled_case(data, tree, params, shared, coupled_gens, reps));
+    std::cerr << cases.back().name << ": " << cases.back().min() * 1e3
+              << " ms/gen (min of " << reps << ")\n";
+  }
+  {
+    phylo::SubstitutionModel model(params);
+    seqgen::SequenceEvolver ev(tree, model);
+    Rng aln_rng(777);
+    const phylo::Alignment aln = ev.evolve(quick ? 400 : 2000, aln_rng);
+    cases.push_back(partitioned_case(aln, tree, params, engine_evals, reps));
     std::cerr << cases.back().name << ": " << cases.back().min() * 1e3
               << " ms/eval (min of " << reps << ")\n";
   }

@@ -9,8 +9,21 @@
 //
 // Usage: mrbayes_lite [--site-repeats=on|off|auto] [--dispatch=percall|plan]
 //                     [--clv-budget=BYTES|FRACTION] [--profile[=FILE]]
-//                     [--metrics-json[=FILE]]
+//                     [--metrics-json[=FILE]] [--shared-pool[=DRIVERS]]
+//                     [--checkpoint-every=N] [--checkpoint=FILE]
+//                     [--resume=FILE] [--partitions=N|SPEC]
 //                     [alignment-file] [generations] [chains] [seed]
+//
+// --shared-pool steps all chains concurrently through an
+// exec::InstanceScheduler (DRIVERS driver threads, default one per chain) on
+// the one shared ThreadPool — bit-identical to the sequential default.
+// --checkpoint-every=N writes a versioned checkpoint every N generations to
+// the --checkpoint path (default mrbayes_lite.ckpt); --resume=FILE restores
+// it and continues to the requested generation total, reproducing the
+// uninterrupted run's trajectory to the last bit (docs/SHARDING.md).
+// --partitions demos the partitioned likelihood: the starting state's lnL is
+// decomposed over N uniform column ranges (or an explicit
+// "name:first-last,..." spec) evaluated as independent model instances.
 //
 // --profile enables span tracing, prints the paper-style (Fig. 12) time
 // breakdown after the run, and writes a chrome://tracing / Perfetto-loadable
@@ -27,6 +40,8 @@
 
 #include "core/backend.hpp"
 #include "core/engine.hpp"
+#include "exec/partitioned.hpp"
+#include "exec/scheduler.hpp"
 #include "mcmc/chain.hpp"
 #include "mcmc/consensus.hpp"
 #include "mcmc/coupled.hpp"
@@ -80,6 +95,12 @@ int run_main(int argc, char** argv) {
   core::ClvBudget clv_budget;  // default: unlimited
   std::string profile_path;   // empty: profiling report/trace off
   std::string metrics_path;   // empty: metrics JSON off
+  bool shared_pool = false;
+  std::size_t n_drivers = 0;        // 0: one per chain
+  std::uint64_t checkpoint_every = 0;
+  std::string checkpoint_path = "mrbayes_lite.ckpt";
+  std::string resume_path;          // empty: fresh run
+  std::string partitions_spec;      // empty: unpartitioned
   std::vector<const char*> pos;
   for (int i = 1; i < argc; ++i) {
     constexpr const char* kRepeatsFlag = "--site-repeats=";
@@ -101,6 +122,21 @@ int run_main(int argc, char** argv) {
       metrics_path = "plf_metrics.json";
     } else if (arg.rfind("--metrics-json=", 0) == 0) {
       metrics_path = arg.substr(std::strlen("--metrics-json="));
+    } else if (arg == "--shared-pool") {
+      shared_pool = true;
+    } else if (arg.rfind("--shared-pool=", 0) == 0) {
+      shared_pool = true;
+      n_drivers = std::strtoul(arg.c_str() + std::strlen("--shared-pool="),
+                               nullptr, 10);
+    } else if (arg.rfind("--checkpoint-every=", 0) == 0) {
+      checkpoint_every = std::strtoull(
+          arg.c_str() + std::strlen("--checkpoint-every="), nullptr, 10);
+    } else if (arg.rfind("--checkpoint=", 0) == 0) {
+      checkpoint_path = arg.substr(std::strlen("--checkpoint="));
+    } else if (arg.rfind("--resume=", 0) == 0) {
+      resume_path = arg.substr(std::strlen("--resume="));
+    } else if (arg.rfind("--partitions=", 0) == 0) {
+      partitions_spec = arg.substr(std::strlen("--partitions="));
     } else {
       pos.push_back(argv[i]);
     }
@@ -136,7 +172,6 @@ int run_main(int argc, char** argv) {
   core::ThreadedBackend backend(pool);
 
   std::vector<std::unique_ptr<core::PlfEngine>> engines;
-  std::vector<core::PlfEngine*> ptrs;
   for (std::size_t i = 0; i < n_chains; ++i) {
     phylo::Tree start =
         seqgen::yule_tree(aln.n_taxa(), rng, 1.0, 0.1)
@@ -146,7 +181,39 @@ int run_main(int argc, char** argv) {
     engines.push_back(std::make_unique<core::PlfEngine>(
         data, start_params, start, backend, core::KernelVariant::kSimdCol,
         repeats, dispatch, clv_budget));
-    ptrs.push_back(engines.back().get());
+  }
+
+  if (!partitions_spec.empty()) {
+    // Partitioned-likelihood demo on the starting state: the same data split
+    // into per-range model instances whose lnLs sum to the joint lnL.
+    const bool numeric = partitions_spec.find(':') == std::string::npos;
+    const phylo::PartitionSpec spec =
+        numeric ? phylo::PartitionSpec::uniform(
+                      aln.n_columns(),
+                      std::strtoul(partitions_spec.c_str(), nullptr, 10))
+                : phylo::PartitionSpec::parse(partitions_spec,
+                                              aln.n_columns());
+    exec::PartitionedEngine::Config pcfg;
+    pcfg.site_repeats = repeats;
+    pcfg.dispatch = dispatch;
+    pcfg.clv_budget = clv_budget;
+    std::unique_ptr<exec::InstanceScheduler> psched;
+    if (shared_pool) {
+      psched = std::make_unique<exec::InstanceScheduler>(spec.n_parts());
+    }
+    exec::PartitionedEngine parts(aln, spec, {start_params},
+                                  engines.front()->tree(), backend, pcfg,
+                                  psched.get());
+    const double total = parts.log_likelihood();
+    parts.detach_threads();
+    std::cout << "partitioned lnL at the starting state ("
+              << spec.n_parts() << " parts):\n";
+    for (std::size_t i = 0; i < spec.n_parts(); ++i) {
+      std::cout << "  " << spec.range(i).name << " [" << spec.range(i).begin
+                << ", " << spec.range(i).end
+                << "): " << parts.part(i).log_likelihood() << "\n";
+    }
+    std::cout << "  total: " << total << "\n\n";
   }
 
   mcmc::CoupledOptions opts;
@@ -155,7 +222,21 @@ int run_main(int argc, char** argv) {
   opts.chain.collect_trees = true;
   opts.chain.w_pinv = 0.7;  // +I is part of the model
   opts.chain.w_spr = 1.5;   // eSPR improves topology mixing
-  mcmc::CoupledChains mc3(ptrs, opts);
+  opts.checkpoint_every = checkpoint_every;
+  opts.checkpoint_path = checkpoint_path;
+  std::unique_ptr<exec::InstanceScheduler> scheduler;
+  if (shared_pool) {
+    scheduler = std::make_unique<exec::InstanceScheduler>(
+        n_drivers == 0 ? n_chains : n_drivers);
+    std::cout << "shared pool: " << scheduler->n_drivers()
+              << " instance drivers over one thread pool\n\n";
+  }
+  mcmc::CoupledChains mc3(std::move(engines), opts, scheduler.get());
+  if (!resume_path.empty()) {
+    mc3.restore_checkpoint_file(resume_path);
+    std::cout << "resumed from " << resume_path << " at generation "
+              << mc3.generation() << "\n\n";
+  }
   const auto result = mc3.run(gens);
 
   std::cout << "cold chain: lnL " << result.cold.samples.front().ln_likelihood
@@ -202,9 +283,9 @@ int run_main(int argc, char** argv) {
             << "\n";
   std::cout << "estimated p_invariant (final cold state): "
             << Table::num(
-                   engines[mc3.cold_index()]->model_params().p_invariant, 3)
+                   mc3.engine(mc3.cold_index()).model_params().p_invariant, 3)
             << "\n";
-  const auto& cold_stats = engines[mc3.cold_index()]->stats();
+  const auto& cold_stats = mc3.engine(mc3.cold_index()).stats();
   if (cold_stats.repeat_sites_computed > 0) {
     std::cout << "site repeats: " << Table::num(
                      cold_stats.repeat_compression_ratio(), 2)
@@ -215,7 +296,7 @@ int run_main(int argc, char** argv) {
 
   if (!profile_path.empty() || !metrics_path.empty()) {
     obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
-    engines[mc3.cold_index()]->publish_stats(reg);
+    mc3.engine(mc3.cold_index()).publish_stats(reg);
     const obs::Snapshot snap = reg.snapshot();
     if (!profile_path.empty()) {
       const obs::Breakdown b =

@@ -239,6 +239,26 @@ void ClvArena::evict_slot_for_test(int slot) {
   detail::check_arena(*this);
 }
 
+void ClvArena::evict_all() {
+  checker_.check();
+  for (std::size_t id = 0; id < slots_.size(); ++id) {
+    Slot& s = slots_[id];
+    if (!s.resident) continue;
+    PLF_CHECK(s.pin_count == 0,
+              "clv arena: evict_all() with a pinned slot - restore must not "
+              "run mid-evaluation");
+    lru_unlink(static_cast<int>(id));
+    s.cl = aligned_vector<float>();
+    s.resident = false;
+    --resident_count_;
+  }
+  {
+    util::MutexLock lock(stats_m_);
+    counters_.resident_bytes = 0;
+  }
+  detail::check_arena(*this);
+}
+
 void ClvArena::validate() const {
   checker_.check();
   // Walk the LRU list forward: every listed slot resident, links symmetric.

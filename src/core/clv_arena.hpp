@@ -154,6 +154,16 @@ class ClvArena {
   /// check_arena in checked builds. Aborts via PLF_DCHECK on violation.
   void validate() const;
 
+  /// Release thread confinement so the arena (with its owning engine) can be
+  /// handed to another thread; the next structural call rebinds. Part of
+  /// PlfEngine::detach_thread() — see docs/SHARDING.md.
+  void detach_thread() noexcept { checker_.detach(); }
+
+  /// Evict every resident slot (checkpoint restore: stale pre-restore
+  /// contents must not survive as "resident" next to restored buffers).
+  /// PLF_CHECKs that nothing is pinned — restore never runs mid-evaluation.
+  void evict_all();
+
   // --- test hooks -------------------------------------------------------
   /// Resident slots from LRU to MRU, for comparison against a reference
   /// eviction-state model.

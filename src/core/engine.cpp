@@ -9,6 +9,7 @@
 #include "util/clock.hpp"
 #include "util/contracts.hpp"
 #include "util/error.hpp"
+#include "util/serialize.hpp"
 
 namespace plf::core {
 
@@ -104,7 +105,10 @@ void PlfEngine::mark_node_dirty(int node) {
   NodeState& st = nodes_[static_cast<std::size_t>(node)];
   if (!st.dirty) {
     st.dirty = true;
-    if (in_proposal_) node_dirty_marks_.push_back(node);
+    if (in_proposal_) {
+      node_dirty_marks_.push_back(node);
+      st.dirty_epoch = proposal_epoch_;
+    }
   }
 }
 
@@ -119,7 +123,10 @@ void PlfEngine::mark_branch_dirty(int node) {
   BranchState& st = branches_[static_cast<std::size_t>(node)];
   if (!st.dirty) {
     st.dirty = true;
-    if (in_proposal_) branch_dirty_marks_.push_back(node);
+    if (in_proposal_) {
+      branch_dirty_marks_.push_back(node);
+      st.dirty_epoch = proposal_epoch_;
+    }
   }
 }
 
@@ -133,6 +140,8 @@ void PlfEngine::begin_proposal() {
   flipped_branches_.clear();
   node_dirty_marks_.clear();
   branch_dirty_marks_.clear();
+  pre_dirty_nodes_.clear();
+  pre_dirty_branches_.clear();
   old_lengths_.clear();
   nni_log_.clear();
   spr_log_.clear();
@@ -187,6 +196,19 @@ void PlfEngine::reject() {
   }
   for (int id : branch_dirty_marks_) {
     branches_[static_cast<std::size_t>(id)].dirty = false;
+  }
+  // Anything that entered the proposal dirty was recomputed into the buffer
+  // we just flipped away from; the restored buffer is stale (possibly never
+  // built), so those entries go back to dirty and must be recomputed.
+  for (int id : pre_dirty_nodes_) {
+    nodes_[static_cast<std::size_t>(id)].dirty = true;
+  }
+  for (int id : pre_dirty_branches_) {
+    branches_[static_cast<std::size_t>(id)].dirty = true;
+  }
+  if (!pre_dirty_nodes_.empty() || !pre_dirty_branches_.empty()) {
+    lik_valid_ = false;
+    saved_lik_valid_ = false;
   }
   // The flips above wholesale-reverted scaler rows the incremental total
   // already absorbed; only a full resum can reconcile it.
@@ -252,6 +274,12 @@ void PlfEngine::set_model(const phylo::GtrParams& params) {
 
 void PlfEngine::rebuild_branch(int node) {
   BranchState& st = branches_[static_cast<std::size_t>(node)];
+  if (in_proposal_ && st.dirty && st.dirty_epoch != proposal_epoch_) {
+    // Dirty since BEFORE this proposal: there is no valid pre-proposal
+    // buffer to restore, so a reject must leave this branch dirty again.
+    pre_dirty_branches_.push_back(node);
+    st.dirty_epoch = proposal_epoch_;
+  }
   // Within one proposal only the FIRST rebuild may flip: the inactive buffer
   // holds the pre-proposal matrices that reject() must be able to restore.
   int target = st.active ^ 1;
@@ -541,6 +569,10 @@ void PlfEngine::build_plan() {
 void PlfEngine::post_process_plan() {
   for (const RecomputeEntry& e : recompute_targets_) {
     NodeState& st = nodes_[static_cast<std::size_t>(e.node)];
+    if (in_proposal_ && st.dirty && st.dirty_epoch != proposal_epoch_) {
+      pre_dirty_nodes_.push_back(e.node);
+      st.dirty_epoch = proposal_epoch_;
+    }
     if (e.target != st.active) {
       st.active = e.target;
       if (in_proposal_) {
@@ -557,6 +589,10 @@ void PlfEngine::execute_percall() {
     const int id = e.node;
     const int target = e.target;
     NodeState& st = nodes_[static_cast<std::size_t>(id)];
+    if (in_proposal_ && st.dirty && st.dirty_epoch != proposal_epoch_) {
+      pre_dirty_nodes_.push_back(id);
+      st.dirty_epoch = proposal_epoch_;
+    }
     const phylo::TreeNode& n = tree_.node(id);
     float* out = arena_.data(clv_slot(id, target));
     float* ln_scaler = st.scaler[static_cast<std::size_t>(target)].data();
@@ -784,10 +820,24 @@ void PlfEngine::evaluate() {
   lik_valid_ = true;
 }
 
+void PlfEngine::set_instance_label(std::string label) {
+  checker_.check();
+  instance_label_ = std::move(label);
+}
+
+void PlfEngine::detach_thread() noexcept {
+  checker_.detach();
+  arena_.detach_thread();
+}
+
 void PlfEngine::publish_stats(obs::MetricsRegistry& registry) const {
   checker_.check();
-  const auto set = [&registry](const char* name, double value) {
-    registry.set_gauge(registry.gauge(name), value);
+  const auto set = [this, &registry](const char* name, double value) {
+    if (instance_label_.empty()) {
+      registry.set_gauge(registry.gauge(name), value);
+    } else {
+      registry.set_gauge(registry.gauge(instance_label_ + "." + name), value);
+    }
   };
   set(obs::kGaugeEngineDownCalls, static_cast<double>(stats_.down_calls));
   set(obs::kGaugeEngineRootCalls, static_cast<double>(stats_.root_calls));
@@ -817,14 +867,177 @@ void PlfEngine::publish_stats(obs::MetricsRegistry& registry) const {
 
 void PlfEngine::publish_arena_gauges(obs::MetricsRegistry& registry) const {
   const ArenaCounters ac = arena_.counters();
-  const auto set = [&registry](const char* name, double value) {
-    registry.set_gauge(registry.gauge(name), value);
+  const auto set = [this, &registry](const char* name, double value) {
+    if (instance_label_.empty()) {
+      registry.set_gauge(registry.gauge(name), value);
+    } else {
+      registry.set_gauge(registry.gauge(instance_label_ + "." + name), value);
+    }
   };
   set(obs::kGaugeEngineClvBytes, static_cast<double>(ac.resident_bytes));
   set(obs::kGaugeArenaBudgetBytes, static_cast<double>(arena_.budget_bytes()));
   set(obs::kGaugeArenaEvictions, static_cast<double>(ac.evictions));
   set(obs::kGaugeArenaRecomputeOps, static_cast<double>(ac.recompute_ops));
   set(obs::kGaugeArenaHitRate, ac.hit_rate());
+}
+
+void PlfEngine::save_state(util::BinaryWriter& w) const {
+  checker_.check();
+  PLF_CHECK(!in_proposal_, "save_state: close the open proposal first");
+
+  // Config fingerprint, checked on restore: a checkpoint only resumes into
+  // an engine shaped like the one that wrote it.
+  w.section("ENGI");
+  w.u64(m_);
+  w.u64(k_);
+  w.u64(tree_.n_nodes());
+  w.u64(tree_.n_taxa());
+
+  tree_.save(w);
+
+  w.section("MODL");
+  const phylo::GtrParams& p = model_.params();
+  for (double r : p.rates) w.f64(r);
+  for (double f : p.pi) w.f64(f);
+  w.f64(p.gamma_shape);
+  w.u64(p.n_rate_categories);
+  w.f64(p.p_invariant);
+
+  // Internal nodes, in id order: the active buffer index, the active scaler
+  // row (its exact f32 bits — scaler_total_ was accumulated from them), and
+  // the active CLV when it is arena-resident. Evicted CLVs are omitted on
+  // purpose: the recompute closure rematerializes them bit-exactly from the
+  // tips, which is the same guarantee the budgeted arena already relies on.
+  w.section("NODE");
+  for (std::size_t id = 0; id < tree_.n_nodes(); ++id) {
+    if (tree_.node(static_cast<int>(id)).is_leaf()) continue;
+    const NodeState& st = nodes_[id];
+    w.u8(static_cast<std::uint8_t>(st.active));
+    w.f32_array(st.scaler[static_cast<std::size_t>(st.active)].data(), m_);
+    const int slot = clv_slot(static_cast<int>(id), st.active);
+    const bool resident = arena_.resident(slot);
+    w.u8(resident ? 1 : 0);
+    if (resident) w.f32_array(arena_.data(slot), m_ * k_ * 4);
+  }
+
+  // The accumulated scaler total must round-trip bit-exactly: a fresh resum
+  // would differ in the low bits from the incremental subtract/add history,
+  // shifting every subsequent likelihood. The pending-resum flag rides along
+  // so a checkpoint taken right after a reject resums exactly once, like the
+  // uninterrupted run.
+  w.section("SCLR");
+  w.f64_array(scaler_total_.data(), m_);
+  w.u8(scaler_resum_ ? 1 : 0);
+  w.f64(ln_lik_);
+  w.u8(lik_valid_ ? 1 : 0);
+}
+
+void PlfEngine::restore_state(util::BinaryReader& r) {
+  checker_.check();
+  PLF_CHECK(!in_proposal_, "restore_state: close the open proposal first");
+
+  r.section("ENGI");
+  const std::uint64_t m = r.u64();
+  const std::uint64_t k = r.u64();
+  const std::uint64_t n_nodes = r.u64();
+  const std::uint64_t n_taxa = r.u64();
+  PLF_CHECK(m == m_ && k == k_ && n_nodes == tree_.n_nodes() &&
+                n_taxa == tree_.n_taxa(),
+            "restore_state: checkpoint was written by a differently-"
+            "configured engine (pattern/category/tree shape mismatch)");
+
+  tree_ = phylo::Tree::load(r);
+
+  r.section("MODL");
+  phylo::GtrParams p;
+  for (double& v : p.rates) v = r.f64();
+  for (double& v : p.pi) v = r.f64();
+  p.gamma_shape = r.f64();
+  p.n_rate_categories = static_cast<std::size_t>(r.u64());
+  p.p_invariant = r.f64();
+  PLF_CHECK(p.n_rate_categories == k_,
+            "restore_state: rate category count is fixed at construction");
+  model_ = phylo::SubstitutionModel(p);
+
+  // Branch matrices are pure functions of (model, branch length): rebuild
+  // every branch eagerly and leave it CLEAN. Leaving branches dirty instead
+  // would be wrong, not just lazy — the first post-restore proposal's
+  // reject() must flip back to real pre-proposal buffers, never to buffers
+  // that are empty because they predate the checkpoint.
+  tp_builds_ = 0;
+  for (std::size_t id = 0; id < tree_.n_nodes(); ++id) {
+    const phylo::TreeNode& n = tree_.node(static_cast<int>(id));
+    if (n.parent == phylo::kNoNode) continue;
+    BranchState& st = branches_[id];
+    st.active = 0;
+    st.dirty = false;
+    st.flip_epoch = 0;
+    st.tm[0] = model_.transition_matrices(
+        tree_.branch_length(static_cast<int>(id)));
+    if (n.is_leaf()) {
+      st.tp[0] = TipPartial(st.tm[0]);
+      st.tp_stamp[0] = ++tp_builds_;
+      st.tp_stamp[1] = 0;
+    }
+    ++stats_.tm_builds;
+  }
+
+  // Drop every pre-restore CLV before loading the checkpointed ones: a stale
+  // buffer left "resident" would satisfy the recompute closure's residency
+  // test while holding the wrong contents.
+  arena_.evict_all();
+
+  r.section("NODE");
+  for (std::size_t id = 0; id < tree_.n_nodes(); ++id) {
+    if (tree_.node(static_cast<int>(id)).is_leaf()) continue;
+    NodeState& st = nodes_[id];
+    const std::uint8_t active = r.u8();
+    PLF_CHECK(active <= 1, "restore_state: corrupt buffer index");
+    st.active = active;
+    const std::vector<float> scaler = r.f32_array();
+    PLF_CHECK(scaler.size() == m_, "restore_state: scaler row size mismatch");
+    st.scaler[static_cast<std::size_t>(st.active)].assign(scaler.begin(),
+                                                          scaler.end());
+    st.scaler[static_cast<std::size_t>(st.active ^ 1)].assign(m_, 0.0f);
+    st.dirty = false;
+    st.flip_epoch = 0;
+    st.pair_stamp_l = 0;  // pair tables revalidate against the new tp stamps
+    st.pair_stamp_r = 0;
+    if (r.u8() != 0) {
+      float* dst = arena_.acquire(clv_slot(static_cast<int>(id), st.active));
+      const std::vector<float> cl = r.f32_array();
+      PLF_CHECK(cl.size() == m_ * k_ * 4,
+                "restore_state: CLV buffer size mismatch");
+      std::memcpy(dst, cl.data(), cl.size() * sizeof(float));
+    }
+  }
+
+  r.section("SCLR");
+  const std::vector<double> total = r.f64_array();
+  PLF_CHECK(total.size() == m_, "restore_state: scaler total size mismatch");
+  scaler_total_.assign(total.begin(), total.end());
+  scaler_resum_ = r.u8() != 0;
+  ln_lik_ = r.f64();
+  lik_valid_ = r.u8() != 0;
+
+  // Repeat classes re-identify lazily (deterministic from data + tree), and
+  // the proposal undo machinery starts from a clean slate.
+  if (repeats_enabled_) repeats_.invalidate_all();
+  proposal_epoch_ = 0;
+  saved_ln_lik_ = 0.0;
+  saved_lik_valid_ = false;
+  flipped_nodes_.clear();
+  flipped_branches_.clear();
+  node_dirty_marks_.clear();
+  branch_dirty_marks_.clear();
+  pre_dirty_nodes_.clear();
+  pre_dirty_branches_.clear();
+  old_lengths_.clear();
+  nni_log_.clear();
+  spr_log_.clear();
+  old_params_.reset();
+
+  publish_arena_gauges(obs::MetricsRegistry::global());
 }
 
 double PlfEngine::log_likelihood() {

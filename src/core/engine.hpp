@@ -17,6 +17,7 @@
 #include <array>
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "core/backend.hpp"
@@ -32,6 +33,11 @@
 #include "util/aligned.hpp"
 #include "util/sync.hpp"
 #include "util/thread_annotations.hpp"
+
+namespace plf::util {
+class BinaryWriter;
+class BinaryReader;
+}  // namespace plf::util
 
 namespace plf::core {
 
@@ -152,6 +158,37 @@ class PlfEngine {
   /// idempotent. Cold path: available regardless of PLF_PROFILING.
   void publish_stats(obs::MetricsRegistry& registry) const;
 
+  /// Label prepended (as "<label>.") to every gauge name this engine
+  /// publishes, so concurrent instances sharing one registry don't clobber
+  /// each other's engine.*/arena.* gauges. Empty (the default) keeps the
+  /// historical unprefixed names for single-engine runs.
+  void set_instance_label(std::string label);
+  const std::string& instance_label() const { return instance_label_; }
+
+  /// Release thread confinement (engine + arena) so this engine can be
+  /// handed off serially to another thread — exec::InstanceScheduler driver
+  /// threads, post-run stats reads from the coordinator. The next entry
+  /// point binds the calling thread (see util::ThreadChecker).
+  void detach_thread() noexcept;
+
+  // --- checkpoint/restore (docs/SHARDING.md) ---
+  /// Serialize everything a 0-ULP resume needs: tree (exact branch-length
+  /// bits), model parameters, each internal node's active scaler row and —
+  /// when arena-resident — its active CLV buffer, the accumulated
+  /// scaler-total bits, and the cached likelihood. Requires no open
+  /// proposal. EngineStats are run-local and intentionally not saved.
+  void save_state(util::BinaryWriter& w) const;
+  /// Inverse of save_state, into an engine constructed with the SAME data,
+  /// backend, kernel variant, dispatch mode, and rate-category count (a
+  /// config fingerprint is checked; bit-identity additionally requires the
+  /// same kernel configuration, which cannot be fingerprinted). Branch
+  /// transition matrices are rebuilt eagerly (pure functions of model x
+  /// length), non-resident CLVs rematerialize on the next evaluation, and
+  /// site-repeat classes re-identify lazily — all deterministic, so the
+  /// post-restore likelihood trajectory is bit-identical to the
+  /// uninterrupted run's.
+  void restore_state(util::BinaryReader& r);
+
   /// How evaluations reach the backend: per-call kernels or dependency-
   /// leveled plans. Fixed at construction; results are bit-identical.
   DispatchMode dispatch_mode() const { return dispatch_; }
@@ -199,6 +236,11 @@ class PlfEngine {
     /// flipping again — the inactive buffer holds the pre-proposal state
     /// that reject() restores.
     std::uint64_t flip_epoch = 0;
+    /// Last proposal in which the dirty flag was RAISED. A node that enters
+    /// a proposal already dirty (dirty_epoch != proposal_epoch_) has no
+    /// valid pre-proposal buffer for reject() to flip back to, so reject
+    /// must re-raise its dirty flag instead of trusting the restored buffer.
+    std::uint64_t dirty_epoch = 0;
     /// Cherry nodes only: cached tip×tip pair table and the tp build stamps
     /// it was computed from (see BranchState::tp_stamp). Single-buffered on
     /// purpose — the table is a pure function of the two stamped inputs, so
@@ -212,7 +254,8 @@ class PlfEngine {
     std::array<TipPartial, 2> tp;
     int active = 0;
     bool dirty = true;
-    std::uint64_t flip_epoch = 0;  ///< see NodeState::flip_epoch
+    std::uint64_t flip_epoch = 0;   ///< see NodeState::flip_epoch
+    std::uint64_t dirty_epoch = 0;  ///< see NodeState::dirty_epoch
     /// Monotonic build stamp per tip-partial buffer (leaves only; 0 = never
     /// built). Stamps are globally unique across branches, so a cherry's
     /// cached pair table can be validated against its current children by
@@ -325,6 +368,9 @@ class PlfEngine {
   double ln_lik_ = 0.0;
   bool lik_valid_ = false;
 
+  /// Gauge-name prefix for multi-instance runs (see set_instance_label).
+  std::string instance_label_;
+
   // Undo log for the active proposal.
   bool in_proposal_ = false;
   std::uint64_t proposal_epoch_ = 0;
@@ -334,6 +380,11 @@ class PlfEngine {
   std::vector<int> flipped_branches_;
   std::vector<int> node_dirty_marks_;
   std::vector<int> branch_dirty_marks_;
+  // Nodes/branches that entered the current proposal already dirty and were
+  // recomputed inside it: their pre-proposal buffers were stale (or never
+  // built at all), so reject() must re-mark them dirty after flipping back.
+  std::vector<int> pre_dirty_nodes_;
+  std::vector<int> pre_dirty_branches_;
   std::vector<std::pair<int, double>> old_lengths_;
   std::vector<std::pair<int, bool>> nni_log_;
   std::vector<phylo::Tree::SprUndo> spr_log_;

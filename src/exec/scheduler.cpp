@@ -1,0 +1,112 @@
+#include "exec/scheduler.hpp"
+
+#include <utility>
+
+#include "util/contracts.hpp"
+
+namespace plf::exec {
+
+InstanceScheduler::InstanceScheduler(std::size_t n_drivers) {
+  PLF_CHECK(n_drivers >= 1, "instance scheduler needs at least one driver");
+  drivers_.reserve(n_drivers);
+  for (std::size_t i = 0; i < n_drivers; ++i) {
+    auto d = std::make_unique<Driver>();
+    Driver* dp = d.get();
+    d->thread = std::thread([this, dp] { driver_loop(*dp); });
+    drivers_.push_back(std::move(d));
+  }
+}
+
+InstanceScheduler::~InstanceScheduler() {
+  for (auto& d : drivers_) {
+    {
+      util::MutexLock lock(d->m);
+      d->stop = true;
+    }
+    d->cv.notify_all();
+  }
+  for (auto& d : drivers_) d->thread.join();
+}
+
+int InstanceScheduler::register_instance(core::PlfEngine& engine,
+                                         std::string label) {
+  const int id = static_cast<int>(instances_.size());
+  engine.set_instance_label(label);
+  // The engine may be bound to the registering thread (construction runs its
+  // first evaluation there); release it so the pinned driver rebinds.
+  engine.detach_thread();
+  instances_.push_back(
+      {std::move(label), &engine, static_cast<std::size_t>(id) % n_drivers()});
+  return id;
+}
+
+void InstanceScheduler::submit(int id, std::function<void()> fn) {
+  PLF_CHECK(id >= 0 && static_cast<std::size_t>(id) < instances_.size(),
+            "instance scheduler: unknown instance id");
+  Driver& d = *drivers_[instances_[static_cast<std::size_t>(id)].driver];
+  {
+    util::MutexLock lock(done_m_);
+    ++pending_;
+  }
+  {
+    util::MutexLock lock(d.m);
+    d.queue.push_back(std::move(fn));
+  }
+  d.cv.notify_one();
+}
+
+void InstanceScheduler::barrier() {
+  std::exception_ptr error;
+  {
+    util::MutexLock lock(done_m_);
+    // Predicate runs with done_m_ held by the wait loop itself; TSA analyzes
+    // the lambda without that context, hence the exemption.
+    done_cv_.wait(done_m_, [&]() PLF_NO_TSA { return pending_ == 0; });
+    error = error_;
+    error_ = nullptr;
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+void InstanceScheduler::for_each_instance(
+    const std::function<void(int, core::PlfEngine&)>& fn) {
+  for (std::size_t id = 0; id < instances_.size(); ++id) {
+    core::PlfEngine* engine = instances_[id].engine;
+    const int iid = static_cast<int>(id);
+    submit(iid, [&fn, iid, engine] { fn(iid, *engine); });
+  }
+  barrier();
+}
+
+void InstanceScheduler::finish_task(std::exception_ptr error) {
+  {
+    util::MutexLock lock(done_m_);
+    if (error && !error_) error_ = error;
+    --pending_;
+  }
+  // notify_all: barrier() may be re-entered while another thread also waits.
+  done_cv_.notify_all();
+}
+
+void InstanceScheduler::driver_loop(Driver& d) {
+  for (;;) {
+    std::function<void()> task;
+    {
+      util::MutexLock lock(d.m);
+      // Predicate runs with d.m held by the wait loop itself (see barrier()).
+      d.cv.wait(d.m, [&]() PLF_NO_TSA { return d.stop || !d.queue.empty(); });
+      if (d.queue.empty()) return;  // stop requested and fully drained
+      task = std::move(d.queue.front());
+      d.queue.pop_front();
+    }
+    std::exception_ptr error;
+    try {
+      task();
+    } catch (...) {
+      error = std::current_exception();
+    }
+    finish_task(error);
+  }
+}
+
+}  // namespace plf::exec

@@ -1,11 +1,14 @@
 #include "mcmc/chain.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "obs/names.hpp"
 #include "obs/profile.hpp"
 #include "util/clock.hpp"
+#include "util/contracts.hpp"
 #include "util/error.hpp"
+#include "util/serialize.hpp"
 
 namespace plf::mcmc {
 
@@ -124,6 +127,46 @@ McmcResult McmcChain::run(std::uint64_t generations) {
   result.plf_wall_seconds = delta.plf_seconds;
   result.serial_wall_seconds = result.wall_seconds - delta.plf_seconds;
   return result;
+}
+
+void McmcChain::save_state(util::BinaryWriter& w) const {
+  w.section("CHAI");
+  w.u64(generation_);
+  w.f64(ln_lik_);
+  w.f64(opts_.likelihood_power);
+  const Rng::State rs = rng_.state();
+  w.u64_array(rs.s.data(), rs.s.size());
+  w.u8(rs.have_spare_normal ? 1 : 0);
+  w.f64(rs.spare_normal);
+  w.u64(stats_.size());
+  for (const auto& [name, st] : stats_) {
+    w.str(name);
+    w.u64(st.proposed);
+    w.u64(st.accepted);
+  }
+}
+
+void McmcChain::restore_state(util::BinaryReader& r) {
+  r.section("CHAI");
+  generation_ = r.u64();
+  ln_lik_ = r.f64();
+  opts_.likelihood_power = r.f64();
+  Rng::State rs;
+  const std::vector<std::uint64_t> s = r.u64_array();
+  PLF_CHECK(s.size() == rs.s.size(), "restore_state: bad rng state size");
+  std::copy(s.begin(), s.end(), rs.s.begin());
+  rs.have_spare_normal = r.u8() != 0;
+  rs.spare_normal = r.f64();
+  rng_.set_state(rs);
+  stats_.clear();
+  const std::uint64_t n = r.u64();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const std::string name = r.str();
+    ProposalStats st;
+    st.proposed = r.u64();
+    st.accepted = r.u64();
+    stats_[name] = st;
+  }
 }
 
 arch::PlfWorkload workload_from_run(const McmcResult& result, std::size_t m,

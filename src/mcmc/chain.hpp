@@ -25,6 +25,11 @@
 #include "mcmc/proposals.hpp"
 #include "util/rng.hpp"
 
+namespace plf::util {
+class BinaryWriter;
+class BinaryReader;
+}  // namespace plf::util
+
 namespace plf::mcmc {
 
 struct McmcOptions {
@@ -106,6 +111,16 @@ class McmcChain {
   const std::map<std::string, ProposalStats>& proposal_stats() const {
     return stats_;
   }
+
+  // --- checkpoint/restore (docs/SHARDING.md) ---
+  /// Serialize the chain's own state: generation count, RNG stream (with its
+  /// cached spare normal — part of the stream), cached lnL, tempering power,
+  /// and proposal statistics. The ENGINE is serialized separately
+  /// (core::PlfEngine::save_state) by whoever owns the chain/engine pair.
+  void save_state(util::BinaryWriter& w) const;
+  /// Inverse of save_state, into a chain built with the same McmcOptions
+  /// (move weights and tuning are configuration, not state).
+  void restore_state(util::BinaryReader& r);
 
  private:
   const Proposal& draw_proposal(Rng& rng) const;

@@ -2,29 +2,47 @@
 
 #include <algorithm>
 #include <cmath>
-#include <limits>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
 
 #include "util/clock.hpp"
 #include "util/error.hpp"
+#include "util/serialize.hpp"
 
 namespace plf::mcmc {
 
-CoupledChains::CoupledChains(std::vector<core::PlfEngine*> engines,
-                             const CoupledOptions& options)
-    : options_(options), rng_(options.chain.seed ^ 0xC0FFEEull) {
+CoupledChains::CoupledChains(
+    std::vector<std::unique_ptr<core::PlfEngine>> engines,
+    const CoupledOptions& options, exec::InstanceScheduler* scheduler)
+    : options_(options),
+      scheduler_(scheduler),
+      rng_(options.chain.seed ^ 0xC0FFEEull) {
   PLF_CHECK(!engines.empty(), "coupled chains need at least one engine");
   PLF_CHECK(options.heat >= 0.0, "heat must be nonnegative");
   options_.n_chains = engines.size();
 
   for (std::size_t i = 0; i < engines.size(); ++i) {
     ChainState cs;
-    cs.engine = engines[i];
+    cs.engine = std::move(engines[i]);
     cs.heat_rank = i;
     McmcOptions chain_opts = options_.chain;
     chain_opts.seed = options_.chain.seed + i;
     chain_opts.likelihood_power = beta(i);
     chain_opts.sample_every = 0;  // sampling is driven by the coupler
-    cs.chain = std::make_unique<McmcChain>(*engines[i], chain_opts);
+    // The chain constructor evaluates the initial likelihood on THIS thread;
+    // scheduler registration below detaches the engine so its pinned driver
+    // rebinds on the first scheduled step.
+    cs.chain = std::make_unique<McmcChain>(*cs.engine, chain_opts);
+    const std::string label = "chain" + std::to_string(i);
+    if (scheduler_ != nullptr) {
+      cs.instance_id = scheduler_->register_instance(*cs.engine, label);
+    } else if (engines.size() > 1) {
+      // Unscheduled multi-chain runs still label each engine so per-instance
+      // gauges ("chain1.engine.down_calls", ...) don't collide in the
+      // metrics registry. Single-chain runs keep the legacy bare names.
+      cs.engine->set_instance_label(label);
+    }
     chains_.push_back(std::move(cs));
   }
 }
@@ -34,6 +52,27 @@ std::size_t CoupledChains::cold_index() const {
     if (chains_[i].heat_rank == 0) return i;
   }
   throw Error("coupled chains: no cold chain (internal error)");
+}
+
+void CoupledChains::detach_engines() {
+  for (auto& cs : chains_) cs.engine->detach_thread();
+}
+
+void CoupledChains::for_each_chain(
+    const std::function<void(std::size_t, ChainState&)>& fn) {
+  if (scheduler_ == nullptr) {
+    for (std::size_t i = 0; i < chains_.size(); ++i) fn(i, chains_[i]);
+    return;
+  }
+  for (std::size_t i = 0; i < chains_.size(); ++i) {
+    ChainState& cs = chains_[i];
+    scheduler_->submit(cs.instance_id, [&fn, i, &cs] { fn(i, cs); });
+  }
+  scheduler_->barrier();
+}
+
+void CoupledChains::step_all() {
+  for_each_chain([](std::size_t, ChainState& cs) { cs.chain->step(); });
 }
 
 void CoupledChains::attempt_swap() {
@@ -62,9 +101,12 @@ void CoupledChains::attempt_swap() {
   }
 }
 
-CoupledResult CoupledChains::run(std::uint64_t generations) {
+CoupledResult CoupledChains::run(std::uint64_t target_generation) {
   Stopwatch wall;
   CoupledResult result;
+  // The caller may have bound the engines to its own thread (construction,
+  // restore, stats reads); release them so the pinned drivers can rebind.
+  if (scheduler_ != nullptr) detach_engines();
 
   const std::uint64_t sample_every =
       options_.chain.sample_every == 0 ? 100 : options_.chain.sample_every;
@@ -79,23 +121,42 @@ CoupledResult CoupledChains::run(std::uint64_t generations) {
       result.cold.sampled_trees.push_back(cold.engine->tree().to_newick());
     }
   };
-  sample_cold(0);
+  // Reading the cold tree touches confined engine state, so route the
+  // initial sample through the drivers like everything else.
+  for_each_chain([&](std::size_t i, ChainState&) {
+    if (i == cold_index()) sample_cold(generation_);
+  });
   result.cold.best_ln_likelihood = chains_[cold_index()].chain->ln_likelihood();
 
-  for (std::uint64_t g = 1; g <= generations; ++g) {
-    for (auto& cs : chains_) cs.chain->step();
+  for (std::uint64_t g = generation_ + 1; g <= target_generation; ++g) {
+    generation_ = g;
+    step_all();
     if (options_.swap_every != 0 && g % options_.swap_every == 0) {
       attempt_swap();
     }
-    if (g % sample_every == 0) sample_cold(g);
+    if (g % sample_every == 0) {
+      for_each_chain([&](std::size_t i, ChainState&) {
+        if (i == cold_index()) sample_cold(g);
+      });
+    }
     result.cold.best_ln_likelihood =
         std::max(result.cold.best_ln_likelihood,
                  chains_[cold_index()].chain->ln_likelihood());
+    if (options_.checkpoint_every != 0 && !options_.checkpoint_path.empty() &&
+        g % options_.checkpoint_every == 0) {
+      save_checkpoint_file(options_.checkpoint_path);
+    }
   }
 
-  const ChainState& cold = chains_[cold_index()];
+  // Final newick read also touches confined tree state.
+  const std::size_t cold_i = cold_index();
+  for_each_chain([&](std::size_t i, ChainState& cs) {
+    if (i == cold_i) {
+      result.cold.final_tree_newick = cs.engine->tree().to_newick();
+    }
+  });
+  const ChainState& cold = chains_[cold_i];
   result.cold.final_ln_likelihood = cold.chain->ln_likelihood();
-  result.cold.final_tree_newick = cold.engine->tree().to_newick();
   result.cold.wall_seconds = wall.seconds();
   // Aggregate proposal statistics over all chains (the PLF workload of an
   // (MC)^3 run is the SUM over chains — how MrBayes multiplies the paper's
@@ -119,7 +180,89 @@ CoupledResult CoupledChains::run(std::uint64_t generations) {
   for (const ChainState* cs : order) {
     result.final_ln_likelihoods.push_back(cs->chain->ln_likelihood());
   }
+  // Hand the engines back to the caller for stats reads / gauge publishing.
+  if (scheduler_ != nullptr) detach_engines();
   return result;
+}
+
+void CoupledChains::save_checkpoint(std::ostream& os) {
+  if (scheduler_ != nullptr) detach_engines();
+  // Engine state is serialized on each chain's confinement thread into a
+  // per-chain blob, then framed into the single stream — same wire format in
+  // both execution modes.
+  std::vector<std::string> blobs(chains_.size());
+  for_each_chain([&blobs](std::size_t i, ChainState& cs) {
+    std::ostringstream buf;
+    util::BinaryWriter bw(buf);
+    cs.engine->save_state(bw);
+    blobs[i] = buf.str();
+  });
+
+  util::BinaryWriter w(os);
+  w.section("MC3C");
+  w.u64(chains_.size());
+  w.u64(generation_);
+  w.u64(swaps_proposed_);
+  w.u64(swaps_accepted_);
+  const Rng::State rs = rng_.state();
+  w.u64_array(rs.s.data(), rs.s.size());
+  w.u8(rs.have_spare_normal ? 1 : 0);
+  w.f64(rs.spare_normal);
+  for (std::size_t i = 0; i < chains_.size(); ++i) {
+    w.u64(chains_[i].heat_rank);
+    chains_[i].chain->save_state(w);
+    w.str(blobs[i]);
+  }
+  if (scheduler_ != nullptr) detach_engines();
+}
+
+void CoupledChains::restore_checkpoint(std::istream& is) {
+  if (scheduler_ != nullptr) detach_engines();
+  util::BinaryReader r(is);
+  r.section("MC3C");
+  const std::uint64_t n = r.u64();
+  PLF_CHECK(n == chains_.size(),
+            "checkpoint chain count does not match this coupler");
+  generation_ = r.u64();
+  swaps_proposed_ = r.u64();
+  swaps_accepted_ = r.u64();
+  Rng::State rs;
+  const std::vector<std::uint64_t> s = r.u64_array();
+  PLF_CHECK(s.size() == rs.s.size(), "checkpoint: bad coupler rng state");
+  std::copy(s.begin(), s.end(), rs.s.begin());
+  rs.have_spare_normal = r.u8() != 0;
+  rs.spare_normal = r.f64();
+  rng_.set_state(rs);
+  std::vector<std::string> blobs(chains_.size());
+  for (std::size_t i = 0; i < chains_.size(); ++i) {
+    chains_[i].heat_rank = r.u64();
+    chains_[i].chain->restore_state(r);
+    blobs[i] = r.str();
+  }
+  for_each_chain([&blobs](std::size_t i, ChainState& cs) {
+    std::istringstream buf(blobs[i]);
+    util::BinaryReader br(buf);
+    cs.engine->restore_state(br);
+  });
+  if (scheduler_ != nullptr) detach_engines();
+}
+
+void CoupledChains::save_checkpoint_file(const std::string& path) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+    PLF_CHECK(os.good(), "cannot open checkpoint file for writing: " + tmp);
+    save_checkpoint(os);
+    PLF_CHECK(os.good(), "short write to checkpoint file: " + tmp);
+  }
+  PLF_CHECK(std::rename(tmp.c_str(), path.c_str()) == 0,
+            "cannot move checkpoint into place: " + path);
+}
+
+void CoupledChains::restore_checkpoint_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  PLF_CHECK(is.good(), "cannot open checkpoint file: " + path);
+  restore_checkpoint(is);
 }
 
 }  // namespace plf::mcmc

@@ -13,13 +13,32 @@
 // count — exactly how MrBayes multiplies the paper's fine-grain workload.
 // Swapping exchanges chain HEATS rather than engine states (the standard
 // pointer-swap implementation).
+//
+// Execution modes (docs/SHARDING.md):
+//   - sequential (default): each generation steps the chains one after
+//     another on the calling thread;
+//   - scheduled: with an exec::InstanceScheduler, each generation submits
+//     every chain's step to its pinned driver thread and barriers before
+//     the swap attempt. Chains only interact at those barriers, so the two
+//     modes produce bit-identical trajectories — the scheduled one just
+//     keeps the shared thread pool busy while other chains are in their
+//     serial phases.
+//
+// Checkpointing: save_checkpoint/restore_checkpoint serialize the complete
+// coupler state (generation, swap counters, coupler RNG, per-chain heat
+// ranks + chain + engine state) through util::BinaryWriter with a 0-ULP
+// resume guarantee; options.checkpoint_every wires periodic writes into
+// run().
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "core/engine.hpp"
+#include "exec/scheduler.hpp"
 #include "mcmc/chain.hpp"
 
 namespace plf::mcmc {
@@ -29,6 +48,9 @@ struct CoupledOptions {
   double heat = 0.2;              ///< MrBayes "temp" default
   std::uint64_t swap_every = 10;  ///< generations between swap attempts
   McmcOptions chain;              ///< per-chain options (seed is the base)
+  /// Write a checkpoint to `checkpoint_path` every N generations (0 = off).
+  std::uint64_t checkpoint_every = 0;
+  std::string checkpoint_path;
 };
 
 struct CoupledResult {
@@ -46,35 +68,77 @@ struct CoupledResult {
 
 class CoupledChains {
  public:
-  /// `engines` must all evaluate the same data/model family; engines.size()
-  /// defines the chain count (options.n_chains is then ignored).
-  CoupledChains(std::vector<core::PlfEngine*> engines,
-                const CoupledOptions& options);
+  /// Takes OWNERSHIP of the engines (the former raw-pointer signature was a
+  /// lifetime footgun: chains hold their engine for the coupler's whole
+  /// life, so the coupler owns them now). engines.size() defines the chain
+  /// count (options.n_chains is then ignored); all engines must evaluate the
+  /// same data/model family. With `scheduler`, each engine is registered as
+  /// an instance labeled "chain<i>" and all stepping runs on the pinned
+  /// drivers; engines are labeled (but not scheduled) without one whenever
+  /// there is more than one chain, so their gauges don't collide.
+  CoupledChains(std::vector<std::unique_ptr<core::PlfEngine>> engines,
+                const CoupledOptions& options,
+                exec::InstanceScheduler* scheduler = nullptr);
 
-  /// Run all chains for `generations`, attempting swaps on schedule.
-  CoupledResult run(std::uint64_t generations);
+  /// Step all chains until the coupler's generation counter reaches
+  /// `target_generation`, attempting swaps and writing checkpoints on
+  /// schedule. A fresh coupler starts at generation 0, so this runs exactly
+  /// `target_generation` generations; after restore_checkpoint it runs only
+  /// the remainder — the resumed trajectory is bit-identical to the
+  /// uninterrupted one.
+  CoupledResult run(std::uint64_t target_generation);
+
+  std::size_t n_chains() const { return chains_.size(); }
+  std::uint64_t generation() const { return generation_; }
 
   /// Index (into the engine list) of the engine currently carrying the cold
   /// chain.
   std::size_t cold_index() const;
 
+  /// Engine of chain `i` (engine-list order, not heat order). When running
+  /// scheduled, entry points that touch confined engine state are only safe
+  /// after run() returned or detach_engines() was called.
+  core::PlfEngine& engine(std::size_t i) { return *chains_[i].engine; }
+
   double beta(std::size_t heat_rank) const {
     return 1.0 / (1.0 + options_.heat * static_cast<double>(heat_rank));
   }
 
+  // --- checkpoint/restore (docs/SHARDING.md) ---
+  void save_checkpoint(std::ostream& os);
+  void restore_checkpoint(std::istream& is);
+  /// File variants; save writes "<path>.tmp" then renames, so a crash never
+  /// leaves a half-written checkpoint at `path`.
+  void save_checkpoint_file(const std::string& path);
+  void restore_checkpoint_file(const std::string& path);
+
+  /// Release every engine's thread confinement so the caller's thread can
+  /// read stats/publish gauges after a scheduled run. run() does this
+  /// automatically before returning.
+  void detach_engines();
+
  private:
   struct ChainState {
-    core::PlfEngine* engine;
+    std::unique_ptr<core::PlfEngine> engine;
     std::unique_ptr<McmcChain> chain;
-    std::size_t heat_rank;  ///< 0 = cold
+    std::size_t heat_rank;   ///< 0 = cold
+    int instance_id = -1;    ///< scheduler id; -1 when unscheduled
   };
 
-  bool heated_step(ChainState& cs);
+  /// One generation for every chain: submitted to the pinned drivers (then
+  /// barriered) when scheduled, sequential otherwise.
+  void step_all();
   void attempt_swap();
+  /// Run `fn(index, chain state)` for every chain on its pinned driver
+  /// (inline when unscheduled).
+  void for_each_chain(
+      const std::function<void(std::size_t, ChainState&)>& fn);
 
   CoupledOptions options_;
   std::vector<ChainState> chains_;
+  exec::InstanceScheduler* scheduler_ = nullptr;
   Rng rng_;
+  std::uint64_t generation_ = 0;
   std::uint64_t swaps_proposed_ = 0;
   std::uint64_t swaps_accepted_ = 0;
 };

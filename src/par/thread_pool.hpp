@@ -6,9 +6,26 @@
 // grows (§4.1.1). We reproduce that structure: one pool is created up front,
 // each `parallel_for` is a "parallel region" whose entry/exit are counted and
 // timed so the multi-core timing model can be calibrated from measurements.
+//
+// Multi-region sharing (docs/SHARDING.md): unlike an OpenMP team, the pool
+// accepts parallel_for calls from MANY external threads concurrently. Each
+// call enqueues a region; workers drain the region queue in FIFO order,
+// claiming work units from the oldest region that still has unclaimed units,
+// so independent engine instances can batch their plans through one shared
+// pool without serializing on a single-region lock. A submitting thread only
+// executes units of its own region (and then blocks until that region
+// completes), which bounds its latency by its own work plus whatever the
+// workers are already committed to. Nested calls — a region body invoking
+// parallel_for on the same pool — remain rejected: they could deadlock the
+// workers executing the outer region.
+//
+// Determinism: the static schedule always partitions [begin, end) into
+// exactly `size()` contiguous blocks and passes the BLOCK index as the body's
+// thread_index, no matter which thread claims which block. Reductions that
+// combine per-thread_index partials in index order (ThreadedBackend::
+// run_root_reduce) therefore stay bit-identical under region interleaving.
 #pragma once
 
-#include <atomic>
 #include <cstddef>
 #include <functional>
 #include <thread>
@@ -54,7 +71,9 @@ class ThreadPool {
 
   /// Run `body(range, thread_index)` over [begin, end) across all threads.
   /// Blocks until every iteration has completed (the implicit barrier at the
-  /// end of an OpenMP parallel-for). Safe to call repeatedly; not reentrant.
+  /// end of an OpenMP parallel-for). Safe to call repeatedly and from several
+  /// threads at once (regions from concurrent callers interleave on the
+  /// workers); NOT reentrant from inside a region body on the same pool.
   void parallel_for(std::size_t begin, std::size_t end,
                     const std::function<void(Range, std::size_t)>& body,
                     Schedule schedule = Schedule::kStatic,
@@ -70,26 +89,27 @@ class ThreadPool {
  private:
   struct Region;
   void worker_loop(std::size_t worker_index);
-  void run_share(Region& region, std::size_t thread_index);
+  /// Execute one claimed unit of `region` (block for static, chunk for
+  /// dynamic) as claim slot `slot`. Exceptions are captured into the region.
+  void run_unit(Region& region, std::size_t unit, std::size_t slot);
+  /// Mark `region` finished if all units are claimed and none is running:
+  /// unlinks it from the queue and wakes its submitter.
+  void finish_if_complete(Region& region) PLF_REQUIRES(m_);
+  /// Oldest enqueued region with unclaimed units, or nullptr.
+  Region* claimable_region() PLF_REQUIRES(m_);
 
   std::vector<std::thread> workers_;  // immutable after construction
 
-  // Region broadcast protocol: m_ guards the handshake state below; workers
-  // sleep on cv_start_, the caller sleeps on cv_done_. The Region object
-  // itself is stack-owned by parallel_for and immutable while broadcast
-  // (except Region::error, guarded by its own mutex — see the .cpp).
+  // Region queue protocol: m_ guards the queue and every Region's claim state
+  // (cursor / in-flight count / done flag). Workers sleep on cv_start_ until
+  // some region has unclaimed units; each submitter sleeps on cv_done_ until
+  // its own (stack-owned) region is done. A Region is unlinked under m_
+  // before its submitter can return, so queue pointers never dangle.
   util::Mutex m_;
   util::CondVar cv_start_;
   util::CondVar cv_done_;
-  Region* active_ PLF_GUARDED_BY(m_) = nullptr;  // currently broadcast region
-  /// Bumped per region so workers wake exactly once.
-  std::uint64_t epoch_ PLF_GUARDED_BY(m_) = 0;
-  /// Workers still inside the active region.
-  std::size_t remaining_ PLF_GUARDED_BY(m_) = 0;
+  std::vector<Region*> queue_ PLF_GUARDED_BY(m_);  // FIFO, oldest first
   bool shutting_down_ PLF_GUARDED_BY(m_) = false;
-  /// Rejects nested/concurrent parallel_for calls. An atomic, not m_-guarded
-  /// state: the CAS must fail fast without blocking on a busy region.
-  std::atomic<bool> in_region_{false};
 
   mutable util::Mutex stats_m_;
   PoolStats stats_ PLF_GUARDED_BY(stats_m_);

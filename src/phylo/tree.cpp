@@ -7,6 +7,7 @@
 #include <iomanip>
 
 #include "util/error.hpp"
+#include "util/serialize.hpp"
 
 namespace plf::phylo {
 
@@ -618,6 +619,45 @@ void Tree::validate() const {
     }
   }
   PLF_CHECK(visited == nodes_.size(), "tree not fully connected");
+}
+
+void Tree::save(util::BinaryWriter& w) const {
+  w.section("TREE");
+  w.u64(nodes_.size());
+  for (const TreeNode& n : nodes_) {
+    w.i64(n.parent);
+    w.i64(n.left);
+    w.i64(n.right);
+    w.f64(n.length);
+    w.i64(n.taxon);
+  }
+  w.u64(leaf_of_.size());
+  for (int id : leaf_of_) w.i64(id);
+  w.u64(taxon_names_.size());
+  for (const std::string& name : taxon_names_) w.str(name);
+  w.i64(root_);
+  w.i64(outgroup_);
+}
+
+Tree Tree::load(util::BinaryReader& r) {
+  r.section("TREE");
+  Tree tree;
+  tree.nodes_.resize(r.u64());
+  for (TreeNode& n : tree.nodes_) {
+    n.parent = static_cast<int>(r.i64());
+    n.left = static_cast<int>(r.i64());
+    n.right = static_cast<int>(r.i64());
+    n.length = r.f64();
+    n.taxon = static_cast<int>(r.i64());
+  }
+  tree.leaf_of_.resize(r.u64());
+  for (int& id : tree.leaf_of_) id = static_cast<int>(r.i64());
+  tree.taxon_names_.resize(r.u64());
+  for (std::string& name : tree.taxon_names_) name = r.str();
+  tree.root_ = static_cast<int>(r.i64());
+  tree.outgroup_ = static_cast<int>(r.i64());
+  tree.validate();
+  return tree;
 }
 
 bool Tree::same_topology(const Tree& other) const {

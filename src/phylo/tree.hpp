@@ -15,6 +15,11 @@
 #include <string>
 #include <vector>
 
+namespace plf::util {
+class BinaryWriter;
+class BinaryReader;
+}  // namespace plf::util
+
 namespace plf::phylo {
 
 inline constexpr int kNoNode = -1;
@@ -128,6 +133,13 @@ class Tree {
 
   /// Topology-only equality (same splits), ignoring branch lengths.
   bool same_topology(const Tree& other) const;
+
+  /// Exact binary round-trip for checkpoints: node ids, taxon names, and
+  /// branch lengths as IEEE-754 bit patterns. to_newick() is NOT a substitute
+  /// — decimal formatting loses low bits and node-id assignment on re-parse
+  /// would renumber internals, invalidating per-node CLV state.
+  void save(util::BinaryWriter& w) const;
+  static Tree load(util::BinaryReader& r);
 
  private:
   struct Adjacency;

@@ -69,6 +69,21 @@ class Rng {
   /// parallel streams.
   void jump();
 
+  /// Complete generator state, for checkpoint/restore. The spare-normal
+  /// cache is part of the stream: dropping it would shift every draw after
+  /// the next normal() by one, breaking bit-exact resume.
+  struct State {
+    std::array<std::uint64_t, 4> s{};
+    bool have_spare_normal = false;
+    double spare_normal = 0.0;
+  };
+  State state() const { return State{s_, have_spare_normal_, spare_normal_}; }
+  void set_state(const State& st) {
+    s_ = st.s;
+    have_spare_normal_ = st.have_spare_normal;
+    spare_normal_ = st.spare_normal;
+  }
+
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
     return (x << k) | (x >> (64 - k));

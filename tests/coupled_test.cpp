@@ -36,15 +36,18 @@ struct CoupledFixture {
   Instance inst;
   core::SerialBackend backends[4];
   std::vector<std::unique_ptr<core::PlfEngine>> engines;
-  std::vector<core::PlfEngine*> ptrs;
 
   CoupledFixture(std::size_t n_chains, std::uint64_t seed)
       : inst(make_instance(8, 150, seed)) {
     for (std::size_t i = 0; i < n_chains; ++i) {
       engines.push_back(std::make_unique<core::PlfEngine>(
           inst.data, inst.params, inst.tree, backends[i]));
-      ptrs.push_back(engines.back().get());
     }
+  }
+
+  /// The coupler takes ownership; the fixture's vector is consumed.
+  std::vector<std::unique_ptr<core::PlfEngine>> take() {
+    return std::move(engines);
   }
 };
 
@@ -52,7 +55,7 @@ TEST(CoupledTest, BetaLadderMatchesMrBayesScheme) {
   CoupledFixture fx(4, 81);
   CoupledOptions opts;
   opts.heat = 0.2;
-  CoupledChains mc3(fx.ptrs, opts);
+  CoupledChains mc3(fx.take(), opts);
   EXPECT_DOUBLE_EQ(mc3.beta(0), 1.0);
   EXPECT_DOUBLE_EQ(mc3.beta(1), 1.0 / 1.2);
   EXPECT_DOUBLE_EQ(mc3.beta(2), 1.0 / 1.4);
@@ -65,7 +68,7 @@ TEST(CoupledTest, RunsAndSwaps) {
   opts.chain.seed = 9;
   opts.swap_every = 5;
   opts.chain.sample_every = 50;
-  CoupledChains mc3(fx.ptrs, opts);
+  CoupledChains mc3(fx.take(), opts);
   const auto result = mc3.run(1000);
 
   EXPECT_EQ(result.swaps_proposed, 200u);
@@ -83,7 +86,7 @@ TEST(CoupledTest, DeterministicForFixedSeed) {
   opts.chain.seed = 5;
   opts.swap_every = 10;
   CoupledFixture f1(3, 83), f2(3, 83);
-  CoupledChains a(f1.ptrs, opts), b(f2.ptrs, opts);
+  CoupledChains a(f1.take(), opts), b(f2.take(), opts);
   const auto ra = a.run(400);
   const auto rb = b.run(400);
   EXPECT_EQ(ra.cold.final_ln_likelihood, rb.cold.final_ln_likelihood);
@@ -97,7 +100,7 @@ TEST(CoupledTest, ColdChainTracksPosterior) {
   CoupledFixture fx(4, 84);
   CoupledOptions opts;
   opts.chain.seed = 7;
-  CoupledChains mc3(fx.ptrs, opts);
+  CoupledChains mc3(fx.take(), opts);
   const auto coupled = mc3.run(1500);
 
   core::SerialBackend backend;
@@ -134,7 +137,7 @@ TEST(CoupledTest, SingleChainDegeneratesToPlainMcmc) {
   CoupledFixture fx(1, 86);
   CoupledOptions opts;
   opts.chain.seed = 11;
-  CoupledChains mc3(fx.ptrs, opts);
+  CoupledChains mc3(fx.take(), opts);
   const auto result = mc3.run(300);
   EXPECT_EQ(result.swaps_accepted, 0u);  // no partner to swap with
   EXPECT_EQ(result.cold.total_proposed(), 300u);
@@ -142,7 +145,9 @@ TEST(CoupledTest, SingleChainDegeneratesToPlainMcmc) {
 
 TEST(CoupledTest, RejectsEmptyEngineList) {
   CoupledOptions opts;
-  EXPECT_THROW(CoupledChains({}, opts), Error);
+  EXPECT_THROW(
+      CoupledChains(std::vector<std::unique_ptr<core::PlfEngine>>{}, opts),
+      Error);
 }
 
 TEST(DiagnosticsTest, AutocorrelationBasics) {

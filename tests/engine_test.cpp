@@ -186,6 +186,41 @@ TEST(EngineTest, RejectRestoresStateExactly) {
   }
 }
 
+TEST(EngineTest, RejectAfterEvaluatingPreProposalDirtyStateRecomputes) {
+  // Regression: state that was dirty BEFORE a proposal opened (here: the
+  // whole engine — the very first evaluation happens inside the proposal)
+  // has no valid pre-proposal buffer. reject() used to flip such nodes and
+  // branches back to never-built buffers and leave them clean, so the next
+  // evaluation consumed garbage (empty tip partials, zeroed CLVs). The fix
+  // re-marks pre-proposal-dirty entries dirty on reject.
+  auto inst = Instance::make(10, 150, 5151);
+  SerialBackend backend;
+  PlfEngine fresh(inst.data, inst.params, inst.tree, backend);
+  const double expect = fresh.log_likelihood();
+
+  // Never-evaluated engine: propose, evaluate inside the proposal, reject.
+  PlfEngine engine(inst.data, inst.params, inst.tree, backend);
+  const auto edges = engine.tree().internal_edge_nodes();
+  engine.begin_proposal();
+  engine.apply_nni(edges[0], true);
+  (void)engine.log_likelihood();
+  engine.reject();
+  EXPECT_EQ(engine.log_likelihood(), expect);
+
+  // Same shape mid-run: dirty a path outside a proposal, evaluate it only
+  // inside the next proposal, reject — the path must be recomputed, not
+  // trusted from the flipped-back buffers.
+  const int leaf = engine.tree().leaf_of(3);
+  const double old_len = engine.tree().branch_length(leaf);
+  engine.set_branch_length(leaf, old_len * 3.0);
+  engine.begin_proposal();
+  engine.apply_nni(edges[1 % edges.size()], false);
+  (void)engine.log_likelihood();
+  engine.reject();
+  engine.set_branch_length(leaf, old_len);
+  EXPECT_EQ(engine.log_likelihood(), expect);
+}
+
 TEST(EngineTest, MultiEvaluationProposalRejectRestores) {
   // Regression: a proposal that mutates and evaluates REPEATEDLY (as Brent
   // branch optimization does) must still restore exactly on reject. The

@@ -1,0 +1,329 @@
+// Tests for the multi-instance runtime (src/exec/): the InstanceScheduler's
+// ordering/barrier/error contracts, PartitionSpec parsing and splitting, and
+// PartitionedEngine's fan-out protocol — including the headline property
+// that scheduled (driver-threaded) and inline execution are bit-identical.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/backend.hpp"
+#include "core/engine.hpp"
+#include "exec/partitioned.hpp"
+#include "exec/scheduler.hpp"
+#include "phylo/partition.hpp"
+#include "phylo/patterns.hpp"
+#include "seqgen/datasets.hpp"
+#include "seqgen/evolve.hpp"
+#include "seqgen/random_tree.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/serialize.hpp"
+
+namespace plf::exec {
+namespace {
+
+struct Instance {
+  phylo::Tree tree;
+  phylo::GtrParams params;
+  phylo::Alignment aln;
+  phylo::PatternMatrix data;
+};
+
+Instance make_instance(std::size_t taxa, std::size_t cols, std::uint64_t seed) {
+  Rng rng(seed);
+  phylo::Tree tree = seqgen::yule_tree(taxa, rng, 1.0, 0.15);
+  phylo::GtrParams params = seqgen::default_gtr_params();
+  phylo::SubstitutionModel model(params);
+  seqgen::SequenceEvolver ev(tree, model);
+  phylo::Alignment aln = ev.evolve(cols, rng);
+  auto data = phylo::PatternMatrix::compress(aln);
+  return Instance{std::move(tree), params, std::move(aln), std::move(data)};
+}
+
+TEST(InstanceSchedulerTest, RegistersAndLabelsInstances) {
+  core::SerialBackend backend;
+  const Instance inst = make_instance(6, 80, 11);
+  core::PlfEngine e0(inst.data, inst.params, inst.tree, backend);
+  core::PlfEngine e1(inst.data, inst.params, inst.tree, backend);
+
+  InstanceScheduler sched(2);
+  const int id0 = sched.register_instance(e0, "alpha");
+  const int id1 = sched.register_instance(e1, "beta");
+  EXPECT_EQ(id0, 0);
+  EXPECT_EQ(id1, 1);
+  EXPECT_EQ(sched.n_instances(), 2u);
+  EXPECT_EQ(sched.instance(id0).label, "alpha");
+  EXPECT_EQ(sched.instance(id1).label, "beta");
+  EXPECT_EQ(&sched.engine(id0), &e0);
+  EXPECT_EQ(e0.instance_label(), "alpha");
+  // Instances round-robin over drivers.
+  EXPECT_NE(sched.instance(id0).driver, sched.instance(id1).driver);
+}
+
+TEST(InstanceSchedulerTest, TasksForOneInstanceRunInSubmissionOrder) {
+  core::SerialBackend backend;
+  const Instance inst = make_instance(6, 80, 12);
+  core::PlfEngine e(inst.data, inst.params, inst.tree, backend);
+  InstanceScheduler sched(1);
+  const int id = sched.register_instance(e, "only");
+
+  std::vector<int> order;
+  for (int i = 0; i < 64; ++i) {
+    sched.submit(id, [&order, i] { order.push_back(i); });
+  }
+  sched.barrier();
+  ASSERT_EQ(order.size(), 64u);
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(InstanceSchedulerTest, BarrierRethrowsFirstTaskError) {
+  core::SerialBackend backend;
+  const Instance inst = make_instance(6, 80, 13);
+  core::PlfEngine e(inst.data, inst.params, inst.tree, backend);
+  InstanceScheduler sched(2);
+  const int id = sched.register_instance(e, "x");
+
+  sched.submit(id, [] { throw Error("task boom"); });
+  sched.submit(id, [] {});  // queued behind the throwing task: still runs
+  try {
+    sched.barrier();
+    FAIL() << "barrier() swallowed the task exception";
+  } catch (const Error& err) {
+    EXPECT_NE(std::string(err.what()).find("task boom"), std::string::npos);
+  }
+
+  // The scheduler stays usable after a failed barrier.
+  std::atomic<int> ran{0};
+  sched.submit(id, [&ran] { ran.fetch_add(1); });
+  sched.barrier();
+  EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(InstanceSchedulerTest, ForEachInstanceVisitsEveryEngineConcurrently) {
+  core::SerialBackend b0, b1, b2;
+  const Instance inst = make_instance(6, 80, 14);
+  core::PlfEngine e0(inst.data, inst.params, inst.tree, b0);
+  core::PlfEngine e1(inst.data, inst.params, inst.tree, b1);
+  core::PlfEngine e2(inst.data, inst.params, inst.tree, b2);
+  InstanceScheduler sched(3);
+  sched.register_instance(e0, "p0");
+  sched.register_instance(e1, "p1");
+  sched.register_instance(e2, "p2");
+
+  std::vector<double> lnl(3, 0.0);
+  sched.for_each_instance([&lnl](int id, core::PlfEngine& e) {
+    lnl[static_cast<std::size_t>(id)] = e.log_likelihood();
+  });
+  // Identical engines on identical data: identical bits.
+  EXPECT_EQ(lnl[0], lnl[1]);
+  EXPECT_EQ(lnl[1], lnl[2]);
+}
+
+TEST(PartitionSpecTest, UniformCoversAndNames) {
+  const auto spec = phylo::PartitionSpec::uniform(10, 3);
+  ASSERT_EQ(spec.n_parts(), 3u);
+  // 10 = 4 + 3 + 3, remainder to the first ranges.
+  EXPECT_EQ(spec.range(0).name, "part0");
+  EXPECT_EQ(spec.range(0).begin, 0u);
+  EXPECT_EQ(spec.range(0).end, 4u);
+  EXPECT_EQ(spec.range(1).begin, 4u);
+  EXPECT_EQ(spec.range(1).end, 7u);
+  EXPECT_EQ(spec.range(2).begin, 7u);
+  EXPECT_EQ(spec.range(2).end, 10u);
+}
+
+TEST(PartitionSpecTest, ParseInclusiveRanges) {
+  const auto spec = phylo::PartitionSpec::parse("genA:0-499,genB:500-799", 800);
+  ASSERT_EQ(spec.n_parts(), 2u);
+  EXPECT_EQ(spec.range(0).name, "genA");
+  EXPECT_EQ(spec.range(0).begin, 0u);
+  EXPECT_EQ(spec.range(0).end, 500u);
+  EXPECT_EQ(spec.range(1).name, "genB");
+  EXPECT_EQ(spec.range(1).end, 800u);
+}
+
+TEST(PartitionSpecTest, RejectsGapsOverlapsAndShortCoverage) {
+  EXPECT_THROW(phylo::PartitionSpec::parse("a:0-3,b:5-9", 10), Error);
+  EXPECT_THROW(phylo::PartitionSpec::parse("a:0-5,b:4-9", 10), Error);
+  EXPECT_THROW(phylo::PartitionSpec::parse("a:0-8", 10), Error);
+  EXPECT_THROW(phylo::PartitionSpec::uniform(2, 3), Error);
+}
+
+TEST(PartitionSpecTest, SplitRoundTripsColumns) {
+  const Instance inst = make_instance(5, 30, 15);
+  const auto spec = phylo::PartitionSpec::uniform(30, 4);
+  const auto parts = spec.split(inst.aln);
+  ASSERT_EQ(parts.size(), 4u);
+  std::size_t total = 0;
+  for (std::size_t p = 0; p < parts.size(); ++p) {
+    EXPECT_EQ(parts[p].n_taxa(), inst.aln.n_taxa());
+    EXPECT_EQ(parts[p].n_columns(), spec.range(p).n_columns());
+    total += parts[p].n_columns();
+    for (std::size_t t = 0; t < parts[p].n_taxa(); ++t) {
+      EXPECT_EQ(parts[p].sequence(t),
+                inst.aln.sequence(t).substr(spec.range(p).begin,
+                                            spec.range(p).n_columns()));
+    }
+  }
+  EXPECT_EQ(total, inst.aln.n_columns());
+}
+
+TEST(PartitionedEngineTest, SumOfPartsMatchesMonolithicLikelihood) {
+  // Per-site lnL terms are independent, so partitioning only changes the
+  // floating-point summation grouping — the totals agree to tight tolerance
+  // (not bitwise: pattern compression differs per part).
+  core::SerialBackend backend;
+  const Instance inst = make_instance(8, 240, 16);
+  core::PlfEngine mono(inst.data, inst.params, inst.tree, backend);
+  PartitionedEngine parts(inst.aln, phylo::PartitionSpec::uniform(240, 3),
+                          {inst.params}, inst.tree, backend);
+  const double mono_lnl = mono.log_likelihood();
+  EXPECT_NEAR(parts.log_likelihood(), mono_lnl, 1e-8 * std::abs(mono_lnl));
+}
+
+TEST(PartitionedEngineTest, ScheduledAndInlineAreBitIdentical) {
+  par::ThreadPool pool(4);
+  core::ThreadedBackend backend(pool);
+  const Instance inst = make_instance(8, 240, 17);
+  const auto spec = phylo::PartitionSpec::uniform(240, 3);
+
+  PartitionedEngine inline_pe(inst.aln, spec, {inst.params}, inst.tree,
+                              backend);
+  InstanceScheduler sched(3);
+  PartitionedEngine sched_pe(inst.aln, spec, {inst.params}, inst.tree,
+                             backend, PartitionedEngine::Config{}, &sched);
+
+  EXPECT_EQ(sched_pe.log_likelihood(), inline_pe.log_likelihood());
+
+  // Same move sequence through both: branch moves, an NNI proposal cycle,
+  // and a per-partition model change.
+  const auto edges = inline_pe.tree().internal_edge_nodes();
+  ASSERT_FALSE(edges.empty());
+  for (int round = 0; round < 6; ++round) {
+    const int leaf = inline_pe.tree().leaf_of(round % 8);
+    const double len = 0.05 + 0.02 * round;
+    inline_pe.set_branch_length(leaf, len);
+    sched_pe.set_branch_length(leaf, len);
+    if (round % 2 == 0) {
+      const int v = edges[static_cast<std::size_t>(round) % edges.size()];
+      inline_pe.begin_proposal();
+      sched_pe.begin_proposal();
+      inline_pe.apply_nni(v, round % 4 == 0);
+      sched_pe.apply_nni(v, round % 4 == 0);
+      EXPECT_EQ(sched_pe.log_likelihood(), inline_pe.log_likelihood());
+      inline_pe.reject();
+      sched_pe.reject();
+    }
+    EXPECT_EQ(sched_pe.log_likelihood(), inline_pe.log_likelihood());
+  }
+  phylo::GtrParams hot = inst.params;
+  hot.gamma_shape *= 1.5;
+  inline_pe.set_model(1, hot);
+  sched_pe.set_model(1, hot);
+  EXPECT_EQ(sched_pe.log_likelihood(), inline_pe.log_likelihood());
+  sched_pe.detach_threads();
+}
+
+TEST(PartitionedEngineTest, ModelMoveTouchesOnlyItsPartition) {
+  core::SerialBackend backend;
+  const Instance inst = make_instance(8, 240, 18);
+  PartitionedEngine pe(inst.aln, phylo::PartitionSpec::uniform(240, 3),
+                       {inst.params}, inst.tree, backend);
+  (void)pe.log_likelihood();
+  const double p0 = pe.part(0).log_likelihood();
+  const double p2 = pe.part(2).log_likelihood();
+
+  phylo::GtrParams hot = inst.params;
+  hot.gamma_shape *= 2.0;
+  pe.set_model(1, hot);
+  (void)pe.log_likelihood();
+  EXPECT_EQ(pe.part(0).log_likelihood(), p0);
+  EXPECT_EQ(pe.part(2).log_likelihood(), p2);
+  EXPECT_EQ(pe.part(1).model_params().gamma_shape, hot.gamma_shape);
+}
+
+TEST(PartitionedEngineTest, ProposalProtocolFansOut) {
+  core::SerialBackend backend;
+  const Instance inst = make_instance(8, 160, 19);
+  PartitionedEngine pe(inst.aln, phylo::PartitionSpec::uniform(160, 2),
+                       {inst.params}, inst.tree, backend);
+  const double before = pe.log_likelihood();
+  const int leaf = pe.tree().leaf_of(0);
+  const double len = pe.tree().branch_length(leaf);
+
+  pe.begin_proposal();
+  pe.set_branch_length(leaf, len * 3.0);
+  EXPECT_NE(pe.log_likelihood(), before);
+  pe.reject();
+  // Reject is the engines' pointer-flip undo: same bits as before.
+  EXPECT_EQ(pe.log_likelihood(), before);
+
+  pe.begin_proposal();
+  pe.set_branch_length(leaf, len * 3.0);
+  const double moved = pe.log_likelihood();
+  pe.accept();
+  EXPECT_EQ(pe.log_likelihood(), moved);
+  EXPECT_EQ(pe.tree().branch_length(leaf), len * 3.0);
+}
+
+TEST(PartitionedEngineTest, CheckpointRoundTripIsBitExact) {
+  core::SerialBackend backend;
+  const Instance inst = make_instance(8, 240, 20);
+  const auto spec = phylo::PartitionSpec::uniform(240, 3);
+  std::vector<phylo::GtrParams> per_part(3, inst.params);
+  per_part[1].gamma_shape *= 1.7;  // distinct models must round-trip
+  PartitionedEngine a(inst.aln, spec, per_part, inst.tree, backend);
+  const int leaf = a.tree().leaf_of(2);
+  a.set_branch_length(leaf, 0.3);
+  const double lnl = a.log_likelihood();
+
+  std::ostringstream os;
+  {
+    util::BinaryWriter w(os);
+    a.save_state(w);
+  }
+  PartitionedEngine b(inst.aln, spec, {inst.params}, inst.tree, backend);
+  std::istringstream is(os.str());
+  {
+    util::BinaryReader r(is);
+    b.restore_state(r);
+  }
+  EXPECT_EQ(b.log_likelihood(), lnl);
+  EXPECT_EQ(b.part(1).model_params().gamma_shape, per_part[1].gamma_shape);
+  EXPECT_EQ(b.tree().branch_length(leaf), 0.3);
+}
+
+TEST(PartitionedEngineTest, RestoreRejectsDifferentPartitionLayout) {
+  core::SerialBackend backend;
+  const Instance inst = make_instance(6, 120, 21);
+  PartitionedEngine a(inst.aln, phylo::PartitionSpec::uniform(120, 3),
+                      {inst.params}, inst.tree, backend);
+  std::ostringstream os;
+  {
+    util::BinaryWriter w(os);
+    a.save_state(w);
+  }
+  PartitionedEngine b(inst.aln, phylo::PartitionSpec::uniform(120, 2),
+                      {inst.params}, inst.tree, backend);
+  std::istringstream is(os.str());
+  util::BinaryReader r(is);
+  EXPECT_THROW(b.restore_state(r), Error);
+}
+
+TEST(PartitionedEngineTest, RejectsBadParamsCount) {
+  core::SerialBackend backend;
+  const Instance inst = make_instance(6, 120, 22);
+  std::vector<phylo::GtrParams> two(2, inst.params);
+  EXPECT_THROW(PartitionedEngine(inst.aln,
+                                 phylo::PartitionSpec::uniform(120, 3), two,
+                                 inst.tree, backend),
+               Error);
+}
+
+}  // namespace
+}  // namespace plf::exec

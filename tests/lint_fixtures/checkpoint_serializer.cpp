@@ -1,0 +1,14 @@
+// Known-bad fixture for plf_lint rule checkpoint-serializer: dumping engine
+// state as a raw struct through a stream instead of the versioned
+// util::BinaryWriter format. Linted as if at src/mcmc/ckpt_bad.cpp; never
+// compiled.
+#include <ostream>
+
+struct ChainState {
+  unsigned long long generation;
+  double ln_lik;
+};
+
+void dump_state(std::ostream& os, const ChainState& st) {
+  os.write(reinterpret_cast<const char*>(&st), sizeof(st));
+}

@@ -1,0 +1,29 @@
+// Known-good companion for plf_lint rule checkpoint-serializer: state goes
+// through the versioned util::BinaryWriter, and plain text stream writes are
+// not binary dumps. Linted as if at src/mcmc/ckpt_ok.cpp; never compiled.
+#include <ostream>
+#include <string>
+
+namespace util {
+struct BinaryWriter {
+  explicit BinaryWriter(std::ostream& os);
+  void u64(unsigned long long v);
+  void f64(double v);
+  void str(const std::string& s);
+};
+}  // namespace util
+
+struct ChainState {
+  unsigned long long generation;
+  double ln_lik;
+};
+
+void save_state(std::ostream& os, const ChainState& st) {
+  util::BinaryWriter w(os);
+  w.u64(st.generation);
+  w.f64(st.ln_lik);
+}
+
+void write_report(std::ostream& os, const std::string& text) {
+  os.write(text.data(), static_cast<long>(text.size()));
+}

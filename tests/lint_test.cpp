@@ -51,6 +51,8 @@ const GoldenCase kGolden[] = {
     {"atomic_memory_order.cpp", "src/obs/atomic_bad.cpp",
      "atomic-memory-order"},
     {"arena_contract.cpp", "src/core/clv_arena.cpp", "arena-contract"},
+    {"checkpoint_serializer.cpp", "src/mcmc/ckpt_bad.cpp",
+     "checkpoint-serializer"},
 };
 
 TEST(LintGolden, EachRuleFiresExactlyOnce) {
@@ -121,6 +123,20 @@ TEST(LintGolden, OutOfScopePathsAreExempt) {
   EXPECT_TRUE(
       lint_source("src/core/engine.cpp", read_fixture("arena_contract.cpp"))
           .empty());
+  // The instance scheduler's driver threads are sanctioned, like the pool's.
+  EXPECT_TRUE(
+      lint_source("src/exec/scheduler.cpp", read_fixture("raw_thread.cpp"))
+          .empty());
+  // The serializer itself is the one place allowed to touch raw bytes.
+  EXPECT_TRUE(lint_source("src/util/serialize.cpp",
+                          read_fixture("checkpoint_serializer.cpp"))
+                  .empty());
+}
+
+TEST(LintGolden, KnownGoodCheckpointSerializerIsClean) {
+  const std::vector<Finding> findings = lint_source(
+      "src/mcmc/ckpt_ok.cpp", read_fixture("checkpoint_serializer_ok.cpp"));
+  EXPECT_TRUE(findings.empty());
 }
 
 TEST(LintTokenizer, SkipsCommentsAndFoldsStrings) {

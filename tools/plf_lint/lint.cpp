@@ -144,7 +144,7 @@ std::vector<Token> tokenize(std::string_view src) {
 const std::vector<std::string>& rule_names() {
   static const std::vector<std::string> names = {
       "kernel-contract", "prof-name-constant", "raw-thread", "float-equality",
-      "atomic-memory-order", "arena-contract"};
+      "atomic-memory-order", "arena-contract", "checkpoint-serializer"};
   return names;
 }
 
@@ -440,9 +440,44 @@ void rule_raw_thread(std::string_view relpath, const std::vector<Token>& t,
     }
     out.push_back(Finding{
         std::string(relpath), t[i].line, "raw-thread",
-        "raw std::" + name + " outside src/par/; all parallelism must go "
-        "through par::ThreadPool so region accounting and the timing model "
-        "stay complete"});
+        "raw std::" + name + " outside src/par/ or src/exec/; all "
+        "parallelism must go through par::ThreadPool or the instance "
+        "scheduler so region accounting and the timing model stay complete"});
+  }
+}
+
+// --- rule: checkpoint-serializer --------------------------------------------
+
+void rule_checkpoint_serializer(std::string_view relpath,
+                                const std::vector<Token>& t,
+                                std::vector<Finding>& out) {
+  for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+    if (t[i].kind != Token::Kind::kIdent) continue;
+    const std::string& name = t[i].text;
+    if (t[i + 1].kind != Token::Kind::kPunct || t[i + 1].text != "(") continue;
+    if (name == "fwrite" || name == "fread") {
+      out.push_back(Finding{
+          std::string(relpath), t[i].line, "checkpoint-serializer",
+          "ad-hoc std::" + name + " outside src/util/serialize.cpp; "
+          "persistent binary state must go through util::BinaryWriter/"
+          "BinaryReader so every checkpoint carries the versioned header "
+          "and stays restorable across releases"});
+      continue;
+    }
+    // Pattern: <stream>.write(reinterpret_cast<...>(...), n) — the classic
+    // raw-struct dump. Plain text stream writes don't match.
+    if ((name == "write" || name == "read") && i >= 1 &&
+        t[i - 1].kind == Token::Kind::kPunct &&
+        (t[i - 1].text == "." || t[i - 1].text == "->") &&
+        i + 2 < t.size() && t[i + 2].kind == Token::Kind::kIdent &&
+        t[i + 2].text == "reinterpret_cast") {
+      out.push_back(Finding{
+          std::string(relpath), t[i].line, "checkpoint-serializer",
+          "raw stream ." + name + "(reinterpret_cast<...>) outside "
+          "src/util/serialize.cpp; persistent binary state must go through "
+          "util::BinaryWriter/BinaryReader so every checkpoint carries the "
+          "versioned header and stays restorable across releases"});
+    }
   }
 }
 
@@ -527,7 +562,10 @@ std::vector<Finding> lint_source(std::string_view relpath, std::string_view text
   const bool in_src = starts_with(relpath, "src/");
   const bool kernels_file = starts_with(relpath, "src/core/kernels_") &&
                             ends_with(relpath, ".cpp");
-  const bool in_par = starts_with(relpath, "src/par/");
+  // src/exec/ owns the multi-instance driver threads (exec/scheduler.cpp);
+  // like the pool itself, it is the sanctioned home for std::thread.
+  const bool in_pool_layer = starts_with(relpath, "src/par/") ||
+                             starts_with(relpath, "src/exec/");
   const bool numeric_scope = (starts_with(relpath, "src/core/") ||
                               starts_with(relpath, "src/numerics/")) &&
                              relpath != "src/numerics/ulp.hpp";
@@ -537,7 +575,10 @@ std::vector<Finding> lint_source(std::string_view relpath, std::string_view text
   if (kernels_file) rule_kernel_contract(relpath, t, out);
   if (arena_file) rule_arena_contract(relpath, t, out);
   if (in_src) rule_prof_name(relpath, t, out);
-  if (in_src && !in_par) rule_raw_thread(relpath, t, out);
+  if (in_src && !in_pool_layer) rule_raw_thread(relpath, t, out);
+  if (in_src && relpath != "src/util/serialize.cpp") {
+    rule_checkpoint_serializer(relpath, t, out);
+  }
   if (numeric_scope) rule_float_equality(relpath, t, out);
   if (in_src) {
     std::set<std::string> atomic_names;

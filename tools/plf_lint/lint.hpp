@@ -8,9 +8,14 @@
 //   prof-name-constant   PLF_PROF_SCOPE/COUNT/GAUGE names must be the interned
 //                        constants from obs/names.hpp, never ad-hoc string
 //                        literals (ad-hoc names fragment the Fig. 12 report)
-//   raw-thread           no std::thread/std::async outside src/par/ — all
-//                        parallelism goes through the pool so region
+//   raw-thread           no std::thread/std::async outside src/par/ and
+//                        src/exec/ — all parallelism goes through the pool
+//                        (or the instance scheduler built on it) so region
 //                        accounting stays complete
+//   checkpoint-serializer  no ad-hoc binary state I/O (fwrite/fread, stream
+//                        .write/.read of reinterpret_cast'ed buffers)
+//                        outside src/util/serialize.cpp — checkpoints must
+//                        ride the versioned BinaryWriter/BinaryReader format
 //   float-equality       no ==/!= on floating-point in src/core/ and
 //                        src/numerics/ outside numerics/ulp.hpp — exact
 //                        comparisons must name their intent via the ULP
