@@ -24,6 +24,7 @@
 #include <chrono>
 #include <cmath>
 #include <cstdint>
+#include <cstdio>
 #include <ctime>
 #include <fstream>
 #include <iostream>
@@ -41,6 +42,7 @@
 #include "exec/partitioned.hpp"
 #include "exec/scheduler.hpp"
 #include "mcmc/coupled.hpp"
+#include "obs/exporter.hpp"
 #include "obs/json_util.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -370,6 +372,62 @@ CaseStat coupled_case(const phylo::PatternMatrix& data,
   return cs;
 }
 
+/// Telemetry overhead (docs/OBSERVABILITY.md): the same sequential 4-chain
+/// MC3 stepping loop with live telemetry off vs exporting a full record —
+/// gauges, JSONL append, atomic status rewrite — EVERY generation, the
+/// worst-case cadence (real runs default to every 100). The gate holds the
+/// "on" case to the same relative threshold as the other MC3 cases, keeping
+/// the observability layer honest about staying off the hot path.
+CaseStat telemetry_case(const phylo::PatternMatrix& data,
+                        const phylo::Tree& tree,
+                        const phylo::GtrParams& params, bool telemetry_on,
+                        std::uint64_t gens, int reps) {
+  CaseStat cs;
+  cs.name = telemetry_on ? "engine.telemetry.on" : "engine.telemetry.off";
+  cs.unit = "s/gen";
+  cs.iters = gens;
+  cs.threshold = 0.40;
+
+  constexpr std::size_t kChains = 4;
+  par::ThreadPool pool(kPoolWorkers);
+  core::ThreadedBackend backend(pool);
+  std::vector<std::unique_ptr<core::PlfEngine>> engines;
+  for (std::size_t i = 0; i < kChains; ++i) {
+    engines.push_back(
+        std::make_unique<core::PlfEngine>(data, params, tree, backend));
+  }
+  const std::string tmp_prefix = "bench_telemetry_" +
+                                 std::to_string(::getpid());
+  std::unique_ptr<obs::TelemetryExporter> exporter;
+  if (telemetry_on) {
+    obs::TelemetryOptions topts;
+    topts.jsonl_path = tmp_prefix + ".jsonl";
+    topts.status_path = tmp_prefix + ".status.json";
+    topts.every_generations = 1;
+    exporter = std::make_unique<obs::TelemetryExporter>(
+        topts, &obs::MetricsRegistry::global());
+  }
+  mcmc::CoupledOptions opts;
+  opts.chain.seed = 4343;
+  opts.telemetry = exporter.get();
+  mcmc::CoupledChains mc3(std::move(engines), opts);
+
+  std::uint64_t target = 5;  // warm-up: plans, pair tables, first record
+  mc3.run(target);
+  for (int rep = 0; rep < reps; ++rep) {
+    const double t0 = now_s();
+    target += gens;
+    mc3.run(target);
+    const double t1 = now_s();
+    cs.values.push_back((t1 - t0) / static_cast<double>(gens));
+  }
+  if (telemetry_on) {
+    std::remove((tmp_prefix + ".jsonl").c_str());
+    std::remove((tmp_prefix + ".status.json").c_str());
+  }
+  return cs;
+}
+
 /// Partitioned model: 4 uniform partitions of one alignment, each with its
 /// own engine, summed per-evaluation through the shared-pool scheduler.
 CaseStat partitioned_case(const phylo::Alignment& aln,
@@ -583,6 +641,13 @@ int main(int argc, char** argv) {
   for (const bool shared : {false, true}) {
     cases.push_back(
         coupled_case(data, tree, params, shared, coupled_gens, reps));
+    std::cerr << cases.back().name << ": " << cases.back().min() * 1e3
+              << " ms/gen (min of " << reps << ")\n";
+  }
+  // Telemetry overhead pair: off vs a full record every generation.
+  for (const bool telemetry_on : {false, true}) {
+    cases.push_back(
+        telemetry_case(data, tree, params, telemetry_on, coupled_gens, reps));
     std::cerr << cases.back().name << ": " << cases.back().min() * 1e3
               << " ms/gen (min of " << reps << ")\n";
   }

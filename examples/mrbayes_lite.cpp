@@ -12,7 +12,18 @@
 //                     [--metrics-json[=FILE]] [--shared-pool[=DRIVERS]]
 //                     [--checkpoint-every=N] [--checkpoint=FILE]
 //                     [--resume=FILE] [--partitions=N|SPEC]
+//                     [--telemetry[=FILE]] [--telemetry-every=N]
+//                     [--status-file=FILE] [--stop-at-ess=N]
 //                     [alignment-file] [generations] [chains] [seed]
+//
+// --telemetry streams one plf-telemetry-v1 JSONL record (gen, lnL, streaming
+// ESS, R-hat, acceptance + swap rates, metrics snapshot) every
+// --telemetry-every generations (default 100) to FILE (default
+// plf_telemetry.jsonl); --status-file additionally maintains an atomic
+// latest-status JSON that tools/plf_status renders live. With --resume the
+// telemetry file is truncated to the checkpoint's generation and the
+// continuation appends bit-consistently. --stop-at-ess=N ends the run early
+// once the cold chain's streaming lnL ESS reaches N (docs/OBSERVABILITY.md).
 //
 // --shared-pool steps all chains concurrently through an
 // exec::InstanceScheduler (DRIVERS driver threads, default one per chain) on
@@ -46,6 +57,7 @@
 #include "mcmc/consensus.hpp"
 #include "mcmc/coupled.hpp"
 #include "mcmc/diagnostics.hpp"
+#include "obs/exporter.hpp"
 #include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 #include "obs/report.hpp"
@@ -101,6 +113,10 @@ int run_main(int argc, char** argv) {
   std::string checkpoint_path = "mrbayes_lite.ckpt";
   std::string resume_path;          // empty: fresh run
   std::string partitions_spec;      // empty: unpartitioned
+  std::string telemetry_path;       // empty: no JSONL telemetry
+  std::string status_path;          // empty: no latest-status file
+  std::uint64_t telemetry_every = 100;
+  double stop_at_ess = 0.0;
   std::vector<const char*> pos;
   for (int i = 1; i < argc; ++i) {
     constexpr const char* kRepeatsFlag = "--site-repeats=";
@@ -137,6 +153,18 @@ int run_main(int argc, char** argv) {
       resume_path = arg.substr(std::strlen("--resume="));
     } else if (arg.rfind("--partitions=", 0) == 0) {
       partitions_spec = arg.substr(std::strlen("--partitions="));
+    } else if (arg == "--telemetry") {
+      telemetry_path = "plf_telemetry.jsonl";
+    } else if (arg.rfind("--telemetry=", 0) == 0) {
+      telemetry_path = arg.substr(std::strlen("--telemetry="));
+    } else if (arg.rfind("--telemetry-every=", 0) == 0) {
+      telemetry_every = std::strtoull(
+          arg.c_str() + std::strlen("--telemetry-every="), nullptr, 10);
+    } else if (arg.rfind("--status-file=", 0) == 0) {
+      status_path = arg.substr(std::strlen("--status-file="));
+    } else if (arg.rfind("--stop-at-ess=", 0) == 0) {
+      stop_at_ess = std::strtod(
+          arg.c_str() + std::strlen("--stop-at-ess="), nullptr);
     } else {
       pos.push_back(argv[i]);
     }
@@ -224,6 +252,21 @@ int run_main(int argc, char** argv) {
   opts.chain.w_spr = 1.5;   // eSPR improves topology mixing
   opts.checkpoint_every = checkpoint_every;
   opts.checkpoint_path = checkpoint_path;
+  opts.stop_at_ess = stop_at_ess;
+  std::unique_ptr<obs::TelemetryExporter> telemetry;
+  if (!telemetry_path.empty() || !status_path.empty()) {
+    obs::TelemetryOptions topts;
+    topts.jsonl_path = telemetry_path;
+    topts.status_path = status_path;
+    topts.every_generations = telemetry_every;
+    telemetry = std::make_unique<obs::TelemetryExporter>(
+        topts, &obs::MetricsRegistry::global());
+    opts.telemetry = telemetry.get();
+    std::cout << "telemetry: every " << telemetry_every << " generations";
+    if (!telemetry_path.empty()) std::cout << " -> " << telemetry_path;
+    if (!status_path.empty()) std::cout << ", status " << status_path;
+    std::cout << "\n";
+  }
   std::unique_ptr<exec::InstanceScheduler> scheduler;
   if (shared_pool) {
     scheduler = std::make_unique<exec::InstanceScheduler>(
@@ -236,8 +279,21 @@ int run_main(int argc, char** argv) {
     mc3.restore_checkpoint_file(resume_path);
     std::cout << "resumed from " << resume_path << " at generation "
               << mc3.generation() << "\n\n";
+    // Drop any telemetry tail a crashed run wrote past this checkpoint, so
+    // the continuation appends with strictly monotone generations.
+    if (telemetry != nullptr) telemetry->prepare_resume(mc3.generation());
   }
   const auto result = mc3.run(gens);
+  if (result.stopped_at_ess) {
+    std::cout << "stopped early at generation " << mc3.generation()
+              << ": streaming lnL ESS " << Table::num(mc3.cold_ess().ess(), 1)
+              << " reached --stop-at-ess=" << stop_at_ess << "\n";
+  }
+  if (telemetry != nullptr) {
+    std::cout << "telemetry: " << telemetry->records_written()
+              << " records (last generation " << telemetry->last_generation()
+              << ")\n";
+  }
 
   std::cout << "cold chain: lnL " << result.cold.samples.front().ln_likelihood
             << " -> " << result.cold.final_ln_likelihood << " (best "

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.hpp"
 #include "obs/names.hpp"
 #include "obs/profile.hpp"
 #include "util/clock.hpp"
@@ -166,6 +167,22 @@ void McmcChain::restore_state(util::BinaryReader& r) {
     st.proposed = r.u64();
     st.accepted = r.u64();
     stats_[name] = st;
+  }
+}
+
+void publish_proposal_gauges(
+    obs::MetricsRegistry& registry,
+    const std::map<std::string, ProposalStats>& stats) {
+  for (const auto& [name, st] : stats) {
+    registry.set_gauge(
+        registry.gauge(std::string(obs::kGaugeMcmcProposedPrefix) + name),
+        static_cast<double>(st.proposed));
+    registry.set_gauge(
+        registry.gauge(std::string(obs::kGaugeMcmcAcceptedPrefix) + name),
+        static_cast<double>(st.accepted));
+    registry.set_gauge(
+        registry.gauge(std::string(obs::kGaugeMcmcAcceptRatePrefix) + name),
+        st.acceptance_rate());
   }
 }
 

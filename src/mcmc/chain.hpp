@@ -30,6 +30,10 @@ class BinaryWriter;
 class BinaryReader;
 }  // namespace plf::util
 
+namespace plf::obs {
+class MetricsRegistry;
+}  // namespace plf::obs
+
 namespace plf::mcmc {
 
 struct McmcOptions {
@@ -134,6 +138,14 @@ class McmcChain {
   std::uint64_t generation_ = 0;
   double ln_lik_ = 0.0;
 };
+
+/// Publish per-proposal-type proposed/accepted counters and acceptance
+/// rates as "mcmc.*" gauges — the obs/names.hpp prefix constants completed
+/// with each proposal's registered name ("mcmc.accept_rate.nni", ...). Used
+/// by the telemetry tick (live monitoring) and after a finished run; pass
+/// McmcResult::proposals or an aggregate over coupled chains.
+void publish_proposal_gauges(obs::MetricsRegistry& registry,
+                             const std::map<std::string, ProposalStats>& stats);
 
 /// Bridge into the architecture study: convert a finished run's engine
 /// statistics into the PlfWorkload the arch models consume.

@@ -6,6 +6,9 @@
 #include <fstream>
 #include <sstream>
 
+#include "obs/exporter.hpp"
+#include "obs/metrics.hpp"
+#include "obs/names.hpp"
 #include "util/clock.hpp"
 #include "util/error.hpp"
 #include "util/serialize.hpp"
@@ -91,6 +94,15 @@ void CoupledChains::attempt_swap() {
   const double ln_a = a.chain->ln_likelihood();
   const double ln_b = b.chain->ln_likelihood();
 
+  // Per-pair tallies are keyed on the HEAT RANKS involved (not the engine
+  // indices): "0-1" is always cold-vs-first-heated, the pair practitioners
+  // watch — a healthy ladder swaps adjacent ranks often.
+  const std::size_t lo = std::min(a.heat_rank, b.heat_rank);
+  const std::size_t hi = std::max(a.heat_rank, b.heat_rank);
+  ProposalStats& pair =
+      swap_pair_stats_[std::to_string(lo) + "-" + std::to_string(hi)];
+  ++pair.proposed;
+
   // Tempered-likelihood targets: priors cancel in the swap ratio.
   const double log_ratio = (beta_a - beta_b) * (ln_b - ln_a);
   if (log_ratio >= 0.0 || std::log(rng_.uniform() + 1e-300) < log_ratio) {
@@ -98,7 +110,72 @@ void CoupledChains::attempt_swap() {
     a.chain->set_likelihood_power(beta(a.heat_rank));
     b.chain->set_likelihood_power(beta(b.heat_rank));
     ++swaps_accepted_;
+    ++pair.accepted;
   }
+}
+
+std::map<std::string, ProposalStats> CoupledChains::aggregate_proposal_stats()
+    const {
+  std::map<std::string, ProposalStats> agg;
+  for (const auto& cs : chains_) {
+    for (const auto& [name, st] : cs.chain->proposal_stats()) {
+      agg[name].proposed += st.proposed;
+      agg[name].accepted += st.accepted;
+    }
+  }
+  return agg;
+}
+
+void CoupledChains::export_telemetry(std::uint64_t gen, double wall_s) {
+  obs::TelemetryExporter* exporter = options_.telemetry;
+  const std::size_t cold_i = cold_index();
+
+  obs::TelemetryRecord rec;
+  rec.generation = gen;
+  rec.wall_s = wall_s;
+  rec.n_samples = cold_ess_.count();
+  rec.ln_likelihood = chains_[cold_i].chain->ln_likelihood();
+  rec.mean_ln_likelihood = cold_ess_.mean();
+  rec.ess = cold_ess_.ess();
+  rec.ess_per_sec = wall_s > 0.0 ? rec.ess / wall_s : 0.0;
+  rec.rhat = cold_ess_.split_rhat();
+
+  const std::map<std::string, ProposalStats> agg = aggregate_proposal_stats();
+  for (const auto& [name, st] : agg) {
+    rec.acceptance.push_back(
+        obs::TelemetryRate{name, st.proposed, st.accepted});
+  }
+  rec.swaps.proposed = swaps_proposed_;
+  rec.swaps.accepted = swaps_accepted_;
+  for (const auto& [name, st] : swap_pair_stats_) {
+    rec.swap_pairs.push_back(
+        obs::TelemetryRate{name, st.proposed, st.accepted});
+  }
+  // Arena counters are mutex-guarded inside the arena, readable from the
+  // control thread even while engines stay confined to their drivers.
+  rec.extra.emplace_back(
+      "arena.hit_rate",
+      chains_[cold_i].engine->arena().counters().hit_rate());
+
+  if (obs::MetricsRegistry* reg = exporter->registry(); reg != nullptr) {
+    // Refresh the gauges the embedded metrics snapshot carries. Engine
+    // stats publishing is thread-confined (it PLF_CHECKs the binding), so
+    // route it through the pinned drivers like every other engine touch.
+    for_each_chain(
+        [reg](std::size_t, ChainState& cs) { cs.engine->publish_stats(*reg); });
+    publish_proposal_gauges(*reg, agg);
+    reg->set_gauge(reg->gauge(obs::kGaugeMcmcColdLnL), rec.ln_likelihood);
+    reg->set_gauge(reg->gauge(obs::kGaugeMcmcColdEss), rec.ess);
+    reg->set_gauge(reg->gauge(obs::kGaugeMcmcColdRhat), rec.rhat);
+    reg->set_gauge(reg->gauge(obs::kGaugeMc3SwapRate),
+                   rec.swaps.rate());
+    for (const obs::TelemetryRate& p : rec.swap_pairs) {
+      reg->set_gauge(
+          reg->gauge(std::string(obs::kGaugeMc3SwapPairPrefix) + p.name),
+          p.rate());
+    }
+  }
+  exporter->export_record(rec);
 }
 
 CoupledResult CoupledChains::run(std::uint64_t target_generation) {
@@ -138,6 +215,14 @@ CoupledResult CoupledChains::run(std::uint64_t target_generation) {
       for_each_chain([&](std::size_t i, ChainState&) {
         if (i == cold_index()) sample_cold(g);
       });
+      // Feed the streaming diagnostics exactly at the (absolute-generation)
+      // sampling cadence, so a resumed run continues the estimator sequence
+      // the uninterrupted run would have produced.
+      cold_ess_.add(chains_[cold_index()].chain->ln_likelihood());
+      if (options_.stop_at_ess > 0.0 && cold_ess_.count() >= 8 &&
+          cold_ess_.ess() >= options_.stop_at_ess) {
+        result.stopped_at_ess = true;
+      }
     }
     result.cold.best_ln_likelihood =
         std::max(result.cold.best_ln_likelihood,
@@ -146,6 +231,14 @@ CoupledResult CoupledChains::run(std::uint64_t target_generation) {
         g % options_.checkpoint_every == 0) {
       save_checkpoint_file(options_.checkpoint_path);
     }
+    // Telemetry last, after the generation's state is final: it only READS
+    // lnL doubles and counters, never the RNG streams or engine float
+    // state, so trajectories are bit-identical with telemetry on or off.
+    if (options_.telemetry != nullptr &&
+        (options_.telemetry->due(g) || result.stopped_at_ess)) {
+      export_telemetry(g, wall.seconds());
+    }
+    if (result.stopped_at_ess) break;
   }
 
   // Final newick read also touches confined tree state.
@@ -161,15 +254,10 @@ CoupledResult CoupledChains::run(std::uint64_t target_generation) {
   // Aggregate proposal statistics over all chains (the PLF workload of an
   // (MC)^3 run is the SUM over chains — how MrBayes multiplies the paper's
   // kernel invocations).
-  for (const auto& cs : chains_) {
-    for (const auto& [name, st] : cs.chain->proposal_stats()) {
-      auto& agg = result.cold.proposals[name];
-      agg.proposed += st.proposed;
-      agg.accepted += st.accepted;
-    }
-  }
+  result.cold.proposals = aggregate_proposal_stats();
   result.swaps_proposed = swaps_proposed_;
   result.swaps_accepted = swaps_accepted_;
+  result.swap_pair_stats = swap_pair_stats_;
   // Cold chain first, then by heat rank.
   std::vector<const ChainState*> order;
   for (const auto& cs : chains_) order.push_back(&cs);
@@ -213,6 +301,17 @@ void CoupledChains::save_checkpoint(std::ostream& os) {
     chains_[i].chain->save_state(w);
     w.str(blobs[i]);
   }
+  // Streaming-diagnostics state (checkpoint format v2, docs/SHARDING.md):
+  // telemetry written after --resume must continue the estimator sequence
+  // bit-for-bit, which recomputing from the (unsaved) sample list could not.
+  w.section("TDIA");
+  cold_ess_.save_state(w);
+  w.u64(swap_pair_stats_.size());
+  for (const auto& [name, st] : swap_pair_stats_) {
+    w.str(name);
+    w.u64(st.proposed);
+    w.u64(st.accepted);
+  }
   if (scheduler_ != nullptr) detach_engines();
 }
 
@@ -238,6 +337,17 @@ void CoupledChains::restore_checkpoint(std::istream& is) {
     chains_[i].heat_rank = r.u64();
     chains_[i].chain->restore_state(r);
     blobs[i] = r.str();
+  }
+  r.section("TDIA");
+  cold_ess_.restore_state(r);
+  swap_pair_stats_.clear();
+  const std::uint64_t n_pairs = r.u64();
+  for (std::uint64_t i = 0; i < n_pairs; ++i) {
+    const std::string name = r.str();
+    ProposalStats st;
+    st.proposed = r.u64();
+    st.accepted = r.u64();
+    swap_pair_stats_[name] = st;
   }
   for_each_chain([&blobs](std::size_t i, ChainState& cs) {
     std::istringstream buf(blobs[i]);

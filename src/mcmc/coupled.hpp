@@ -33,6 +33,7 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -40,6 +41,11 @@
 #include "core/engine.hpp"
 #include "exec/scheduler.hpp"
 #include "mcmc/chain.hpp"
+#include "mcmc/online_diagnostics.hpp"
+
+namespace plf::obs {
+class TelemetryExporter;
+}  // namespace plf::obs
 
 namespace plf::mcmc {
 
@@ -51,6 +57,16 @@ struct CoupledOptions {
   /// Write a checkpoint to `checkpoint_path` every N generations (0 = off).
   std::uint64_t checkpoint_every = 0;
   std::string checkpoint_path;
+  /// Live telemetry sink (docs/OBSERVABILITY.md); not owned, may be null.
+  /// On each generation the exporter says is due, run() publishes the
+  /// mcmc.*/mc3.* gauges and writes one plf-telemetry-v1 record. Telemetry
+  /// only READS chain state between generations — lnL trajectories are
+  /// bit-identical with it on or off.
+  obs::TelemetryExporter* telemetry = nullptr;
+  /// Stop early once the cold chain's streaming lnL ESS reaches this value
+  /// (checked at the sampling cadence; 0 = never). The prefix of the
+  /// trajectory up to the stop is unchanged — stopping only truncates.
+  double stop_at_ess = 0.0;
 };
 
 struct CoupledResult {
@@ -58,6 +74,10 @@ struct CoupledResult {
   std::uint64_t swaps_proposed = 0;
   std::uint64_t swaps_accepted = 0;
   std::vector<double> final_ln_likelihoods;  ///< per chain, cold first
+  /// Per heat-rank-pair swap tallies, keyed "lo-hi" ("0-1", "1-3", ...).
+  std::map<std::string, ProposalStats> swap_pair_stats;
+  /// True when options.stop_at_ess ended the run before target_generation.
+  bool stopped_at_ess = false;
 
   double swap_rate() const {
     return swaps_proposed == 0 ? 0.0
@@ -117,6 +137,10 @@ class CoupledChains {
   /// automatically before returning.
   void detach_engines();
 
+  /// Streaming diagnostics over the cold chain's sampled lnL series (fed at
+  /// the sampling cadence; survives checkpoint/restore bit-exactly).
+  const StreamingEss& cold_ess() const { return cold_ess_; }
+
  private:
   struct ChainState {
     std::unique_ptr<core::PlfEngine> engine;
@@ -129,6 +153,12 @@ class CoupledChains {
   /// barriered) when scheduled, sequential otherwise.
   void step_all();
   void attempt_swap();
+  /// Aggregate per-proposal-type tallies over every chain (the MC^3 totals
+  /// the telemetry and result report).
+  std::map<std::string, ProposalStats> aggregate_proposal_stats() const;
+  /// Publish the mcmc.*/mc3.* gauges and write one telemetry record for
+  /// generation `gen` (options_.telemetry != nullptr).
+  void export_telemetry(std::uint64_t gen, double wall_s);
   /// Run `fn(index, chain state)` for every chain on its pinned driver
   /// (inline when unscheduled).
   void for_each_chain(
@@ -141,6 +171,10 @@ class CoupledChains {
   std::uint64_t generation_ = 0;
   std::uint64_t swaps_proposed_ = 0;
   std::uint64_t swaps_accepted_ = 0;
+  /// Per heat-rank-pair swap tallies ("0-1" etc.), part of checkpoint state.
+  std::map<std::string, ProposalStats> swap_pair_stats_;
+  /// Streaming ESS over the cold chain's sampled lnL, checkpoint state too.
+  StreamingEss cold_ess_;
 };
 
 }  // namespace plf::mcmc

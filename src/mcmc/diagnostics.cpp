@@ -3,8 +3,6 @@
 #include <algorithm>
 #include <cmath>
 
-#include "util/error.hpp"
-
 namespace plf::mcmc {
 
 namespace {
@@ -27,8 +25,12 @@ double autocov(const std::vector<double>& s, double mean, std::size_t lag) {
 }  // namespace
 
 double autocorrelation(const std::vector<double>& series, std::size_t lag) {
-  PLF_CHECK(series.size() >= 2, "autocorrelation needs at least 2 samples");
-  PLF_CHECK(lag < series.size(), "lag exceeds series length");
+  // Degenerate inputs (see header): too short, or no overlapping pairs at
+  // this lag — by convention a series is perfectly correlated with itself
+  // at lag 0 and carries no evidence of correlation at any other lag.
+  if (series.size() < 2 || lag >= series.size()) {
+    return lag == 0 ? 1.0 : 0.0;
+  }
   const double m = mean_of(series);
   const double c0 = autocov(series, m, 0);
   if (c0 <= 0.0) return lag == 0 ? 1.0 : 0.0;  // constant series
@@ -36,9 +38,14 @@ double autocorrelation(const std::vector<double>& series, std::size_t lag) {
 }
 
 TraceSummary summarize_trace(const std::vector<double>& series) {
-  PLF_CHECK(series.size() >= 2, "summarize_trace needs at least 2 samples");
   TraceSummary out;
   out.n = series.size();
+  if (series.empty()) return out;  // {n=0, mean=0, variance=0, tau=1, ess=0}
+  if (series.size() == 1) {
+    out.mean = series[0];
+    out.ess = 1.0;  // variance 0, tau 1: one exact observation
+    return out;
+  }
   out.mean = mean_of(series);
 
   double ss = 0.0;

@@ -16,10 +16,19 @@ struct TraceSummary {
 };
 
 /// Lag-k autocorrelation of a series (biased, standard normalization).
+/// Degenerate inputs have defined values instead of throwing or propagating
+/// NaN: a series with fewer than 2 samples, a lag >= n (no overlapping
+/// pairs), or a constant series (zero variance) returns 1.0 at lag 0 and
+/// 0.0 at any other lag.
 double autocorrelation(const std::vector<double>& series, std::size_t lag);
 
 /// Effective sample size via Geyer's initial positive sequence estimator:
 /// sum consecutive autocorrelation pairs while they remain positive.
+/// Degenerate traces summarize to defined values rather than throwing:
+/// an empty series gives {n=0, mean=0, variance=0, tau=1, ess=0}; a single
+/// sample gives {n=1, mean=x, variance=0, tau=1, ess=1}; a constant series
+/// gives variance 0, tau 1, ess = n (every sample is an exact observation
+/// of the one value). No input produces NaN.
 TraceSummary summarize_trace(const std::vector<double>& series);
 
 }  // namespace plf::mcmc

@@ -44,6 +44,21 @@ inline constexpr const char* kCounterParRegions = "par.regions";
 inline constexpr const char* kTimerMcmcGeneration = "mcmc.generation";
 inline constexpr const char* kCounterMcmcGenerations = "mcmc.generations";
 
+// Live convergence telemetry (docs/OBSERVABILITY.md). The per-proposal-type
+// prefixes are completed with the proposal's registered name
+// ("mcmc.accept_rate.nni", ...); the per-pair swap prefix with the
+// heat-rank pair ("mc3.swap_rate.0-1", ...).
+inline constexpr const char* kGaugeMcmcProposedPrefix = "mcmc.proposed.";
+inline constexpr const char* kGaugeMcmcAcceptedPrefix = "mcmc.accepted.";
+inline constexpr const char* kGaugeMcmcAcceptRatePrefix = "mcmc.accept_rate.";
+inline constexpr const char* kGaugeMcmcColdLnL = "mcmc.cold_ln_likelihood";
+inline constexpr const char* kGaugeMcmcColdEss = "mcmc.cold_ess";
+inline constexpr const char* kGaugeMcmcColdRhat = "mcmc.cold_rhat";
+inline constexpr const char* kGaugeMc3SwapRate = "mc3.swap_rate";
+inline constexpr const char* kGaugeMc3SwapPairPrefix = "mc3.swap_rate.";
+inline constexpr const char* kCounterTelemetryRecords = "telemetry.records";
+inline constexpr const char* kTimerTelemetryExport = "telemetry.export";
+
 // Simulated transfer time (the Fig. 12 "PCIe" column; the GPU backend
 // publishes its accumulated PCIe seconds here, the Cell backend its DMA
 // wait). Simulated seconds never mix into the wall-clock sections — the

@@ -29,7 +29,9 @@ inline constexpr std::uint64_t kCheckpointMagic = 0x00545048'43464C50ull;
 
 /// Format version of the whole checkpoint container. Bump on ANY layout
 /// change and document the delta in docs/SHARDING.md.
-inline constexpr std::uint32_t kCheckpointVersion = 1;
+///   v2: MC3C gained a trailing "TDIA" section (streaming-ESS accumulator +
+///       per-pair swap tallies) so live telemetry resumes bit-consistently.
+inline constexpr std::uint32_t kCheckpointVersion = 2;
 
 /// Writes length-prefixed, tag-framed little-endian binary. All `u64`/`f64`
 /// writes are exact bit copies; the header (magic + version) is written by

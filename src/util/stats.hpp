@@ -11,6 +11,28 @@ namespace plf {
 /// Welford online mean/variance accumulator with min/max tracking.
 class OnlineStats {
  public:
+  /// The accumulator's exact internal state, exposed for checkpointing
+  /// (docs/SHARDING.md): resume must reproduce the *accumulated*
+  /// floating-point state bit-for-bit, which recomputing from samples could
+  /// not. min/max keep their ±infinity "no samples yet" sentinels here —
+  /// state() is the raw representation, not the NaN-reporting accessors.
+  struct State {
+    std::size_t n = 0;
+    double mean = 0.0;
+    double m2 = 0.0;
+    double min = std::numeric_limits<double>::infinity();
+    double max = -std::numeric_limits<double>::infinity();
+  };
+
+  State state() const { return State{n_, mean_, m2_, min_, max_}; }
+  void set_state(const State& s) {
+    n_ = s.n;
+    mean_ = s.mean;
+    m2_ = s.m2;
+    min_ = s.min;
+    max_ = s.max;
+  }
+
   void add(double x) {
     ++n_;
     const double delta = x - mean_;

@@ -1,0 +1,9 @@
+// Known-bad fixture for plf_lint rule prof-name-constant (registry form): a
+// metric interned straight from an ad-hoc string literal instead of an
+// obs::k* constant from src/obs/names.hpp. Linted as if under src/; never
+// compiled.
+#include "obs/metrics.hpp"
+
+void publish(plf::obs::MetricsRegistry& registry) {
+  registry.set_gauge(registry.gauge("adhoc.gauge.name"), 1.0);
+}

@@ -46,6 +46,8 @@ struct GoldenCase {
 const GoldenCase kGolden[] = {
     {"kernel_contract.cpp", "src/core/kernels_bad.cpp", "kernel-contract"},
     {"prof_name_constant.cpp", "src/obs/prof_bad.cpp", "prof-name-constant"},
+    {"metric_name_constant.cpp", "src/mcmc/publish_bad.cpp",
+     "prof-name-constant"},
     {"raw_thread.cpp", "src/mcmc/spawn_bad.cpp", "raw-thread"},
     {"float_equality.cpp", "src/numerics/conv_bad.cpp", "float-equality"},
     {"atomic_memory_order.cpp", "src/obs/atomic_bad.cpp",
@@ -200,6 +202,20 @@ TEST(LintRules, ConstantProfNamePasses) {
       "#include \"obs/profile.hpp\"\n"
       "void f() { PLF_PROF_SCOPE(obs::kTimerParRegion); }\n";
   EXPECT_TRUE(lint_source("src/core/f.cpp", src).empty());
+}
+
+TEST(LintRules, RegistryInternWithConstantOrPrefixPasses) {
+  // Interning through a names.hpp constant — or a prefix constant completed
+  // with a dynamic suffix — is the sanctioned pattern; only a string literal
+  // as the first argument token fires.
+  const char* src =
+      "#include \"obs/metrics.hpp\"\n"
+      "void f(plf::obs::MetricsRegistry& r, const std::string& n) {\n"
+      "  r.set_gauge(r.gauge(obs::kGaugeMcmcColdEss), 1.0);\n"
+      "  r.set_gauge(r.gauge(std::string(obs::kGaugeMcmcProposedPrefix) + n),\n"
+      "              2.0);\n"
+      "}\n";
+  EXPECT_TRUE(lint_source("src/mcmc/f.cpp", src).empty());
 }
 
 TEST(LintReport, JsonShapeAndCounts) {

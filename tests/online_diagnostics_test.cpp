@@ -1,0 +1,199 @@
+// Streaming estimators (mcmc/online_diagnostics.hpp) against their post-hoc
+// counterparts, plus the hardened edge cases of mcmc/diagnostics.hpp: the
+// online-vs-Geyer agreement goldens the telemetry layer's documented
+// tolerance rests on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <sstream>
+#include <vector>
+
+#include "mcmc/diagnostics.hpp"
+#include "mcmc/online_diagnostics.hpp"
+#include "util/rng.hpp"
+#include "util/serialize.hpp"
+
+namespace plf::mcmc {
+namespace {
+
+/// AR(1) series with autocorrelation phi: integrated autocorrelation time
+/// tau = (1+phi)/(1-phi), the classic known-answer for ESS estimators.
+std::vector<double> ar1_series(std::size_t n, double phi, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> s(n);
+  double x = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    x = phi * x + std::sqrt(1.0 - phi * phi) * rng.normal();
+    s[i] = x;
+  }
+  return s;
+}
+
+bool bits_equal(double a, double b) {
+  std::uint64_t ua = 0, ub = 0;
+  std::memcpy(&ua, &a, sizeof(a));
+  std::memcpy(&ub, &b, sizeof(b));
+  return ua == ub;
+}
+
+TEST(StreamingEssTest, MeanAndVarianceMatchWelfordExactly) {
+  StreamingEss ess;
+  std::vector<double> series = ar1_series(5000, 0.5, 11);
+  for (double x : series) ess.add(x);
+  const TraceSummary post = summarize_trace(series);
+  EXPECT_EQ(ess.count(), series.size());
+  EXPECT_NEAR(ess.mean(), post.mean, 1e-12);
+  EXPECT_NEAR(ess.variance(), post.variance, 1e-9);
+}
+
+TEST(StreamingEssTest, IidSeriesEssIsNearN) {
+  StreamingEss ess;
+  for (double x : ar1_series(20000, 0.0, 12)) ess.add(x);
+  // Independent samples: ESS should be the sample count up to estimator
+  // noise (batch-means variance is chi^2 over ~64 batches).
+  EXPECT_GT(ess.ess(), 10000.0);
+  EXPECT_LE(ess.ess(), 20000.0);
+}
+
+TEST(StreamingEssTest, AgreesWithGeyerWithinDocumentedTolerance) {
+  // The documented tolerance (online_diagnostics.hpp): a factor of 2
+  // against summarize_trace on AR(1) once both see enough batches.
+  for (const double phi : {0.5, 0.9}) {
+    const std::vector<double> series = ar1_series(20000, phi, 13);
+    StreamingEss ess;
+    for (double x : series) ess.add(x);
+    const double geyer = summarize_trace(series).ess;
+    EXPECT_GT(ess.ess(), geyer / 2.0) << "phi=" << phi;
+    EXPECT_LT(ess.ess(), geyer * 2.0) << "phi=" << phi;
+    // Both see the true tau = (1+phi)/(1-phi) within a factor of 2 too.
+    const double true_ess =
+        static_cast<double>(series.size()) * (1.0 - phi) / (1.0 + phi);
+    EXPECT_GT(ess.ess(), true_ess / 2.0) << "phi=" << phi;
+    EXPECT_LT(ess.ess(), true_ess * 2.0) << "phi=" << phi;
+  }
+}
+
+TEST(StreamingEssTest, ConstantSeriesEssIsNAndRhatIsOne) {
+  StreamingEss ess;
+  for (int i = 0; i < 1000; ++i) ess.add(3.25);
+  EXPECT_DOUBLE_EQ(ess.ess(), 1000.0);
+  EXPECT_DOUBLE_EQ(ess.autocorrelation_time(), 1.0);
+  EXPECT_DOUBLE_EQ(ess.split_rhat(), 1.0);
+}
+
+TEST(StreamingEssTest, FewSamplesFallBackToN) {
+  StreamingEss ess;
+  EXPECT_DOUBLE_EQ(ess.ess(), 0.0);  // empty: n = 0
+  ess.add(1.0);
+  EXPECT_DOUBLE_EQ(ess.ess(), 1.0);
+  EXPECT_TRUE(std::isnan(ess.split_rhat()));  // < 4 batches
+}
+
+TEST(StreamingEssTest, BatchTableStaysBoundedAndLengthDoubles) {
+  StreamingEss ess(8);
+  for (double x : ar1_series(10000, 0.3, 14)) ess.add(x);
+  EXPECT_LT(ess.batch_means().size(), 8u);
+  // 10000 samples over at most 8 batches: batch length doubled past 1024.
+  EXPECT_GE(ess.batch_length(), 1024u);
+  EXPECT_GT(ess.ess(), 0.0);
+}
+
+TEST(StreamingEssTest, SaveRestoreContinuesBitExactly) {
+  const std::vector<double> series = ar1_series(5000, 0.7, 15);
+  StreamingEss straight;
+  StreamingEss first_half;
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    straight.add(series[i]);
+    if (i < series.size() / 2) first_half.add(series[i]);
+  }
+  std::ostringstream os;
+  util::BinaryWriter w(os);
+  first_half.save_state(w);
+
+  std::istringstream is(os.str());
+  util::BinaryReader r(is);
+  StreamingEss resumed;
+  resumed.restore_state(r);
+  for (std::size_t i = series.size() / 2; i < series.size(); ++i) {
+    resumed.add(series[i]);
+  }
+  EXPECT_TRUE(bits_equal(resumed.mean(), straight.mean()));
+  EXPECT_TRUE(bits_equal(resumed.variance(), straight.variance()));
+  EXPECT_TRUE(bits_equal(resumed.ess(), straight.ess()));
+  EXPECT_EQ(resumed.batch_means().size(), straight.batch_means().size());
+  for (std::size_t i = 0; i < resumed.batch_means().size(); ++i) {
+    EXPECT_TRUE(bits_equal(resumed.batch_means()[i], straight.batch_means()[i]));
+  }
+}
+
+TEST(SplitRhatTest, AgreeingChainsNearOneDisagreeingLarge) {
+  std::vector<std::vector<double>> agree;
+  std::vector<std::vector<double>> disagree;
+  for (int c = 0; c < 4; ++c) {
+    agree.push_back(ar1_series(2000, 0.2, 100 + static_cast<std::uint64_t>(c)));
+    std::vector<double> shifted =
+        ar1_series(2000, 0.2, 200 + static_cast<std::uint64_t>(c));
+    for (double& x : shifted) x += 5.0 * c;  // chains stuck at different modes
+    disagree.push_back(std::move(shifted));
+  }
+  EXPECT_LT(split_rhat(agree), 1.1);
+  EXPECT_GT(split_rhat(disagree), 1.5);
+}
+
+TEST(SplitRhatTest, DegenerateInputsHaveDefinedValues) {
+  EXPECT_TRUE(std::isnan(split_rhat({})));
+  EXPECT_TRUE(std::isnan(split_rhat({{1.0, 2.0}})));  // half-length 1
+  // Constant chains at the same value: trivially converged.
+  EXPECT_DOUBLE_EQ(split_rhat({{2.0, 2.0, 2.0, 2.0}, {2.0, 2.0, 2.0, 2.0}}),
+                   1.0);
+  // Frozen chains at different values: never converge.
+  EXPECT_TRUE(std::isinf(
+      split_rhat({{1.0, 1.0, 1.0, 1.0}, {9.0, 9.0, 9.0, 9.0}})));
+}
+
+// --- hardened post-hoc diagnostics (the PR's satellite) ---------------------
+
+TEST(DiagnosticsEdgeTest, AutocorrelationDegenerateInputs) {
+  EXPECT_DOUBLE_EQ(autocorrelation({}, 0), 1.0);
+  EXPECT_DOUBLE_EQ(autocorrelation({}, 3), 0.0);
+  EXPECT_DOUBLE_EQ(autocorrelation({1.5}, 0), 1.0);
+  EXPECT_DOUBLE_EQ(autocorrelation({1.5}, 1), 0.0);
+  const std::vector<double> s{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(autocorrelation(s, s.size()), 0.0);      // lag == n
+  EXPECT_DOUBLE_EQ(autocorrelation(s, s.size() + 10), 0.0); // lag > n
+  EXPECT_DOUBLE_EQ(autocorrelation(s, 0), 1.0);
+}
+
+TEST(DiagnosticsEdgeTest, SummarizeTraceDegenerateInputs) {
+  const TraceSummary empty = summarize_trace({});
+  EXPECT_EQ(empty.n, 0u);
+  EXPECT_DOUBLE_EQ(empty.mean, 0.0);
+  EXPECT_DOUBLE_EQ(empty.variance, 0.0);
+  EXPECT_DOUBLE_EQ(empty.autocorrelation_time, 1.0);
+  EXPECT_DOUBLE_EQ(empty.ess, 0.0);
+
+  const TraceSummary one = summarize_trace({-42.5});
+  EXPECT_EQ(one.n, 1u);
+  EXPECT_DOUBLE_EQ(one.mean, -42.5);
+  EXPECT_DOUBLE_EQ(one.variance, 0.0);
+  EXPECT_DOUBLE_EQ(one.ess, 1.0);
+
+  const TraceSummary constant = summarize_trace({7.0, 7.0, 7.0, 7.0, 7.0});
+  EXPECT_EQ(constant.n, 5u);
+  EXPECT_DOUBLE_EQ(constant.variance, 0.0);
+  EXPECT_DOUBLE_EQ(constant.autocorrelation_time, 1.0);
+  EXPECT_DOUBLE_EQ(constant.ess, 5.0);
+
+  // No degenerate input yields NaN anywhere in the summary.
+  for (const TraceSummary& s : {empty, one, constant}) {
+    EXPECT_FALSE(std::isnan(s.mean));
+    EXPECT_FALSE(std::isnan(s.variance));
+    EXPECT_FALSE(std::isnan(s.autocorrelation_time));
+    EXPECT_FALSE(std::isnan(s.ess));
+  }
+}
+
+}  // namespace
+}  // namespace plf::mcmc

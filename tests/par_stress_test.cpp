@@ -7,8 +7,12 @@
 // cursor, the sense-reversing barrier release) under real oversubscription.
 // Under the plain presets they double as functional checks that every index
 // is visited exactly once and the barrier never tears a round.
+#include <unistd.h>
+
 #include <atomic>
 #include <cstdint>
+#include <cstdio>
+#include <fstream>
 #include <memory>
 #include <sstream>
 #include <string>
@@ -20,6 +24,8 @@
 #include "core/backend.hpp"
 #include "core/engine.hpp"
 #include "exec/scheduler.hpp"
+#include "mcmc/coupled.hpp"
+#include "obs/exporter.hpp"
 #include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 #include "obs/names.hpp"
@@ -29,6 +35,7 @@
 #include "seqgen/datasets.hpp"
 #include "seqgen/evolve.hpp"
 #include "seqgen/random_tree.hpp"
+#include "util/json.hpp"
 #include "util/rng.hpp"
 
 namespace plf::par {
@@ -708,6 +715,92 @@ TEST(ParStressTest, FreshThreadFirstRecordRacesSnapshotLoop) {
   flusher.join();
   EXPECT_EQ(reg.snapshot().counter_value("stress.fresh"),
             static_cast<std::uint64_t>(kFreshThreads));
+}
+
+TEST(ParStressTest, TelemetryExporterHammeredWhileChainsRun) {
+  // Live telemetry's cross-thread contract (obs/exporter.hpp): the run
+  // thread exports records at its cadence while monitor threads poll
+  // records_written()/last_generation()/due() and re-parse the atomically
+  // renamed status file in a tight loop — exactly what `plf_status --follow`
+  // does against a live run. Under TSan this checks the exporter's mutex
+  // covers every counter the monitors read; under the plain presets it
+  // checks the status file is always a complete parseable document and the
+  // JSONL history never tears a line.
+  Rng rng(6161);
+  auto tree = seqgen::yule_tree(6, rng, 1.0, 0.15);
+  auto params = seqgen::default_gtr_params();
+  phylo::SubstitutionModel model(params);
+  seqgen::SequenceEvolver ev(tree, model);
+  auto data = phylo::PatternMatrix::compress(ev.evolve(80, rng));
+
+  core::SerialBackend backend;
+  std::vector<std::unique_ptr<core::PlfEngine>> engines;
+  for (int i = 0; i < 3; ++i) {
+    engines.push_back(
+        std::make_unique<core::PlfEngine>(data, params, tree, backend));
+  }
+
+  // Pid-qualified names: concurrent ctest invocations sharing one TMPDIR
+  // must not append to each other's telemetry history.
+  const std::string tag = std::to_string(static_cast<long>(::getpid()));
+  const std::string jsonl =
+      ::testing::TempDir() + "plf" + tag + "_stress_telemetry.jsonl";
+  const std::string status =
+      ::testing::TempDir() + "plf" + tag + "_stress_status.json";
+  std::remove(jsonl.c_str());
+  std::remove(status.c_str());
+  obs::MetricsRegistry registry;
+  obs::TelemetryOptions topts;
+  topts.jsonl_path = jsonl;
+  topts.status_path = status;
+  topts.every_generations = 5;  // export aggressively: contention, not cadence
+  obs::TelemetryExporter exporter(topts, &registry);
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> monitors;
+  for (int m = 0; m < 3; ++m) {
+    monitors.emplace_back([&, m] {
+      std::uint64_t last_seen = 0;
+      while (!stop.load(std::memory_order_acquire)) {
+        const std::uint64_t written = exporter.records_written();
+        const std::uint64_t gen = exporter.last_generation();
+        EXPECT_GE(written, last_seen) << "records_written went backwards";
+        last_seen = written;
+        (void)exporter.due(gen + static_cast<std::uint64_t>(m));
+        if (written > 0) {
+          // The tmp+rename protocol guarantees a complete document even
+          // while export_record is mid-rewrite on the run thread.
+          const json::Value rec = json::parse_file(status);
+          EXPECT_EQ(rec.at("schema").as_string(),
+                    obs::TelemetryExporter::kSchema);
+        }
+      }
+    });
+  }
+
+  mcmc::CoupledOptions opts;
+  opts.chain.seed = 59;
+  opts.chain.sample_every = 10;
+  opts.swap_every = 5;
+  opts.telemetry = &exporter;
+  mcmc::CoupledChains mc3(std::move(engines), opts);
+  mc3.run(300);
+
+  stop.store(true, std::memory_order_release);
+  for (std::thread& t : monitors) t.join();
+
+  EXPECT_EQ(exporter.records_written(), 60u);
+  std::ifstream in(jsonl, std::ios::binary);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    ++lines;
+    EXPECT_EQ(json::parse(line).at("schema").as_string(),
+              obs::TelemetryExporter::kSchema);
+  }
+  EXPECT_EQ(lines, 60u);
 }
 
 }  // namespace

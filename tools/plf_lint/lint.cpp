@@ -421,6 +421,30 @@ void rule_prof_name(std::string_view relpath, const std::vector<Token>& t,
               "so the report/trace name set stays closed"});
     }
   }
+  // The MetricsRegistry interning calls are the same surface without the
+  // macro: registry.counter("lit") / .gauge("lit") / .timer("lit") mint a
+  // metric name the report and telemetry consumers can't find in
+  // obs/names.hpp. Names built from the k* prefix constants pass (the first
+  // argument token is then an identifier, not a string literal).
+  for (std::size_t i = 0; i + 3 < t.size(); ++i) {
+    if (t[i].kind != Token::Kind::kPunct ||
+        (t[i].text != "." && t[i].text != "->")) {
+      continue;
+    }
+    if (t[i + 1].kind != Token::Kind::kIdent) continue;
+    const std::string& method = t[i + 1].text;
+    if (method != "counter" && method != "gauge" && method != "timer") continue;
+    if (t[i + 2].kind != Token::Kind::kPunct || t[i + 2].text != "(") continue;
+    const Token& arg = t[i + 3];
+    if (arg.kind == Token::Kind::kString) {
+      out.push_back(Finding{
+          std::string(relpath), arg.line, "prof-name-constant",
+          "MetricsRegistry::" + method + " called with string literal " +
+              arg.text +
+              "; intern through an obs::k* constant from src/obs/names.hpp "
+              "(prefix constants + a dynamic suffix are fine)"});
+    }
+  }
 }
 
 // --- rule: raw-thread ------------------------------------------------------

@@ -1,0 +1,83 @@
+// plf_status: terminal monitor for a live mrbayes_lite run
+// (docs/OBSERVABILITY.md).
+//
+//   plf_status run_status.json            render the latest record once
+//   plf_status --follow run_status.json   re-render whenever the file changes
+//   plf_status --follow=0.2 x.jsonl       custom poll interval (seconds)
+//
+// Accepts either the atomic --status-file JSON (one record) or the
+// --telemetry JSONL history (renders its last complete line). --follow polls
+// the file's mtime; because the status file is replaced by rename, a read
+// always sees a complete document — worst case the parse hits a JSONL line
+// mid-append and the renderer falls back to the previous complete record.
+#include <chrono>
+#include <filesystem>
+#include <iostream>
+#include <string>
+#include <thread>
+
+#include "plf_status/status.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::cerr << "usage: " << argv0 << " [--follow[=SECONDS]] FILE\n"
+            << "  FILE: a --status-file JSON or --telemetry JSONL from "
+               "mrbayes_lite\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool follow = false;
+  double poll_s = 1.0;
+  std::string path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--follow") {
+      follow = true;
+    } else if (arg.rfind("--follow=", 0) == 0) {
+      follow = true;
+      poll_s = std::strtod(arg.c_str() + std::string("--follow=").size(),
+                           nullptr);
+      if (poll_s <= 0.0) poll_s = 1.0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage(argv[0]);
+    } else if (path.empty()) {
+      path = arg;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (path.empty()) return usage(argv[0]);
+
+  try {
+    std::cout << plf::status::render_record(plf::status::load_latest(path));
+    // Flush eagerly: in follow mode the next write may be seconds away, and
+    // a piped/redirected stdout is fully buffered.
+    std::cout.flush();
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  if (!follow) return 0;
+
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  fs::file_time_type last = fs::last_write_time(path, ec);
+  for (;;) {
+    std::this_thread::sleep_for(std::chrono::duration<double>(poll_s));
+    const fs::file_time_type now = fs::last_write_time(path, ec);
+    if (ec || now == last) continue;
+    last = now;
+    try {
+      std::cout << "\n" << std::string(64, '-') << "\n\n"
+                << plf::status::render_record(plf::status::load_latest(path));
+      std::cout.flush();
+    } catch (const std::exception&) {
+      // Mid-rewrite or vanished file: keep polling, render the next one.
+    }
+  }
+}

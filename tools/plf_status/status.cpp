@@ -1,0 +1,100 @@
+#include "plf_status/status.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/table.hpp"
+
+namespace plf::status {
+
+namespace {
+
+/// "n/a" for the JSON nulls the exporter writes for NaN diagnostics.
+std::string num_or_na(const json::Value& obj, std::string_view key,
+                      int precision) {
+  const json::Value* v = obj.find(key);
+  if (v == nullptr || !v->is_number()) return "n/a";
+  return Table::num(v->as_number(), precision);
+}
+
+void render_rate_table(std::ostream& os, const json::Value& rates,
+                       const std::string& title,
+                       const std::string& key_header) {
+  if (!rates.is_object() || rates.as_object().empty()) return;
+  Table t(title);
+  t.header({key_header, "proposed", "accepted", "rate"});
+  for (const auto& [name, entry] : rates.as_object()) {
+    t.row({name, num_or_na(entry, "proposed", 0), num_or_na(entry, "accepted", 0),
+           num_or_na(entry, "rate", 3)});
+  }
+  os << t;
+}
+
+}  // namespace
+
+std::string render_record(const json::Value& record) {
+  const json::Value* schema = record.is_object() ? record.find("schema") : nullptr;
+  if (schema == nullptr || !schema->is_string() ||
+      schema->as_string() != kSchema) {
+    throw Error(std::string("not a ") + kSchema + " record");
+  }
+  std::ostringstream os;
+
+  const json::Value& cold = record.at("cold");
+  Table run("run status");
+  run.header({"generation", "wall_s", "lnL", "mean_lnL", "samples", "ESS",
+              "ESS/sec", "R-hat"});
+  run.row({Table::num(record.number_or("generation", 0.0), 0),
+           num_or_na(record, "wall_s", 1), num_or_na(cold, "ln_likelihood", 2),
+           num_or_na(cold, "mean_ln_likelihood", 2),
+           num_or_na(cold, "n_samples", 0), num_or_na(cold, "ess", 1),
+           num_or_na(cold, "ess_per_sec", 1), num_or_na(cold, "rhat", 3)});
+  os << run << "\n";
+
+  if (const json::Value* acc = record.find("acceptance"); acc != nullptr) {
+    render_rate_table(os, *acc, "proposal acceptance (all chains)",
+                      "proposal");
+    os << "\n";
+  }
+  if (const json::Value* swaps = record.find("swaps"); swaps != nullptr) {
+    os << "swaps: " << num_or_na(*swaps, "accepted", 0) << "/"
+       << num_or_na(*swaps, "proposed", 0) << " accepted (rate "
+       << num_or_na(*swaps, "rate", 3) << ")\n";
+    if (const json::Value* pairs = swaps->find("pairs"); pairs != nullptr) {
+      render_rate_table(os, *pairs, "swap rates by heat-rank pair", "pair");
+    }
+    os << "\n";
+  }
+  if (const json::Value* extra = record.find("extra");
+      extra != nullptr && extra->is_object() && !extra->as_object().empty()) {
+    Table t("extra gauges");
+    t.header({"gauge", "value"});
+    for (const auto& [name, v] : extra->as_object()) {
+      t.row({name, v.is_number() ? Table::num(v.as_number(), 4) : "n/a"});
+    }
+    os << t;
+  }
+  return os.str();
+}
+
+json::Value load_latest(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) throw Error("cannot open telemetry/status file: " + path);
+  std::string line;
+  bool have = false;
+  json::Value latest;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    try {
+      latest = json::parse(line);
+      have = true;
+    } catch (const Error&) {
+      // A torn mid-append tail line; keep the previous complete record.
+    }
+  }
+  if (!have) throw Error("no complete telemetry record in " + path);
+  return latest;
+}
+
+}  // namespace plf::status

@@ -1,0 +1,28 @@
+// plf_status rendering: turn one plf-telemetry-v1 record (the atomic status
+// file, or the last line of the JSONL history) into the terminal table a
+// practitioner watches during a run — generation, lnL, streaming ESS,
+// ESS/sec, split R-hat, per-proposal acceptance, per-pair swap rates, and
+// the arena hit rate. Pure functions over parsed plf::json::Value so
+// tests/telemetry_test.cpp can drive them without a filesystem.
+#pragma once
+
+#include <string>
+
+#include "util/json.hpp"
+
+namespace plf::status {
+
+/// Schema this renderer understands (matches obs::TelemetryExporter).
+inline constexpr const char* kSchema = "plf-telemetry-v1";
+
+/// Render one telemetry record as the live status view. Throws plf::Error
+/// when `record` is not a plf-telemetry-v1 object.
+std::string render_record(const json::Value& record);
+
+/// Load the newest record from `path`: a status file holds exactly one
+/// record; a JSONL history yields its last parseable line (a torn tail line
+/// mid-append is skipped). Throws plf::Error when the file is unreadable or
+/// holds no complete record.
+json::Value load_latest(const std::string& path);
+
+}  // namespace plf::status
